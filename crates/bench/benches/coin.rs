@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the §3 bounded weak shared coin: one full coin
+//! to decision, swept over n and b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bprc_coin::montecarlo::{run_walk, WalkRoundRobin};
+use bprc_coin::{CoinParams, FlipSource};
+
+fn one_coin(n: usize, b: u32, seed: u64) -> u64 {
+    let params = CoinParams::new(n, b, 1_000_000);
+    let flips: Vec<Box<dyn FlipSource>> = (0..n)
+        .map(|p| {
+            Box::new(bprc_coin::flip::FairFlips::new(seed + p as u64)) as Box<dyn FlipSource>
+        })
+        .collect();
+    run_walk(&params, flips, &mut WalkRoundRobin::new(), 100_000_000).events
+}
+
+fn bench_coin_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coin_to_decision_vs_n");
+    g.sample_size(20);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            let mut seed = 0u64;
+            bch.iter(|| {
+                seed += 1;
+                one_coin(n, 2, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_coin_vs_b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coin_to_decision_vs_b");
+    g.sample_size(20);
+    for b in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bch, &b| {
+            let mut seed = 1000u64;
+            bch.iter(|| {
+                seed += 1;
+                one_coin(3, b, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coin_vs_n, bench_coin_vs_b);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benchmarks for end-to-end consensus: bounded protocol vs
+//! baselines at the scan/write granularity, and the bounded protocol over
+//! the real register-level stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bprc_core::baselines::{AhCore, OracleCore};
+use bprc_core::bounded::{BoundedCore, ConsensusParams};
+use bprc_core::threaded::ThreadedConsensus;
+use bprc_registers::DirectArrow;
+use bprc_sim::rng::derive_seed;
+use bprc_sim::sched::RandomStrategy;
+use bprc_sim::turn::{TurnDriver, TurnRandom};
+use bprc_sim::World;
+
+fn bounded_once(n: usize, seed: u64) -> u64 {
+    let params = ConsensusParams::quick(n);
+    let procs: Vec<BoundedCore> = (0..n)
+        .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64)))
+        .collect();
+    TurnDriver::new(procs)
+        .run(&mut TurnRandom::new(seed), 100_000_000)
+        .events
+}
+
+fn ah_once(n: usize, seed: u64) -> u64 {
+    let procs: Vec<AhCore> = (0..n)
+        .map(|p| AhCore::new(n, p, p % 2 == 0, derive_seed(seed, p as u64), 3))
+        .collect();
+    TurnDriver::new(procs)
+        .run(&mut TurnRandom::new(seed), 100_000_000)
+        .events
+}
+
+fn oracle_once(n: usize, seed: u64) -> u64 {
+    let procs: Vec<OracleCore> = (0..n)
+        .map(|p| OracleCore::new(n, p, p % 2 == 0, seed))
+        .collect();
+    TurnDriver::new(procs)
+        .run(&mut TurnRandom::new(seed ^ 77), 100_000_000)
+        .events
+}
+
+fn bench_consensus_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus_to_decision");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                bounded_once(n, seed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ah88", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                ah_once(n, seed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                oracle_once(n, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus_full_stack");
+    g.sample_size(10);
+    for n in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::new("lockstep_registers", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let params = ConsensusParams::quick(n);
+                let mut world = World::builder(n)
+                    .seed(seed)
+                    .record_history(false)
+                    .step_limit(50_000_000)
+                    .build();
+                let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
+                world.run(inst.bodies, Box::new(RandomStrategy::new(seed))).steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consensus_vs_n, bench_full_stack);
+criterion_main!(benches);

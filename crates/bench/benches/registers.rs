@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the register primitives: raw register ops in
+//! free-running mode, lockstep scheduling overhead, and the two arrow
+//! implementations' raise/lower/check cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bprc_registers::{ArrowCell, DirectArrow, HandshakeArrow};
+use bprc_sim::sched::RoundRobin;
+use bprc_sim::world::ProcBody;
+use bprc_sim::{Mode, World};
+
+fn ops_run(mode: Mode, ops: u64) -> u64 {
+    let mut world = World::builder(1)
+        .mode(mode)
+        .record_history(false)
+        .step_limit(u64::MAX)
+        .build();
+    let reg = world.reg("r", 0u64);
+    let bodies: Vec<ProcBody<u64>> = vec![Box::new(move |ctx| {
+        let mut acc = 0;
+        for k in 0..ops {
+            reg.write(ctx, k)?;
+            acc = reg.read(ctx)?;
+        }
+        Ok(acc)
+    })];
+    world.run(bodies, Box::new(RoundRobin::new())).steps
+}
+
+fn bench_register_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("register_ops_1000");
+    g.sample_size(20);
+    g.bench_function("free_running", |b| b.iter(|| ops_run(Mode::Free, 1000)));
+    g.bench_function("lockstep_scheduled", |b| {
+        b.iter(|| ops_run(Mode::Lockstep, 1000))
+    });
+    g.finish();
+}
+
+fn arrow_cycle<A: ArrowCell>(cycles: u64) -> u64 {
+    let mut world = World::builder(2)
+        .record_history(false)
+        .step_limit(u64::MAX)
+        .build();
+    let arrow = A::alloc(&world, "A", 0, 1);
+    let a_w = arrow.clone();
+    let a_s = arrow;
+    let bodies: Vec<ProcBody<u64>> = vec![
+        Box::new(move |ctx| {
+            for _ in 0..cycles {
+                a_w.raise(ctx)?;
+            }
+            Ok(0)
+        }),
+        Box::new(move |ctx| {
+            let mut seen = 0;
+            for _ in 0..cycles {
+                a_s.lower(ctx)?;
+                if a_s.is_raised(ctx)? {
+                    seen += 1;
+                }
+            }
+            Ok(seen)
+        }),
+    ];
+    world.run(bodies, Box::new(RoundRobin::new())).steps
+}
+
+fn bench_arrow_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrow_raise_lower_check_x200");
+    g.sample_size(20);
+    g.bench_with_input(BenchmarkId::new("direct", 200), &200u64, |b, &n| {
+        b.iter(|| arrow_cycle::<DirectArrow>(n))
+    });
+    g.bench_with_input(BenchmarkId::new("handshake", 200), &200u64, |b, &n| {
+        b.iter(|| arrow_cycle::<HandshakeArrow>(n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_register_ops, bench_arrow_cycle);
+criterion_main!(benches);

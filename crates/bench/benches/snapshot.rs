@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the §2 scannable memory: scan latency vs n,
+//! update cost, and arrow-implementation comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bprc_registers::{ArrowCell, DirectArrow, HandshakeArrow};
+use bprc_sim::sched::RoundRobin;
+use bprc_sim::world::ProcBody;
+use bprc_sim::World;
+use bprc_snapshot::ScannableMemory;
+
+/// Runs `scans` quiescent scans (and one priming update per process) in a
+/// lockstep world and returns total steps — the benched unit is a whole
+/// world run, so allocation and scheduling are included deliberately.
+fn scan_run<A: ArrowCell>(n: usize, scans: u64) -> u64 {
+    let mut world = World::builder(n)
+        .record_history(false)
+        .step_limit(u64::MAX)
+        .build();
+    let mem = ScannableMemory::<u64, A>::new(&world, n, 0);
+    let mut bodies: Vec<ProcBody<u64>> = Vec::new();
+    for i in 0..n {
+        let mut port = mem.port(i);
+        bodies.push(Box::new(move |ctx| {
+            port.update(ctx, i as u64)?;
+            if i == 0 {
+                for _ in 0..scans {
+                    port.scan(ctx)?;
+                }
+            }
+            Ok(0)
+        }));
+    }
+    world.run(bodies, Box::new(RoundRobin::new())).steps
+}
+
+fn bench_scan_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_scan_vs_n");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            b.iter(|| scan_run::<DirectArrow>(n, 20))
+        });
+        g.bench_with_input(BenchmarkId::new("handshake", n), &n, |b, &n| {
+            b.iter(|| scan_run::<HandshakeArrow>(n, 20))
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_update");
+    g.sample_size(10);
+    g.bench_function("direct_n4_100updates", |b| {
+        b.iter(|| {
+            let mut world = World::builder(4)
+                .record_history(false)
+                .step_limit(u64::MAX)
+                .build();
+            let mem = ScannableMemory::<u64, DirectArrow>::new(&world, 4, 0);
+            let bodies: Vec<ProcBody<u64>> = (0..4)
+                .map(|i| {
+                    let mut port = mem.port(i);
+                    let b: ProcBody<u64> = Box::new(move |ctx| {
+                        for k in 0..100u64 {
+                            port.update(ctx, k)?;
+                        }
+                        Ok(0)
+                    });
+                    b
+                })
+                .collect();
+            world.run(bodies, Box::new(RoundRobin::new())).steps
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_n, bench_update_throughput);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the §4 rounds strip: the cost of one
+//! `inc_graph` (the per-round bookkeeping every process pays) and of
+//! decoding a graph from scanned counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bprc_strip::EdgeCounters;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn warmed_counters(n: usize, k: u32, plays: usize) -> EdgeCounters {
+    let mut e = EdgeCounters::new(n, k);
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..plays {
+        e.inc_graph(rng.gen_range(0..n));
+    }
+    e
+}
+
+fn bench_inc_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strip_inc_graph");
+    for n in [2usize, 4, 8, 16] {
+        let base = warmed_counters(n, 2, 200);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut e| {
+                    e.inc_graph(0);
+                    e
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_make_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strip_make_graph");
+    for n in [2usize, 4, 8, 16] {
+        let base = warmed_counters(n, 2, 200);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| base.make_graph())
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strip_closure");
+    for n in [4usize, 8, 16] {
+        let graph = warmed_counters(n, 2, 200).make_graph();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| graph.closure())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inc_graph, bench_make_graph, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Interactive demo runner: any protocol × any adversary from the command
+//! line.
+//!
+//! ```text
+//! demo [--protocol bounded|ah88|local|oracle] [--n 4] [--inputs 1010]
+//!      [--adversary random|rr|bsp|split|starver] [--seed 7]
+//!      [--registers] [--trace]
+//! ```
+//!
+//! `--registers` runs the bounded protocol over the real register-level
+//! stack (lockstep, deterministic) instead of the turn-level driver;
+//! `--trace` additionally prints the recorded register timeline.
+
+use bprc_core::adversaries::{LeaderStarver, SplitAdversary};
+use bprc_core::baselines::{AhCore, LocalCoinCore, OracleCore};
+use bprc_core::bounded::{BoundedCore, ConsensusParams};
+use bprc_core::threaded::ThreadedConsensus;
+use bprc_core::ProcState;
+use bprc_registers::DirectArrow;
+use bprc_sim::rng::derive_seed;
+use bprc_sim::sched::RandomStrategy;
+use bprc_sim::turn::{TurnAdversary, TurnBsp, TurnDriver, TurnRandom, TurnRoundRobin};
+use bprc_sim::World;
+
+#[derive(Debug)]
+struct Args {
+    protocol: String,
+    n: usize,
+    inputs: Vec<bool>,
+    adversary: String,
+    seed: u64,
+    registers: bool,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        protocol: "bounded".into(),
+        n: 4,
+        inputs: Vec::new(),
+        adversary: "random".into(),
+        seed: 7,
+        registers: false,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--protocol" => args.protocol = val("--protocol")?,
+            "--n" => {
+                args.n = val("--n")?
+                    .parse()
+                    .map_err(|e| format!("bad --n: {e}"))?
+            }
+            "--inputs" => {
+                args.inputs = val("--inputs")?
+                    .chars()
+                    .map(|c| c == '1')
+                    .collect()
+            }
+            "--adversary" => args.adversary = val("--adversary")?,
+            "--seed" => {
+                args.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--registers" => args.registers = true,
+            "--trace" => args.trace = true,
+            "--help" | "-h" => {
+                return Err("usage: demo [--protocol bounded|ah88|local|oracle] [--n N] \
+                     [--inputs 1010] [--adversary random|rr|bsp|split|starver] \
+                     [--seed S] [--registers] [--trace]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.inputs.is_empty() {
+        args.inputs = (0..args.n).map(|i| i % 2 == 0).collect();
+    }
+    if args.inputs.len() != args.n {
+        return Err(format!(
+            "--inputs has {} bits but --n is {}",
+            args.inputs.len(),
+            args.n
+        ));
+    }
+    Ok(args)
+}
+
+fn adversary_for(name: &str, k: u32, seed: u64) -> Result<Box<dyn TurnAdversary<ProcState>>, String> {
+    Ok(match name {
+        "random" => Box::new(TurnRandom::new(seed)),
+        "rr" => Box::new(TurnRoundRobin::new()),
+        "bsp" => Box::new(TurnBsp::new()),
+        "split" => Box::new(SplitAdversary::new(k, seed)),
+        "starver" => Box::new(LeaderStarver::new(k)),
+        other => return Err(format!("unknown adversary {other}")),
+    })
+}
+
+fn generic_adversary<M>(name: &str, seed: u64) -> Result<Box<dyn TurnAdversary<M>>, String> {
+    Ok(match name {
+        "random" => Box::new(TurnRandom::new(seed)),
+        "rr" => Box::new(TurnRoundRobin::new()),
+        "bsp" => Box::new(TurnBsp::new()),
+        other => {
+            return Err(format!(
+                "adversary {other} is specific to the bounded protocol; use random|rr|bsp"
+            ))
+        }
+    })
+}
+
+fn summarize<O: std::fmt::Debug + PartialEq>(
+    report: &bprc_sim::turn::TurnReport<O>,
+) {
+    println!("events:    {}", report.events);
+    println!("completed: {}", report.completed);
+    for (p, out) in report.outputs.iter().enumerate() {
+        println!("process {p} decided {:?}", out);
+    }
+    let d = report.distinct_outputs();
+    if d.len() <= 1 {
+        println!("agreement ✓");
+    } else {
+        println!("!!! DISAGREEMENT: {d:?}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "protocol={} n={} inputs={:?} adversary={} seed={}\n",
+        args.protocol, args.n, args.inputs, args.adversary, args.seed
+    );
+    let budget = 100_000_000u64;
+
+    if args.registers {
+        let params = ConsensusParams::quick(args.n);
+        let mut world = World::builder(args.n)
+            .seed(args.seed)
+            .step_limit(budget)
+            .build();
+        let inst =
+            ThreadedConsensus::<DirectArrow>::new(&world, &params, &args.inputs, args.seed);
+        let names = world.reg_names();
+        let report = world.run(inst.bodies, Box::new(RandomStrategy::new(args.seed)));
+        println!("register-level run: {} shared-memory operations", report.steps);
+        for (p, out) in report.outputs.iter().enumerate() {
+            println!("process {p} decided {:?}", out);
+        }
+        if args.trace {
+            if let Some(h) = &report.history {
+                let opts = bprc_sim::trace::TraceOptions {
+                    reg_names: names,
+                    ..Default::default()
+                };
+                println!("\n{}", bprc_sim::trace::render(h, args.n, &opts));
+                println!("{}", bprc_sim::trace::summary(h, args.n));
+            }
+        }
+        return;
+    }
+
+    match args.protocol.as_str() {
+        "bounded" => {
+            let params = ConsensusParams::quick(args.n);
+            let procs: Vec<BoundedCore> = (0..args.n)
+                .map(|p| {
+                    BoundedCore::new(
+                        params.clone(),
+                        p,
+                        args.inputs[p],
+                        derive_seed(args.seed, p as u64),
+                    )
+                })
+                .collect();
+            let mut adv = match adversary_for(&args.adversary, params.k(), args.seed) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            summarize(&TurnDriver::new(procs).run(adv.as_mut(), budget));
+        }
+        "ah88" => {
+            let procs: Vec<AhCore> = (0..args.n)
+                .map(|p| AhCore::new(args.n, p, args.inputs[p], derive_seed(args.seed, p as u64), 3))
+                .collect();
+            let mut adv = match generic_adversary(&args.adversary, args.seed) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            summarize(&TurnDriver::new(procs).run(adv.as_mut(), budget));
+        }
+        "local" => {
+            let procs: Vec<LocalCoinCore> = (0..args.n)
+                .map(|p| {
+                    LocalCoinCore::new(args.n, p, args.inputs[p], derive_seed(args.seed, p as u64))
+                })
+                .collect();
+            let mut adv = match generic_adversary(&args.adversary, args.seed) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            summarize(&TurnDriver::new(procs).run(adv.as_mut(), budget));
+        }
+        "oracle" => {
+            let procs: Vec<OracleCore> = (0..args.n)
+                .map(|p| OracleCore::new(args.n, p, args.inputs[p], args.seed))
+                .collect();
+            let mut adv = match generic_adversary(&args.adversary, args.seed) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            summarize(&TurnDriver::new(procs).run(adv.as_mut(), budget));
+        }
+        other => {
+            eprintln!("unknown protocol {other} (bounded|ah88|local|oracle)");
+            std::process::exit(2);
+        }
+    }
+}

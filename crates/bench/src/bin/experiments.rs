@@ -1,0 +1,63 @@
+//! CLI driver for the experiment suite.
+//!
+//! ```text
+//! experiments [all|e1|e2|...|e9] [--quick]
+//! ```
+//!
+//! Prints markdown tables (the same ones recorded in EXPERIMENTS.md).
+
+use bprc_bench::{experiments, Scale, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let run_one = |name: &str| -> Option<Table> {
+        match name {
+            "e1" => Some(experiments::e1_disagreement(scale)),
+            "e2" => Some(experiments::e2_walk_steps(scale)),
+            "e3" => Some(experiments::e3_overflow(scale)),
+            "e4" => Some(experiments::e4_rounds(scale)),
+            "e5" => Some(experiments::e5_total_work(scale)),
+            "e5b" => Some(experiments::e5b_adversarial_work(scale)),
+            "e6" => Some(experiments::e6_memory(scale)),
+            "e7" => Some(experiments::e7_scan_retries(scale)),
+            "e8" => Some(experiments::e8_claim41(scale)),
+            "e9" => Some(experiments::e9_snapshot(scale)),
+            "e10" => Some(experiments::e10_modelcheck(scale)),
+            "e11" => Some(experiments::e11_ablation_b(scale)),
+            "e12" => Some(experiments::e12_ablation_k(scale)),
+            "e13" => Some(experiments::e13_ablation_m(scale)),
+            "e14" => Some(experiments::e14_waitfree(scale)),
+            _ => None,
+        }
+    };
+
+    println!(
+        "# BPRC experiment run ({})\n",
+        if scale == Scale::Quick { "quick" } else { "full" }
+    );
+    if which.is_empty() || which.contains(&"all") {
+        for t in experiments::all(scale) {
+            println!("{t}");
+        }
+        return;
+    }
+    for name in which {
+        match run_one(name) {
+            Some(t) => println!("{t}"),
+            None => {
+                eprintln!("unknown experiment '{name}' (expected e1..e14, e5b, or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

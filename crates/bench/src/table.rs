@@ -1,0 +1,136 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled table with aligned columns and free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed as a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f)?;
+        let w = self.widths();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:>width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(&self.headers, f)?;
+        write!(f, "|")?;
+        for wi in &w {
+            write!(f, "{:-<width$}|", "", width = wi + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(row, f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a probability with sensible precision.
+pub fn prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".into()
+    } else if p < 0.001 {
+        format!("{p:.1e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Formats a mean with one decimal.
+pub fn mean(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{:.0}", x)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long_header |"));
+        assert!(s.contains("> a note"));
+        assert!(s.lines().filter(|l| l.starts_with('|')).count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(prob(0.0), "0");
+        assert_eq!(prob(0.25), "0.2500");
+        assert_eq!(prob(0.0000123), "1.2e-5");
+        assert_eq!(mean(3.12), "3.1");
+        assert_eq!(mean(12345.6), "12346");
+    }
+}

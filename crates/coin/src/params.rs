@@ -1,0 +1,145 @@
+//! Parameters of the bounded shared coin.
+
+use std::fmt;
+
+/// Parameters `(n, b, m)` of the bounded random-walk coin (paper §3).
+///
+/// * `n` — number of processes;
+/// * `b` — barrier multiplier: the walk decides once `|Σ c_i| > b·n`;
+/// * `m` — per-process counter bound: counters live in `{−(m+1), …, m+1}`
+///   and a counter outside `{−m, …, m}` makes its owner decide *heads*.
+///
+/// Lemma 3.1 makes the coin's disagreement probability `O(1/b)`; Lemma 3.4
+/// keeps the overflow probability `O(b·n/√m)`. [`CoinParams::recommended`]
+/// picks `m = (2·b·n)²·n²` (i.e. `f(b) = 2·b·n` in Lemma 3.3's
+/// `m = (f(b)·n)²`), which keeps overflow far below disagreement for
+/// laptop-scale `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoinParams {
+    n: usize,
+    b: u32,
+    m: i64,
+}
+
+impl CoinParams {
+    /// Creates parameters with an explicit counter bound `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `b == 0`, or `m < 1`.
+    pub fn new(n: usize, b: u32, m: i64) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(b >= 1, "barrier multiplier must be positive");
+        assert!(m >= 1, "counter bound must be positive");
+        CoinParams { n, b, m }
+    }
+
+    /// Creates parameters with the paper-recommended counter bound
+    /// `m = (2·b·n²)²` (Lemma 3.3 with `f(b) = 2·b·n`).
+    pub fn recommended(n: usize, b: u32) -> Self {
+        let f = 2 * b as i64 * n as i64;
+        let m = (f * n as i64).pow(2);
+        Self::new(n, b, m)
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Barrier multiplier `b`.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// Counter bound `m`.
+    pub fn m(&self) -> i64 {
+        self.m
+    }
+
+    /// The walk barrier `b·n`.
+    pub fn barrier(&self) -> i64 {
+        self.b as i64 * self.n as i64
+    }
+
+    /// Lemma 3.2's bound on the expected number of steps: `(b+1)²·n²`.
+    pub fn expected_steps_bound(&self) -> f64 {
+        let b1 = (self.b as f64) + 1.0;
+        b1 * b1 * (self.n as f64) * (self.n as f64)
+    }
+
+    /// The absolute saturation value `m+1` a counter may reach.
+    pub fn counter_cap(&self) -> i64 {
+        self.m + 1
+    }
+
+    /// Clamps a counter movement to the representable range (the paper's
+    /// counters saturate at `±(m+1)`).
+    pub fn clamp_counter(&self, c: i64) -> i64 {
+        c.clamp(-self.counter_cap(), self.counter_cap())
+    }
+
+    /// Is this counter value in the overflow zone (`∉ {−m..m}`)?
+    pub fn overflowed(&self, c: i64) -> bool {
+        c < -self.m || c > self.m
+    }
+}
+
+impl fmt::Display for CoinParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coin(n={}, b={}, m={})", self.n, self.b, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_derived_values() {
+        let p = CoinParams::new(4, 3, 100);
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.b(), 3);
+        assert_eq!(p.m(), 100);
+        assert_eq!(p.barrier(), 12);
+        assert_eq!(p.counter_cap(), 101);
+        assert_eq!(p.expected_steps_bound(), 16.0 * 16.0);
+    }
+
+    #[test]
+    fn recommended_m_grows_with_b_and_n() {
+        let a = CoinParams::recommended(2, 1);
+        let b = CoinParams::recommended(2, 4);
+        let c = CoinParams::recommended(8, 1);
+        assert!(b.m() > a.m());
+        assert!(c.m() > a.m());
+    }
+
+    #[test]
+    fn clamp_saturates_at_cap() {
+        let p = CoinParams::new(2, 1, 5);
+        assert_eq!(p.clamp_counter(100), 6);
+        assert_eq!(p.clamp_counter(-100), -6);
+        assert_eq!(p.clamp_counter(3), 3);
+    }
+
+    #[test]
+    fn overflow_zone_is_outside_pm_m() {
+        let p = CoinParams::new(2, 1, 5);
+        assert!(!p.overflowed(5));
+        assert!(!p.overflowed(-5));
+        assert!(p.overflowed(6));
+        assert!(p.overflowed(-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier")]
+    fn zero_b_rejected() {
+        let _ = CoinParams::new(2, 0, 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CoinParams::new(2, 1, 5).to_string(), "coin(n=2, b=1, m=5)");
+    }
+}

@@ -1,0 +1,190 @@
+//! Closed-form random-walk quantities for the "paper" columns of the
+//! experiment tables.
+//!
+//! The coin is a symmetric ±1 random walk with absorbing barriers at `±B`
+//! (where `B = b·n`). Classical facts used by the paper's lemmas:
+//!
+//! * expected absorption time from 0 is exactly `B²` (Lemma 3.2's
+//!   `(b+1)²·n²` is this plus slack for stale reads);
+//! * absorption probability at `+B` starting from `x` is `(x+B)/(2B)`;
+//! * the probability of *not* being absorbed within `s` steps decays like
+//!   `(4/π)·cos(π/2B)^s` (spectral bound — Lemma 3.3's `S_m ≤ C/f(b)` comes
+//!   from summing this tail).
+
+/// Expected number of steps for a symmetric walk from `start` to hit `±b`.
+///
+/// Classical gambler's-ruin identity: `E[T] = (b − start)·(b + start)`.
+///
+/// # Panics
+///
+/// Panics if `|start| > barrier` or `barrier == 0`.
+pub fn expected_exit_time(barrier: i64, start: i64) -> f64 {
+    assert!(barrier > 0, "barrier must be positive");
+    assert!(start.abs() <= barrier, "start outside the barriers");
+    ((barrier - start) as f64) * ((barrier + start) as f64)
+}
+
+/// Probability the walk from `start` exits at `+barrier` rather than
+/// `−barrier`.
+///
+/// # Panics
+///
+/// Panics if `|start| > barrier` or `barrier == 0`.
+pub fn exit_up_probability(barrier: i64, start: i64) -> f64 {
+    assert!(barrier > 0, "barrier must be positive");
+    assert!(start.abs() <= barrier, "start outside the barriers");
+    ((start + barrier) as f64) / ((2 * barrier) as f64)
+}
+
+/// Spectral estimate of `P(walk stays strictly inside ±barrier for `steps`
+/// steps)` — the survival probability the paper's Lemma 3.3 sums.
+pub fn survival_probability_estimate(barrier: i64, steps: u64) -> f64 {
+    assert!(barrier > 0, "barrier must be positive");
+    let lambda = (std::f64::consts::PI / (2.0 * barrier as f64)).cos();
+    (4.0 / std::f64::consts::PI) * lambda.powf(steps as f64)
+}
+
+/// Exact survival probability by dynamic programming over positions.
+///
+/// Returns `P(|S_k| < barrier for all k ≤ steps)` for the symmetric walk
+/// from 0. Exponential-free, O(barrier·steps).
+pub fn survival_probability_exact(barrier: i64, steps: u64) -> f64 {
+    assert!(barrier > 0, "barrier must be positive");
+    let width = (2 * barrier - 1) as usize; // positions −(B−1)..(B−1)
+    let mut dist = vec![0.0f64; width];
+    dist[(barrier - 1) as usize] = 1.0; // position 0
+    for _ in 0..steps {
+        let mut next = vec![0.0f64; width];
+        for (i, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            if i > 0 {
+                next[i - 1] += 0.5 * p;
+            }
+            if i + 1 < width {
+                next[i + 1] += 0.5 * p;
+            }
+            // Mass stepping outside ±(B−1) is absorbed (dropped).
+        }
+        dist = next;
+    }
+    dist.iter().sum()
+}
+
+/// Exact expected absorption time by dynamic programming (cross-checks
+/// [`expected_exit_time`]; used in tests and the harness's sanity pass).
+pub fn expected_exit_time_dp(barrier: i64, horizon: u64) -> f64 {
+    let mut expectation = 0.0;
+    // E[T] = Σ_{s≥0} P(T > s); truncate at `horizon`.
+    for s in 0..horizon {
+        expectation += survival_probability_exact(barrier, s);
+    }
+    expectation
+}
+
+/// Lemma 3.4's overflow bound `C·b·n/√m` with `C = 1` (shape comparison).
+pub fn overflow_bound(b: u32, n: usize, m: i64) -> f64 {
+    (b as f64) * (n as f64) / (m as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_time_from_zero_is_b_squared() {
+        assert_eq!(expected_exit_time(5, 0), 25.0);
+        assert_eq!(expected_exit_time(12, 0), 144.0);
+    }
+
+    #[test]
+    fn exit_time_from_edge_is_small() {
+        assert_eq!(expected_exit_time(5, 4), 9.0);
+        assert_eq!(expected_exit_time(5, -5), 0.0);
+    }
+
+    #[test]
+    fn exit_up_probability_is_linear() {
+        assert_eq!(exit_up_probability(4, 0), 0.5);
+        assert_eq!(exit_up_probability(4, 4), 1.0);
+        assert_eq!(exit_up_probability(4, -4), 0.0);
+        assert_eq!(exit_up_probability(4, 2), 0.75);
+    }
+
+    #[test]
+    fn survival_decays_with_steps() {
+        let b = 6;
+        let s10 = survival_probability_exact(b, 10);
+        let s100 = survival_probability_exact(b, 100);
+        let s500 = survival_probability_exact(b, 500);
+        assert!(s10 > s100);
+        assert!(s100 > s500);
+        assert!((0.0..=1.0).contains(&s500));
+    }
+
+    #[test]
+    fn spectral_estimate_tracks_exact_for_large_steps() {
+        let b = 8;
+        for steps in [200u64, 400, 800] {
+            let exact = survival_probability_exact(b, steps);
+            let est = survival_probability_estimate(b, steps);
+            if exact > 1e-12 {
+                let ratio = est / exact;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "steps={steps}: est {est} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_expected_exit_matches_identity() {
+        let b = 6i64;
+        // Horizon 50·B² truncates a negligible tail.
+        let dp = expected_exit_time_dp(b, (50 * b * b) as u64);
+        let exact = expected_exit_time(b, 0);
+        assert!(
+            (dp - exact).abs() < 0.05 * exact,
+            "dp {dp} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn exact_survival_matches_monte_carlo() {
+        // Cross-check the DP against straightforward simulation.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let barrier = 5i64;
+        let steps = 30u64;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 20_000;
+        let mut survived = 0u32;
+        for _ in 0..trials {
+            let mut pos = 0i64;
+            let mut alive = true;
+            for _ in 0..steps {
+                pos += if rng.gen::<bool>() { 1 } else { -1 };
+                if pos.abs() >= barrier {
+                    alive = false;
+                    break;
+                }
+            }
+            if alive {
+                survived += 1;
+            }
+        }
+        let empirical = survived as f64 / trials as f64;
+        let exact = survival_probability_exact(barrier, steps);
+        assert!(
+            (empirical - exact).abs() < 0.02,
+            "empirical {empirical} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn overflow_bound_shrinks_with_m() {
+        assert!(overflow_bound(2, 4, 10_000) < overflow_bound(2, 4, 100));
+        assert_eq!(overflow_bound(1, 1, 1), 1.0);
+    }
+}

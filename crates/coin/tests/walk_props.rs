@@ -1,0 +1,110 @@
+//! Property-based tests of the coin's Monte-Carlo walk simulator: bounded
+//! counters under arbitrary adversarial scripts, determinism, and
+//! consistency of decisions with the decision rules.
+
+use bprc_coin::flip::{FlipSource, ScriptedFlips};
+use bprc_coin::montecarlo::{run_walk, WalkAdversary, WalkRandom, WalkView};
+use bprc_coin::value::CoinValue;
+use bprc_coin::CoinParams;
+use proptest::prelude::*;
+
+/// Replays a script of process choices (mod the active set), asserting the
+/// counter bound on every view it is shown.
+struct ScriptedAdversary {
+    script: Vec<u8>,
+    at: usize,
+    cap: i64,
+}
+
+impl WalkAdversary for ScriptedAdversary {
+    fn choose(&mut self, view: &WalkView<'_>) -> usize {
+        for &c in view.counters {
+            assert!(
+                c.abs() <= self.cap,
+                "counter {c} escaped ±(m+1) = ±{}",
+                self.cap
+            );
+        }
+        let pick = self.script.get(self.at).copied().unwrap_or(0) as usize;
+        self.at += 1;
+        view.active[pick % view.active.len()]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counters never escape ±(m+1) under any schedule or flip sequence,
+    /// and with a generous budget every process decides.
+    #[test]
+    fn counters_bounded_under_arbitrary_schedules(
+        n in 1usize..=5,
+        b in 1u32..=3,
+        m in 1i64..=6,
+        schedule in proptest::collection::vec(0u8..8, 0..300),
+        flip_bits in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let params = CoinParams::new(n, b, m);
+        let flips: Vec<Box<dyn FlipSource>> = (0..n)
+            .map(|p| {
+                // Rotate the script per process for variety.
+                let mut f = flip_bits.clone();
+                f.rotate_left(p % flip_bits.len());
+                Box::new(ScriptedFlips::new(f)) as Box<dyn FlipSource>
+            })
+            .collect();
+        let mut adversary = ScriptedAdversary {
+            script: schedule,
+            at: 0,
+            cap: params.counter_cap(),
+        };
+        let out = run_walk(&params, flips, &mut adversary, 1_000_000);
+        // With a scripted flip source that repeats its last element, the
+        // walk eventually drifts monotonically: everyone decides.
+        prop_assert!(out.decisions.iter().all(|d| d.is_some()),
+            "walk failed to decide: {:?}", out.decisions);
+        // Decisions are heads/tails, never undecided.
+        prop_assert!(out.decisions.iter().all(
+            |d| matches!(d, Some(CoinValue::Heads) | Some(CoinValue::Tails))));
+    }
+
+    /// Monotone flip scripts decide the matching side (barring overflow,
+    /// which forces heads).
+    #[test]
+    fn monotone_flips_decide_matching_side(
+        n in 1usize..=4,
+        b in 1u32..=3,
+        heads in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let params = CoinParams::new(n, b, 1_000);
+        let flips: Vec<Box<dyn FlipSource>> = (0..n)
+            .map(|_| Box::new(ScriptedFlips::new(vec![heads])) as Box<dyn FlipSource>)
+            .collect();
+        let out = run_walk(&params, flips, &mut WalkRandom::new(seed), 1_000_000);
+        let want = if heads { CoinValue::Heads } else { CoinValue::Tails };
+        prop_assert!(out.decisions.iter().all(|d| *d == Some(want)),
+            "all-{} flips decided {:?}", heads, out.decisions);
+        prop_assert!(!out.disagreed);
+    }
+
+    /// The simulator is a pure function of (params, flips, adversary).
+    #[test]
+    fn run_walk_is_deterministic(
+        n in 1usize..=4,
+        seed in 0u64..500,
+    ) {
+        let params = CoinParams::new(n, 2, 100);
+        let mk = || -> Vec<Box<dyn FlipSource>> {
+            (0..n)
+                .map(|p| Box::new(bprc_coin::flip::FairFlips::new(seed + p as u64))
+                    as Box<dyn FlipSource>)
+                .collect()
+        };
+        let a = run_walk(&params, mk(), &mut WalkRandom::new(seed), 1_000_000);
+        let b = run_walk(&params, mk(), &mut WalkRandom::new(seed), 1_000_000);
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.walk_steps, b.walk_steps);
+    }
+}

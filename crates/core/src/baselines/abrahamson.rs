@@ -1,0 +1,147 @@
+//! The Abrahamson \[A88\] baseline: independent local coins, exponential
+//! expected time.
+//!
+//! Same leader/adopt/decide skeleton as its siblings, but when the leaders
+//! disagree a process simply flips its **own** coin and advances — no shared
+//! coin. Progress then requires the leaders' independent flips to
+//! spontaneously coincide, which takes expected `2^Θ(n)` rounds against an
+//! adversary (and visibly exponential rounds even under a fair scheduler).
+//! This is the running-time baseline for experiment E5; like \[A88\] it keeps
+//! its rounds unbounded (we compare time here, not space — \[A88\]'s
+//! bounded-space construction is the concern of the main protocol).
+
+use bprc_coin::flip::{FairFlips, FlipSource};
+use bprc_sim::turn::{TurnProcess, TurnStep};
+
+use crate::state::Pref;
+
+/// Register contents of one local-coin process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LcState {
+    /// Current preference (never ⊥ in this protocol — a disagreeing process
+    /// re-randomizes immediately).
+    pub pref: Pref,
+    /// Current round.
+    pub round: u64,
+}
+
+/// One process of the local-coin (Abrahamson-style) protocol.
+#[derive(Debug)]
+pub struct LocalCoinCore {
+    n: usize,
+    me: usize,
+    k: u64,
+    state: LcState,
+    flips: FairFlips,
+    rounds_advanced: u64,
+}
+
+impl LocalCoinCore {
+    /// Creates the process with initial value `input`.
+    pub fn new(n: usize, pid: usize, input: bool, seed: u64) -> Self {
+        assert!(pid < n, "pid out of range");
+        LocalCoinCore {
+            n,
+            me: pid,
+            k: 2,
+            state: LcState {
+                pref: Pref::Val(input),
+                round: 1,
+            },
+            flips: FairFlips::new(seed),
+            rounds_advanced: 1,
+        }
+    }
+
+    /// Rounds advanced so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds_advanced
+    }
+}
+
+impl TurnProcess for LocalCoinCore {
+    type Msg = LcState;
+    type Out = bool;
+
+    fn initial_msg(&mut self) -> LcState {
+        self.state.clone()
+    }
+
+    fn on_scan(&mut self, view: &[LcState]) -> TurnStep<LcState, bool> {
+        let max_round = view.iter().map(|s| s.round).max().unwrap_or(0);
+        debug_assert_eq!(&view[self.me], &self.state);
+
+        if let Pref::Val(v) = self.state.pref {
+            if self.state.round == max_round {
+                let all_trail = view.iter().enumerate().all(|(j, s)| {
+                    j == self.me
+                        || s.pref.agrees_with(&self.state.pref)
+                        || s.round + self.k <= self.state.round
+                });
+                if all_trail {
+                    return TurnStep::Decide(v);
+                }
+            }
+        }
+
+        let leaders: Vec<usize> = (0..self.n).filter(|&j| view[j].round == max_round).collect();
+        let mut agreement: Option<bool> = None;
+        let mut agree = true;
+        for &l in &leaders {
+            match view[l].pref.value() {
+                None => agree = false,
+                Some(v) => match agreement {
+                    None => agreement = Some(v),
+                    Some(c) if c != v => agree = false,
+                    _ => {}
+                },
+            }
+        }
+        if agree {
+            if let Some(v) = agreement {
+                self.state.pref = Pref::Val(v);
+                self.state.round += 1;
+                self.rounds_advanced += 1;
+                return TurnStep::Write(self.state.clone());
+            }
+        }
+
+        // Leaders disagree: flip the LOCAL coin and advance. This is the
+        // whole difference from the shared-coin protocols.
+        self.state.pref = Pref::Val(self.flips.flip());
+        self.state.round += 1;
+        self.rounds_advanced += 1;
+        TurnStep::Write(self.state.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_sim::turn::{TurnDriver, TurnRandom};
+
+    fn run(n: usize, inputs: &[bool], seed: u64, budget: u64) -> bprc_sim::turn::TurnReport<bool> {
+        let procs: Vec<LocalCoinCore> = (0..n)
+            .map(|p| LocalCoinCore::new(n, p, inputs[p], seed * 13 + p as u64))
+            .collect();
+        TurnDriver::new(procs).run(&mut TurnRandom::new(seed), budget)
+    }
+
+    #[test]
+    fn validity_unanimous() {
+        for v in [false, true] {
+            let r = run(3, &[v; 3], 2, 100_000);
+            assert!(r.completed);
+            assert!(r.outputs.iter().all(|o| *o == Some(v)));
+        }
+    }
+
+    #[test]
+    fn agreement_small_n() {
+        for seed in 0..10 {
+            let r = run(3, &[true, false, true], seed, 2_000_000);
+            assert!(r.completed, "seed {seed}: tiny n should still finish");
+            assert_eq!(r.distinct_outputs().len(), 1, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline algorithms the paper positions itself against.
+//!
+//! | baseline | time | space | provenance |
+//! |---|---|---|---|
+//! | [`aspnes_herlihy`] | polynomial expected | **unbounded** | \[AH88\] |
+//! | [`abrahamson`] | **exponential** expected | bounded-per-round | \[A88\] (simplified) |
+//! | [`oracle`] | constant rounds | bounded | \[CIL87\]-style atomic-coin reference |
+//!
+//! All three share the protocol skeleton (leaders, adoption, ⊥, coin) so
+//! that differences in the experiments isolate the *coin* and the *rounds
+//! representation*, which is where the paper's contribution lives. The
+//! Abrahamson baseline keeps the unbounded round counter of its siblings
+//! (we compare running time against it, not space); its defining feature —
+//! independent local coins instead of a shared coin — is what makes it
+//! exponential.
+
+pub mod abrahamson;
+pub mod aspnes_herlihy;
+pub mod oracle;
+
+pub use abrahamson::LocalCoinCore;
+pub use aspnes_herlihy::AhCore;
+pub use oracle::OracleCore;

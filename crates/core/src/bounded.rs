@@ -1,0 +1,488 @@
+//! The bounded polynomial randomized consensus protocol (§5).
+//!
+//! Each process runs the loop (paper's pseudocode, `K = 2`):
+//!
+//! ```text
+//! write({pref: v_i, round: inc(round)})
+//! repeat forever
+//! 1:  scan;
+//! 2:  if all who disagree trail by K, and I'm a leader:   decide(pref)
+//! 3:  elseif the leaders agree on v:                      pref := v;  inc; write
+//! 5:  elseif pref ≠ ⊥:                                    pref := ⊥;       write
+//! 7:  elseif next_coin_value() = undecided:               flip_next_coin;  write
+//! 8:  else:                                               pref := coin;  inc; write
+//! ```
+//!
+//! where *leader*, *trails by K* and `inc` are judged on the distance graph
+//! decoded from the scanned edge-counter rows (§4), and the shared coin of
+//! the next round is assembled from each process's circular coin array
+//! indexed through the graph (§3 + Observation 1: contributions of
+//! processes K or more rounds away read as zero).
+//!
+//! [`BoundedCore`] is a pure state machine: `initial_msg` is the first
+//! write, `on_scan` maps an atomic view to the next write or a decision.
+//! It implements [`TurnProcess`] for the fast driver; [`crate::threaded`]
+//! runs the *same* core over the real scannable memory.
+
+use bprc_coin::flip::{FlipSource, Flips};
+use bprc_coin::value::{coin_value_total, walk_step, CoinValue};
+use bprc_coin::CoinParams;
+use bprc_sim::turn::{TurnProcess, TurnStep};
+use bprc_strip::{DistanceGraph, EdgeCounters};
+
+use crate::state::{Pref, ProcState};
+
+/// Parameters of a consensus instance.
+#[derive(Debug, Clone)]
+pub struct ConsensusParams {
+    n: usize,
+    k: u32,
+    coin: CoinParams,
+}
+
+impl ConsensusParams {
+    /// Creates parameters with the paper's `K = 2` and an explicit coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coin's `n` differs from `n`, or `n == 0`.
+    pub fn new(n: usize, coin: CoinParams) -> Self {
+        Self::with_k(n, 2, coin)
+    }
+
+    /// Creates parameters with an explicit strip constant `K ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (the paper's correctness lemmas need a window of
+    /// at least 2) or the coin's `n` differs from `n`.
+    pub fn with_k(n: usize, k: u32, coin: CoinParams) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(k >= 2, "the protocol needs K >= 2");
+        assert_eq!(coin.n(), n, "coin must be sized for n processes");
+        ConsensusParams { n, k, coin }
+    }
+
+    /// Laptop-scale defaults for tests and examples: `K = 2`, `b = 3`,
+    /// a generous counter bound.
+    pub fn quick(n: usize) -> Self {
+        Self::new(n, CoinParams::new(n, 3, 1_000_000))
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The strip window constant K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The shared-coin parameters.
+    pub fn coin(&self) -> &CoinParams {
+        &self.coin
+    }
+}
+
+/// Statistics a core accumulates about its own execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Scans performed.
+    pub scans: u64,
+    /// Rounds advanced (`inc` executions, counting the initial one).
+    pub rounds: u64,
+    /// Walk steps contributed to shared coins.
+    pub coin_flips: u64,
+    /// Times the preference was demoted to ⊥.
+    pub demotions: u64,
+    /// Times a coin value (rather than leader agreement) set the preference.
+    pub coin_adoptions: u64,
+}
+
+/// One process of the bounded consensus protocol, as a pure
+/// scan/write state machine.
+///
+/// `Clone` deliberately: the model checker snapshots cores to branch over
+/// schedules and flip outcomes.
+#[derive(Debug, Clone)]
+pub struct BoundedCore {
+    params: ConsensusParams,
+    me: usize,
+    state: ProcState,
+    flips: Flips,
+    stats: CoreStats,
+    /// True until a late joiner performs its first, scan-based `inc`.
+    join_pending: bool,
+}
+
+impl BoundedCore {
+    /// Creates the process with initial binary value `input`; `seed` drives
+    /// its local coin flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= params.n()`.
+    pub fn new(params: ConsensusParams, pid: usize, input: bool, seed: u64) -> Self {
+        Self::with_flips(params, pid, input, Flips::fair(seed))
+    }
+
+    /// Creates the process with an explicit local flip source (scripted or
+    /// queued sources support deterministic worst cases and the model
+    /// checker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= params.n()`.
+    pub fn with_flips(params: ConsensusParams, pid: usize, input: bool, flips: Flips) -> Self {
+        assert!(pid < params.n(), "pid out of range");
+        let mut state = ProcState::phantom(params.n(), params.k());
+        state.pref = Pref::Val(input);
+        let mut core = BoundedCore {
+            params,
+            me: pid,
+            state,
+            flips,
+            stats: CoreStats::default(),
+            join_pending: false,
+        };
+        // The paper's first write carries `inc(round)`: the initial inc is
+        // computed against the all-zero initial memory, which every process
+        // knows without scanning. NOTE: this is sound only when all
+        // participants start the instance together (the paper's setting) —
+        // rows built from the zero assumption stay pairwise- and
+        // cross-pair-consistent only because everyone's first row is the
+        // same `+1 against all`. A participant joining an instance whose
+        // peers have already advanced must use [`BoundedCore::joiner`]
+        // instead: the zero-assumed row combined with advanced peers decodes
+        // to a configuration that is no legal token-game state (positive
+        // cycles ⇒ no leaders ⇒ livelock).
+        let zero = EdgeCounters::new(core.params.n(), core.params.k());
+        let g = zero.make_graph();
+        core.advance_round(&zero, &g);
+        core
+    }
+
+    /// Creates a **late-joining** participant: its first write publishes a
+    /// round-0 state carrying its preference, and its first `inc` is
+    /// computed from its first scan (against the *real* strip state, which
+    /// may show other participants many rounds ahead). Use this for
+    /// composed instances where participants start at different times —
+    /// the multivalued levels and multi-shot slots do.
+    pub fn joiner(params: ConsensusParams, pid: usize, input: bool, flips: Flips) -> Self {
+        assert!(pid < params.n(), "pid out of range");
+        let mut state = ProcState::phantom(params.n(), params.k());
+        state.pref = Pref::Val(input);
+        BoundedCore {
+            params,
+            me: pid,
+            state,
+            flips,
+            stats: CoreStats::default(),
+            join_pending: true,
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> usize {
+        self.me
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &ConsensusParams {
+        &self.params
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// The state this process last published.
+    pub fn state(&self) -> &ProcState {
+        &self.state
+    }
+
+    /// The local flip source.
+    pub fn flips(&self) -> &Flips {
+        &self.flips
+    }
+
+    /// Mutable access to the local flip source (the model checker loads
+    /// predetermined outcomes through this).
+    pub fn flips_mut(&mut self) -> &mut Flips {
+        &mut self.flips
+    }
+
+    /// The paper's `inc`: advance the coin pointer, zero the slot of the
+    /// round after next, and advance the edge-counter row against the
+    /// scanned graph.
+    fn advance_round(&mut self, counters: &EdgeCounters, g: &DistanceGraph) {
+        self.state.current_coin = self.state.next_coin_slot();
+        let next = self.state.next_coin_slot();
+        self.state.coins[next] = 0;
+        let mut with_my_row = counters.clone();
+        with_my_row.set_row(self.me, &self.state.edges);
+        self.state.edges = with_my_row.next_row(self.me, g);
+        self.stats.rounds += 1;
+    }
+
+    /// The paper's `next_coin_value`: assemble the next round's shared coin
+    /// from the scanned states, reading process `j`'s contribution from the
+    /// slot `(current_coin_j + 1 − w(j,me)) mod (K+1)` when `j` is
+    /// at-or-above me by less than K, and 0 otherwise (Observation 1).
+    fn next_coin_value(&self, g: &DistanceGraph, view: &[ProcState]) -> CoinValue {
+        let kk = self.params.k() as i64;
+        let slots = self.params.k() as usize + 1;
+        let own = self.state.coins[self.state.next_coin_slot()];
+        let mut total = own;
+        for (j, s) in view.iter().enumerate() {
+            if j == self.me {
+                continue;
+            }
+            let dji = g.delta(j, self.me);
+            if (0..kk).contains(&dji) {
+                let slot = (s.current_coin + 1 + slots - dji as usize) % slots;
+                total += s.coins[slot];
+            }
+        }
+        coin_value_total(self.params.coin(), own, total)
+    }
+
+    /// The paper's `flip_next_coin`: one walk step on the next round's coin
+    /// slot.
+    fn flip_next_coin(&mut self) {
+        let next = self.state.next_coin_slot();
+        let heads = self.flips.flip();
+        self.state.coins[next] = walk_step(self.params.coin(), self.state.coins[next], heads);
+        self.stats.coin_flips += 1;
+    }
+
+    /// The common value of all leaders, if they agree (a leader with ⊥
+    /// means the leaders do not agree).
+    fn leaders_agreement(g: &DistanceGraph, view: &[ProcState]) -> Option<bool> {
+        let mut common: Option<bool> = None;
+        for j in g.leaders() {
+            match view[j].pref.value() {
+                None => return None,
+                Some(v) => match common {
+                    None => common = Some(v),
+                    Some(c) if c != v => return None,
+                    Some(_) => {}
+                },
+            }
+        }
+        common
+    }
+
+    /// One protocol turn over an atomic view (the paper's lines 1–8).
+    pub fn on_view(&mut self, view: &[ProcState]) -> TurnStep<ProcState, bool> {
+        debug_assert_eq!(view.len(), self.params.n());
+        debug_assert_eq!(
+            &view[self.me], &self.state,
+            "the driver must publish my writes before my next scan"
+        );
+        self.stats.scans += 1;
+        let rows: Vec<Vec<u32>> = view.iter().map(|s| s.edges.clone()).collect();
+        let counters = EdgeCounters::from_rows(&rows, self.params.k());
+        let g = counters.make_graph();
+
+        // A late joiner first performs its join inc against the real strip
+        // state (see [`BoundedCore::joiner`]) before running the protocol
+        // lines — the analogue of the paper's initial write-with-inc.
+        if self.join_pending {
+            self.join_pending = false;
+            self.advance_round(&counters, &g);
+            return TurnStep::Write(self.state.clone());
+        }
+
+        // Line 2: decide if I'm a leader, I have a value, and everyone who
+        // disagrees with it trails by K.
+        if let Pref::Val(v) = self.state.pref {
+            if g.is_leader(self.me) {
+                let all_trail = (0..self.params.n()).all(|j| {
+                    j == self.me
+                        || view[j].pref.agrees_with(&self.state.pref)
+                        || g.delta(self.me, j) >= self.params.k() as i64
+                });
+                if all_trail {
+                    return TurnStep::Decide(v);
+                }
+            }
+        }
+
+        // Lines 3–4: adopt the leaders' common value and advance.
+        if let Some(v) = Self::leaders_agreement(&g, view) {
+            self.state.pref = Pref::Val(v);
+            self.advance_round(&counters, &g);
+            return TurnStep::Write(self.state.clone());
+        }
+
+        // Lines 5–6: leaders disagree — drop my preference.
+        if self.state.pref != Pref::Bottom {
+            self.state.pref = Pref::Bottom;
+            self.stats.demotions += 1;
+            return TurnStep::Write(self.state.clone());
+        }
+
+        // Lines 7–8: consult the next round's shared coin.
+        match self.next_coin_value(&g, view) {
+            CoinValue::Undecided => {
+                self.flip_next_coin();
+                TurnStep::Write(self.state.clone())
+            }
+            v => {
+                self.state.pref = Pref::Val(v.as_bool());
+                self.stats.coin_adoptions += 1;
+                self.advance_round(&counters, &g);
+                TurnStep::Write(self.state.clone())
+            }
+        }
+    }
+}
+
+impl TurnProcess for BoundedCore {
+    type Msg = ProcState;
+    type Out = bool;
+
+    fn initial_msg(&mut self) -> ProcState {
+        self.state.clone()
+    }
+
+    fn on_scan(&mut self, view: &[ProcState]) -> TurnStep<ProcState, bool> {
+        self.on_view(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_sim::turn::{TurnDriver, TurnRandom, TurnReport, TurnRoundRobin};
+
+    fn run_instance(
+        n: usize,
+        inputs: &[bool],
+        seed: u64,
+        max_events: u64,
+    ) -> TurnReport<bool> {
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<BoundedCore> = (0..n)
+            .map(|p| BoundedCore::new(params.clone(), p, inputs[p], seed * 1000 + p as u64))
+            .collect();
+        TurnDriver::new(procs).run(&mut TurnRandom::new(seed), max_events)
+    }
+
+    #[test]
+    fn single_process_decides_own_value() {
+        for v in [false, true] {
+            let r = run_instance(1, &[v], 1, 1_000);
+            assert!(r.completed);
+            assert_eq!(r.outputs[0], Some(v));
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_value_fast() {
+        for n in [2, 3, 5] {
+            for v in [false, true] {
+                for seed in 0..10 {
+                    let r = run_instance(n, &vec![v; n], seed, 100_000);
+                    assert!(r.completed, "n={n} seed={seed} did not complete");
+                    assert!(
+                        r.outputs.iter().all(|o| *o == Some(v)),
+                        "n={n} seed={seed}: validity violated: {:?}",
+                        r.outputs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_reach_agreement() {
+        for n in [2, 3, 4, 5] {
+            for seed in 0..20 {
+                let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                let r = run_instance(n, &inputs, seed, 3_000_000);
+                assert!(r.completed, "n={n} seed={seed}: did not terminate");
+                let d = r.distinct_outputs();
+                assert_eq!(
+                    d.len(),
+                    1,
+                    "n={n} seed={seed}: agreement violated: {:?}",
+                    r.outputs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_is_someone_elses_input_when_mixed() {
+        // With binary inputs and both present, any decision is trivially
+        // some process's input — this documents (non-)triviality.
+        let r = run_instance(4, &[true, false, true, false], 9, 3_000_000);
+        assert!(r.completed);
+        let v = r.outputs[0].unwrap();
+        assert!([true, false].contains(&v));
+    }
+
+    #[test]
+    fn round_robin_schedule_terminates() {
+        let inputs = [true, false, true];
+        let params = ConsensusParams::quick(3);
+        let procs: Vec<BoundedCore> = (0..3)
+            .map(|p| BoundedCore::new(params.clone(), p, inputs[p], p as u64))
+            .collect();
+        let r = TurnDriver::new(procs).run(&mut TurnRoundRobin::new(), 3_000_000);
+        assert!(r.completed);
+        assert_eq!(r.distinct_outputs().len(), 1);
+    }
+
+    #[test]
+    fn survivors_decide_despite_crashes() {
+        use bprc_sim::turn::{TurnDecision, TurnFn, TurnView};
+        for seed in 0..10 {
+            let n = 4;
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let params = ConsensusParams::quick(n);
+            let procs: Vec<BoundedCore> = (0..n)
+                .map(|p| BoundedCore::new(params.clone(), p, inputs[p], seed * 7 + p as u64))
+                .collect();
+            // Crash processes 0 and 1 early; schedule the rest randomly.
+            let mut inner = TurnRandom::new(seed);
+            let mut adversary = TurnFn(move |view: &TurnView<'_, ProcState>| {
+                if view.events == 5 && !view.crashed[0] && view.active.contains(&0) {
+                    return TurnDecision::Crash(0);
+                }
+                if view.events == 11 && !view.crashed[1] && view.active.contains(&1) {
+                    return TurnDecision::Crash(1);
+                }
+                bprc_sim::turn::TurnAdversary::choose(&mut inner, view)
+            });
+            let r = TurnDriver::new(procs).run(&mut adversary, 3_000_000);
+            assert!(r.completed, "seed {seed}: survivors must terminate");
+            let survivors: Vec<bool> = (2..n).map(|p| r.outputs[p].unwrap()).collect();
+            assert!(
+                survivors.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: survivor agreement violated"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let params = ConsensusParams::quick(2);
+        let mut a = BoundedCore::new(params.clone(), 0, true, 1);
+        let b = BoundedCore::new(params, 1, false, 2);
+        let view = vec![a.state().clone(), b.state().clone()];
+        let _ = a.on_view(&view);
+        assert_eq!(a.stats().scans, 1);
+        assert!(a.stats().rounds >= 1, "initial inc counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "K >= 2")]
+    fn k1_is_rejected() {
+        let _ = ConsensusParams::with_k(2, 1, CoinParams::new(2, 1, 10));
+    }
+}

@@ -1,0 +1,85 @@
+//! Register bit-width accounting — the boundedness experiment (E6).
+//!
+//! The paper's headline is that every register holds a *bounded* number of
+//! bits, independent of how long the execution runs. This module measures
+//! exactly that, for the bounded protocol and for the \[AH88\] baseline whose
+//! registers grow with the round number.
+
+use bprc_sim::turn::{TurnAdversary, TurnDriver, TurnProcess, TurnReport};
+
+/// Tracks the maximal register width observed during a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryHighWater {
+    /// Largest single-register width seen (bits).
+    pub max_register_bits: u64,
+    /// Sum of all register widths at the moment the maximum total occurred.
+    pub max_total_bits: u64,
+    /// Events applied.
+    pub events: u64,
+}
+
+/// Runs a turn-based protocol while measuring register widths after every
+/// event, using `bits` to size one register's contents.
+pub fn run_metered<P: TurnProcess>(
+    procs: Vec<P>,
+    adversary: &mut dyn TurnAdversary<P::Msg>,
+    max_events: u64,
+    bits: impl Fn(&P::Msg) -> u64,
+) -> (TurnReport<P::Out>, MemoryHighWater) {
+    let mut hw = MemoryHighWater::default();
+    let report = TurnDriver::new(procs).run_observed(adversary, max_events, |driver| {
+        let mut total = 0u64;
+        for msg in driver.shared() {
+            let b = bits(msg);
+            hw.max_register_bits = hw.max_register_bits.max(b);
+            total += b;
+        }
+        hw.max_total_bits = hw.max_total_bits.max(total);
+        hw.events = driver.events();
+    });
+    (report, hw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::aspnes_herlihy::AhCore;
+    use crate::bounded::{BoundedCore, ConsensusParams};
+    use bprc_sim::turn::TurnRandom;
+
+    #[test]
+    fn bounded_protocol_register_width_is_flat() {
+        let params = ConsensusParams::quick(3);
+        let (m, k) = (params.coin().m(), params.k());
+        let static_bits = crate::state::ProcState::phantom(3, k).register_bits(m, k);
+        let procs: Vec<BoundedCore> = (0..3)
+            .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, p as u64))
+            .collect();
+        let (report, hw) = run_metered(procs, &mut TurnRandom::new(3), 3_000_000, |s| {
+            s.register_bits(m, k)
+        });
+        assert!(report.completed);
+        assert_eq!(
+            hw.max_register_bits, static_bits,
+            "bounded register width must never exceed its static size"
+        );
+    }
+
+    #[test]
+    fn ah88_register_width_grows_with_rounds() {
+        // Run the unbounded baseline long enough to advance several rounds;
+        // its registers accumulate one coin entry per round.
+        let procs: Vec<AhCore> = (0..3)
+            .map(|p| AhCore::new(3, p, p % 2 == 0, 7 + p as u64, 3))
+            .collect();
+        let initial_bits = procs[0].register_bits();
+        let (report, hw) = run_metered(procs, &mut TurnRandom::new(5), 3_000_000, |s| s.bits());
+        assert!(report.completed);
+        assert!(
+            hw.max_register_bits > initial_bits,
+            "AH88 registers must grow: {} vs initial {}",
+            hw.max_register_bits,
+            initial_bits
+        );
+    }
+}

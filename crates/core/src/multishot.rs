@@ -1,0 +1,283 @@
+//! Multi-shot consensus: a replicated log of agreed values.
+//!
+//! The paper's introduction motivates randomized consensus as the universal
+//! building block for wait-free synchronization (Herlihy's `fetch&cons`,
+//! Plotkin's sticky bits). This module supplies that shape: a [`LogCore`]
+//! is a replica that agrees, slot by slot, on an unbounded… well, a
+//! `n_slots`-long sequence of values, with each slot decided by one
+//! multivalued bounded-consensus instance ([`crate::multivalued`]).
+//!
+//! Replicas are asynchronous **across slots**: one replica can be agreeing
+//! on slot 4 while another is still writing its proposal for slot 0 — the
+//! not-yet-joined replica simply appears as a phantom in the later slots,
+//! which the underlying protocol already tolerates.
+//!
+//! Proposals may depend on everything decided so far (the
+//! [`ProposalSource`] trait), which is exactly what a replicated state
+//! machine needs: "given the state produced by the decided prefix, propose
+//! my next operation".
+
+use bprc_sim::turn::{TurnProcess, TurnStep};
+
+use crate::bounded::ConsensusParams;
+use crate::multivalued::{MvCore, MvState};
+
+/// Supplies a replica's proposal for the next slot, given the decided
+/// prefix.
+pub trait ProposalSource {
+    /// The value to propose for slot `decided.len()`.
+    fn next_proposal(&mut self, decided: &[u64]) -> u64;
+}
+
+/// A fixed list of proposals (one per slot).
+#[derive(Debug, Clone)]
+pub struct StaticProposals(pub Vec<u64>);
+
+impl ProposalSource for StaticProposals {
+    fn next_proposal(&mut self, decided: &[u64]) -> u64 {
+        self.0.get(decided.len()).copied().unwrap_or(0)
+    }
+}
+
+impl<F: FnMut(&[u64]) -> u64> ProposalSource for F {
+    fn next_proposal(&mut self, decided: &[u64]) -> u64 {
+        self(decided)
+    }
+}
+
+/// What each replica publishes: its per-slot multivalued states, for the
+/// slots it has joined so far (bounded by `n_slots`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogMsg {
+    /// One multivalued-consensus state per joined slot.
+    pub slots: Vec<MvState>,
+}
+
+/// One replica of the multi-shot log.
+pub struct LogCore<S> {
+    params: ConsensusParams,
+    me: usize,
+    width: u32,
+    n_slots: usize,
+    seed: u64,
+    source: S,
+    decided: Vec<u64>,
+    inner: MvCore,
+    msg: LogMsg,
+}
+
+impl<S> std::fmt::Debug for LogCore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogCore")
+            .field("me", &self.me)
+            .field("slot", &self.decided.len())
+            .field("n_slots", &self.n_slots)
+            .finish()
+    }
+}
+
+impl<S: ProposalSource> LogCore<S> {
+    /// Creates replica `pid` that will agree on `n_slots` values of
+    /// `width` bits each, proposing from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slots == 0`, `width ∉ 1..=64`, or `pid` out of range.
+    pub fn new(
+        params: ConsensusParams,
+        pid: usize,
+        n_slots: usize,
+        width: u32,
+        mut source: S,
+        seed: u64,
+    ) -> Self {
+        assert!(n_slots >= 1, "need at least one slot");
+        let first = source.next_proposal(&[]);
+        let inner = MvCore::new(
+            params.clone(),
+            pid,
+            first,
+            width,
+            bprc_sim::rng::derive_seed(seed, 0),
+        );
+        let msg = LogMsg {
+            slots: vec![inner_msg(&inner)],
+        };
+        LogCore {
+            params,
+            me: pid,
+            width,
+            n_slots,
+            seed,
+            source,
+            decided: Vec::new(),
+            inner,
+            msg,
+        }
+    }
+
+    /// Slots decided so far by this replica.
+    pub fn decided(&self) -> &[u64] {
+        &self.decided
+    }
+}
+
+/// The register value a fresh `MvCore` starts with (its `initial_msg`
+/// without requiring `&mut`): candidate + level-0 state.
+fn inner_msg(inner: &MvCore) -> MvState {
+    inner.current_msg()
+}
+
+impl<S: ProposalSource> TurnProcess for LogCore<S> {
+    type Msg = LogMsg;
+    type Out = Vec<u64>;
+
+    fn initial_msg(&mut self) -> LogMsg {
+        self.msg.clone()
+    }
+
+    fn on_scan(&mut self, view: &[LogMsg]) -> TurnStep<LogMsg, Vec<u64>> {
+        let slot = self.decided.len();
+        // Project the view to the current slot; replicas that have not
+        // joined it appear as not-yet-started multivalued participants.
+        let phantom = MvState {
+            candidate: 0,
+            levels: Vec::new(),
+        };
+        let slot_view: Vec<MvState> = view
+            .iter()
+            .map(|m| m.slots.get(slot).cloned().unwrap_or_else(|| phantom.clone()))
+            .collect();
+        match self.inner.on_scan(&slot_view) {
+            TurnStep::Write(s) => {
+                self.msg.slots[slot] = s;
+                TurnStep::Write(self.msg.clone())
+            }
+            TurnStep::Decide(v) => {
+                self.decided.push(v);
+                if self.decided.len() == self.n_slots {
+                    return TurnStep::Decide(self.decided.clone());
+                }
+                let proposal = self.source.next_proposal(&self.decided);
+                self.inner = MvCore::new(
+                    self.params.clone(),
+                    self.me,
+                    proposal,
+                    self.width,
+                    bprc_sim::rng::derive_seed(self.seed, self.decided.len() as u64),
+                );
+                self.msg.slots.push(inner_msg(&self.inner));
+                TurnStep::Write(self.msg.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_sim::turn::{TurnBsp, TurnDriver, TurnRandom};
+
+    fn run_log(
+        proposals: Vec<Vec<u64>>,
+        n_slots: usize,
+        width: u32,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        let n = proposals.len();
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<LogCore<StaticProposals>> = proposals
+            .into_iter()
+            .enumerate()
+            .map(|(p, mine)| {
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    n_slots,
+                    width,
+                    StaticProposals(mine),
+                    seed * 71 + p as u64,
+                )
+            })
+            .collect();
+        let report = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 100_000_000);
+        assert!(report.completed, "log did not complete");
+        report.outputs.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn replicas_agree_on_every_slot() {
+        for seed in 0..5 {
+            let logs = run_log(
+                vec![vec![1, 2, 3], vec![10, 20, 30], vec![100, 200, 201]],
+                3,
+                8,
+                seed,
+            );
+            assert_eq!(logs[0], logs[1], "seed {seed}");
+            assert_eq!(logs[1], logs[2], "seed {seed}");
+            // Each slot's value is someone's proposal for that slot.
+            for (slot, &v) in logs[0].iter().enumerate() {
+                let candidates = [
+                    [1u64, 2, 3][slot],
+                    [10, 20, 30][slot],
+                    [100, 200, 201][slot],
+                ];
+                assert!(candidates.contains(&v), "seed {seed} slot {slot}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_dependent_proposals_build_a_chain() {
+        // Each replica proposes last_decided * 2 + its id: whatever wins,
+        // the chain stays internally consistent (every link doubles the
+        // previous and adds some replica's id).
+        let n = 3;
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<LogCore<_>> = (0..n)
+            .map(|p| {
+                let me = p as u64;
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    4,
+                    16,
+                    move |decided: &[u64]| decided.last().copied().unwrap_or(1) * 2 + me,
+                    p as u64,
+                )
+            })
+            .collect();
+        let report = TurnDriver::new(procs).run(&mut TurnRandom::new(9), 100_000_000);
+        assert!(report.completed);
+        let log = report.outputs[0].clone().unwrap();
+        assert_eq!(&log, report.outputs[1].as_ref().unwrap());
+        let mut prev = 1u64;
+        for &v in &log {
+            let id = v.checked_sub(prev * 2).expect("chain link well-formed");
+            assert!(id < n as u64, "link {v} not derived from prev {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bsp_adversary_cannot_break_the_log() {
+        let n = 2;
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<LogCore<StaticProposals>> = (0..n)
+            .map(|p| {
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    2,
+                    4,
+                    StaticProposals(vec![p as u64 + 1, p as u64 + 5]),
+                    p as u64,
+                )
+            })
+            .collect();
+        let report = TurnDriver::new(procs).run(&mut TurnBsp::new(), 100_000_000);
+        assert!(report.completed);
+        assert_eq!(report.outputs[0], report.outputs[1]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Multivalued consensus — the extension the paper mentions ("the protocol
+//! can be extended to handle arbitrary initial values").
+//!
+//! The classic bit-by-bit reduction: processes agree on a `width`-bit value
+//! by running one binary bounded-consensus instance per bit position, low
+//! bit first. Each process proposes, at level `L`, bit `L` of its current
+//! *candidate*; when level `L` decides a bit that contradicts the
+//! candidate, the process adopts (from the published registers) some
+//! candidate whose low bits match the decided prefix — one always exists,
+//! because a bit can only be decided if some prefix-compatible participant
+//! proposed it (the binary protocol's validity, plus the fact that the
+//! shared coin is only consulted after genuine disagreement).
+//!
+//! Every process's register holds its candidate plus one bounded
+//! [`ProcState`] per level it has reached — at most `width` of them, so the
+//! construction stays bounded.
+//!
+//! Processes may be levels apart: a participant that has not reached level
+//! `L` appears there as a phantom (round-0, ⊥) state, which the binary
+//! protocol already tolerates — it is just a process that has not taken a
+//! step yet.
+
+use bprc_sim::turn::{TurnProcess, TurnStep};
+
+use crate::bounded::{BoundedCore, ConsensusParams};
+use crate::state::ProcState;
+
+/// Register contents of one multivalued-consensus process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MvState {
+    /// The process's current candidate value.
+    pub candidate: u64,
+    /// Its binary-instance states for levels `0..=current` (one entry per
+    /// level joined; bounded by the width).
+    pub levels: Vec<ProcState>,
+}
+
+/// How the per-level binary cores obtain their local coin flips.
+#[derive(Debug, Clone)]
+enum FlipMode {
+    /// Fair flips derived from a master seed per level.
+    Seeded(u64),
+    /// Externally loaded outcomes ([`bprc_coin::Flips::Queue`]) — for the
+    /// model checker.
+    Queue,
+}
+
+/// One process of the multivalued protocol.
+#[derive(Debug, Clone)]
+pub struct MvCore {
+    params: ConsensusParams,
+    me: usize,
+    width: u32,
+    flip_mode: FlipMode,
+    level: usize,
+    decided_bits: u64,
+    inner: BoundedCore,
+    state: MvState,
+}
+
+impl MvCore {
+    /// Creates the process proposing `value` (only the low `width` bits are
+    /// used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or `pid` is out of range.
+    pub fn new(params: ConsensusParams, pid: usize, value: u64, width: u32, seed: u64) -> Self {
+        Self::with_mode(params, pid, value, width, FlipMode::Seeded(seed))
+    }
+
+    /// Creates the process with queue-fed local flips (for the model
+    /// checker — see [`crate::modelcheck`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or `pid` is out of range.
+    pub fn with_queue_flips(params: ConsensusParams, pid: usize, value: u64, width: u32) -> Self {
+        Self::with_mode(params, pid, value, width, FlipMode::Queue)
+    }
+
+    fn with_mode(
+        params: ConsensusParams,
+        pid: usize,
+        value: u64,
+        width: u32,
+        flip_mode: FlipMode,
+    ) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert!(pid < params.n(), "pid out of range");
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let inner = Self::make_inner(&params, pid, value & 1 == 1, &flip_mode, 0);
+        let state = MvState {
+            candidate: value,
+            levels: vec![inner.state().clone()],
+        };
+        MvCore {
+            params,
+            me: pid,
+            width,
+            flip_mode,
+            level: 0,
+            decided_bits: 0,
+            inner,
+            state,
+        }
+    }
+
+    fn make_inner(
+        params: &ConsensusParams,
+        pid: usize,
+        input: bool,
+        mode: &FlipMode,
+        level: usize,
+    ) -> BoundedCore {
+        // Participants reach a level at different times (and, through the
+        // multi-shot log, even level 0 of later slots), so every inner core
+        // is a late *joiner*: its first inc is computed from its first scan
+        // rather than from the paper's assumed-all-zero initial memory.
+        let flips = match mode {
+            FlipMode::Seeded(seed) => {
+                bprc_coin::Flips::fair(bprc_sim::rng::derive_seed(*seed, level as u64))
+            }
+            FlipMode::Queue => bprc_coin::Flips::queue(),
+        };
+        BoundedCore::joiner(params.clone(), pid, input, flips)
+    }
+
+    /// Access to the current level's binary core (the model checker feeds
+    /// flip outcomes through it).
+    pub fn inner_core_mut(&mut self) -> &mut BoundedCore {
+        &mut self.inner
+    }
+
+    /// Immutable access to the current level's binary core.
+    pub fn inner_core(&self) -> &BoundedCore {
+        &self.inner
+    }
+
+    /// The level (bit position) this process is currently deciding.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The register value this process last published (its candidate plus
+    /// its per-level states).
+    pub fn current_msg(&self) -> MvState {
+        self.state.clone()
+    }
+
+    fn bit(value: u64, level: usize) -> bool {
+        (value >> level) & 1 == 1
+    }
+
+    /// Does `candidate` match the decided prefix through `level` bits?
+    fn matches_prefix(&self, candidate: u64, through: usize) -> bool {
+        if through == 0 {
+            return true;
+        }
+        let mask = if through >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << through) - 1
+        };
+        (candidate ^ self.decided_bits) & mask == 0
+    }
+}
+
+impl TurnProcess for MvCore {
+    type Msg = MvState;
+    type Out = u64;
+
+    fn initial_msg(&mut self) -> MvState {
+        self.state.clone()
+    }
+
+    fn on_scan(&mut self, view: &[MvState]) -> TurnStep<MvState, u64> {
+        // Project the view down to the current level's binary instance;
+        // processes that have not joined this level appear as phantoms.
+        let phantom = ProcState::phantom(self.params.n(), self.params.k());
+        let level_view: Vec<ProcState> = view
+            .iter()
+            .map(|s| s.levels.get(self.level).cloned().unwrap_or_else(|| phantom.clone()))
+            .collect();
+        match self.inner.on_view(&level_view) {
+            TurnStep::Write(s) => {
+                self.state.levels[self.level] = s;
+                TurnStep::Write(self.state.clone())
+            }
+            TurnStep::Decide(bit) => {
+                if bit {
+                    self.decided_bits |= 1 << self.level;
+                }
+                if Self::bit(self.state.candidate, self.level) != bit {
+                    // Adopt a published prefix-compatible candidate
+                    // (deterministically the smallest). Registers of joined
+                    // processes only — phantoms have no levels.
+                    let adopted = view
+                        .iter()
+                        .filter(|s| !s.levels.is_empty())
+                        .map(|s| s.candidate)
+                        .filter(|&c| self.matches_prefix(c, self.level + 1))
+                        .min()
+                        .expect("a prefix-compatible candidate must exist (binary validity)");
+                    self.state.candidate = adopted;
+                }
+                self.level += 1;
+                if self.level as u32 == self.width {
+                    return TurnStep::Decide(self.state.candidate);
+                }
+                self.inner = Self::make_inner(
+                    &self.params,
+                    self.me,
+                    Self::bit(self.state.candidate, self.level),
+                    &self.flip_mode,
+                    self.level,
+                );
+                self.state.levels.push(self.inner.state().clone());
+                TurnStep::Write(self.state.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_sim::turn::{TurnDriver, TurnRandom, TurnRoundRobin};
+
+    fn run(values: &[u64], width: u32, seed: u64) -> bprc_sim::turn::TurnReport<u64> {
+        let n = values.len();
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<MvCore> = (0..n)
+            .map(|p| MvCore::new(params.clone(), p, values[p], width, seed * 97 + p as u64))
+            .collect();
+        TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 20_000_000)
+    }
+
+    #[test]
+    fn unanimous_value_is_decided() {
+        let r = run(&[42, 42, 42], 8, 1);
+        assert!(r.completed);
+        assert!(r.outputs.iter().all(|o| *o == Some(42)));
+    }
+
+    #[test]
+    fn agreement_and_validity_mixed_values() {
+        for seed in 0..8 {
+            let values = [13u64, 200, 13];
+            let r = run(&values, 8, seed);
+            assert!(r.completed, "seed {seed}");
+            let d = r.distinct_outputs();
+            assert_eq!(d.len(), 1, "seed {seed}: {:?}", r.outputs);
+            assert!(
+                values.contains(d[0]),
+                "seed {seed}: decided {} not among proposals",
+                d[0]
+            );
+        }
+    }
+
+    #[test]
+    fn two_processes_wide_values() {
+        for seed in 0..5 {
+            let values = [0xDEAD_BEEFu64, 0xCAFE_F00D];
+            let r = run(&values, 32, seed);
+            assert!(r.completed, "seed {seed}");
+            let d = r.distinct_outputs();
+            assert_eq!(d.len(), 1, "seed {seed}");
+            assert!(values.contains(d[0]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_robin_terminates() {
+        let values = [7u64, 9];
+        let params = ConsensusParams::quick(2);
+        let procs: Vec<MvCore> = (0..2)
+            .map(|p| MvCore::new(params.clone(), p, values[p], 4, p as u64))
+            .collect();
+        let r = TurnDriver::new(procs).run(&mut TurnRoundRobin::new(), 20_000_000);
+        assert!(r.completed);
+        let d = r.distinct_outputs();
+        assert!(values.contains(d[0]));
+    }
+
+    #[test]
+    fn width_masks_high_bits() {
+        let r = run(&[0xFF, 0xFF], 4, 2);
+        assert!(r.completed);
+        assert!(r.outputs.iter().all(|o| *o == Some(0xF)));
+    }
+}

@@ -1,0 +1,155 @@
+//! The bounded per-process register contents (the paper's §5 "value").
+//!
+//! Everything a process publishes fits in O(n·log K + K·log m) bits and
+//! never grows — this is the whole point of the paper. Compare
+//! [`crate::baselines::aspnes_herlihy`], whose register contents grow with
+//! the round number.
+
+/// A preference: a binary value or ⊥ (the paper writes ⊥ when the leaders
+/// it observed disagreed, before consulting the shared coin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pref {
+    /// ⊥ — no current preference; will adopt the shared coin's value.
+    #[default]
+    Bottom,
+    /// A concrete binary preference.
+    Val(bool),
+}
+
+impl Pref {
+    /// Does this preference *agree* with `other`? The paper: "process i
+    /// agrees with process j if both prefer the same value v" — ⊥ agrees
+    /// with nothing, not even ⊥.
+    pub fn agrees_with(&self, other: &Pref) -> bool {
+        matches!((self, other), (Pref::Val(a), Pref::Val(b)) if a == b)
+    }
+
+    /// The concrete value, if any.
+    pub fn value(&self) -> Option<bool> {
+        match self {
+            Pref::Bottom => None,
+            Pref::Val(v) => Some(*v),
+        }
+    }
+}
+
+impl From<bool> for Pref {
+    fn from(v: bool) -> Self {
+        Pref::Val(v)
+    }
+}
+
+impl std::fmt::Display for Pref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pref::Bottom => write!(f, "⊥"),
+            Pref::Val(v) => write!(f, "{}", *v as u8),
+        }
+    }
+}
+
+/// The complete register contents of one process in the bounded protocol.
+///
+/// The paper's "round field" consists of the `coins` array (the process's
+/// contributions to the K+1 most recent shared coins), the `current_coin`
+/// pointer, and the `edges` row of the bounded rounds strip. Everything is
+/// bounded: coins in `±(m+1)`, `current_coin ≤ K`, edges in `{0..3K−1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcState {
+    /// Current preference.
+    pub pref: Pref,
+    /// Circular array of K+1 coin counters.
+    pub coins: Vec<i64>,
+    /// Index of the slot holding this process's *current round's* coin.
+    pub current_coin: usize,
+    /// This process's row `e_i[1..n]` of the edge counters (mod 3K).
+    pub edges: Vec<u32>,
+}
+
+impl ProcState {
+    /// The state of a process that has not taken any step yet (round 0,
+    /// no preference). Used for not-yet-joined participants in the
+    /// multivalued reduction and as the registers' initial contents.
+    pub fn phantom(n: usize, k: u32) -> Self {
+        ProcState {
+            pref: Pref::Bottom,
+            coins: vec![0; k as usize + 1],
+            current_coin: 0,
+            edges: vec![0; n],
+        }
+    }
+
+    /// The slot index of the *next* round's coin (the paper's
+    /// `next(current_coin)`).
+    pub fn next_coin_slot(&self) -> usize {
+        (self.current_coin + 1) % self.coins.len()
+    }
+
+    /// Number of bits this state needs in a register, given the coin
+    /// counter bound `m` and strip constant `k` (for the boundedness
+    /// experiment E6).
+    pub fn register_bits(&self, m: i64, k: u32) -> u64 {
+        let pref_bits = 2u64;
+        let counter_bits = 64 - ((2 * m + 3) as u64).leading_zeros() as u64;
+        let coin_bits = self.coins.len() as u64 * counter_bits;
+        let ptr_bits = 64 - (k as u64 + 1).leading_zeros() as u64;
+        let edge_bits = self.edges.len() as u64 * (64 - (3 * k as u64).leading_zeros() as u64);
+        pref_bits + coin_bits + ptr_bits + edge_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_semantics() {
+        assert!(Pref::Val(true).agrees_with(&Pref::Val(true)));
+        assert!(!Pref::Val(true).agrees_with(&Pref::Val(false)));
+        assert!(!Pref::Bottom.agrees_with(&Pref::Bottom), "⊥ agrees with nothing");
+        assert!(!Pref::Bottom.agrees_with(&Pref::Val(false)));
+    }
+
+    #[test]
+    fn pref_value_and_from() {
+        assert_eq!(Pref::Val(true).value(), Some(true));
+        assert_eq!(Pref::Bottom.value(), None);
+        assert_eq!(Pref::from(false), Pref::Val(false));
+    }
+
+    #[test]
+    fn pref_display() {
+        assert_eq!(Pref::Bottom.to_string(), "⊥");
+        assert_eq!(Pref::Val(true).to_string(), "1");
+    }
+
+    #[test]
+    fn phantom_shape() {
+        let s = ProcState::phantom(4, 2);
+        assert_eq!(s.coins.len(), 3);
+        assert_eq!(s.edges.len(), 4);
+        assert_eq!(s.pref, Pref::Bottom);
+        assert_eq!(s.next_coin_slot(), 1);
+    }
+
+    #[test]
+    fn next_coin_slot_wraps() {
+        let mut s = ProcState::phantom(2, 2);
+        s.current_coin = 2;
+        assert_eq!(s.next_coin_slot(), 0);
+    }
+
+    #[test]
+    fn register_bits_is_constant_in_rounds() {
+        // The same state advanced arbitrarily far has the same bit-width —
+        // that is the theorem.
+        let s = ProcState::phantom(8, 2);
+        let bits = s.register_bits(10_000, 2);
+        let mut advanced = s.clone();
+        advanced.current_coin = 2;
+        advanced.edges = vec![5; 8];
+        advanced.coins = vec![9_999; 3];
+        assert_eq!(advanced.register_bits(10_000, 2), bits);
+        assert!(bits < 200, "a register is a few dozen bits, not unbounded");
+    }
+}

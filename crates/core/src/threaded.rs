@@ -1,0 +1,199 @@
+//! Running the bounded protocol over the real scannable memory.
+//!
+//! The same [`BoundedCore`] that drives the fast turn-based experiments is
+//! wrapped here into process bodies for a [`bprc_sim::World`]: every
+//! iteration performs a genuine §2 snapshot scan (double collect over SWMR
+//! registers and arrows) followed by a genuine update. This validates the
+//! full stack — protocol + strip + coin + snapshot — at register
+//! granularity, in both lockstep (deterministic, adversary-scheduled) and
+//! free-running (OS threads) modes.
+
+use bprc_registers::ArrowCell;
+use bprc_sim::turn::{TurnProcess, TurnStep};
+use bprc_sim::world::ProcBody;
+use bprc_sim::World;
+use bprc_snapshot::ScannableMemory;
+
+use crate::bounded::{BoundedCore, ConsensusParams};
+use crate::state::ProcState;
+
+/// What [`over_scannable_memory`] returns: the memory plus one runnable
+/// body per process.
+pub type MemoryAndBodies<M, A, O> = (ScannableMemory<M, A>, Vec<ProcBody<O>>);
+
+/// Wraps any scan/write protocol ([`TurnProcess`]) into process bodies that
+/// run it over a real [`ScannableMemory`]: the returned memory plus one
+/// body per process.
+///
+/// `initial` is the registers' initial contents (what a process that has
+/// not yet written appears as).
+///
+/// # Panics
+///
+/// Panics if `procs.len()` differs from the world size.
+pub fn over_scannable_memory<P, A>(
+    world: &World,
+    mut procs: Vec<P>,
+    initial: P::Msg,
+) -> MemoryAndBodies<P::Msg, A, P::Out>
+where
+    P: TurnProcess + Send + 'static,
+    P::Msg: Clone + PartialEq + Send + Sync + 'static,
+    P::Out: Send + 'static,
+    A: ArrowCell,
+{
+    let n = procs.len();
+    assert_eq!(world.n(), n, "one process per world slot");
+    let memory: ScannableMemory<P::Msg, A> = ScannableMemory::new(world, n, initial);
+    let bodies = procs
+        .drain(..)
+        .enumerate()
+        .map(|(pid, mut proc)| {
+            let mut port = memory.port(pid);
+            let first = proc.initial_msg();
+            let b: ProcBody<P::Out> = Box::new(move |ctx| {
+                port.update(ctx, first)?;
+                loop {
+                    let view = port.scan(ctx)?;
+                    match proc.on_scan(&view) {
+                        TurnStep::Write(s) => port.update(ctx, s)?,
+                        TurnStep::Decide(v) => return Ok(v),
+                    }
+                }
+            });
+            b
+        })
+        .collect();
+    (memory, bodies)
+}
+
+/// A full-stack consensus instance: the scannable memory plus one body per
+/// process.
+pub struct ThreadedConsensus<A: ArrowCell> {
+    /// The underlying scannable memory (for stats and checker metadata).
+    pub memory: ScannableMemory<ProcState, A>,
+    /// One body per process; pass to [`World::run`].
+    pub bodies: Vec<ProcBody<bool>>,
+}
+
+impl<A: ArrowCell> ThreadedConsensus<A> {
+    /// Builds the instance in `world` with the given inputs.
+    ///
+    /// `seed` derives each process's local coin flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != params.n()` or the world size differs.
+    pub fn new(world: &World, params: &ConsensusParams, inputs: &[bool], seed: u64) -> Self {
+        assert_eq!(inputs.len(), params.n(), "one input per process");
+        let procs: Vec<BoundedCore> = (0..params.n())
+            .map(|pid| {
+                BoundedCore::new(
+                    params.clone(),
+                    pid,
+                    inputs[pid],
+                    bprc_sim::rng::derive_seed(seed, pid as u64),
+                )
+            })
+            .collect();
+        let (memory, bodies) =
+            over_scannable_memory(world, procs, ProcState::phantom(params.n(), params.k()));
+        ThreadedConsensus { memory, bodies }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_registers::{DirectArrow, HandshakeArrow};
+    use bprc_sim::sched::{CrashPlan, RandomStrategy};
+    use bprc_sim::Mode;
+    use bprc_snapshot::check_history;
+
+    #[test]
+    fn lockstep_full_stack_agreement_direct_arrows() {
+        for seed in 0..6 {
+            let params = ConsensusParams::quick(3);
+            let mut world = World::builder(3).seed(seed).step_limit(5_000_000).build();
+            let inst =
+                ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], seed);
+            let meta = inst.memory.meta();
+            let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+            let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: agreement violated: {decisions:?}"
+            );
+            // The interleaving's snapshot properties must hold too.
+            let check = check_history(rep.history.as_ref().unwrap(), &meta);
+            assert!(check.ok(), "seed {seed}: {:?}", check.violations);
+        }
+    }
+
+    #[test]
+    fn lockstep_full_stack_agreement_handshake_arrows() {
+        for seed in 0..4 {
+            let params = ConsensusParams::quick(2);
+            let mut world = World::builder(2).seed(seed).step_limit(5_000_000).build();
+            let inst =
+                ThreadedConsensus::<HandshakeArrow>::new(&world, &params, &[false, true], seed);
+            let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+            let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+            assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn validity_over_threads() {
+        let params = ConsensusParams::quick(3);
+        let mut world = World::builder(3)
+            .mode(Mode::Free)
+            .step_limit(u64::MAX)
+            .build();
+        let inst =
+            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, true, true], 5);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(0)));
+        assert!(rep.outputs.iter().all(|o| *o == Some(true)));
+    }
+
+    #[test]
+    fn multivalued_over_real_registers() {
+        // The generic adapter lets the multivalued protocol run over the
+        // full register-level stack too.
+        use crate::multivalued::{MvCore, MvState};
+        for seed in 0..3 {
+            let n = 2;
+            let params = ConsensusParams::quick(n);
+            let values = [19u64, 7];
+            let mut world = World::builder(n).seed(seed).step_limit(20_000_000).build();
+            let procs: Vec<MvCore> = (0..n)
+                .map(|p| MvCore::new(params.clone(), p, values[p], 8, seed * 31 + p as u64))
+                .collect();
+            let initial = MvState {
+                candidate: 0,
+                levels: Vec::new(),
+            };
+            let (_mem, bodies) =
+                over_scannable_memory::<_, DirectArrow>(&world, procs, initial);
+            let rep = world.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let decisions: Vec<u64> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+            assert_eq!(decisions[0], decisions[1], "seed {seed}");
+            assert!(values.contains(&decisions[0]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crash_tolerance_full_stack() {
+        for seed in 0..4 {
+            let params = ConsensusParams::quick(3);
+            let mut world = World::builder(3).seed(seed).step_limit(5_000_000).build();
+            let inst =
+                ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, false], seed);
+            let strategy = CrashPlan::new(RandomStrategy::new(seed), vec![(30, 0)]);
+            let rep = world.run(inst.bodies, Box::new(strategy));
+            let survivors: Vec<bool> = (1..3).filter_map(|p| rep.outputs[p]).collect();
+            assert_eq!(survivors.len(), 2, "seed {seed}: survivors must decide");
+            assert_eq!(survivors[0], survivors[1], "seed {seed}: agreement");
+        }
+    }
+}

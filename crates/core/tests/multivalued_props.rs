@@ -1,0 +1,67 @@
+//! Property-based tests for the multivalued reduction and the multi-shot
+//! log: agreement + validity over arbitrary value sets, widths and seeds.
+
+use bprc_core::bounded::ConsensusParams;
+use bprc_core::multishot::{LogCore, StaticProposals};
+use bprc_core::multivalued::MvCore;
+use bprc_sim::turn::{TurnDriver, TurnRandom};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multivalued_agreement_validity(
+        n in 1usize..=4,
+        width in 1u32..=10,
+        raw_values in proptest::collection::vec(any::<u64>(), 4),
+        seed in 0u64..100_000,
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let values: Vec<u64> = raw_values.iter().take(n).map(|v| v & mask).collect();
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<MvCore> = (0..n)
+            .map(|p| MvCore::new(params.clone(), p, values[p], width, seed ^ (p as u64) << 40))
+            .collect();
+        let r = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
+        prop_assert!(r.completed, "did not terminate");
+        let d = r.distinct_outputs();
+        prop_assert_eq!(d.len(), 1, "agreement violated");
+        prop_assert!(values.contains(d[0]), "decided {} not proposed", d[0]);
+    }
+
+    #[test]
+    fn multishot_log_agreement_per_slot(
+        n in 2usize..=3,
+        slots in 1usize..=3,
+        seed in 0u64..50_000,
+    ) {
+        let params = ConsensusParams::quick(n);
+        let proposals: Vec<Vec<u64>> = (0..n)
+            .map(|p| (0..slots).map(|s| (p * 37 + s * 11) as u64 & 0xFF).collect())
+            .collect();
+        let procs: Vec<LogCore<StaticProposals>> = (0..n)
+            .map(|p| {
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    slots,
+                    8,
+                    StaticProposals(proposals[p].clone()),
+                    seed ^ (p as u64) << 33,
+                )
+            })
+            .collect();
+        let r = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 100_000_000);
+        prop_assert!(r.completed);
+        let logs: Vec<&Vec<u64>> = r.outputs.iter().flatten().collect();
+        prop_assert_eq!(logs.len(), n);
+        for other in &logs[1..] {
+            prop_assert_eq!(logs[0], *other, "logs diverged");
+        }
+        for (slot, &v) in logs[0].iter().enumerate() {
+            let proposed = (0..n).any(|p| proposals[p][slot] == v);
+            prop_assert!(proposed, "slot {} value {} not proposed", slot, v);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Single-writer multi-reader registers.
+
+use bprc_sim::{Ctx, Halted, Reg, World};
+
+/// A single-writer multi-reader atomic register.
+///
+/// Wraps a [`Reg`] and enforces (by assertion) that only the designated
+/// writer process ever writes it — the SWMR discipline the paper's model
+/// assumes for the value registers `V_i`.
+///
+/// # Example
+///
+/// ```
+/// use bprc_sim::{World, Mode};
+/// use bprc_sim::sched::RoundRobin;
+/// use bprc_registers::Swmr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut world = World::builder(2).build();
+/// let v = Swmr::new(&world, "V_0", 0, 0u32);
+/// let (v0, v1) = (v.clone(), v.clone());
+/// let report = world.run::<u32>(
+///     vec![
+///         Box::new(move |ctx| {
+///             v0.write(ctx, 7)?;
+///             Ok(0)
+///         }),
+///         Box::new(move |ctx| v1.read(ctx)),
+///     ],
+///     Box::new(RoundRobin::new()),
+/// );
+/// assert_eq!(report.outputs[1], Some(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Swmr<T> {
+    reg: Reg<T>,
+    writer: usize,
+}
+
+impl<T> Clone for Swmr<T> {
+    fn clone(&self) -> Self {
+        Swmr {
+            reg: self.reg.clone(),
+            writer: self.writer,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Swmr<T> {
+    /// Allocates a SWMR register owned by process `writer`.
+    pub fn new(world: &World, name: impl Into<String>, writer: usize, init: T) -> Self {
+        Swmr {
+            reg: world.reg(name, init),
+            writer,
+        }
+    }
+
+    /// The pid allowed to write this register.
+    pub fn writer(&self) -> usize {
+        self.writer
+    }
+
+    /// Atomically reads the register (any process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn read(&self, ctx: &mut Ctx) -> Result<T, Halted> {
+        self.reg.read(ctx)
+    }
+
+    /// Atomically writes the register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called by a process other than the designated writer.
+    pub fn write(&self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        assert_eq!(
+            ctx.pid(),
+            self.writer,
+            "SWMR violation: process {} wrote a register owned by {}",
+            ctx.pid(),
+            self.writer
+        );
+        self.reg.write(ctx, value)
+    }
+
+    /// Like [`write`](Swmr::write) but records `tag` in the history (hidden
+    /// sequence numbers for offline checkers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called by a process other than the designated writer.
+    pub fn write_tagged(&self, ctx: &mut Ctx, value: T, tag: u64) -> Result<(), Halted> {
+        assert_eq!(
+            ctx.pid(),
+            self.writer,
+            "SWMR violation: process {} wrote a register owned by {}",
+            ctx.pid(),
+            self.writer
+        );
+        self.reg.write_tagged(ctx, value, tag)
+    }
+
+    /// Unscheduled read for checkers/adversaries (see [`Reg::peek`]).
+    pub fn peek(&self) -> T {
+        self.reg.peek()
+    }
+
+    /// Unscheduled write for test setup (see [`Reg::poke`]).
+    pub fn poke(&self, value: T) {
+        self.reg.poke(value)
+    }
+
+    /// The underlying register id (for history inspection).
+    pub fn id(&self) -> usize {
+        self.reg.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_sim::sched::RoundRobin;
+    use bprc_sim::world::ProcBody;
+
+    #[test]
+    fn reader_sees_writer_value() {
+        let mut w = World::builder(2).build();
+        let v = Swmr::new(&w, "v", 0, 1u8);
+        let (v0, v1) = (v.clone(), v.clone());
+        let bodies: Vec<ProcBody<u8>> = vec![
+            Box::new(move |ctx| {
+                v0.write(ctx, 9)?;
+                Ok(0)
+            }),
+            Box::new(move |ctx| v1.read(ctx)),
+        ];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.outputs[1], Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    fn wrong_writer_panics() {
+        let mut w = World::builder(2).build();
+        let v = Swmr::new(&w, "v", 0, 0u8);
+        let v1 = v.clone();
+        let bodies: Vec<ProcBody<()>> = vec![
+            Box::new(move |_| Ok(())),
+            Box::new(move |ctx| v1.write(ctx, 1)), // pid 1 writes pid 0's register
+        ];
+        let _ = w.run(bodies, Box::new(RoundRobin::new()));
+    }
+
+    #[test]
+    fn peek_and_writer_accessors() {
+        let w = World::builder(1).build();
+        let v = Swmr::new(&w, "v", 0, 5u32);
+        assert_eq!(v.peek(), 5);
+        assert_eq!(v.writer(), 0);
+        v.poke(6);
+        assert_eq!(v.peek(), 6);
+    }
+}

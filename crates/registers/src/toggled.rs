@@ -1,0 +1,78 @@
+//! Values carrying the paper's alternating (toggle) bit.
+
+/// A register value paired with an alternating bit.
+///
+/// The paper (§2.2) adds "an alternating bit field … to each register `V_i`,
+/// such that two values written in consecutive writes by the same process
+/// always differ". The scannable memory's double collect compares
+/// `Toggled<T>` values, so a writer that writes the *same* payload twice is
+/// still detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Toggled<T> {
+    /// The payload.
+    pub value: T,
+    /// The alternating bit.
+    pub toggle: bool,
+}
+
+impl<T> Toggled<T> {
+    /// Wraps an initial value (toggle starts at `false`).
+    pub fn new(value: T) -> Self {
+        Toggled {
+            value,
+            toggle: false,
+        }
+    }
+
+    /// The value a writer should write after `self`: new payload, flipped bit.
+    pub fn successor(&self, value: T) -> Self {
+        Toggled {
+            value,
+            toggle: !self.toggle,
+        }
+    }
+
+    /// Maps the payload, keeping the toggle.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Toggled<U> {
+        Toggled {
+            value: f(self.value),
+            toggle: self.toggle,
+        }
+    }
+}
+
+impl<T> From<T> for Toggled<T> {
+    fn from(value: T) -> Self {
+        Toggled::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_always_differ() {
+        let a = Toggled::new(5u8);
+        let b = a.successor(5);
+        assert_ne!(a, b, "same payload must still differ via the toggle");
+        let c = b.successor(5);
+        assert_ne!(b, c);
+        assert_eq!(a.toggle, c.toggle);
+    }
+
+    #[test]
+    fn map_preserves_toggle() {
+        let a = Toggled::new(2u8).successor(3);
+        let b = a.map(|v| v as u32 * 10);
+        assert_eq!(b.value, 30);
+        assert_eq!(b.toggle, a.toggle);
+    }
+
+    #[test]
+    fn from_wraps_with_false_toggle() {
+        let t: Toggled<&str> = "x".into();
+        assert!(!t.toggle);
+        assert_eq!(t.value, "x");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for simulated executions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a process's execution was cut short.
+///
+/// A process body has the signature `FnOnce(&mut Ctx) -> Result<T, Halted>`;
+/// every shared-memory access returns `Result<_, Halted>` so that a process
+/// stopped by the scheduler (crashed, global shutdown, or step-limit
+/// exhaustion) unwinds promptly via `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Halted {
+    /// The scheduler crashed this process: it will never be granted another
+    /// shared-memory step. Models a crash fault in the wait-free model —
+    /// the *other* processes must still terminate.
+    Crashed,
+    /// The run is over (all other processes finished or the run was aborted);
+    /// pending accesses are refused so threads can be joined.
+    Shutdown,
+    /// The global step budget was exhausted. Used to bound potentially
+    /// non-terminating adversarial schedules (e.g. a scan livelocked by a
+    /// hostile writer) and convert them into a reported outcome.
+    StepLimit,
+}
+
+impl fmt::Display for Halted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Halted::Crashed => write!(f, "process was crashed by the scheduler"),
+            Halted::Shutdown => write!(f, "world shut down"),
+            Halted::StepLimit => write!(f, "global step limit exhausted"),
+        }
+    }
+}
+
+impl Error for Halted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for h in [Halted::Crashed, Halted::Shutdown, Halted::StepLimit] {
+            let s = h.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(Halted::Crashed);
+    }
+
+    #[test]
+    fn eq_and_hash_derivations() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Halted::Crashed);
+        s.insert(Halted::Crashed);
+        assert_eq!(s.len(), 1);
+        assert_ne!(Halted::Crashed, Halted::Shutdown);
+    }
+}

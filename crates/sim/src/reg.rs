@@ -1,0 +1,149 @@
+//! Linearizable shared registers.
+//!
+//! [`Reg<T>`] models the atomic read/write register of the paper's model.
+//! There are deliberately **no read-modify-write operations** — consensus is
+//! impossible deterministically in this model precisely because registers
+//! only support reads and writes, and the algorithms here must live within
+//! that interface.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::Halted;
+use crate::history::{OpKind, RegId};
+use crate::world::{Ctx, WorldInner};
+
+/// A linearizable multi-reader register allocated from a
+/// [`World`](crate::world::World).
+///
+/// Every [`read`](Reg::read) and [`write`](Reg::write) counts as one
+/// scheduled step; in lockstep mode the scheduler decides when it happens.
+/// Clone the handle to share the register between process bodies.
+///
+/// Single-writer (SWMR) discipline is a *protocol* property, not enforced
+/// here — the [`bprc-registers`](../../registers) crate layers it on top.
+pub struct Reg<T> {
+    id: RegId,
+    cell: Arc<RwLock<T>>,
+    world: Arc<WorldInner>,
+}
+
+impl<T> Clone for Reg<T> {
+    fn clone(&self) -> Self {
+        Reg {
+            id: self.id,
+            cell: Arc::clone(&self.cell),
+            world: Arc::clone(&self.world),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Reg<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reg").field("id", &self.id).finish()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Reg<T> {
+    pub(crate) fn new(id: RegId, init: T, world: Arc<WorldInner>) -> Self {
+        Reg {
+            id,
+            cell: Arc::new(RwLock::new(init)),
+            world,
+        }
+    }
+
+    /// This register's id within its world.
+    pub fn id(&self) -> RegId {
+        self.id
+    }
+
+    /// Atomically reads the register (one scheduled step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn read(&self, ctx: &mut Ctx) -> Result<T, Halted> {
+        let cell = &self.cell;
+        ctx.inner()
+            .clone()
+            .access(ctx.pid(), OpKind::Read, self.id, 0, || cell.read().clone())
+    }
+
+    /// Atomically writes the register (one scheduled step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn write(&self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        self.write_tagged(ctx, value, 0)
+    }
+
+    /// Like [`write`](Reg::write) but records `tag` in the history.
+    ///
+    /// Tags are invisible to the algorithms; offline checkers use them as
+    /// hidden sequence numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn write_tagged(&self, ctx: &mut Ctx, value: T, tag: u64) -> Result<(), Halted> {
+        let cell = &self.cell;
+        ctx.inner()
+            .clone()
+            .access(ctx.pid(), OpKind::Write, self.id, tag, || {
+                *cell.write() = value;
+            })
+    }
+
+    /// Reads the register **without scheduling** — for adversary strategies,
+    /// offline checkers and test setup only. Never call this from a process
+    /// body: it would be a side channel outside the model.
+    pub fn peek(&self) -> T {
+        self.cell.read().clone()
+    }
+
+    /// Writes the register **without scheduling** — for test setup only.
+    pub fn poke(&self, value: T) {
+        *self.cell.write() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sched::RoundRobin;
+    use crate::world::{Mode, ProcBody, World};
+
+    #[test]
+    fn peek_poke_do_not_consume_steps() {
+        let mut w = World::builder(1).build();
+        let r = w.reg("r", 10u32);
+        assert_eq!(r.peek(), 10);
+        r.poke(20);
+        assert_eq!(r.peek(), 20);
+        let r2 = r.clone();
+        let bodies: Vec<ProcBody<u32>> = vec![Box::new(move |ctx| r2.read(ctx))];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.outputs[0], Some(20));
+        assert_eq!(rep.steps, 1);
+    }
+
+    #[test]
+    fn clone_shares_the_cell() {
+        let w = World::builder(1).mode(Mode::Free).build();
+        let r = w.reg("r", 0u8);
+        let r2 = r.clone();
+        r.poke(7);
+        assert_eq!(r2.peek(), 7);
+        assert_eq!(r.id(), r2.id());
+    }
+
+    #[test]
+    fn registers_get_distinct_ids() {
+        let w = World::builder(1).build();
+        let a = w.reg("a", 0u8);
+        let b = w.reg("b", 0u8);
+        assert_ne!(a.id(), b.id());
+    }
+}

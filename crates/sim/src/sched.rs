@@ -1,0 +1,343 @@
+//! Scheduling strategies — the adversary.
+//!
+//! In the randomized-consensus literature the scheduler is an *adversary*:
+//! it observes everything (memory contents, pending operations, past coin
+//! flips) and picks which process takes the next step, possibly crashing
+//! processes along the way. A [`Strategy`] is exactly that: at every
+//! quiescent point it is shown the runnable set and each process's pending
+//! operation, and returns a [`Decision`].
+//!
+//! Adaptive adversaries that need to inspect memory can capture cloned
+//! [`Reg`](crate::reg::Reg) handles and use [`Reg::peek`](crate::reg::Reg::peek)
+//! inside their decision function — at decision time no process is mid-access,
+//! so peeks observe a consistent global state.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::history::{OpKind, RegId};
+
+/// The operation a blocked process will perform once granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target register.
+    pub reg: RegId,
+    /// Tag the process attached (0 if none).
+    pub tag: u64,
+}
+
+/// What the scheduler sees at a decision point.
+#[derive(Debug)]
+pub struct ScheduleView<'a> {
+    /// Global step index of the step about to be granted.
+    pub step: u64,
+    /// Processes eligible to run (blocked at a gate, not crashed/finished),
+    /// in increasing pid order.
+    pub runnable: &'a [usize],
+    /// The pending operation of each runnable process (parallel to
+    /// [`runnable`](ScheduleView::runnable)).
+    pub pending: &'a [PendingOp],
+}
+
+impl ScheduleView<'_> {
+    /// The pending operation of process `pid`, if runnable.
+    pub fn pending_of(&self, pid: usize) -> Option<PendingOp> {
+        self.runnable
+            .iter()
+            .position(|&p| p == pid)
+            .map(|i| self.pending[i])
+    }
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let this (runnable) process perform its pending operation.
+    Grant(usize),
+    /// Crash this process: it never takes another step. The scheduler is
+    /// then consulted again for the same step.
+    Crash(usize),
+}
+
+/// The adversary interface.
+///
+/// Strategies run on the thread that called
+/// [`World::run`](crate::world::World::run), so they need not be `Send`.
+pub trait Strategy {
+    /// Picks the next decision given the current quiescent state.
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision;
+}
+
+/// Cycles fairly through the runnable processes.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin strategy starting at process 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for RoundRobin {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        // Grant the first runnable pid >= next (cyclically).
+        let pick = view
+            .runnable
+            .iter()
+            .copied()
+            .find(|&p| p >= self.next)
+            .unwrap_or(view.runnable[0]);
+        self.next = pick + 1;
+        Decision::Grant(pick)
+    }
+}
+
+/// Grants a uniformly random runnable process (seeded, replayable).
+#[derive(Debug, Clone)]
+pub struct RandomStrategy {
+    rng: SmallRng,
+}
+
+impl RandomStrategy {
+    /// Creates a random strategy from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        let i = self.rng.gen_range(0..view.runnable.len());
+        Decision::Grant(view.runnable[i])
+    }
+}
+
+/// Wraps a closure as a strategy — the quickest way to write a bespoke
+/// adversary in a test.
+pub struct FnStrategy<F>(F);
+
+impl<F: FnMut(&ScheduleView<'_>) -> Decision> FnStrategy<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        FnStrategy(f)
+    }
+}
+
+impl<F> std::fmt::Debug for FnStrategy<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnStrategy").finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(&ScheduleView<'_>) -> Decision> Strategy for FnStrategy<F> {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        (self.0)(view)
+    }
+}
+
+/// Runs one process as long as possible, then the next — the "solo burst"
+/// adversary. Maximizes the asynchrony between processes, useful for
+/// stressing the rounds-strip shrinking logic (one process racing far ahead).
+#[derive(Debug, Clone)]
+pub struct SoloBursts {
+    /// How many consecutive steps each burst grants.
+    burst: u64,
+    current: usize,
+    remaining: u64,
+}
+
+impl SoloBursts {
+    /// Creates a strategy granting `burst` consecutive steps per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn new(burst: u64) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        SoloBursts {
+            burst,
+            current: 0,
+            remaining: burst,
+        }
+    }
+}
+
+impl Strategy for SoloBursts {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        if !view.runnable.contains(&self.current) || self.remaining == 0 {
+            // Move to the next runnable process after current.
+            let next = view
+                .runnable
+                .iter()
+                .copied()
+                .find(|&p| p > self.current)
+                .unwrap_or(view.runnable[0]);
+            self.current = next;
+            self.remaining = self.burst;
+        }
+        self.remaining -= 1;
+        Decision::Grant(self.current)
+    }
+}
+
+/// Decorator that crashes given processes at given global steps, delegating
+/// every other decision to an inner strategy.
+#[derive(Debug)]
+pub struct CrashPlan<S> {
+    inner: S,
+    /// Sorted list of (step, pid) crash points, consumed front to back.
+    plan: Vec<(u64, usize)>,
+    done: usize,
+}
+
+impl<S: Strategy> CrashPlan<S> {
+    /// Wraps `inner`, crashing `pid` the first time the global step counter
+    /// reaches `step` for each `(step, pid)` in `plan`.
+    pub fn new(inner: S, mut plan: Vec<(u64, usize)>) -> Self {
+        plan.sort_unstable();
+        CrashPlan {
+            inner,
+            plan,
+            done: 0,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for CrashPlan<S> {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        if let Some(&(step, pid)) = self.plan.get(self.done) {
+            if view.step >= step {
+                self.done += 1;
+                if view.runnable.contains(&pid) {
+                    return Decision::Crash(pid);
+                }
+                // Process already finished/crashed; fall through.
+            }
+        }
+        self.inner.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(step: u64, runnable: &'a [usize], pending: &'a [PendingOp]) -> ScheduleView<'a> {
+        ScheduleView {
+            step,
+            runnable,
+            pending,
+        }
+    }
+
+    fn dummy_pending(n: usize) -> Vec<PendingOp> {
+        vec![
+            PendingOp {
+                kind: OpKind::Read,
+                reg: 0,
+                tag: 0
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let runnable = [0, 1, 2];
+        let pending = dummy_pending(3);
+        let picks: Vec<_> = (0..6)
+            .map(|s| match rr.decide(&view(s, &runnable, &pending)) {
+                Decision::Grant(p) => p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_missing_processes() {
+        let mut rr = RoundRobin::new();
+        let pending = dummy_pending(2);
+        // Process 1 not runnable.
+        let picks: Vec<_> = (0..4)
+            .map(|s| match rr.decide(&view(s, &[0, 2], &pending)) {
+                Decision::Grant(p) => p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let seq = |seed| {
+            let mut s = RandomStrategy::new(seed);
+            let runnable = [0, 1, 2, 3];
+            let pending = dummy_pending(4);
+            (0..20)
+                .map(|i| match s.decide(&view(i, &runnable, &pending)) {
+                    Decision::Grant(p) => p,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+
+    #[test]
+    fn solo_bursts_stays_then_moves() {
+        let mut s = SoloBursts::new(3);
+        let runnable = [0, 1];
+        let pending = dummy_pending(2);
+        let picks: Vec<_> = (0..6)
+            .map(|i| match s.decide(&view(i, &runnable, &pending)) {
+                Decision::Grant(p) => p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn crash_plan_fires_once() {
+        let mut s = CrashPlan::new(RoundRobin::new(), vec![(2, 1)]);
+        let runnable = [0, 1];
+        let pending = dummy_pending(2);
+        assert_eq!(s.decide(&view(0, &runnable, &pending)), Decision::Grant(0));
+        assert_eq!(s.decide(&view(1, &runnable, &pending)), Decision::Grant(1));
+        assert_eq!(s.decide(&view(2, &runnable, &pending)), Decision::Crash(1));
+        // After the crash the inner strategy resumes.
+        let runnable = [0];
+        let pending = dummy_pending(1);
+        assert_eq!(s.decide(&view(2, &runnable, &pending)), Decision::Grant(0));
+    }
+
+    #[test]
+    fn pending_of_finds_by_pid() {
+        let runnable = [3, 5];
+        let pending = [
+            PendingOp {
+                kind: OpKind::Write,
+                reg: 9,
+                tag: 1,
+            },
+            PendingOp {
+                kind: OpKind::Read,
+                reg: 2,
+                tag: 0,
+            },
+        ];
+        let v = view(0, &runnable, &pending);
+        assert_eq!(v.pending_of(5).unwrap().reg, 2);
+        assert!(v.pending_of(4).is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Human-readable rendering of recorded histories.
+//!
+//! Lockstep runs record a [`History`]; this module renders it as a timeline
+//! with one column per process — the format you want in front of you when a
+//! property checker reports a violation at step 4711.
+//!
+//! ```text
+//! step  p0                   p1
+//! ────  ───────────────────  ───────────────────
+//!    0  W V_0 #1
+//!       ⟨snap:upd:start 1⟩
+//!    1                       R V_0
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::history::{Event, History, OpKind};
+
+/// Options for [`render`].
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Register names (indexed by register id); missing ids print as `r<id>`.
+    pub reg_names: Vec<String>,
+    /// Only render steps in this range (inclusive start, exclusive end).
+    pub steps: Option<(u64, u64)>,
+    /// Include annotation (note) lines.
+    pub notes: bool,
+    /// Column width per process.
+    pub width: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            reg_names: Vec::new(),
+            steps: None,
+            notes: true,
+            width: 22,
+        }
+    }
+}
+
+impl TraceOptions {
+    fn reg(&self, id: usize) -> String {
+        self.reg_names
+            .get(id)
+            .cloned()
+            .unwrap_or_else(|| format!("r{id}"))
+    }
+}
+
+/// Renders a history as a per-process timeline.
+pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
+    let mut out = String::new();
+    let w = opts.width;
+    // Header.
+    let _ = write!(out, "{:>6}  ", "step");
+    for p in 0..n {
+        let _ = write!(out, "{:<w$}", format!("p{p}"), w = w);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:─>6}  ", "");
+    for _ in 0..n {
+        let _ = write!(out, "{:─<w$}", "", w = w);
+    }
+    out.push('\n');
+
+    for ev in history.events() {
+        let step = ev.step();
+        if let Some((lo, hi)) = opts.steps {
+            if step < lo || step >= hi {
+                continue;
+            }
+        }
+        let (pid, cell, show_step) = match ev {
+            Event::Op {
+                pid, kind, reg, tag, ..
+            } => {
+                let k = match kind {
+                    OpKind::Read => "R",
+                    OpKind::Write => "W",
+                };
+                let t = if *tag != 0 {
+                    format!(" #{tag}")
+                } else {
+                    String::new()
+                };
+                (*pid, format!("{k} {}{t}", opts.reg(*reg)), true)
+            }
+            Event::Note { pid, note, .. } => {
+                if !opts.notes {
+                    continue;
+                }
+                let data = note
+                    .data
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let text = if data.is_empty() {
+                    format!("⟨{}⟩", note.label)
+                } else {
+                    format!("⟨{} {}⟩", note.label, data)
+                };
+                (*pid, text, false)
+            }
+            Event::Crash { pid, .. } => (*pid, "☠ CRASHED".to_string(), true),
+        };
+        if show_step {
+            let _ = write!(out, "{step:>6}  ");
+        } else {
+            let _ = write!(out, "{:>6}  ", "");
+        }
+        for p in 0..n {
+            if p == pid {
+                let mut c = cell.clone();
+                if c.chars().count() > w.saturating_sub(1) {
+                    c = c.chars().take(w.saturating_sub(2)).collect::<String>() + "…";
+                }
+                let _ = write!(out, "{c:<w$}");
+            } else {
+                let _ = write!(out, "{:<w$}", "", w = w);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line statistics summary of a history.
+pub fn summary(history: &History, n: usize) -> String {
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut per_proc = vec![0u64; n];
+    let mut crashes = 0u64;
+    for ev in history.events() {
+        match ev {
+            Event::Op { pid, kind, .. } => {
+                match kind {
+                    OpKind::Read => reads += 1,
+                    OpKind::Write => writes += 1,
+                }
+                if *pid < n {
+                    per_proc[*pid] += 1;
+                }
+            }
+            Event::Crash { .. } => crashes += 1,
+            Event::Note { .. } => {}
+        }
+    }
+    format!(
+        "{} reads, {} writes, {} crashes; ops per process: {:?}",
+        reads, writes, crashes, per_proc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::RoundRobin;
+    use crate::world::{ProcBody, World};
+
+    fn sample_history() -> (History, usize) {
+        let mut w = World::builder(2).build();
+        let r = w.reg("flag", 0u8);
+        let r0 = r.clone();
+        let r1 = r.clone();
+        let bodies: Vec<ProcBody<u8>> = vec![
+            Box::new(move |ctx| {
+                ctx.annotate("phase", vec![1]);
+                r0.write_tagged(ctx, 1, 7)?;
+                Ok(0)
+            }),
+            Box::new(move |ctx| r1.read(ctx)),
+        ];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        (rep.history.unwrap(), 2)
+    }
+
+    #[test]
+    fn render_produces_columns_and_ops() {
+        let (h, n) = sample_history();
+        let opts = TraceOptions {
+            reg_names: vec!["flag".into()],
+            ..Default::default()
+        };
+        let text = render(&h, n, &opts);
+        assert!(text.contains("p0"));
+        assert!(text.contains("p1"));
+        assert!(text.contains("W flag #7"));
+        assert!(text.contains("R flag"));
+        assert!(text.contains("⟨phase 1⟩"));
+    }
+
+    #[test]
+    fn render_respects_step_range_and_note_filter() {
+        let (h, n) = sample_history();
+        let opts = TraceOptions {
+            steps: Some((0, 1)),
+            notes: false,
+            ..Default::default()
+        };
+        let text = render(&h, n, &opts);
+        assert!(text.contains("W r0"));
+        assert!(!text.contains("R r0"), "step 1 excluded:\n{text}");
+        assert!(!text.contains("⟨"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let (h, n) = sample_history();
+        let s = summary(&h, n);
+        assert!(s.contains("1 reads, 1 writes, 0 crashes"), "{s}");
+    }
+
+    #[test]
+    fn long_cells_are_truncated() {
+        use crate::history::{Annotation, Event};
+        let h = History::from_events(vec![Event::Note {
+            step: 0,
+            pid: 0,
+            note: Annotation::new("averyveryverylonglabelthatwontfit", vec![1, 2, 3]),
+        }]);
+        let text = render(&h, 1, &TraceOptions::default());
+        assert!(text.contains('…'));
+    }
+}

@@ -1,0 +1,545 @@
+//! Turn-based (scan/write granularity) protocol driver.
+//!
+//! Every protocol in this workspace is a loop of
+//!
+//! > *scan the shared memory atomically → compute locally → write my own
+//! > register*
+//!
+//! (the paper's §5 pseudocode is literally `repeat forever: scan; ...;
+//! write`). This module schedules protocols at exactly that granularity:
+//! a [`TurnProcess`] is the per-process state machine, and a [`TurnDriver`]
+//! applies *scan* and *write* events one at a time under the control of a
+//! [`TurnAdversary`].
+//!
+//! The scan here is an **atomic snapshot**: exactly the abstraction the
+//! paper's §2 scannable memory implements (verified separately in
+//! `bprc-snapshot` at the register level). Running against the abstraction
+//! keeps Monte-Carlo experiments exact with respect to the model while being
+//! orders of magnitude faster than thread-based execution — the adversary at
+//! this granularity is the standard strong adversary of \[AH88\]: it sees all
+//! process states and pending writes, and may delay a pending write
+//! arbitrarily long after the scan that produced it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a process does after observing a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TurnStep<M, O> {
+    /// Publish a new value of the process's register.
+    Write(M),
+    /// Decide and halt.
+    Decide(O),
+}
+
+/// A per-process protocol state machine driven by [`TurnDriver`].
+pub trait TurnProcess {
+    /// The register value this process publishes.
+    type Msg: Clone;
+    /// The decision value.
+    type Out;
+
+    /// The first value the process writes before its first scan.
+    fn initial_msg(&mut self) -> Self::Msg;
+
+    /// One protocol turn: observe an atomic snapshot of all registers
+    /// (indexed by pid) and return the next action.
+    fn on_scan(&mut self, view: &[Self::Msg]) -> TurnStep<Self::Msg, Self::Out>;
+}
+
+/// Where a process currently is in its scan/write cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Phase<M> {
+    /// About to write this value (the adversary may inspect it).
+    Write(M),
+    /// About to scan.
+    Scan,
+    /// Decided (or returned) — takes no further steps.
+    Done,
+}
+
+impl<M> Phase<M> {
+    /// The pending write value, if the process is about to write.
+    pub fn pending_write(&self) -> Option<&M> {
+        match self {
+            Phase::Write(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// What the adversary sees before choosing the next event.
+#[derive(Debug)]
+pub struct TurnView<'a, M> {
+    /// Events applied so far.
+    pub events: u64,
+    /// Processes eligible for a step (not done, not crashed), ascending.
+    pub active: &'a [usize],
+    /// Current contents of every process's register.
+    pub shared: &'a [M],
+    /// Each process's phase (indexed by pid).
+    pub phases: &'a [Phase<M>],
+    /// Which processes have been crashed (indexed by pid).
+    pub crashed: &'a [bool],
+}
+
+/// An adversary decision at turn granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnDecision {
+    /// Let this active process perform its next event (scan or write).
+    Step(usize),
+    /// Crash this process.
+    Crash(usize),
+}
+
+/// The strong adversary at scan/write granularity.
+pub trait TurnAdversary<M> {
+    /// Chooses the next event.
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision;
+}
+
+/// Fair rotation among active processes.
+#[derive(Debug, Clone, Default)]
+pub struct TurnRoundRobin {
+    next: usize,
+}
+
+impl TurnRoundRobin {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<M> TurnAdversary<M> for TurnRoundRobin {
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision {
+        let pick = view
+            .active
+            .iter()
+            .copied()
+            .find(|&p| p >= self.next)
+            .unwrap_or(view.active[0]);
+        self.next = pick + 1;
+        TurnDecision::Step(pick)
+    }
+}
+
+/// Uniformly random active process (seeded).
+#[derive(Debug, Clone)]
+pub struct TurnRandom {
+    rng: SmallRng,
+}
+
+impl TurnRandom {
+    /// Creates the strategy from a seed.
+    pub fn new(seed: u64) -> Self {
+        TurnRandom {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M> TurnAdversary<M> for TurnRandom {
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision {
+        let i = self.rng.gen_range(0..view.active.len());
+        TurnDecision::Step(view.active[i])
+    }
+}
+
+/// The barrier-synchronous ("simultaneous reveal") adversary: it first
+/// steps every active process through its *scan* — all of them observing
+/// the same memory — and only then releases the resulting writes, one
+/// after the other.
+///
+/// This is the classic worst case for protocols that resolve disagreement
+/// with *independent local coins*: every round all processes flip blindly
+/// against the same view, so progress needs spontaneous unanimity
+/// (probability `2^{−(n−1)}` per round). Shared-coin protocols are immune:
+/// the simultaneous reveal cannot bias the walk by more than one step per
+/// process.
+#[derive(Debug, Clone, Default)]
+pub struct TurnBsp {
+    releasing: bool,
+    rr: usize,
+}
+
+impl TurnBsp {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<M> TurnAdversary<M> for TurnBsp {
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision {
+        // Two strict phases: *gather* steps only scanners (memory is
+        // frozen, everyone observes the same state) until none remain;
+        // *release* steps only writers until none remain — a process that
+        // finishes its write re-enters the scan phase but is NOT scheduled
+        // again until the release completes, so no one observes a partial
+        // reveal.
+        let scanners: Vec<usize> = view
+            .active
+            .iter()
+            .copied()
+            .filter(|&p| matches!(view.phases[p], Phase::Scan))
+            .collect();
+        let writers: Vec<usize> = view
+            .active
+            .iter()
+            .copied()
+            .filter(|&p| matches!(view.phases[p], Phase::Write(_)))
+            .collect();
+        if self.releasing && writers.is_empty() {
+            self.releasing = false;
+        } else if !self.releasing && scanners.is_empty() {
+            self.releasing = true;
+        }
+        let pool = if self.releasing { &writers } else { &scanners };
+        self.rr = (self.rr + 1) % pool.len();
+        TurnDecision::Step(pool[self.rr])
+    }
+}
+
+/// Closure adapter for bespoke adversaries.
+pub struct TurnFn<F>(pub F);
+
+impl<F> std::fmt::Debug for TurnFn<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TurnFn").finish_non_exhaustive()
+    }
+}
+
+impl<M, F: FnMut(&TurnView<'_, M>) -> TurnDecision> TurnAdversary<M> for TurnFn<F> {
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision {
+        (self.0)(view)
+    }
+}
+
+/// Outcome of [`TurnDriver::run`].
+#[derive(Debug, Clone)]
+pub struct TurnReport<O> {
+    /// Per-process decisions (`None` for crashed / event-limited processes).
+    pub outputs: Vec<Option<O>>,
+    /// Total events applied (scans + writes).
+    pub events: u64,
+    /// Events per process.
+    pub per_proc_events: Vec<u64>,
+    /// True if every non-crashed process decided within the event budget.
+    pub completed: bool,
+}
+
+impl<O: PartialEq> TurnReport<O> {
+    /// Distinct decision values (agreement check helper).
+    pub fn distinct_outputs(&self) -> Vec<&O> {
+        let mut out: Vec<&O> = Vec::new();
+        for v in self.outputs.iter().flatten() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Drives `n` [`TurnProcess`]es under a [`TurnAdversary`].
+#[derive(Debug)]
+pub struct TurnDriver<P: TurnProcess> {
+    procs: Vec<P>,
+    shared: Vec<P::Msg>,
+    phases: Vec<Phase<P::Msg>>,
+    crashed: Vec<bool>,
+    outputs: Vec<Option<P::Out>>,
+    events: u64,
+    per_proc_events: Vec<u64>,
+}
+
+impl<P: TurnProcess> TurnDriver<P> {
+    /// Creates a driver. Each process starts about to perform its initial
+    /// write; the shared array initially holds those initial values (the
+    /// model's registers have well-defined initial contents).
+    ///
+    /// For a stronger adversary — one that can schedule other processes
+    /// *before* a process's initial value becomes visible — use
+    /// [`TurnDriver::with_initial_shared`] with explicit register initial
+    /// contents.
+    pub fn new(mut procs: Vec<P>) -> Self {
+        let initials: Vec<P::Msg> = procs.iter_mut().map(|p| p.initial_msg()).collect();
+        Self::with_initial_shared(procs, initials)
+    }
+
+    /// Creates a driver whose registers initially hold `shared` (one value
+    /// per process) rather than the processes' first writes; each process's
+    /// `initial_msg` becomes an ordinary pending write the adversary may
+    /// delay arbitrarily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or `shared.len() != procs.len()`.
+    pub fn with_initial_shared(mut procs: Vec<P>, shared: Vec<P::Msg>) -> Self {
+        assert!(!procs.is_empty(), "need at least one process");
+        assert_eq!(shared.len(), procs.len(), "one initial value per process");
+        let n = procs.len();
+        let phases = procs
+            .iter_mut()
+            .map(|p| Phase::Write(p.initial_msg()))
+            .collect();
+        TurnDriver {
+            procs,
+            shared,
+            phases,
+            crashed: vec![false; n],
+            outputs: (0..n).map(|_| None).collect(),
+            events: 0,
+            per_proc_events: vec![0; n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Events applied so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Current register contents (test/diagnostic access).
+    pub fn shared(&self) -> &[P::Msg] {
+        &self.shared
+    }
+
+    /// Current phases (test/diagnostic access).
+    pub fn phases(&self) -> &[Phase<P::Msg>] {
+        &self.phases
+    }
+
+    /// Decisions made so far.
+    pub fn outputs(&self) -> &[Option<P::Out>] {
+        &self.outputs
+    }
+
+    /// Active pids (not done, not crashed), ascending.
+    pub fn active(&self) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&p| !self.crashed[p] && !matches!(self.phases[p], Phase::Done))
+            .collect()
+    }
+
+    /// Applies one event for `pid` (must be active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is done or crashed.
+    pub fn step(&mut self, pid: usize) {
+        assert!(!self.crashed[pid], "process {pid} is crashed");
+        self.events += 1;
+        self.per_proc_events[pid] += 1;
+        match std::mem::replace(&mut self.phases[pid], Phase::Scan) {
+            Phase::Write(m) => {
+                self.shared[pid] = m;
+                // phase already set to Scan
+            }
+            Phase::Scan => match self.procs[pid].on_scan(&self.shared) {
+                TurnStep::Write(m) => self.phases[pid] = Phase::Write(m),
+                TurnStep::Decide(o) => {
+                    self.outputs[pid] = Some(o);
+                    self.phases[pid] = Phase::Done;
+                }
+            },
+            Phase::Done => panic!("process {pid} already decided"),
+        }
+    }
+
+    /// Crashes `pid`: it takes no further events.
+    pub fn crash(&mut self, pid: usize) {
+        assert!(!self.crashed[pid], "process {pid} crashed twice");
+        self.crashed[pid] = true;
+    }
+
+    /// Runs under `adversary` until every active process decided or
+    /// `max_events` is reached, and returns the report.
+    pub fn run(
+        self,
+        adversary: &mut dyn TurnAdversary<P::Msg>,
+        max_events: u64,
+    ) -> TurnReport<P::Out> {
+        self.run_observed(adversary, max_events, |_| {})
+    }
+
+    /// Like [`run`](TurnDriver::run), calling `observer` with the driver's
+    /// state after every applied event (for memory meters, invariant
+    /// checkers, trace collectors).
+    pub fn run_observed(
+        mut self,
+        adversary: &mut dyn TurnAdversary<P::Msg>,
+        max_events: u64,
+        mut observer: impl FnMut(&Self),
+    ) -> TurnReport<P::Out> {
+        loop {
+            let active = self.active();
+            if active.is_empty() {
+                return self.finish(true);
+            }
+            if self.events >= max_events {
+                return self.finish(false);
+            }
+            let decision = {
+                let view = TurnView {
+                    events: self.events,
+                    active: &active,
+                    shared: &self.shared,
+                    phases: &self.phases,
+                    crashed: &self.crashed,
+                };
+                adversary.choose(&view)
+            };
+            match decision {
+                TurnDecision::Step(pid) => {
+                    assert!(active.contains(&pid), "adversary stepped inactive {pid}");
+                    self.step(pid);
+                }
+                TurnDecision::Crash(pid) => self.crash(pid),
+            }
+            observer(&self);
+        }
+    }
+
+    fn finish(self, completed: bool) -> TurnReport<P::Out> {
+        TurnReport {
+            outputs: self.outputs,
+            events: self.events,
+            per_proc_events: self.per_proc_events,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: write your input, scan, decide the maximum seen.
+    struct MaxFinder {
+        input: u32,
+    }
+
+    impl TurnProcess for MaxFinder {
+        type Msg = u32;
+        type Out = u32;
+
+        fn initial_msg(&mut self) -> u32 {
+            self.input
+        }
+
+        fn on_scan(&mut self, view: &[u32]) -> TurnStep<u32, u32> {
+            TurnStep::Decide(*view.iter().max().expect("nonempty"))
+        }
+    }
+
+    #[test]
+    fn max_finder_round_robin() {
+        let procs: Vec<MaxFinder> = (0..4).map(|i| MaxFinder { input: i * 10 }).collect();
+        let driver = TurnDriver::new(procs);
+        let report = driver.run(&mut TurnRoundRobin::new(), 1_000);
+        assert!(report.completed);
+        // Everyone wrote before anyone scanned under round robin, so all saw 30.
+        assert!(report.outputs.iter().all(|o| *o == Some(30)));
+        // 4 writes + 4 scans.
+        assert_eq!(report.events, 8);
+    }
+
+    #[test]
+    fn adversary_can_hide_a_write() {
+        // Let process 1 scan before process 3 writes: initial register
+        // contents are the initial msgs, so the view still contains 30 —
+        // initial values are published at driver construction. Instead hide
+        // by crashing: crash process 3 before its write... its initial value
+        // is already in shared. This documents the "registers have initial
+        // contents" convention.
+        let procs: Vec<MaxFinder> = (0..4).map(|i| MaxFinder { input: i * 10 }).collect();
+        let mut driver = TurnDriver::new(procs);
+        driver.crash(3);
+        let active = driver.active();
+        assert_eq!(active, vec![0, 1, 2]);
+        // Drive manually: step 0 twice (write then scan+decide).
+        driver.step(0);
+        driver.step(0);
+        assert_eq!(driver.outputs()[0], Some(30));
+    }
+
+    #[test]
+    fn random_adversary_is_reproducible() {
+        let run = |seed| {
+            let procs: Vec<MaxFinder> = (0..3).map(|i| MaxFinder { input: i }).collect();
+            TurnDriver::new(procs)
+                .run(&mut TurnRandom::new(seed), 1_000)
+                .outputs
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn event_limit_reports_incomplete() {
+        /// Never decides.
+        struct Spinner;
+        impl TurnProcess for Spinner {
+            type Msg = ();
+            type Out = ();
+            fn initial_msg(&mut self) {}
+            fn on_scan(&mut self, _: &[()]) -> TurnStep<(), ()> {
+                TurnStep::Write(())
+            }
+        }
+        let report = TurnDriver::new(vec![Spinner, Spinner]).run(&mut TurnRoundRobin::new(), 10);
+        assert!(!report.completed);
+        assert_eq!(report.events, 10);
+    }
+
+    #[test]
+    fn turn_fn_adversary_gets_pending_writes() {
+        struct Toggler {
+            left: u32,
+        }
+        impl TurnProcess for Toggler {
+            type Msg = u32;
+            type Out = u32;
+            fn initial_msg(&mut self) -> u32 {
+                0
+            }
+            fn on_scan(&mut self, _: &[u32]) -> TurnStep<u32, u32> {
+                if self.left == 0 {
+                    TurnStep::Decide(99)
+                } else {
+                    self.left -= 1;
+                    TurnStep::Write(self.left)
+                }
+            }
+        }
+        let mut saw_pending = false;
+        let report = TurnDriver::new(vec![Toggler { left: 3 }]).run(
+            &mut TurnFn(|view: &TurnView<'_, u32>| {
+                if view.phases[0].pending_write().is_some() {
+                    saw_pending = true;
+                }
+                TurnDecision::Step(view.active[0])
+            }),
+            1_000,
+        );
+        assert!(report.completed);
+        assert!(saw_pending);
+        assert_eq!(report.outputs[0], Some(99));
+    }
+
+    #[test]
+    fn distinct_outputs_helper() {
+        let r = TurnReport {
+            outputs: vec![Some(1u32), Some(2), Some(1), None],
+            events: 0,
+            per_proc_events: vec![],
+            completed: true,
+        };
+        assert_eq!(r.distinct_outputs(), vec![&1, &2]);
+    }
+}

@@ -1,0 +1,715 @@
+//! The shared-memory world: process threads, lockstep scheduler, run reports.
+//!
+//! See the crate docs for the model. A [`World`] is built once, registers are
+//! allocated with [`World::reg`], and then [`World::run`] executes `n`
+//! process bodies to completion under a [`Strategy`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::error::Halted;
+use crate::history::{Annotation, Event, History, OpKind, RegId};
+use crate::sched::{Decision, PendingOp, ScheduleView, Strategy};
+
+/// How shared-memory accesses are interleaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Deterministic: a scheduler grants exactly one access at a time.
+    /// Executions are replayable from (seed, strategy) and record a
+    /// [`History`].
+    #[default]
+    Lockstep,
+    /// Free-running: processes are ordinary OS threads; registers remain
+    /// individually linearizable but the interleaving is whatever the OS
+    /// produces. No history is recorded and the strategy is ignored.
+    Free,
+}
+
+/// A process body run by [`World::run`].
+pub type ProcBody<T> = Box<dyn FnOnce(&mut Ctx) -> Result<T, Halted> + Send + 'static>;
+
+/// What one run produced.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-process output: `Some` if the body returned `Ok`, `None` if it was
+    /// halted (see [`RunReport::halted`]) or panicked.
+    pub outputs: Vec<Option<T>>,
+    /// Per-process halt reason, if any.
+    pub halted: Vec<Option<Halted>>,
+    /// Total granted shared-memory accesses.
+    pub steps: u64,
+    /// Granted accesses per process.
+    pub per_proc_steps: Vec<u64>,
+    /// The recorded history (lockstep mode only, and only if recording was
+    /// enabled — it is by default).
+    pub history: Option<History>,
+}
+
+impl<T> RunReport<T> {
+    /// The set of distinct outputs produced (useful for agreement checks).
+    pub fn distinct_outputs(&self) -> Vec<&T>
+    where
+        T: PartialEq,
+    {
+        let mut out: Vec<&T> = Vec::new();
+        for v in self.outputs.iter().flatten() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Number of processes that produced an output.
+    pub fn decided_count(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+pub(crate) struct Central {
+    granted: Option<usize>,
+    waiting: Vec<Option<PendingOp>>,
+    finished: Vec<bool>,
+    crashed: Vec<bool>,
+    shutdown: Option<Halted>,
+    steps: u64,
+    per_proc_steps: Vec<u64>,
+    history: History,
+}
+
+pub(crate) struct WorldInner {
+    n: usize,
+    mode: Mode,
+    step_limit: u64,
+    record: bool,
+    seed: u64,
+    central: Mutex<Central>,
+    proc_cv: Condvar,
+    sched_cv: Condvar,
+    // Free-mode fast counters.
+    free_steps: AtomicU64,
+    free_shutdown: AtomicBool,
+    reg_names: Mutex<Vec<String>>,
+}
+
+impl WorldInner {
+    /// Performs one scheduled shared-memory access on behalf of `pid`.
+    ///
+    /// In lockstep mode this blocks until the scheduler grants the step, then
+    /// executes `f` while holding the central lock (so the whole run is
+    /// serialized and deterministic). In free mode it only checks the
+    /// shutdown flag and counts the step.
+    pub(crate) fn access<R>(
+        &self,
+        pid: usize,
+        kind: OpKind,
+        reg: RegId,
+        tag: u64,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, Halted> {
+        match self.mode {
+            Mode::Free => {
+                if self.free_shutdown.load(Ordering::Acquire) {
+                    return Err(Halted::Shutdown);
+                }
+                let s = self.free_steps.fetch_add(1, Ordering::Relaxed);
+                if s >= self.step_limit {
+                    self.free_shutdown.store(true, Ordering::Release);
+                    return Err(Halted::StepLimit);
+                }
+                Ok(f())
+            }
+            Mode::Lockstep => {
+                let mut c = self.central.lock();
+                // A crash always reports as Crashed, even if the world also
+                // shut down before this process reached its next gate.
+                if c.crashed[pid] {
+                    return Err(Halted::Crashed);
+                }
+                if let Some(h) = c.shutdown {
+                    return Err(h);
+                }
+                c.waiting[pid] = Some(PendingOp { kind, reg, tag });
+                self.sched_cv.notify_one();
+                loop {
+                    if c.crashed[pid] {
+                        c.waiting[pid] = None;
+                        self.sched_cv.notify_one();
+                        return Err(Halted::Crashed);
+                    }
+                    if let Some(h) = c.shutdown {
+                        c.waiting[pid] = None;
+                        self.sched_cv.notify_one();
+                        return Err(h);
+                    }
+                    if c.granted == Some(pid) {
+                        break;
+                    }
+                    self.proc_cv.wait(&mut c);
+                }
+                c.waiting[pid] = None;
+                let r = f();
+                let step = c.steps;
+                c.steps += 1;
+                c.per_proc_steps[pid] += 1;
+                if self.record {
+                    c.history.push(Event::Op {
+                        step,
+                        pid,
+                        kind,
+                        reg,
+                        tag,
+                    });
+                }
+                c.granted = None;
+                self.sched_cv.notify_one();
+                Ok(r)
+            }
+        }
+    }
+
+    fn annotate(&self, pid: usize, note: Annotation) {
+        if let Mode::Lockstep = self.mode {
+            if self.record {
+                let mut c = self.central.lock();
+                let step = c.steps;
+                c.history.push(Event::Note { step, pid, note });
+            }
+        }
+    }
+
+    fn mark_finished(&self, pid: usize) {
+        if let Mode::Lockstep = self.mode {
+            let mut c = self.central.lock();
+            c.finished[pid] = true;
+            c.waiting[pid] = None;
+            self.sched_cv.notify_one();
+        }
+    }
+
+    /// Drives the lockstep scheduler until every process finished, the step
+    /// limit is reached, or only crashed processes remain.
+    fn scheduler_loop(&self, strategy: &mut dyn Strategy) {
+        loop {
+            let mut c = self.central.lock();
+            // Wait for quiescence: every non-finished process parked at a
+            // gate (crashed-but-unwinding processes finish shortly).
+            loop {
+                if c.shutdown.is_some() {
+                    self.proc_cv.notify_all();
+                    return;
+                }
+                let all_quiet = c.granted.is_none()
+                    && (0..self.n).all(|p| c.finished[p] || c.waiting[p].is_some());
+                if all_quiet {
+                    break;
+                }
+                self.sched_cv.wait(&mut c);
+            }
+            let runnable: Vec<usize> = (0..self.n)
+                .filter(|&p| !c.finished[p] && !c.crashed[p] && c.waiting[p].is_some())
+                .collect();
+            if runnable.is_empty() {
+                // Everyone finished, or only crashed processes remain parked.
+                c.shutdown = Some(Halted::Shutdown);
+                self.proc_cv.notify_all();
+                return;
+            }
+            if c.steps >= self.step_limit {
+                c.shutdown = Some(Halted::StepLimit);
+                self.proc_cv.notify_all();
+                return;
+            }
+            let pending: Vec<PendingOp> = runnable
+                .iter()
+                .map(|&p| c.waiting[p].expect("runnable process has a pending op"))
+                .collect();
+            let decision = {
+                let view = ScheduleView {
+                    step: c.steps,
+                    runnable: &runnable,
+                    pending: &pending,
+                };
+                strategy.decide(&view)
+            };
+            match decision {
+                Decision::Grant(pid) => {
+                    assert!(
+                        runnable.contains(&pid),
+                        "strategy granted non-runnable process {pid}"
+                    );
+                    c.granted = Some(pid);
+                    self.proc_cv.notify_all();
+                }
+                Decision::Crash(pid) => {
+                    assert!(pid < self.n, "strategy crashed unknown process {pid}");
+                    assert!(
+                        !c.finished[pid] && !c.crashed[pid],
+                        "strategy crashed process {pid} twice or after it finished"
+                    );
+                    c.crashed[pid] = true;
+                    let step = c.steps;
+                    if self.record {
+                        c.history.push(Event::Crash { step, pid });
+                    }
+                    self.proc_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Per-process execution context handed to process bodies.
+///
+/// Carries the process id, a deterministic per-process RNG (seeded from the
+/// world seed), and hooks for annotating the recorded history.
+pub struct Ctx {
+    pid: usize,
+    rng: SmallRng,
+    inner: Arc<WorldInner>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).finish()
+    }
+}
+
+impl Ctx {
+    /// This process's id (0-based).
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of processes in the world.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The process's deterministic RNG (local coin flips).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Records a marker in the history (lockstep mode; no-op otherwise).
+    pub fn annotate(&self, label: &'static str, data: Vec<u64>) {
+        self.inner.annotate(self.pid, Annotation::new(label, data));
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<WorldInner> {
+        &self.inner
+    }
+}
+
+/// Builder for [`World`] (see [`World::builder`]).
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    n: usize,
+    mode: Mode,
+    step_limit: u64,
+    seed: u64,
+    record: bool,
+}
+
+impl WorldBuilder {
+    /// Sets the interleaving mode (default [`Mode::Lockstep`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the global step budget (default 10 million accesses).
+    pub fn step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Seeds the per-process RNGs (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables history recording (default enabled; lockstep only).
+    pub fn record_history(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Finishes building the world.
+    pub fn build(self) -> World {
+        assert!(self.n >= 1, "a world needs at least one process");
+        World {
+            inner: Arc::new(WorldInner {
+                n: self.n,
+                mode: self.mode,
+                step_limit: self.step_limit,
+                record: self.record,
+                seed: self.seed,
+                central: Mutex::new(Central {
+                    granted: None,
+                    waiting: vec![None; self.n],
+                    finished: vec![false; self.n],
+                    crashed: vec![false; self.n],
+                    shutdown: None,
+                    steps: 0,
+                    per_proc_steps: vec![0; self.n],
+                    history: History::new(),
+                }),
+                proc_cv: Condvar::new(),
+                sched_cv: Condvar::new(),
+                free_steps: AtomicU64::new(0),
+                free_shutdown: AtomicBool::new(false),
+                reg_names: Mutex::new(Vec::new()),
+            }),
+            used: false,
+        }
+    }
+}
+
+/// A shared-memory world of `n` asynchronous processes.
+///
+/// Allocate registers with [`World::reg`], then execute bodies with
+/// [`World::run`]. A world is single-shot: `run` may be called once.
+pub struct World {
+    inner: Arc<WorldInner>,
+    used: bool,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("n", &self.inner.n)
+            .field("mode", &self.inner.mode)
+            .field("used", &self.used)
+            .finish()
+    }
+}
+
+impl World {
+    /// Starts building a world of `n` processes.
+    pub fn builder(n: usize) -> WorldBuilder {
+        WorldBuilder {
+            n,
+            mode: Mode::Lockstep,
+            step_limit: 10_000_000,
+            seed: 0,
+            record: true,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The interleaving mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// Names of all registers allocated so far (indexed by register id) —
+    /// feed to [`trace::TraceOptions`](crate::trace::TraceOptions) for
+    /// labelled timelines.
+    pub fn reg_names(&self) -> Vec<String> {
+        self.inner.reg_names.lock().clone()
+    }
+
+    /// Allocates a fresh linearizable register initialized to `init`.
+    ///
+    /// The `name` shows up in debugging output and history dumps.
+    pub fn reg<T: Clone + Send + Sync + 'static>(
+        &self,
+        name: impl Into<String>,
+        init: T,
+    ) -> crate::reg::Reg<T> {
+        let mut names = self.inner.reg_names.lock();
+        let id = names.len();
+        names.push(name.into());
+        crate::reg::Reg::new(id, init, Arc::clone(&self.inner))
+    }
+
+    /// Runs `n` process bodies to completion under `strategy`.
+    ///
+    /// In [`Mode::Free`] the strategy is ignored. The calling thread drives
+    /// the scheduler; bodies run on spawned threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies.len() != n`, if called twice, or if the strategy
+    /// makes an illegal decision (granting a non-runnable process, crashing
+    /// a finished process).
+    pub fn run<T: Send + 'static>(
+        &mut self,
+        bodies: Vec<ProcBody<T>>,
+        mut strategy: Box<dyn Strategy>,
+    ) -> RunReport<T> {
+        assert_eq!(
+            bodies.len(),
+            self.inner.n,
+            "need exactly one body per process"
+        );
+        assert!(!self.used, "a World is single-shot; build a new one");
+        self.used = true;
+
+        let mut handles = Vec::with_capacity(self.inner.n);
+        for (pid, body) in bodies.into_iter().enumerate() {
+            let inner = Arc::clone(&self.inner);
+            let seed = inner
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(pid as u64);
+            handles.push(std::thread::spawn(move || {
+                /// Marks the process finished even if the body panics, so the
+                /// scheduler never waits on a dead thread.
+                struct FinishGuard {
+                    inner: Arc<WorldInner>,
+                    pid: usize,
+                }
+                impl Drop for FinishGuard {
+                    fn drop(&mut self) {
+                        self.inner.mark_finished(self.pid);
+                    }
+                }
+                let _guard = FinishGuard {
+                    inner: Arc::clone(&inner),
+                    pid,
+                };
+                let mut ctx = Ctx {
+                    pid,
+                    rng: SmallRng::seed_from_u64(seed),
+                    inner,
+                };
+                body(&mut ctx)
+            }));
+        }
+
+        if let Mode::Lockstep = self.inner.mode {
+            self.inner.scheduler_loop(strategy.as_mut());
+        }
+
+        let mut outputs = Vec::with_capacity(self.inner.n);
+        let mut halted = Vec::with_capacity(self.inner.n);
+        for h in handles {
+            match h.join() {
+                Ok(Ok(v)) => {
+                    outputs.push(Some(v));
+                    halted.push(None);
+                }
+                Ok(Err(e)) => {
+                    outputs.push(None);
+                    halted.push(Some(e));
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+
+        match self.inner.mode {
+            Mode::Lockstep => {
+                let mut c = self.inner.central.lock();
+                let history = if self.inner.record {
+                    Some(std::mem::take(&mut c.history))
+                } else {
+                    None
+                };
+                RunReport {
+                    outputs,
+                    halted,
+                    steps: c.steps,
+                    per_proc_steps: std::mem::take(&mut c.per_proc_steps),
+                    history,
+                }
+            }
+            Mode::Free => RunReport {
+                outputs,
+                halted,
+                steps: self.inner.free_steps.load(Ordering::Relaxed),
+                per_proc_steps: vec![0; self.inner.n],
+                history: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{FnStrategy, RandomStrategy, RoundRobin};
+
+    fn two_writer_bodies(
+        world: &World,
+    ) -> (Vec<ProcBody<u32>>, crate::reg::Reg<u32>, crate::reg::Reg<u32>) {
+        let a = world.reg("a", 0u32);
+        let b = world.reg("b", 0u32);
+        let (a0, b0) = (a.clone(), b.clone());
+        let (a1, b1) = (a.clone(), b.clone());
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| {
+                a0.write(ctx, 1)?;
+                b0.read(ctx)
+            }),
+            Box::new(move |ctx| {
+                b1.write(ctx, 1)?;
+                a1.read(ctx)
+            }),
+        ];
+        (bodies, a, b)
+    }
+
+    #[test]
+    fn lockstep_round_robin_is_deterministic() {
+        let run = || {
+            let mut w = World::builder(2).seed(3).build();
+            let (bodies, _a, _b) = two_writer_bodies(&w);
+            let r = w.run(bodies, Box::new(RoundRobin::new()));
+            let ops: Vec<_> = r.history.as_ref().unwrap().ops().collect();
+            (r.outputs.clone(), ops)
+        };
+        let (o1, h1) = run();
+        let (o2, h2) = run();
+        assert_eq!(o1, o2);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn random_strategy_replays_with_same_seed() {
+        let run = |seed| {
+            let mut w = World::builder(2).seed(5).build();
+            let (bodies, _a, _b) = two_writer_bodies(&w);
+            let r = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let ops: Vec<_> = r.history.as_ref().unwrap().ops().collect();
+            ops
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn flag_principle_holds_in_lockstep() {
+        // Classic: both write their flag then read the other's. At least one
+        // must see the other's flag — no schedule lets both read 0.
+        for seed in 0..50 {
+            let mut w = World::builder(2).seed(seed).build();
+            let (bodies, _a, _b) = two_writer_bodies(&w);
+            let r = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let zeros = r
+                .outputs
+                .iter()
+                .filter(|o| matches!(o, Some(0)))
+                .count();
+            assert!(zeros <= 1, "seed {seed}: both readers saw 0");
+        }
+    }
+
+    #[test]
+    fn crash_leaves_other_processes_running() {
+        let mut w = World::builder(2).build();
+        let r = w.reg("r", 0u32);
+        let r0 = r.clone();
+        let r1 = r.clone();
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| {
+                // Loops forever unless crashed.
+                loop {
+                    r0.write(ctx, 1)?;
+                }
+            }),
+            Box::new(move |ctx| {
+                let mut last = 0;
+                for _ in 0..10 {
+                    last = r1.read(ctx)?;
+                }
+                Ok(last)
+            }),
+        ];
+        // Crash process 0 at step 4; otherwise round-robin.
+        let strategy = FnStrategy::new(|view| {
+            if view.step == 4 && view.runnable.contains(&0) {
+                Decision::Crash(0)
+            } else {
+                Decision::Grant(view.runnable[view.step as usize % view.runnable.len()])
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        assert_eq!(rep.halted[0], Some(Halted::Crashed));
+        assert_eq!(rep.outputs[1], Some(1));
+    }
+
+    #[test]
+    fn step_limit_halts_divergent_runs() {
+        let mut w = World::builder(1).step_limit(100).build();
+        let r = w.reg("r", 0u64);
+        let bodies: Vec<ProcBody<u64>> = vec![Box::new(move |ctx| loop {
+            r.write(ctx, 1)?;
+        })];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.halted[0], Some(Halted::StepLimit));
+        assert_eq!(rep.steps, 100);
+    }
+
+    #[test]
+    fn free_mode_runs_and_counts_steps() {
+        let mut w = World::builder(4).mode(Mode::Free).build();
+        let r = w.reg("r", 0u64);
+        let bodies: Vec<ProcBody<u64>> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                let b: ProcBody<u64> = Box::new(move |ctx| {
+                    for _ in 0..100 {
+                        r.write(ctx, 7)?;
+                    }
+                    r.read(ctx)
+                });
+                b
+            })
+            .collect();
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert!(rep.outputs.iter().all(|o| *o == Some(7)));
+        assert_eq!(rep.steps, 4 * 100 + 4);
+    }
+
+    #[test]
+    fn history_records_ops_with_tags() {
+        let mut w = World::builder(1).build();
+        let r = w.reg("r", 0u32);
+        let bodies: Vec<ProcBody<()>> = vec![Box::new(move |ctx| {
+            r.write_tagged(ctx, 5, 99)?;
+            r.read(ctx)?;
+            ctx.annotate("done", vec![1, 2]);
+            Ok(())
+        })];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        let h = rep.history.unwrap();
+        let ops: Vec<_> = h.ops().collect();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].2, OpKind::Write);
+        assert_eq!(ops[0].4, 99);
+        assert_eq!(h.notes_labelled("done").count(), 1);
+    }
+
+    #[test]
+    fn distinct_outputs_dedups() {
+        let rep = RunReport {
+            outputs: vec![Some(1), Some(1), Some(2), None],
+            halted: vec![None, None, None, Some(Halted::Crashed)],
+            steps: 0,
+            per_proc_steps: vec![],
+            history: None,
+        };
+        assert_eq!(rep.distinct_outputs(), vec![&1, &2]);
+        assert_eq!(rep.decided_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-shot")]
+    fn world_is_single_shot() {
+        let mut w = World::builder(1).build();
+        let bodies: Vec<ProcBody<()>> = vec![Box::new(|_| Ok(()))];
+        let _ = w.run(bodies, Box::new(RoundRobin::new()));
+        let bodies: Vec<ProcBody<()>> = vec![Box::new(|_| Ok(()))];
+        let _ = w.run(bodies, Box::new(RoundRobin::new()));
+    }
+}

@@ -1,0 +1,503 @@
+//! The scannable-memory construction (paper §2.2).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bprc_registers::{ArrowCell, Swmr};
+use bprc_sim::{Ctx, Halted, World};
+
+/// History annotation labels used by this construction (consumed by
+/// [`crate::checker`]).
+pub mod labels {
+    /// Start of an update; data = `[seq]`.
+    pub const UPD_START: &str = "snap:upd:start";
+    /// End of an update; data = `[seq]`.
+    pub const UPD_END: &str = "snap:upd:end";
+    /// Start of a scan; data = `[]`.
+    pub const SCAN_START: &str = "snap:scan:start";
+    /// Successful end of a scan; data = the returned seq per process.
+    pub const SCAN_END: &str = "snap:scan:end";
+}
+
+/// What one cell of the memory holds: the payload, the paper's alternating
+/// bit, and a *ghost* sequence number used only by the offline checker
+/// (the algorithm never branches on it — the double collect compares
+/// `(value, toggle)` only, so ABA hazards are real and must be handled by
+/// the toggle, exactly as in the paper).
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    value: T,
+    toggle: bool,
+    seq: u64,
+}
+
+impl<T: PartialEq> Slot<T> {
+    /// Algorithm-visible equality: payload and toggle, *not* the ghost seq.
+    fn same_visible(&self, other: &Self) -> bool {
+        self.value == other.value && self.toggle == other.toggle
+    }
+}
+
+/// Metadata the offline checker needs to interpret a history.
+#[derive(Debug, Clone)]
+pub struct SnapshotMeta {
+    /// `value_regs[i]` is the register id of `V_i`.
+    pub value_regs: Vec<usize>,
+}
+
+/// Counters exposed per port, updated during the run.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    /// Completed scans.
+    pub scans: AtomicU64,
+    /// Scan attempts (a scan that returns first try counts 1).
+    pub attempts: AtomicU64,
+    /// Completed updates.
+    pub updates: AtomicU64,
+}
+
+struct Shared<T, A> {
+    n: usize,
+    values: Vec<Swmr<Slot<T>>>,
+    /// `arrows[w][s]`: raised by writer `w` toward scanner `s` (None on the
+    /// diagonal).
+    arrows: Vec<Vec<Option<A>>>,
+    stats: Vec<ScanStats>,
+    port_taken: Vec<AtomicBool>,
+}
+
+/// The paper's bounded scannable memory over `n` processes.
+///
+/// Construct once, then hand each process its [`Port`] (see
+/// [`ScannableMemory::port`]). Generic over the arrow implementation — see
+/// [`bprc_registers::ArrowCell`].
+pub struct ScannableMemory<T, A> {
+    shared: Arc<Shared<T, A>>,
+}
+
+impl<T, A> Clone for ScannableMemory<T, A> {
+    fn clone(&self) -> Self {
+        ScannableMemory {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T, A> std::fmt::Debug for ScannableMemory<T, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScannableMemory")
+            .field("n", &self.shared.n)
+            .finish()
+    }
+}
+
+impl<T, A> ScannableMemory<T, A>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    A: ArrowCell,
+{
+    /// Allocates the memory: `n` value registers (initialized to `init` with
+    /// ghost seq 0) and `n·(n−1)` arrows, all lowered.
+    pub fn new(world: &World, n: usize, init: T) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert_eq!(world.n(), n, "memory size must match the world");
+        let values = (0..n)
+            .map(|i| {
+                Swmr::new(
+                    world,
+                    format!("V_{i}"),
+                    i,
+                    Slot {
+                        value: init.clone(),
+                        toggle: false,
+                        seq: 0,
+                    },
+                )
+            })
+            .collect();
+        let arrows = (0..n)
+            .map(|w| {
+                (0..n)
+                    .map(|s| {
+                        if w == s {
+                            None
+                        } else {
+                            Some(A::alloc(world, &format!("A_{w}_{s}"), w, s))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ScannableMemory {
+            shared: Arc::new(Shared {
+                n,
+                values,
+                arrows,
+                stats: (0..n).map(|_| ScanStats::default()).collect(),
+                port_taken: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            }),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Takes process `pid`'s port. Each port may be taken once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was already taken or `pid` is out of range.
+    pub fn port(&self, pid: usize) -> Port<T, A> {
+        assert!(pid < self.shared.n, "pid {pid} out of range");
+        assert!(
+            !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
+            "port {pid} taken twice"
+        );
+        Port {
+            shared: Arc::clone(&self.shared),
+            me: pid,
+            last: self.shared.values[pid].peek(),
+            seq: 0,
+        }
+    }
+
+    /// Checker metadata (register-id ↦ process mapping).
+    pub fn meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            value_regs: self.shared.values.iter().map(|v| v.id()).collect(),
+        }
+    }
+
+    /// Statistics for process `pid`'s port.
+    pub fn stats(&self, pid: usize) -> &ScanStats {
+        &self.shared.stats[pid]
+    }
+
+    /// Unscheduled view of current contents (diagnostics/adversaries only).
+    pub fn peek_values(&self) -> Vec<T> {
+        self.shared.values.iter().map(|v| v.peek().value).collect()
+    }
+}
+
+/// Process `pid`'s handle on the scannable memory.
+///
+/// Owns the process-local state the paper keeps implicitly: the last value
+/// written (whose toggle the next write flips, and which fills the process's
+/// own slot in scan views) and the ghost sequence counter.
+pub struct Port<T, A> {
+    shared: Arc<Shared<T, A>>,
+    me: usize,
+    last: Slot<T>,
+    seq: u64,
+}
+
+impl<T, A> std::fmt::Debug for Port<T, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Port")
+            .field("me", &self.me)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<T, A> Port<T, A>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    A: ArrowCell,
+{
+    /// This port's process id.
+    pub fn pid(&self) -> usize {
+        self.me
+    }
+
+    /// The value this process last wrote (initially the memory's `init`).
+    pub fn last_written(&self) -> &T {
+        &self.last.value
+    }
+
+    /// Publishes `value` (the paper's `write` procedure): raise every arrow
+    /// `A_{me,j}`, then atomically write `(value, !toggle)` into `V_me`.
+    ///
+    /// Wait-free: exactly `n−1` raises plus one register write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        let seq = self.seq + 1;
+        ctx.annotate(labels::UPD_START, vec![seq]);
+        for j in 0..self.shared.n {
+            if let Some(a) = &self.shared.arrows[self.me][j] {
+                a.raise(ctx)?;
+            }
+        }
+        let slot = Slot {
+            value,
+            toggle: !self.last.toggle,
+            seq,
+        };
+        self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
+        self.last = slot;
+        self.seq = seq;
+        ctx.annotate(labels::UPD_END, vec![seq]);
+        self.shared.stats[self.me]
+            .updates
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Takes a snapshot scan (the paper's `scan` function): lower the arrows
+    /// aimed at this process, collect all values twice, re-read the arrows,
+    /// and retry from the top unless both collects agree and no arrow was
+    /// re-raised. Returns the second collect, with the process's own slot
+    /// taken from its local copy.
+    ///
+    /// Not wait-free: retries are caused by (and only by) concurrent
+    /// updates, so an adversary driving a writer forever can starve a scan —
+    /// the world's step limit converts that into [`Halted::StepLimit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process (including
+    /// via the step limit under a starving schedule).
+    pub fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
+        Ok(self.scan_slots(ctx)?.into_iter().map(|s| s.value).collect())
+    }
+
+    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<Slot<T>>, Halted> {
+        let n = self.shared.n;
+        ctx.annotate(labels::SCAN_START, vec![]);
+        loop {
+            self.shared.stats[self.me]
+                .attempts
+                .fetch_add(1, Ordering::Relaxed);
+            // Lower all arrows aimed at me.
+            for j in 0..n {
+                if let Some(a) = &self.shared.arrows[j][self.me] {
+                    a.lower(ctx)?;
+                }
+            }
+            // First collect.
+            let mut c1: Vec<Option<Slot<T>>> = vec![None; n];
+            for (j, slot) in c1.iter_mut().enumerate() {
+                if j != self.me {
+                    *slot = Some(self.shared.values[j].read(ctx)?);
+                }
+            }
+            // Second collect.
+            let mut c2: Vec<Option<Slot<T>>> = vec![None; n];
+            for (j, slot) in c2.iter_mut().enumerate() {
+                if j != self.me {
+                    *slot = Some(self.shared.values[j].read(ctx)?);
+                }
+            }
+            // Re-read arrows.
+            let mut raised = false;
+            for j in 0..n {
+                if let Some(a) = &self.shared.arrows[j][self.me] {
+                    if a.is_raised(ctx)? {
+                        raised = true;
+                    }
+                }
+            }
+            let stable = !raised
+                && c1
+                    .iter()
+                    .zip(&c2)
+                    .all(|(x, y)| match (x, y) {
+                        (Some(x), Some(y)) => x.same_visible(y),
+                        (None, None) => true,
+                        _ => unreachable!("collects fill the same slots"),
+                    });
+            if stable {
+                let view: Vec<Slot<T>> = c2
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, s)| match s {
+                        Some(s) => s,
+                        None => {
+                            debug_assert_eq!(j, self.me);
+                            self.last.clone()
+                        }
+                    })
+                    .collect();
+                ctx.annotate(labels::SCAN_END, view.iter().map(|s| s.seq).collect());
+                self.shared.stats[self.me]
+                    .scans
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(view);
+            }
+        }
+    }
+}
+
+// The default Clone derive would demand T: Clone etc.; a Port must NOT be
+// cloneable anyway (it owns the single-writer local state), so none is
+// provided.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bprc_registers::{DirectArrow, HandshakeArrow};
+    use bprc_sim::sched::{FnStrategy, RandomStrategy, RoundRobin};
+    use bprc_sim::world::ProcBody;
+    use bprc_sim::Decision;
+
+    fn sequential_update_scan<A: ArrowCell>() {
+        let mut w = World::builder(1).build();
+        let mem = ScannableMemory::<u32, A>::new(&w, 1, 0);
+        let mut p = mem.port(0);
+        let bodies: Vec<ProcBody<Vec<u32>>> = vec![Box::new(move |ctx| {
+            p.update(ctx, 4)?;
+            p.update(ctx, 5)?;
+            p.scan(ctx)
+        })];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.outputs[0], Some(vec![5]));
+    }
+
+    #[test]
+    fn single_process_direct() {
+        sequential_update_scan::<DirectArrow>();
+    }
+
+    #[test]
+    fn single_process_handshake() {
+        sequential_update_scan::<HandshakeArrow>();
+    }
+
+    #[test]
+    fn scan_sees_preceding_updates() {
+        let mut w = World::builder(3).build();
+        let mem = ScannableMemory::<u32, DirectArrow>::new(&w, 3, 0);
+        let ports: Vec<_> = (0..3).map(|i| mem.port(i)).collect();
+        let mut bodies: Vec<ProcBody<Option<Vec<u32>>>> = Vec::new();
+        for (i, mut p) in ports.into_iter().enumerate() {
+            bodies.push(Box::new(move |ctx| {
+                p.update(ctx, (i as u32 + 1) * 10)?;
+                if i == 2 {
+                    Ok(Some(p.scan(ctx)?))
+                } else {
+                    Ok(None)
+                }
+            }));
+        }
+        // Round robin: all updates complete before process 2 scans? Not
+        // necessarily — but with RoundRobin and equal-length updates, the
+        // scan happens after all updates finish.
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        let view = rep.outputs[2].clone().unwrap().unwrap();
+        assert_eq!(view, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn own_slot_is_local_copy() {
+        let mut w = World::builder(2).build();
+        let mem = ScannableMemory::<u32, DirectArrow>::new(&w, 2, 99);
+        let mut p0 = mem.port(0);
+        let mut p1 = mem.port(1);
+        let bodies: Vec<ProcBody<Vec<u32>>> = vec![
+            Box::new(move |ctx| {
+                p0.update(ctx, 1)?;
+                p0.scan(ctx)
+            }),
+            Box::new(move |ctx| {
+                let v = p1.scan(ctx)?; // never updated: own slot = init
+                Ok(v)
+            }),
+        ];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.outputs[0].as_ref().unwrap()[0], 1);
+        assert_eq!(rep.outputs[1].as_ref().unwrap()[1], 99);
+    }
+
+    #[test]
+    fn hostile_writer_starves_scan_until_step_limit() {
+        let mut w = World::builder(2).step_limit(4_000).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::new(&w, 2, 0);
+        let mut wp = mem.port(0);
+        let mut sp = mem.port(1);
+        let bodies: Vec<ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| {
+                let mut k = 0u64;
+                loop {
+                    k += 1;
+                    wp.update(ctx, k)?;
+                }
+            }),
+            Box::new(move |ctx| sp.scan(ctx)),
+        ];
+        // Adversary: let the scanner run, but sneak one full writer update
+        // between the scanner's two collects every attempt.
+        let mem2 = mem.clone();
+        let strategy = FnStrategy::new(move |view: &bprc_sim::ScheduleView<'_>| {
+            // Writer pending op targets V_0 (a write) => give the writer a
+            // burst whenever the scanner is mid-collect; otherwise scanner.
+            // Simpler: alternate bursts — writer 2 ops, scanner 1 op.
+            let _ = &mem2;
+            if view.step.is_multiple_of(3) && view.runnable.contains(&1) {
+                Decision::Grant(1)
+            } else if view.runnable.contains(&0) {
+                Decision::Grant(0)
+            } else {
+                Decision::Grant(1)
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        // The scan never completed: both halted at the step limit.
+        assert_eq!(rep.halted[1], Some(bprc_sim::Halted::StepLimit));
+        assert!(mem.stats(1).attempts.load(Ordering::Relaxed) > 1);
+        assert_eq!(mem.stats(1).scans.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn random_schedules_complete_when_writers_stop() {
+        for seed in 0..20 {
+            let mut w = World::builder(3).seed(seed).build();
+            let mem = ScannableMemory::<u64, HandshakeArrow>::new(&w, 3, 0);
+            let ports: Vec<_> = (0..3).map(|i| mem.port(i)).collect();
+            let mut bodies: Vec<ProcBody<Vec<u64>>> = Vec::new();
+            for (i, mut p) in ports.into_iter().enumerate() {
+                bodies.push(Box::new(move |ctx| {
+                    for k in 0..5u64 {
+                        p.update(ctx, (i as u64) * 100 + k)?;
+                    }
+                    p.scan(ctx)
+                }));
+            }
+            let rep = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+            for out in &rep.outputs {
+                let v = out.as_ref().expect("all scans complete");
+                // Everyone's final view of a finished writer is its last value.
+                assert_eq!(v.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn ports_are_single_owner() {
+        let w = World::builder(1).build();
+        let mem = ScannableMemory::<u8, DirectArrow>::new(&w, 1, 0);
+        let _a = mem.port(0);
+        let _b = mem.port(0);
+    }
+
+    #[test]
+    fn meta_lists_value_registers() {
+        let w = World::builder(2).build();
+        let mem = ScannableMemory::<u8, DirectArrow>::new(&w, 2, 0);
+        let meta = mem.meta();
+        assert_eq!(meta.value_regs.len(), 2);
+        assert_ne!(meta.value_regs[0], meta.value_regs[1]);
+    }
+
+    #[test]
+    fn peek_values_reflects_pokes() {
+        let w = World::builder(2).build();
+        let mem = ScannableMemory::<u8, DirectArrow>::new(&w, 2, 7);
+        assert_eq!(mem.peek_values(), vec![7, 7]);
+    }
+}

@@ -1,0 +1,476 @@
+//! A **wait-free** snapshot — the extension the field built on top of
+//! constructions like the paper's (Afek–Attiya–Dolev–Gafni–Merritt–Shavit,
+//! *Atomic Snapshots of Shared Memory*, 1990; here in its classic
+//! unbounded-counter form).
+//!
+//! The paper's §2 scan (see [`crate::memory`]) is *not* wait-free: a
+//! relentless writer starves it forever (experiment E7 measures this; the
+//! paper's protocol tolerates it because its writers always eventually
+//! pause). The classic fix: every **update embeds a full scan's view** in
+//! the written register. A scanner that observes a writer's register change
+//! *within two different attempts* of its scan may **borrow** that writer's
+//! embedded view:
+//!
+//! * the first observed change is a write `W₁` that landed inside the scan
+//!   (between the attempt's two collects);
+//! * the second observed change is a later write `W₂`, whose update began —
+//!   and therefore ran its embedded scan — entirely after `W₁`, i.e.
+//!   entirely inside this scan. Its view is a legal result.
+//!
+//! Each failing attempt marks at least one *new* mover or borrows, so a
+//! scan finishes within `n + 1` attempts — `O(n²)` register operations,
+//! unconditionally.
+//!
+//! **Boundedness note.** Move detection uses a per-process sequence number,
+//! which grows without bound — this module is deliberately the *unbounded*
+//! variant. AADGMS also show how to replace the sequence numbers with a
+//! bounded two-writer handshake protocol; that construction is a paper of
+//! its own and out of scope here. The paper's own §2 memory
+//! ([`crate::memory`]) remains the bounded construction this repository
+//! reproduces; this module exists as the wait-free comparison point (see
+//! the `hostile_writer_cannot_starve_the_scan` test and experiment E7).
+//!
+//! The construction emits the same history annotations as
+//! [`crate::memory`], so [`crate::checker::check_history`] verifies P1–P3
+//! for it unchanged (embedded scans are real scans and are checked too —
+//! the sequence number doubles as the checker's ghost).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bprc_registers::Swmr;
+use bprc_sim::{Ctx, Halted, World};
+
+use crate::memory::{labels, ScanStats, SnapshotMeta};
+
+/// One register's contents: payload, sequence number, and the embedded view
+/// `(value, seq)` per process captured by the update's embedded scan.
+#[derive(Debug, Clone)]
+struct WfSlot<T> {
+    value: T,
+    seq: u64,
+    view: Vec<(T, u64)>,
+}
+
+struct WfShared<T> {
+    n: usize,
+    values: Vec<Swmr<WfSlot<T>>>,
+    stats: Vec<ScanStats>,
+    port_taken: Vec<AtomicBool>,
+}
+
+/// The wait-free snapshot object.
+pub struct WaitFreeSnapshot<T> {
+    shared: Arc<WfShared<T>>,
+}
+
+impl<T> Clone for WaitFreeSnapshot<T> {
+    fn clone(&self) -> Self {
+        WaitFreeSnapshot {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for WaitFreeSnapshot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitFreeSnapshot")
+            .field("n", &self.shared.n)
+            .finish()
+    }
+}
+
+impl<T> WaitFreeSnapshot<T>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+{
+    /// Allocates the object (all registers hold `init`).
+    pub fn new(world: &World, n: usize, init: T) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert_eq!(world.n(), n, "snapshot size must match the world");
+        let initial_view: Vec<(T, u64)> = (0..n).map(|_| (init.clone(), 0)).collect();
+        let values = (0..n)
+            .map(|i| {
+                Swmr::new(
+                    world,
+                    format!("WfV_{i}"),
+                    i,
+                    WfSlot {
+                        value: init.clone(),
+                        seq: 0,
+                        view: initial_view.clone(),
+                    },
+                )
+            })
+            .collect();
+        WaitFreeSnapshot {
+            shared: Arc::new(WfShared {
+                n,
+                values,
+                stats: (0..n).map(|_| ScanStats::default()).collect(),
+                port_taken: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            }),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Takes process `pid`'s port (once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice or `pid` out of range.
+    pub fn port(&self, pid: usize) -> WfPort<T> {
+        assert!(pid < self.shared.n, "pid {pid} out of range");
+        assert!(
+            !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
+            "port {pid} taken twice"
+        );
+        WfPort {
+            shared: Arc::clone(&self.shared),
+            me: pid,
+            last: self.shared.values[pid].peek(),
+        }
+    }
+
+    /// Checker metadata (same format as the paper construction's).
+    pub fn meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            value_regs: self.shared.values.iter().map(|v| v.id()).collect(),
+        }
+    }
+
+    /// Per-port statistics.
+    pub fn stats(&self, pid: usize) -> &ScanStats {
+        &self.shared.stats[pid]
+    }
+}
+
+/// Process handle for the wait-free snapshot.
+pub struct WfPort<T> {
+    shared: Arc<WfShared<T>>,
+    me: usize,
+    last: WfSlot<T>,
+}
+
+impl<T> std::fmt::Debug for WfPort<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WfPort").field("me", &self.me).finish()
+    }
+}
+
+impl<T> WfPort<T>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+{
+    /// This port's pid.
+    pub fn pid(&self) -> usize {
+        self.me
+    }
+
+    /// Publishes `value`: embedded scan, then write `(value, seq+1, view)`.
+    /// Wait-free: one (wait-free) scan plus one register write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        let view = self.scan_slots(ctx)?;
+        let seq = self.last.seq + 1;
+        ctx.annotate(labels::UPD_START, vec![seq]);
+        let slot = WfSlot { value, seq, view };
+        self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
+        self.last = slot;
+        ctx.annotate(labels::UPD_END, vec![seq]);
+        self.shared.stats[self.me]
+            .updates
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Takes a snapshot — **wait-free**: at most `n + 1` attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    pub fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
+        Ok(self
+            .scan_slots(ctx)?
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect())
+    }
+
+    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<(T, u64)>, Halted> {
+        let n = self.shared.n;
+        ctx.annotate(labels::SCAN_START, vec![]);
+        let mut moved = vec![false; n];
+        loop {
+            self.shared.stats[self.me]
+                .attempts
+                .fetch_add(1, Ordering::Relaxed);
+            let mut c1: Vec<Option<WfSlot<T>>> = vec![None; n];
+            for (j, s) in c1.iter_mut().enumerate() {
+                if j != self.me {
+                    *s = Some(self.shared.values[j].read(ctx)?);
+                }
+            }
+            let mut c2: Vec<Option<WfSlot<T>>> = vec![None; n];
+            for (j, s) in c2.iter_mut().enumerate() {
+                if j != self.me {
+                    *s = Some(self.shared.values[j].read(ctx)?);
+                }
+            }
+            // Movers: registers whose seq changed between the two collects —
+            // i.e. processes whose write landed inside this attempt.
+            let movers: Vec<usize> = (0..n)
+                .filter(|&j| match (&c1[j], &c2[j]) {
+                    (Some(x), Some(y)) => x.seq != y.seq,
+                    _ => false,
+                })
+                .collect();
+            if movers.is_empty() {
+                let view: Vec<(T, u64)> = c2
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, s)| match s {
+                        Some(s) => (s.value, s.seq),
+                        None => {
+                            debug_assert_eq!(j, self.me);
+                            (self.last.value.clone(), self.last.seq)
+                        }
+                    })
+                    .collect();
+                ctx.annotate(labels::SCAN_END, view.iter().map(|(_, s)| *s).collect());
+                self.shared.stats[self.me]
+                    .scans
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(view);
+            }
+            for &j in &movers {
+                if moved[j] {
+                    // j's register changed inside two different attempts:
+                    // the update behind the second change ran its embedded
+                    // scan entirely within this scan — borrow its view.
+                    let borrowed = c2[j].as_ref().expect("mover is not me").view.clone();
+                    ctx.annotate(
+                        labels::SCAN_END,
+                        borrowed.iter().map(|(_, s)| *s).collect(),
+                    );
+                    self.shared.stats[self.me]
+                        .scans
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(borrowed);
+                }
+                moved[j] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_history;
+    use bprc_sim::sched::{FnStrategy, RandomStrategy, SoloBursts};
+    use bprc_sim::world::ProcBody;
+    use bprc_sim::Decision;
+
+    #[test]
+    fn sequential_update_scan() {
+        let mut w = World::builder(2).build();
+        let snap = WaitFreeSnapshot::<u32>::new(&w, 2, 0);
+        let mut p0 = snap.port(0);
+        let mut p1 = snap.port(1);
+        let bodies: Vec<ProcBody<Vec<u32>>> = vec![
+            Box::new(move |ctx| {
+                p0.update(ctx, 5)?;
+                p0.scan(ctx)
+            }),
+            Box::new(move |ctx| {
+                p1.update(ctx, 9)?;
+                Ok(vec![])
+            }),
+        ];
+        let rep = w.run(bodies, Box::new(bprc_sim::sched::RoundRobin::new()));
+        let view = rep.outputs[0].clone().unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0], 5, "own slot current");
+    }
+
+    #[test]
+    fn p1_p3_hold_on_random_schedules() {
+        for seed in 0..60 {
+            let n = 3;
+            let mut world = World::builder(n).seed(seed).step_limit(2_000_000).build();
+            let snap = WaitFreeSnapshot::<u64>::new(&world, n, 0);
+            let meta = snap.meta();
+            let bodies: Vec<ProcBody<()>> = (0..n)
+                .map(|i| {
+                    let mut port = snap.port(i);
+                    let b: ProcBody<()> = Box::new(move |ctx| {
+                        for k in 0..4u64 {
+                            port.update(ctx, (i as u64) * 100 + k)?;
+                            port.scan(ctx)?;
+                        }
+                        Ok(())
+                    });
+                    b
+                })
+                .collect();
+            let rep = world.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let check = check_history(rep.history.as_ref().unwrap(), &meta);
+            assert!(
+                check.ok(),
+                "seed {seed}: violations {:?}",
+                check.violations
+            );
+            assert!(check.scans > 0);
+        }
+    }
+
+    #[test]
+    fn p1_p3_hold_under_solo_bursts() {
+        for burst in [1u64, 2, 5, 9, 17] {
+            let n = 4;
+            let mut world = World::builder(n).step_limit(2_000_000).build();
+            let snap = WaitFreeSnapshot::<u64>::new(&world, n, 0);
+            let meta = snap.meta();
+            let bodies: Vec<ProcBody<()>> = (0..n)
+                .map(|i| {
+                    let mut port = snap.port(i);
+                    let b: ProcBody<()> = Box::new(move |ctx| {
+                        for k in 0..3u64 {
+                            port.update(ctx, (i as u64) * 10 + k)?;
+                            port.scan(ctx)?;
+                        }
+                        Ok(())
+                    });
+                    b
+                })
+                .collect();
+            let rep = world.run(bodies, Box::new(SoloBursts::new(burst)));
+            let check = check_history(rep.history.as_ref().unwrap(), &meta);
+            assert!(check.ok(), "burst {burst}: {:?}", check.violations);
+        }
+    }
+
+    #[test]
+    fn hostile_writer_cannot_starve_the_scan() {
+        // The same adversary pattern that starves the paper's scan (E7):
+        // here the scan must complete anyway.
+        let mut w = World::builder(2).step_limit(200_000).build();
+        let snap = WaitFreeSnapshot::<u64>::new(&w, 2, 0);
+        let mut scanner = snap.port(0);
+        let mut writer = snap.port(1);
+        let bodies: Vec<ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| scanner.scan(ctx)),
+            Box::new(move |ctx| {
+                let mut k = 0u64;
+                loop {
+                    k += 1;
+                    writer.update(ctx, k)?;
+                }
+            }),
+        ];
+        // Writer-heavy schedule: 2 writer steps per scanner step.
+        let strategy = FnStrategy::new(move |view: &bprc_sim::ScheduleView<'_>| {
+            if !view.step.is_multiple_of(3) && view.runnable.contains(&1) {
+                Decision::Grant(1)
+            } else if view.runnable.contains(&0) {
+                Decision::Grant(0)
+            } else {
+                Decision::Grant(1)
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        assert!(
+            rep.outputs[0].is_some(),
+            "wait-free scan must complete under writer pressure (halted: {:?})",
+            rep.halted[0]
+        );
+        assert_eq!(snap.stats(0).scans.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scan_attempts_are_bounded_by_n_plus_1() {
+        for seed in 0..40 {
+            let n = 4;
+            let mut w = World::builder(n).seed(seed).step_limit(1_000_000).build();
+            let snap = WaitFreeSnapshot::<u64>::new(&w, n, 0);
+            let mut bodies: Vec<ProcBody<u64>> = Vec::new();
+            let mut scanner = snap.port(0);
+            bodies.push(Box::new(move |ctx| {
+                scanner.scan(ctx)?;
+                Ok(0)
+            }));
+            for i in 1..n {
+                let mut port = snap.port(i);
+                bodies.push(Box::new(move |ctx| {
+                    for k in 0..30u64 {
+                        port.update(ctx, k)?;
+                    }
+                    Ok(0)
+                }));
+            }
+            let _ = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let attempts = snap.stats(0).attempts.load(Ordering::Relaxed);
+            assert!(
+                attempts <= (n as u64) + 1,
+                "seed {seed}: {attempts} attempts > n+1"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_views_are_exercised() {
+        // Force a borrow: the writer completes two full updates between the
+        // scanner's collects of successive attempts.
+        let mut w = World::builder(2).step_limit(100_000).build();
+        let snap = WaitFreeSnapshot::<u64>::new(&w, 2, 0);
+        let meta = snap.meta();
+        let mut scanner = snap.port(0);
+        let mut writer = snap.port(1);
+        let bodies: Vec<ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| scanner.scan(ctx)),
+            Box::new(move |ctx| {
+                for k in 1..=6u64 {
+                    writer.update(ctx, k)?;
+                }
+                Ok(vec![])
+            }),
+        ];
+        // Interleave so each scanner attempt straddles a writer's store:
+        // scanner reads c1[1], writer completes an update, scanner reads
+        // c2[1] (seq changed -> mover), repeat -> borrow on the second.
+        let mut phase = 0u32;
+        let strategy = FnStrategy::new(move |view: &bprc_sim::ScheduleView<'_>| {
+            phase += 1;
+            // Alternate small bursts; exact interleaving found by phase
+            // parity works for the 2-process op pattern here.
+            if phase % 4 < 2 && view.runnable.contains(&1) {
+                Decision::Grant(1)
+            } else if view.runnable.contains(&0) {
+                Decision::Grant(0)
+            } else {
+                Decision::Grant(view.runnable[0])
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        let check = check_history(rep.history.as_ref().unwrap(), &meta);
+        assert!(check.ok(), "violations: {:?}", check.violations);
+        assert!(rep.outputs[0].is_some(), "scan completed");
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn ports_single_owner() {
+        let w = World::builder(1).build();
+        let snap = WaitFreeSnapshot::<u8>::new(&w, 1, 0);
+        let _a = snap.port(0);
+        let _b = snap.port(0);
+    }
+}

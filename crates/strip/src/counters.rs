@@ -1,0 +1,309 @@
+//! Cyclic edge counters (§4.3) — the bounded wire format of the distance
+//! graph.
+//!
+//! Each ordered pair `(i,j)` has a counter `e_i[j] ∈ {0, …, 3K−1}` written
+//! only by process `i` (it lives in `i`'s register in the scannable memory).
+//! The pair `(e_i[j], e_j[i])` represents two pointers on a cycle of size
+//! `3K`; their clockwise difference encodes the capped signed distance
+//! `δ(i,j)`:
+//!
+//! * `d = (e_i[j] − e_j[i]) mod 3K ∈ {0..K}` ⇒ `δ(i,j) = d`;
+//! * `d ∈ {2K..3K−1}` ⇒ `δ(i,j) = d − 3K` (i.e. `j` leads by `3K − d`);
+//! * `d ∈ {K+1..2K−1}` never occurs — the increment rule keeps each pair
+//!   within K of each other on the cycle (checked by
+//!   [`EdgeCounters::decode_checked`]).
+//!
+//! The paper's `inc_graph(i)` increments `e_i[j]` exactly when
+//! [`DistanceGraph::should_advance`] says so — "a process does not increment
+//! `e_i[j]` unless it is the trailing pointer, or it leads by less than K".
+
+use crate::graph::DistanceGraph;
+
+/// The full matrix of edge counters (sequential form; the consensus protocol
+/// distributes row `i` into process `i`'s register and reassembles the
+/// matrix from a scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeCounters {
+    n: usize,
+    k: u32,
+    /// Row-major: `e[i*n + j] = e_i[j]`. The diagonal is unused (always 0).
+    e: Vec<u32>,
+}
+
+/// Error from [`EdgeCounters::decode_checked`]: the two pointers of a pair
+/// are more than K apart on the cycle, which no legal execution produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDesyncError {
+    /// The pair that desynchronized.
+    pub pair: (usize, usize),
+    /// The clockwise difference found.
+    pub diff: u32,
+}
+
+impl std::fmt::Display for CounterDesyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edge counters e_{}[{}] / e_{}[{}] desynchronized (clockwise diff {})",
+            self.pair.0, self.pair.1, self.pair.1, self.pair.0, self.diff
+        )
+    }
+}
+
+impl std::error::Error for CounterDesyncError {}
+
+impl EdgeCounters {
+    /// All-zero counters (everyone level), the initial configuration.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(k >= 1, "K must be positive");
+        EdgeCounters {
+            n,
+            k,
+            e: vec![0; n * n],
+        }
+    }
+
+    /// Reassembles a matrix from per-process rows (as read out of a scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form an `n × n` matrix.
+    pub fn from_rows(rows: &[Vec<u32>], k: u32) -> Self {
+        let n = rows.len();
+        let mut m = EdgeCounters::new(n, k);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            m.e[i * n..(i + 1) * n].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The window constant K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The cycle size `3K`.
+    pub fn modulus(&self) -> u32 {
+        3 * self.k
+    }
+
+    /// The raw counter `e_i[j]`.
+    pub fn counter(&self, i: usize, j: usize) -> u32 {
+        self.e[i * self.n + j]
+    }
+
+    /// Process `i`'s row (what it stores in its register).
+    pub fn row(&self, i: usize) -> Vec<u32> {
+        self.e[i * self.n..(i + 1) * self.n].to_vec()
+    }
+
+    /// Overwrites process `i`'s row (modelling `i` publishing a new row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong length.
+    pub fn set_row(&mut self, i: usize, row: &[u32]) {
+        assert_eq!(row.len(), self.n, "row has wrong length");
+        self.e[i * self.n..(i + 1) * self.n].copy_from_slice(row);
+    }
+
+    /// Decodes the capped signed distance `δ(i,j)` from the counter pair.
+    ///
+    /// Never fails: an (illegal) desynchronized pair is clamped toward the
+    /// nearest representable value — use [`decode_checked`](Self::decode_checked)
+    /// to detect that case.
+    pub fn decode(&self, i: usize, j: usize) -> i64 {
+        if i == j {
+            return 0;
+        }
+        let m = self.modulus();
+        let d = (self.counter(i, j) + m - self.counter(j, i)) % m;
+        if d <= self.k {
+            d as i64
+        } else if d >= 2 * self.k {
+            d as i64 - m as i64
+        } else {
+            // Desynchronized (cannot happen in legal executions): clamp.
+            if d - self.k <= 2 * self.k - d {
+                self.k as i64
+            } else {
+                -(self.k as i64)
+            }
+        }
+    }
+
+    /// Like [`decode`](Self::decode) but reports desynchronization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CounterDesyncError`] when the pair's clockwise difference
+    /// lies in the impossible band `(K, 2K)`.
+    pub fn decode_checked(&self, i: usize, j: usize) -> Result<i64, CounterDesyncError> {
+        if i == j {
+            return Ok(0);
+        }
+        let m = self.modulus();
+        let d = (self.counter(i, j) + m - self.counter(j, i)) % m;
+        if d <= self.k || d >= 2 * self.k {
+            Ok(self.decode(i, j))
+        } else {
+            Err(CounterDesyncError { pair: (i, j), diff: d })
+        }
+    }
+
+    /// The paper's `make_graph`: decode every pair into a [`DistanceGraph`].
+    pub fn make_graph(&self) -> DistanceGraph {
+        let n = self.n;
+        let mut positions_free = DistanceGraph::new(n, self.k);
+        // DistanceGraph has no public bulk setter; rebuild via from_deltas.
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    positions_free.set_delta_raw(i, j, self.decode(i, j));
+                }
+            }
+        }
+        positions_free
+    }
+
+    /// The paper's `inc_graph(e_1[1..n], …, e_n[1..n])` for process `i`:
+    /// increments `e_i[j]` (mod 3K) for every `j` the graph says `i` should
+    /// advance against.
+    pub fn inc_graph(&mut self, i: usize) {
+        let row = self.next_row(i, &self.make_graph());
+        self.set_row(i, &row);
+    }
+
+    /// The pure core of `inc_graph`: given a graph decoded from a scan,
+    /// computes the new row process `i` should publish. The concurrent
+    /// protocol uses this (scan → compute row → write own register).
+    pub fn next_row(&self, i: usize, graph: &DistanceGraph) -> Vec<u32> {
+        let closure = graph.closure();
+        let m = self.modulus();
+        let mut row = self.row(i);
+        for (j, slot) in row.iter_mut().enumerate() {
+            if j != i && graph.should_advance(&closure, i, j) {
+                *slot = (*slot + 1) % m;
+            }
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::ShrunkenGame;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn fresh_counters_decode_to_level() {
+        let e = EdgeCounters::new(3, 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(e.decode(i, j), 0);
+            }
+        }
+        assert_eq!(e.modulus(), 6);
+    }
+
+    #[test]
+    fn decode_positive_and_negative() {
+        let mut e = EdgeCounters::new(2, 2);
+        e.set_row(0, &[0, 2]); // e_0[1] = 2, e_1[0] = 0 -> δ(0,1) = 2
+        assert_eq!(e.decode(0, 1), 2);
+        assert_eq!(e.decode(1, 0), -2);
+        e.set_row(1, &[5, 0]); // e_1[0] = 5: (2−5) mod 6 = 3... desync band
+        assert!(e.decode_checked(0, 1).is_err());
+    }
+
+    #[test]
+    fn decode_wraps_modulo_3k() {
+        let mut e = EdgeCounters::new(2, 2);
+        e.set_row(0, &[0, 1]);
+        e.set_row(1, &[5, 0]); // (1 − 5) mod 6 = 2 -> δ(0,1) = 2
+        assert_eq!(e.decode(0, 1), 2);
+        assert_eq!(e.decode_checked(0, 1), Ok(2));
+    }
+
+    #[test]
+    fn inc_graph_tracks_shrunken_game() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..=5);
+            let k = rng.gen_range(1..=3);
+            let mut game = ShrunkenGame::new(n, k);
+            let mut counters = EdgeCounters::new(n, k);
+            for step in 0..300 {
+                let i = rng.gen_range(0..n);
+                game.move_token(i);
+                counters.inc_graph(i);
+                let from_counters = counters.make_graph();
+                let from_game = crate::graph::DistanceGraph::from_game(&game);
+                assert_eq!(
+                    from_counters, from_game,
+                    "trial {trial} step {step}: counters diverged at {:?}",
+                    game.positions()
+                );
+                // Counters remain within their cyclic range by construction;
+                // decode_checked must never report desync on legal plays.
+                for a in 0..n {
+                    for b in 0..n {
+                        counters.decode_checked(a, b).unwrap();
+                        assert!(counters.counter(a, b) < counters.modulus());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_row_is_pure_and_matches_inc_graph() {
+        let mut a = EdgeCounters::new(3, 2);
+        let plays = [0usize, 1, 1, 2, 0, 1, 2, 2, 2, 0];
+        let mut b = a.clone();
+        for &i in plays.iter() {
+            // Path 1: in-place.
+            a.inc_graph(i);
+            // Path 2: pure row computation then install.
+            let row = b.next_row(i, &b.make_graph());
+            b.set_row(i, &row);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let mut e = EdgeCounters::new(3, 2);
+        e.inc_graph(1);
+        e.inc_graph(1);
+        e.inc_graph(2);
+        let rows: Vec<Vec<u32>> = (0..3).map(|i| e.row(i)).collect();
+        let rebuilt = EdgeCounters::from_rows(&rows, 2);
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn counters_stay_bounded_forever() {
+        // The whole point: a process can advance millions of rounds and the
+        // counters stay in {0..3K−1}.
+        let mut e = EdgeCounters::new(2, 2);
+        for _ in 0..100_000 {
+            e.inc_graph(0);
+        }
+        assert!(e.counter(0, 1) < 6);
+        assert_eq!(e.decode(0, 1), 2, "lead capped at K");
+        // The trailing process catches up by exactly the capped distance.
+        e.inc_graph(1);
+        assert_eq!(e.decode(0, 1), 1);
+        e.inc_graph(1);
+        assert_eq!(e.decode(0, 1), 0);
+    }
+}

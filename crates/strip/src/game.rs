@@ -1,0 +1,279 @@
+//! The token game, its shrinking and normalizing transforms (§4.1).
+
+/// The unbounded token game: `n` tokens on the naturals, each advancing by
+/// one per move. This is the *reference* the protocol cannot afford to store
+/// — round numbers grow without bound — kept here as ground truth for tests
+/// and experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenGame {
+    positions: Vec<u64>,
+}
+
+impl TokenGame {
+    /// Creates the game with all tokens at 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one token");
+        TokenGame {
+            positions: vec![0; n],
+        }
+    }
+
+    /// Number of tokens.
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Current (unbounded) positions.
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// The paper's `move_token_i`: advance token `i` by one.
+    pub fn move_token(&mut self, i: usize) {
+        self.positions[i] += 1;
+    }
+
+    /// Position of the maximal token.
+    pub fn max(&self) -> u64 {
+        *self.positions.iter().max().expect("nonempty")
+    }
+}
+
+/// The paper's `shrink_K`: compress every sorted gap larger than `k` down to
+/// exactly `k`, keeping the minimum element fixed.
+///
+/// Input positions need not be sorted; output is positionally aligned with
+/// the input (token `i` keeps index `i`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `positions` is empty.
+pub fn shrink_k(positions: &[i64], k: u32) -> Vec<i64> {
+    assert!(k >= 1, "K must be positive");
+    assert!(!positions.is_empty(), "need at least one token");
+    let k = k as i64;
+    // Sort token indices by position (stable: ties keep index order).
+    let mut order: Vec<usize> = (0..positions.len()).collect();
+    order.sort_by_key(|&i| positions[i]);
+    let mut shrunk = vec![0i64; positions.len()];
+    let mut prev_old = positions[order[0]];
+    let mut prev_new = positions[order[0]];
+    shrunk[order[0]] = prev_new;
+    for &i in &order[1..] {
+        let gap = positions[i] - prev_old;
+        let capped = gap.min(k);
+        prev_new += capped;
+        prev_old = positions[i];
+        shrunk[i] = prev_new;
+    }
+    shrunk
+}
+
+/// The paper's `normalize_K`: translate so the maximal token sits at `k·n`.
+/// After `shrink_k`, all values land in `[0, k·n]`.
+///
+/// # Panics
+///
+/// Panics if `positions` is empty.
+pub fn normalize_k(positions: &[i64], k: u32) -> Vec<i64> {
+    assert!(!positions.is_empty(), "need at least one token");
+    let max = *positions.iter().max().expect("nonempty");
+    let target = k as i64 * positions.len() as i64;
+    positions.iter().map(|&p| p - max + target).collect()
+}
+
+/// The normalized shrunken token game (§4.1): positions stay in
+/// `[0, K·n]` forever, and every observable distance evolves exactly as the
+/// distance graph's `inc` predicts (Claim 4.1 — tested in
+/// [`crate::graph`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrunkenGame {
+    positions: Vec<i64>,
+    k: u32,
+}
+
+impl ShrunkenGame {
+    /// Creates the game with all tokens at the normalized origin.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 1, "need at least one token");
+        assert!(k >= 1, "K must be positive");
+        let positions = normalize_k(&vec![0i64; n], k);
+        ShrunkenGame { positions, k }
+    }
+
+    /// Number of tokens.
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The window constant K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Current normalized shrunken positions (all in `[0, K·n]`).
+    pub fn positions(&self) -> &[i64] {
+        &self.positions
+    }
+
+    /// Advances token `i` by one, then re-shrinks and re-normalizes.
+    pub fn move_token(&mut self, i: usize) {
+        self.positions[i] += 1;
+        self.positions = normalize_k(&shrink_k(&self.positions, self.k), self.k);
+    }
+
+    /// Signed distance `position(i) − position(j)` in shrunken coordinates.
+    pub fn diff(&self, i: usize, j: usize) -> i64 {
+        self.positions[i] - self.positions[j]
+    }
+
+    /// Signed distance capped at ±K — exactly what the distance graph (and
+    /// thus the protocol) can observe.
+    pub fn capped_diff(&self, i: usize, j: usize) -> i64 {
+        self.diff(i, j).clamp(-(self.k as i64), self.k as i64)
+    }
+
+    /// The tokens at the maximal position (the paper's *leaders*).
+    pub fn leaders(&self) -> Vec<usize> {
+        let max = *self.positions.iter().max().expect("nonempty");
+        (0..self.n())
+            .filter(|&i| self.positions[i] == max)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_leaves_small_gaps_alone() {
+        assert_eq!(shrink_k(&[0, 1, 3], 2), vec![0, 1, 3]);
+        assert_eq!(shrink_k(&[5], 2), vec![5]);
+    }
+
+    #[test]
+    fn shrink_caps_large_gaps() {
+        assert_eq!(shrink_k(&[0, 10], 2), vec![0, 2]);
+        assert_eq!(shrink_k(&[0, 10, 11], 2), vec![0, 2, 3]);
+        // Positional alignment preserved under permutation.
+        assert_eq!(shrink_k(&[10, 0, 11], 2), vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn shrink_keeps_min_fixed_and_is_idempotent() {
+        let p = vec![3, 100, 4, 50];
+        let s = shrink_k(&p, 3);
+        assert_eq!(*s.iter().min().unwrap(), 3);
+        assert_eq!(shrink_k(&s, 3), s, "shrinking twice changes nothing");
+    }
+
+    #[test]
+    fn normalize_puts_max_at_kn() {
+        let p = vec![0i64, 2, 5];
+        let n = normalize_k(&p, 2);
+        assert_eq!(*n.iter().max().unwrap(), 6);
+        assert_eq!(n, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn shrunken_positions_stay_in_range() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1);
+        for k in [1u32, 2, 3] {
+            let n = 4;
+            let mut g = ShrunkenGame::new(n, k);
+            for _ in 0..500 {
+                g.move_token(rng.gen_range(0..n));
+                let bound = k as i64 * n as i64;
+                assert!(
+                    g.positions().iter().all(|&p| (0..=bound).contains(&p)),
+                    "positions escaped [0, K·n]: {:?}",
+                    g.positions()
+                );
+                assert_eq!(*g.positions().iter().max().unwrap(), bound);
+            }
+        }
+    }
+
+    #[test]
+    fn shrunken_game_is_exact_until_the_first_shrink() {
+        // Until the first over-K gap ever appears, shrinking is the identity
+        // and the two games agree on every pairwise distance. (After a
+        // shrink fires they legitimately diverge — erased moves are gone for
+        // good; Non-Passive Shrinking is the only guarantee that remains,
+        // which is why §6 of the paper reasons via *virtual* global rounds.)
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (n, k) = (3, 2u32);
+        let mut truth = TokenGame::new(n);
+        let mut shrunk = ShrunkenGame::new(n, k);
+        let mut ever_shrunk = false;
+        let mut checked = 0u32;
+        for _ in 0..400 {
+            let i = rng.gen_range(0..n);
+            truth.move_token(i);
+            shrunk.move_token(i);
+            ever_shrunk |= {
+                let mut sorted: Vec<u64> = truth.positions().to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).any(|w| w[1] - w[0] > u64::from(k))
+            };
+            if ever_shrunk {
+                continue;
+            }
+            for a in 0..n {
+                for b in 0..n {
+                    let true_diff = truth.positions()[a] as i64 - truth.positions()[b] as i64;
+                    assert_eq!(shrunk.diff(a, b), true_diff, "identical until first shrink");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "test never compared the games");
+        assert!(ever_shrunk, "test should eventually trigger a shrink");
+    }
+
+    #[test]
+    fn non_passive_shrinking() {
+        // A pair at distance <= K cannot drift apart or together without a
+        // move (trivially true — distances only change in move_token — but
+        // also: a *single* move changes any capped distance by at most 1).
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (n, k) = (4, 2u32);
+        let mut g = ShrunkenGame::new(n, k);
+        for _ in 0..500 {
+            let before: Vec<Vec<i64>> = (0..n)
+                .map(|a| (0..n).map(|b| g.capped_diff(a, b)).collect())
+                .collect();
+            g.move_token(rng.gen_range(0..n));
+            for (a, row) in before.iter().enumerate() {
+                for (b, &prev) in row.iter().enumerate() {
+                    let d = (g.capped_diff(a, b) - prev).abs();
+                    assert!(d <= 1, "capped distance jumped by {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaders_are_the_maximal_tokens() {
+        let mut g = ShrunkenGame::new(3, 2);
+        assert_eq!(g.leaders(), vec![0, 1, 2]);
+        g.move_token(1);
+        assert_eq!(g.leaders(), vec![1]);
+        g.move_token(0);
+        assert_eq!(g.leaders(), vec![0, 1]);
+    }
+
+    #[test]
+    fn unbounded_game_grows() {
+        let mut t = TokenGame::new(2);
+        t.move_token(0);
+        t.move_token(0);
+        assert_eq!(t.positions(), &[2, 0]);
+        assert_eq!(t.max(), 2);
+        assert_eq!(t.n(), 2);
+    }
+}

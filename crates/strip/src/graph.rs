@@ -1,0 +1,404 @@
+//! The distance graph `G(S)` (§4.2).
+//!
+//! Nodes are processes; conceptually there is an edge `(i,j)` whenever `i`'s
+//! token is at-or-above `j`'s, weighted by their distance capped at K. We
+//! store the equivalent *capped signed difference* matrix
+//! `δ(i,j) = clamp(r_i − r_j, −K, K)` (so `(i,j) ∈ G ⇔ δ(i,j) ≥ 0` and
+//! `w(i,j) = δ(i,j)`), which makes the paper's two `inc` branches collapse
+//! into one: *advance `i` against `j`* is `δ(i,j) += 1` in both.
+//!
+//! The graph properties (1)–(5) from the paper are implemented as a
+//! [`DistanceGraph::validate`] pass, and **Claim 4.1** (the `inc`-evolved
+//! graph equals the graph of the shrunken game) is property-tested here and
+//! exhaustively verified for small `n`, `K`.
+
+use crate::game::ShrunkenGame;
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// The distance graph over `n` processes with window constant `K`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceGraph {
+    n: usize,
+    k: u32,
+    /// Row-major `δ(i,j) ∈ [−K, K]`, antisymmetric.
+    delta: Vec<i64>,
+}
+
+impl DistanceGraph {
+    /// The graph of the initial configuration (all tokens level).
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(k >= 1, "K must be positive");
+        DistanceGraph {
+            n,
+            k,
+            delta: vec![0; n * n],
+        }
+    }
+
+    /// Derives the graph from (shrunken) token positions.
+    pub fn from_positions(positions: &[i64], k: u32) -> Self {
+        let n = positions.len();
+        let mut g = DistanceGraph::new(n, k);
+        for i in 0..n {
+            for j in 0..n {
+                g.delta[i * n + j] =
+                    (positions[i] - positions[j]).clamp(-(k as i64), k as i64);
+            }
+        }
+        g
+    }
+
+    /// Derives the graph from a shrunken game state.
+    pub fn from_game(game: &ShrunkenGame) -> Self {
+        Self::from_positions(game.positions(), game.k())
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The window constant K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The capped signed difference `δ(i,j)`.
+    pub fn delta(&self, i: usize, j: usize) -> i64 {
+        self.delta[i * self.n + j]
+    }
+
+    /// Crate-internal: install one decoded slot without touching the mirror
+    /// entry (the counters decode fills both directions itself).
+    pub(crate) fn set_delta_raw(&mut self, i: usize, j: usize, v: i64) {
+        self.delta[i * self.n + j] = v;
+    }
+
+    fn set_delta(&mut self, i: usize, j: usize, v: i64) {
+        debug_assert!(v.abs() <= self.k as i64, "delta {v} out of range");
+        self.delta[i * self.n + j] = v;
+        self.delta[j * self.n + i] = -v;
+    }
+
+    /// Is the edge `(i,j)` present (is `i` at-or-above `j`)?
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.delta(i, j) >= 0
+    }
+
+    /// The weight `w(i,j)` of the edge `(i,j)`, if present.
+    pub fn weight(&self, i: usize, j: usize) -> Option<i64> {
+        let d = self.delta(i, j);
+        (d >= 0).then_some(d)
+    }
+
+    /// Is `i` a leader — at-or-above every other process (the paper: `(i,j)
+    /// ∈ G` for all `j`)?
+    pub fn is_leader(&self, i: usize) -> bool {
+        (0..self.n).all(|j| self.has_edge(i, j))
+    }
+
+    /// All leaders, ascending.
+    pub fn leaders(&self) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.is_leader(i)).collect()
+    }
+
+    /// Max-plus closure: `closure[i][j]` = maximal weight of a directed path
+    /// `i → j` (edges with `δ ≥ 0` only), or `None` if no path exists.
+    ///
+    /// This is the paper's `dist(i,j)`; for consistent states it recovers the
+    /// *exact* shrunken distance even across saturated direct edges, because
+    /// sorted-consecutive tokens are at most K apart.
+    pub fn closure(&self) -> Vec<Vec<Option<i64>>> {
+        let n = self.n;
+        let mut d = vec![vec![NEG_INF; n]; n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0;
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i != j && self.delta(i, j) >= 0 {
+                    *slot = self.delta(i, j);
+                }
+            }
+        }
+        for mid in 0..n {
+            for a in 0..n {
+                for b in 0..n {
+                    let via = d[a][mid].saturating_add(d[mid][b]);
+                    if via > d[a][b] {
+                        d[a][b] = via;
+                    }
+                }
+            }
+        }
+        d.into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| (v > NEG_INF / 2).then_some(v))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The paper's `dist(i,j)`: maximal path weight `i → j`, if a path
+    /// exists.
+    pub fn dist(&self, i: usize, j: usize) -> Option<i64> {
+        self.closure()[i][j]
+    }
+
+    /// Is the direct edge `(j,i)` on some maximal path into `i` (the
+    /// condition in the paper's `inc`)? Equivalent to the edge's weight
+    /// realizing `dist(j,i)` exactly.
+    pub fn on_max_path(&self, j: usize, i: usize) -> bool {
+        self.delta(j, i) >= 0 && Some(self.delta(j, i)) == self.dist(j, i)
+    }
+
+    /// The paper's `inc` condition for updating `e_i[j]` / `δ(i,j)`: process
+    /// `i`, having moved one round, advances against `j` iff
+    ///
+    /// * `j` is at-or-above `i` along an exact (max-path) edge — `i` is
+    ///   catching up; or
+    /// * `i` is at-or-above `j` by less than K — `i` extends its lead
+    ///   (a lead of exactly K is *not* extended: that is the shrink).
+    ///
+    /// **Degraded mode.** Concurrent scans can race: a process may advance
+    /// its row based on a scan in which a laggard had not yet caught up,
+    /// and the combined rows then decode to a configuration that is no
+    /// legal token-game state (a positive cycle). In such a state the
+    /// max-path gate misfires — cyclically inflated distances make every
+    /// direct edge look saturated, freezing catch-up forever (a livelock
+    /// this repository reproduced; the paper's preliminary version omits
+    /// the concurrency proofs that would have to address it). When the
+    /// scanned graph contains a positive cycle, the gate therefore falls
+    /// back to the direct-edge rule — catch up against anyone at-or-above —
+    /// which monotonically drives the configuration back to a consistent
+    /// one. Consistent graphs are unaffected.
+    pub fn should_advance(&self, closure: &[Vec<Option<i64>>], i: usize, j: usize) -> bool {
+        let dji = self.delta(j, i);
+        let consistent = (0..self.n).all(|v| closure[v][v] == Some(0));
+        let catching_up = if consistent {
+            dji >= 0 && Some(dji) == closure[j][i]
+        } else {
+            dji >= 0
+        };
+        if catching_up {
+            true
+        } else {
+            let dij = self.delta(i, j);
+            dij >= 0 && dij < self.k as i64
+        }
+    }
+
+    /// The paper's `inc(i, G)`: the image of `move_token_i` on the graph
+    /// (Claim 4.1: equals re-deriving the graph from the shrunken game).
+    pub fn inc(&mut self, i: usize) {
+        let closure = self.closure();
+        for j in 0..self.n {
+            if j != i && self.should_advance(&closure, i, j) {
+                let d = self.delta(i, j);
+                self.set_delta(i, j, d + 1);
+            }
+        }
+    }
+
+    /// Verifies the paper's graph properties (1)–(5):
+    ///
+    /// 1. antisymmetry / totality: `δ(i,j) = −δ(j,i)` with `|δ| ≤ K` (so at
+    ///    least one direction is an edge, both iff weight 0);
+    /// 2. no positive cycles;
+    /// 3. all path weights within `[0, K·n]`;
+    /// 4. unsaturated edges are exact (`δ(i,j) < K ⇒ δ(i,j) = dist(i,j)`);
+    /// 5. the at-or-above relation is a total preorder (transitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first property violated.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n;
+        let k = self.k as i64;
+        for i in 0..n {
+            for j in 0..n {
+                let d = self.delta(i, j);
+                if d != -self.delta(j, i) {
+                    return Err(format!("antisymmetry broken at ({i},{j})"));
+                }
+                if d.abs() > k {
+                    return Err(format!("|δ({i},{j})| = {} > K", d.abs()));
+                }
+            }
+        }
+        let c = self.closure();
+        for (i, row) in c.iter().enumerate() {
+            if row[i] != Some(0) {
+                return Err(format!("positive cycle through {i}: {:?}", row[i]));
+            }
+            for (j, &cij) in row.iter().enumerate() {
+                if let Some(d) = cij {
+                    if !(0..=k * n as i64).contains(&d) {
+                        return Err(format!("dist({i},{j}) = {d} outside [0, K·n]"));
+                    }
+                }
+                let dd = self.delta(i, j);
+                if (0..k).contains(&dd) && cij != Some(dd) {
+                    return Err(format!(
+                        "unsaturated edge ({i},{j}) weight {dd} != dist {:?}",
+                        cij
+                    ));
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                for d in 0..n {
+                    if self.has_edge(a, b) && self.has_edge(b, d) && !self.has_edge(a, d) {
+                        return Err(format!("at-or-above not transitive: {a}≥{b}≥{d} but {a}<{d}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn initial_graph_is_all_zero() {
+        let g = DistanceGraph::new(3, 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.delta(i, j), 0);
+                assert!(g.has_edge(i, j));
+                assert_eq!(g.weight(i, j), Some(0));
+            }
+        }
+        assert_eq!(g.leaders(), vec![0, 1, 2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn from_positions_caps_at_k() {
+        let g = DistanceGraph::from_positions(&[0, 5, 1], 2);
+        assert_eq!(g.delta(1, 0), 2, "5-0 capped at K=2");
+        assert_eq!(g.delta(0, 1), -2);
+        assert_eq!(g.delta(2, 0), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.leaders(), vec![1]);
+    }
+
+    #[test]
+    fn closure_recovers_exact_distance_through_chain() {
+        // Shrunken positions 0, 2, 4 with K=2: direct edge (2→0) saturates
+        // at 2, but the chain through the middle token recovers 4.
+        let g = DistanceGraph::from_positions(&[0, 2, 4], 2);
+        assert_eq!(g.delta(2, 0), 2);
+        assert_eq!(g.dist(2, 0), Some(4));
+        assert!(!g.on_max_path(2, 0), "saturated edge is not on a max path");
+        assert!(g.on_max_path(1, 0));
+        assert!(g.on_max_path(2, 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dist_is_none_without_a_path() {
+        let g = DistanceGraph::from_positions(&[0, 3], 1);
+        assert_eq!(g.dist(0, 1), None, "trailing token has no path up");
+        assert_eq!(g.dist(1, 0), Some(1));
+    }
+
+    /// Claim 4.1, exhaustively: every move sequence of length ≤ `depth` on
+    /// the shrunken game produces the same graph via `inc` as via
+    /// `from_game`.
+    fn claim_4_1_exhaustive(n: usize, k: u32, depth: usize) {
+        fn recurse(
+            n: usize,
+            game: &ShrunkenGame,
+            graph: &DistanceGraph,
+            depth: usize,
+        ) {
+            let derived = DistanceGraph::from_game(game);
+            assert_eq!(
+                graph, &derived,
+                "Claim 4.1 violated at positions {:?}",
+                game.positions()
+            );
+            graph.validate().unwrap();
+            if depth == 0 {
+                return;
+            }
+            for i in 0..n {
+                let mut g2 = game.clone();
+                let mut gr2 = graph.clone();
+                g2.move_token(i);
+                gr2.inc(i);
+                recurse(n, &g2, &gr2, depth - 1);
+            }
+        }
+        let game = ShrunkenGame::new(n, k);
+        let graph = DistanceGraph::from_game(&game);
+        recurse(n, &game, &graph, depth);
+    }
+
+    #[test]
+    fn claim_4_1_exhaustive_n2_k1() {
+        claim_4_1_exhaustive(2, 1, 7);
+    }
+
+    #[test]
+    fn claim_4_1_exhaustive_n2_k2() {
+        claim_4_1_exhaustive(2, 2, 7);
+    }
+
+    #[test]
+    fn claim_4_1_exhaustive_n3_k2() {
+        claim_4_1_exhaustive(3, 2, 5);
+    }
+
+    #[test]
+    fn claim_4_1_randomized_larger() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..=6);
+            let k = rng.gen_range(1..=3);
+            let mut game = ShrunkenGame::new(n, k);
+            let mut graph = DistanceGraph::from_game(&game);
+            for step in 0..200 {
+                let i = rng.gen_range(0..n);
+                game.move_token(i);
+                graph.inc(i);
+                let derived = DistanceGraph::from_game(&game);
+                assert_eq!(
+                    graph, derived,
+                    "trial {trial} step {step}: inc diverged at {:?}",
+                    game.positions()
+                );
+            }
+            graph.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn leaders_match_game_leaders() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (n, k) = (4, 2);
+        let mut game = ShrunkenGame::new(n, k);
+        let mut graph = DistanceGraph::from_game(&game);
+        for _ in 0..300 {
+            let i = rng.gen_range(0..n);
+            game.move_token(i);
+            graph.inc(i);
+            assert_eq!(graph.leaders(), game.leaders());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_graphs() {
+        let mut g = DistanceGraph::new(2, 2);
+        g.delta[1] = 1; // break antisymmetry by hand: entry (0,1)
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Systematic fault injection: crash each process at *every* possible event
+//! index of a reference execution and verify the survivors still reach a
+//! safe decision. Deterministic lockstep makes this sweep exact — no
+//! sampling, every crash point of the reference schedule is covered.
+
+use bprc::core::bounded::{BoundedCore, ConsensusParams};
+use bprc::core::ProcState;
+use bprc::sim::turn::{TurnAdversary, TurnDecision, TurnDriver, TurnFn, TurnRandom, TurnView};
+
+fn cores(n: usize, inputs: &[bool], seed: u64) -> Vec<BoundedCore> {
+    let params = ConsensusParams::quick(n);
+    (0..n)
+        .map(|p| BoundedCore::new(params.clone(), p, inputs[p], seed * 101 + p as u64))
+        .collect()
+}
+
+/// Reference run length (events until everyone decides) for the given seed.
+fn reference_events(n: usize, inputs: &[bool], seed: u64) -> u64 {
+    let r = TurnDriver::new(cores(n, inputs, seed)).run(&mut TurnRandom::new(seed), 5_000_000);
+    assert!(r.completed);
+    r.events
+}
+
+#[test]
+fn crash_each_process_at_every_event() {
+    let n = 3;
+    let inputs = [true, false, true];
+    let seed = 42;
+    let horizon = reference_events(n, &inputs, seed).min(120);
+
+    for victim in 0..n {
+        for crash_at in 0..horizon {
+            let mut inner = TurnRandom::new(seed);
+            let mut crashed = false;
+            let mut adversary = TurnFn(|view: &TurnView<'_, ProcState>| {
+                if !crashed && view.events == crash_at && view.active.contains(&victim) {
+                    crashed = true;
+                    return TurnDecision::Crash(victim);
+                }
+                inner.choose(view)
+            });
+            let r = TurnDriver::new(cores(n, &inputs, seed)).run(&mut adversary, 5_000_000);
+            assert!(
+                r.completed,
+                "victim {victim} @ {crash_at}: survivors failed to terminate"
+            );
+            let decisions: Vec<bool> = (0..n)
+                .filter(|&p| p != victim || r.outputs[p].is_some())
+                .filter_map(|p| r.outputs[p])
+                .collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "victim {victim} @ {crash_at}: agreement violated: {:?}",
+                r.outputs
+            );
+            if let Some(&d) = decisions.first() {
+                assert!(
+                    inputs.contains(&d),
+                    "victim {victim} @ {crash_at}: invalid decision {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_two_of_four_at_every_pair_of_sampled_events() {
+    // Pairs of crashes at a coarser grid (full cross product is quadratic).
+    let n = 4;
+    let inputs = [true, false, false, true];
+    let seed = 7;
+    let horizon = reference_events(n, &inputs, seed).min(80);
+    let points: Vec<u64> = (0..horizon).step_by(9).collect();
+
+    for &c1 in &points {
+        for &c2 in &points {
+            let mut inner = TurnRandom::new(seed);
+            let mut done1 = false;
+            let mut done2 = false;
+            let mut adversary = TurnFn(|view: &TurnView<'_, ProcState>| {
+                if !done1 && view.events >= c1 && view.active.contains(&0) {
+                    done1 = true;
+                    return TurnDecision::Crash(0);
+                }
+                if !done2 && view.events >= c2 && view.active.contains(&1) {
+                    done2 = true;
+                    return TurnDecision::Crash(1);
+                }
+                inner.choose(view)
+            });
+            let r = TurnDriver::new(cores(n, &inputs, seed)).run(&mut adversary, 5_000_000);
+            assert!(r.completed, "crashes @({c1},{c2}): no termination");
+            let survivors: Vec<bool> = (2..n).filter_map(|p| r.outputs[p]).collect();
+            assert_eq!(survivors.len(), 2, "crashes @({c1},{c2})");
+            assert_eq!(survivors[0], survivors[1], "crashes @({c1},{c2})");
+            assert!(inputs.contains(&survivors[0]));
+        }
+    }
+}
+
+#[test]
+fn all_but_one_crash_leaves_a_lone_decider() {
+    // Wait-freedom in the extreme: n−1 processes crash immediately; the
+    // survivor must still decide (and, since only its own input is certain
+    // to be visible, decide a valid value).
+    for n in [2usize, 3, 5] {
+        for survivor in 0..n {
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+            let mut inner = TurnRandom::new(3);
+            let mut adversary = TurnFn(|view: &TurnView<'_, ProcState>| {
+                if let Some(&victim) = view.active.iter().find(|&&p| p != survivor) {
+                    if !view.crashed[victim] {
+                        return TurnDecision::Crash(victim);
+                    }
+                }
+                inner.choose(view)
+            });
+            let r = TurnDriver::new(cores(n, &inputs, 3)).run(&mut adversary, 5_000_000);
+            assert!(r.completed, "n={n} survivor={survivor}");
+            let d = r.outputs[survivor].expect("survivor decides");
+            assert!(inputs.contains(&d));
+        }
+    }
+}

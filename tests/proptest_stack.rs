@@ -1,0 +1,89 @@
+//! Property-based tests over the whole stack: random sizes, inputs, seeds
+//! and play sequences.
+
+use bprc::core::bounded::{BoundedCore, ConsensusParams};
+use bprc::sim::turn::{TurnDriver, TurnRandom};
+use bprc::strip::{DistanceGraph, EdgeCounters, ShrunkenGame};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement + validity of the bounded protocol for arbitrary inputs,
+    /// sizes and scheduler seeds.
+    #[test]
+    fn consensus_agreement_and_validity(
+        n in 1usize..=5,
+        input_bits in 0u8..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let inputs: Vec<bool> = (0..n).map(|i| (input_bits >> i) & 1 == 1).collect();
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<BoundedCore> = (0..n)
+            .map(|p| BoundedCore::new(params.clone(), p, inputs[p], seed ^ (p as u64) << 32))
+            .collect();
+        let report = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 10_000_000);
+        prop_assert!(report.completed, "did not terminate within budget");
+        let distinct = report.distinct_outputs();
+        prop_assert_eq!(distinct.len(), 1, "agreement violated");
+        prop_assert!(inputs.contains(distinct[0]), "validity violated");
+    }
+
+    /// Claim 4.1 over arbitrary play sequences, for the graph and for the
+    /// cyclic-counter encoding simultaneously.
+    #[test]
+    fn strip_tracks_game(
+        n in 1usize..=6,
+        k in 1u32..=4,
+        plays in proptest::collection::vec(0usize..6, 0..200),
+    ) {
+        let mut game = ShrunkenGame::new(n, k);
+        let mut graph = DistanceGraph::from_game(&game);
+        let mut counters = EdgeCounters::new(n, k);
+        for &p in &plays {
+            let i = p % n;
+            game.move_token(i);
+            graph.inc(i);
+            counters.inc_graph(i);
+        }
+        let truth = DistanceGraph::from_game(&game);
+        prop_assert_eq!(&graph, &truth, "graph inc diverged");
+        prop_assert_eq!(&counters.make_graph(), &truth, "counter decode diverged");
+        prop_assert!(truth.validate().is_ok());
+        // Counters stay in their cyclic range forever.
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(counters.counter(i, j) < counters.modulus());
+            }
+        }
+    }
+
+    /// The coin's decision rules: own overflow always wins, and barrier
+    /// crossings decide the matching side.
+    #[test]
+    fn coin_value_rules(
+        own in -2000i64..2000,
+        others in proptest::collection::vec(-2000i64..2000, 1..8),
+        b in 1u32..6,
+        m in 1i64..1500,
+    ) {
+        use bprc::coin::value::{coin_value, CoinValue};
+        use bprc::coin::CoinParams;
+        let n = others.len() + 1;
+        let params = CoinParams::new(n, b, m);
+        let own = params.clamp_counter(own);
+        let mut counters: Vec<i64> = others.iter().map(|&c| params.clamp_counter(c)).collect();
+        counters.push(own);
+        let v = coin_value(&params, own, &counters);
+        let total: i64 = counters.iter().sum();
+        if params.overflowed(own) {
+            prop_assert_eq!(v, CoinValue::Heads);
+        } else if total > params.barrier() {
+            prop_assert_eq!(v, CoinValue::Heads);
+        } else if total < -params.barrier() {
+            prop_assert_eq!(v, CoinValue::Tails);
+        } else {
+            prop_assert_eq!(v, CoinValue::Undecided);
+        }
+    }
+}
