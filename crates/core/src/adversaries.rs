@@ -216,4 +216,36 @@ mod tests {
             assert_eq!(r.distinct_outputs().len(), 1, "seed {seed}");
         }
     }
+
+    #[test]
+    fn faulted_split_adversary_still_cannot_prevent_agreement() {
+        // Chaos composition: the protocol-aware SplitAdversary wrapped in a
+        // seeded fault plan (crashes, panics, stalls). Survivors must still
+        // agree, and whatever the plan killed must show up in the report.
+        use bprc_sim::faults::{FaultPlan, FaultedTurnAdversary};
+        use bprc_sim::Halted;
+        for seed in 0..8 {
+            let n = 4;
+            let plan = FaultPlan::seeded(seed, n, 400);
+            let kills = plan.kill_count();
+            let mut adv = FaultedTurnAdversary::new(SplitAdversary::new(2, seed), plan);
+            let r = TurnDriver::new(cores(n, seed)).run(&mut adv, 5_000_000);
+            assert!(r.completed, "seed {seed}: chaos blocked termination");
+            assert!(r.distinct_outputs().len() <= 1, "seed {seed}: disagreement");
+            let survivors = r.outputs.iter().filter(|o| o.is_some()).count();
+            assert!(
+                survivors >= n - kills,
+                "seed {seed}: too few survivors decided ({survivors} < {})",
+                n - kills
+            );
+            for (p, h) in r.halted.iter().enumerate() {
+                if r.outputs[p].is_none() {
+                    assert!(
+                        matches!(h, Some(Halted::Crashed) | Some(Halted::Panicked)),
+                        "seed {seed}: undecided pid {p} has no fault cause ({h:?})"
+                    );
+                }
+            }
+        }
+    }
 }

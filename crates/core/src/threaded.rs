@@ -100,6 +100,14 @@ impl<A: ArrowCell> ThreadedConsensus<A> {
             over_scannable_memory(world, procs, ProcState::phantom(params.n(), params.k()));
         ThreadedConsensus { memory, bodies }
     }
+
+    /// Bounds (or unbounds) the underlying memory's per-scan retry budget —
+    /// shorthand for `self.memory.set_scan_retry_budget(budget)`. With a
+    /// budget, a scan starved by concurrent writers halts its process as
+    /// [`bprc_sim::Halted::ScanStarved`] instead of retrying forever.
+    pub fn set_scan_retry_budget(&self, budget: Option<u64>) {
+        self.memory.set_scan_retry_budget(budget);
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +202,50 @@ mod tests {
             let survivors: Vec<bool> = (1..3).filter_map(|p| rep.outputs[p]).collect();
             assert_eq!(survivors.len(), 2, "seed {seed}: survivors must decide");
             assert_eq!(survivors[0], survivors[1], "seed {seed}: agreement");
+        }
+    }
+
+    #[test]
+    fn chaos_plan_full_stack_panic_containment() {
+        // Inject a panic into one process mid-run over the real register
+        // stack: the panic is contained, the survivors reach agreement, and
+        // the injection is visible in the recorded history.
+        use bprc_sim::faults::{FaultPlan, FaultedStrategy};
+        use bprc_sim::{FaultKind, Halted};
+        // Expected contained panic: keep it off stderr.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .is_some_and(|s| s.contains("chaos"));
+            if !injected {
+                prev_hook(info);
+            }
+        }));
+        for seed in 0..4 {
+            let params = ConsensusParams::quick(3);
+            let mut world = World::builder(3).seed(seed).step_limit(5_000_000).build();
+            let inst =
+                ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], seed);
+            let plan = FaultPlan::new()
+                .panic_at(25, 1)
+                .stall(0, 60, 200);
+            let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
+            let rep = world.run(inst.bodies, Box::new(strategy));
+            assert_eq!(rep.halted[1], Some(Halted::Panicked), "seed {seed}");
+            let survivors: Vec<bool> =
+                [0, 2].iter().filter_map(|&p| rep.outputs[p]).collect();
+            assert_eq!(survivors.len(), 2, "seed {seed}: survivors must decide");
+            assert_eq!(survivors[0], survivors[1], "seed {seed}: agreement");
+            let h = rep.history.unwrap();
+            assert!(
+                h.faults()
+                    .any(|(_, pid, k)| pid == 1 && k == FaultKind::PanicInjected),
+                "seed {seed}: injection missing from history"
+            );
         }
     }
 }

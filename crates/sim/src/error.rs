@@ -22,6 +22,16 @@ pub enum Halted {
     /// non-terminating adversarial schedules (e.g. a scan livelocked by a
     /// hostile writer) and convert them into a reported outcome.
     StepLimit,
+    /// The process body panicked — either a bug in the body or a panic
+    /// injected by a fault plan (see `bprc_sim::faults`). The panic is
+    /// contained: the world keeps scheduling the survivors, and the panic
+    /// message is surfaced in [`RunReport::panics`](crate::world::RunReport).
+    /// Models a byzantine-free crash with a diagnosable cause.
+    Panicked,
+    /// A snapshot scan exhausted its retry budget under concurrent-writer
+    /// pressure and degraded gracefully instead of livelocking (see
+    /// `ScannableMemory::set_scan_retry_budget` in `bprc-snapshot`).
+    ScanStarved,
 }
 
 impl fmt::Display for Halted {
@@ -30,6 +40,8 @@ impl fmt::Display for Halted {
             Halted::Crashed => write!(f, "process was crashed by the scheduler"),
             Halted::Shutdown => write!(f, "world shut down"),
             Halted::StepLimit => write!(f, "global step limit exhausted"),
+            Halted::Panicked => write!(f, "process body panicked (contained)"),
+            Halted::ScanStarved => write!(f, "scan exhausted its retry budget"),
         }
     }
 }
@@ -42,7 +54,13 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_lowercase() {
-        for h in [Halted::Crashed, Halted::Shutdown, Halted::StepLimit] {
+        for h in [
+            Halted::Crashed,
+            Halted::Shutdown,
+            Halted::StepLimit,
+            Halted::Panicked,
+            Halted::ScanStarved,
+        ] {
             let s = h.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());

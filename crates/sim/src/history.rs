@@ -30,6 +30,37 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// The kind of an injected fault event (see the `faults` module).
+///
+/// Crash decisions keep their dedicated [`Event::Crash`] variant (they
+/// predate the chaos subsystem); everything the fault-injection layer adds
+/// on top is recorded as an [`Event::Fault`] with one of these kinds, so a
+/// replayed history explains *why* a process stopped moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A stall window opened: the process is withheld from scheduling
+    /// until the window closes (or no other process can run).
+    StallStart,
+    /// A stall window closed: the process is eligible again.
+    StallEnd,
+    /// A panic was injected; the process unwinds at its next gate.
+    PanicInjected,
+    /// The process exhausted its step allowance and was crashed by the
+    /// fault plan (starvation made permanent).
+    Starved,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StallStart => write!(f, "stall:start"),
+            FaultKind::StallEnd => write!(f, "stall:end"),
+            FaultKind::PanicInjected => write!(f, "panic:injected"),
+            FaultKind::Starved => write!(f, "starved"),
+        }
+    }
+}
+
 /// A free-form marker pushed by protocol layers between memory accesses.
 ///
 /// The `label` identifies the marker type to whoever wrote it (e.g.
@@ -81,20 +112,36 @@ pub enum Event {
         /// The crashed process.
         pid: usize,
     },
+    /// A fault-injection event (stall window edge, injected panic,
+    /// starvation crash) recorded by the chaos subsystem.
+    Fault {
+        /// Value of the global step counter when the fault was recorded.
+        step: u64,
+        /// The affected process.
+        pid: usize,
+        /// What kind of fault it was.
+        kind: FaultKind,
+    },
 }
 
 impl Event {
     /// The global step counter value at which this event was recorded.
     pub fn step(&self) -> u64 {
         match self {
-            Event::Op { step, .. } | Event::Note { step, .. } | Event::Crash { step, .. } => *step,
+            Event::Op { step, .. }
+            | Event::Note { step, .. }
+            | Event::Crash { step, .. }
+            | Event::Fault { step, .. } => *step,
         }
     }
 
     /// The process this event belongs to.
     pub fn pid(&self) -> usize {
         match self {
-            Event::Op { pid, .. } | Event::Note { pid, .. } | Event::Crash { pid, .. } => *pid,
+            Event::Op { pid, .. }
+            | Event::Note { pid, .. }
+            | Event::Crash { pid, .. }
+            | Event::Fault { pid, .. } => *pid,
         }
     }
 }
@@ -165,6 +212,22 @@ impl History {
     /// Number of granted memory operations.
     pub fn op_count(&self) -> usize {
         self.ops().count()
+    }
+
+    /// Iterates over recorded fault-injection events, in order.
+    pub fn faults(&self) -> impl Iterator<Item = (u64, usize, FaultKind)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Fault { step, pid, kind } => Some((*step, *pid, *kind)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over scheduler crash events, in order.
+    pub fn crashes(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Crash { step, pid } => Some((*step, *pid)),
+            _ => None,
+        })
     }
 }
 

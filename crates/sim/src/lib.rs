@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod faults;
 pub mod history;
 pub mod reg;
 pub mod rng;
@@ -66,6 +67,8 @@ pub mod turn;
 pub mod world;
 
 pub use error::Halted;
+pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
+pub use history::FaultKind;
 pub use reg::Reg;
 pub use sched::{Decision, ScheduleView, Strategy};
 pub use world::{Ctx, Mode, RunReport, World, WorldBuilder};

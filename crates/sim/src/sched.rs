@@ -15,7 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::history::{OpKind, RegId};
+use crate::history::{FaultKind, OpKind, RegId};
 
 /// The operation a blocked process will perform once granted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,11 @@ pub enum Decision {
     /// Crash this process: it never takes another step. The scheduler is
     /// then consulted again for the same step.
     Crash(usize),
+    /// Inject a panic into this (runnable) process: at its next gate the
+    /// process unwinds with a panic, which the world contains and reports
+    /// as [`Halted::Panicked`](crate::error::Halted). The scheduler is then
+    /// consulted again for the same step.
+    Panic(usize),
 }
 
 /// The adversary interface.
@@ -68,6 +73,17 @@ pub enum Decision {
 pub trait Strategy {
     /// Picks the next decision given the current quiescent state.
     fn decide(&mut self, view: &ScheduleView<'_>) -> Decision;
+
+    /// Fault events the strategy wants appended to the recorded history.
+    ///
+    /// The world calls this after every decision and records each entry as
+    /// an [`Event::Fault`](crate::history::Event) at the current step —
+    /// this is how fault-injection wrappers (see the `faults` module) make
+    /// stall windows and starvation visible in replayable histories.
+    /// The default implementation reports nothing.
+    fn drain_fault_notes(&mut self) -> Vec<(usize, FaultKind)> {
+        Vec::new()
+    }
 }
 
 /// Cycles fairly through the runnable processes.

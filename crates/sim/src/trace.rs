@@ -105,6 +105,7 @@ pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
                 (*pid, text, false)
             }
             Event::Crash { pid, .. } => (*pid, "☠ CRASHED".to_string(), true),
+            Event::Fault { pid, kind, .. } => (*pid, format!("⚡ {kind}"), true),
         };
         if show_step {
             let _ = write!(out, "{step:>6}  ");
@@ -136,6 +137,7 @@ pub fn summary(history: &History, n: usize) -> String {
     let mut writes = 0u64;
     let mut per_proc = vec![0u64; n];
     let mut crashes = 0u64;
+    let mut faults = 0u64;
     for ev in history.events() {
         match ev {
             Event::Op { pid, kind, .. } => {
@@ -148,12 +150,13 @@ pub fn summary(history: &History, n: usize) -> String {
                 }
             }
             Event::Crash { .. } => crashes += 1,
+            Event::Fault { .. } => faults += 1,
             Event::Note { .. } => {}
         }
     }
     format!(
-        "{} reads, {} writes, {} crashes; ops per process: {:?}",
-        reads, writes, crashes, per_proc
+        "{} reads, {} writes, {} crashes, {} faults; ops per process: {:?}",
+        reads, writes, crashes, faults, per_proc
     )
 }
 

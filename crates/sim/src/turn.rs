@@ -23,6 +23,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::Halted;
+use crate::history::FaultKind;
+
 /// What a process does after observing a scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TurnStep<M, O> {
@@ -90,12 +93,35 @@ pub enum TurnDecision {
     Step(usize),
     /// Crash this process.
     Crash(usize),
+    /// Inject a panic into this (active) process: it halts as
+    /// [`Halted::Panicked`] and the injection is recorded in
+    /// [`TurnReport::fault_events`]. At turn granularity there is no thread
+    /// to unwind, so the effect is a crash with a diagnosable cause.
+    Panic(usize),
 }
 
 /// The strong adversary at scan/write granularity.
 pub trait TurnAdversary<M> {
     /// Chooses the next event.
     fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision;
+
+    /// Fault events the adversary wants appended to the run's fault log
+    /// (see [`TurnReport::fault_events`]). The driver calls this after every
+    /// decision; fault-injection wrappers (the `faults` module) use it to
+    /// make stall windows and starvation visible. Default: nothing.
+    fn drain_fault_notes(&mut self) -> Vec<(usize, FaultKind)> {
+        Vec::new()
+    }
+}
+
+impl<M, A: TurnAdversary<M> + ?Sized> TurnAdversary<M> for Box<A> {
+    fn choose(&mut self, view: &TurnView<'_, M>) -> TurnDecision {
+        (**self).choose(view)
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<(usize, FaultKind)> {
+        (**self).drain_fault_notes()
+    }
 }
 
 /// Fair rotation among active processes.
@@ -221,6 +247,14 @@ impl<M, F: FnMut(&TurnView<'_, M>) -> TurnDecision> TurnAdversary<M> for TurnFn<
 pub struct TurnReport<O> {
     /// Per-process decisions (`None` for crashed / event-limited processes).
     pub outputs: Vec<Option<O>>,
+    /// Per-process halt reason: `Crashed` for adversary crashes, `Panicked`
+    /// for contained `on_scan` panics and injected panics, `StepLimit` for
+    /// processes still undecided when the event budget ran out.
+    pub halted: Vec<Option<Halted>>,
+    /// Fault-injection events, as `(event_index, pid, kind)` in the order
+    /// they occurred — injected panics plus whatever the adversary reported
+    /// via [`TurnAdversary::drain_fault_notes`].
+    pub fault_events: Vec<(u64, usize, FaultKind)>,
     /// Total events applied (scans + writes).
     pub events: u64,
     /// Events per process.
@@ -249,6 +283,8 @@ pub struct TurnDriver<P: TurnProcess> {
     shared: Vec<P::Msg>,
     phases: Vec<Phase<P::Msg>>,
     crashed: Vec<bool>,
+    halted: Vec<Option<Halted>>,
+    fault_log: Vec<(u64, usize, FaultKind)>,
     outputs: Vec<Option<P::Out>>,
     events: u64,
     per_proc_events: Vec<u64>,
@@ -289,6 +325,8 @@ impl<P: TurnProcess> TurnDriver<P> {
             shared,
             phases,
             crashed: vec![false; n],
+            halted: vec![None; n],
+            fault_log: Vec::new(),
             outputs: (0..n).map(|_| None).collect(),
             events: 0,
             per_proc_events: vec![0; n],
@@ -329,6 +367,9 @@ impl<P: TurnProcess> TurnDriver<P> {
 
     /// Applies one event for `pid` (must be active).
     ///
+    /// A panic inside the process's `on_scan` is contained: the process
+    /// halts as [`Halted::Panicked`] and everyone else keeps going.
+    ///
     /// # Panics
     ///
     /// Panics if `pid` is done or crashed.
@@ -341,13 +382,23 @@ impl<P: TurnProcess> TurnDriver<P> {
                 self.shared[pid] = m;
                 // phase already set to Scan
             }
-            Phase::Scan => match self.procs[pid].on_scan(&self.shared) {
-                TurnStep::Write(m) => self.phases[pid] = Phase::Write(m),
-                TurnStep::Decide(o) => {
-                    self.outputs[pid] = Some(o);
-                    self.phases[pid] = Phase::Done;
+            Phase::Scan => {
+                let proc = &mut self.procs[pid];
+                let shared = &self.shared;
+                let step =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| proc.on_scan(shared)));
+                match step {
+                    Ok(TurnStep::Write(m)) => self.phases[pid] = Phase::Write(m),
+                    Ok(TurnStep::Decide(o)) => {
+                        self.outputs[pid] = Some(o);
+                        self.phases[pid] = Phase::Done;
+                    }
+                    Err(_) => {
+                        self.crashed[pid] = true;
+                        self.halted[pid] = Some(Halted::Panicked);
+                    }
                 }
-            },
+            }
             Phase::Done => panic!("process {pid} already decided"),
         }
     }
@@ -356,6 +407,9 @@ impl<P: TurnProcess> TurnDriver<P> {
     pub fn crash(&mut self, pid: usize) {
         assert!(!self.crashed[pid], "process {pid} crashed twice");
         self.crashed[pid] = true;
+        if !matches!(self.phases[pid], Phase::Done) {
+            self.halted[pid] = Some(Halted::Crashed);
+        }
     }
 
     /// Runs under `adversary` until every active process decided or
@@ -401,14 +455,40 @@ impl<P: TurnProcess> TurnDriver<P> {
                     self.step(pid);
                 }
                 TurnDecision::Crash(pid) => self.crash(pid),
+                TurnDecision::Panic(pid) => {
+                    assert!(
+                        active.contains(&pid),
+                        "adversary panicked inactive {pid}"
+                    );
+                    self.crashed[pid] = true;
+                    self.halted[pid] = Some(Halted::Panicked);
+                    self.fault_log
+                        .push((self.events, pid, FaultKind::PanicInjected));
+                }
+            }
+            for (pid, kind) in adversary.drain_fault_notes() {
+                self.fault_log.push((self.events, pid, kind));
             }
             observer(&self);
         }
     }
 
-    fn finish(self, completed: bool) -> TurnReport<P::Out> {
+    fn finish(mut self, completed: bool) -> TurnReport<P::Out> {
+        if !completed {
+            // Processes still undecided when the budget ran out.
+            for p in 0..self.procs.len() {
+                if !self.crashed[p]
+                    && !matches!(self.phases[p], Phase::Done)
+                    && self.halted[p].is_none()
+                {
+                    self.halted[p] = Some(Halted::StepLimit);
+                }
+            }
+        }
         TurnReport {
             outputs: self.outputs,
+            halted: self.halted,
+            fault_events: self.fault_log,
             events: self.events,
             per_proc_events: self.per_proc_events,
             completed,
@@ -536,10 +616,75 @@ mod tests {
     fn distinct_outputs_helper() {
         let r = TurnReport {
             outputs: vec![Some(1u32), Some(2), Some(1), None],
+            halted: vec![None, None, None, Some(Halted::Crashed)],
+            fault_events: vec![],
             events: 0,
             per_proc_events: vec![],
             completed: true,
         };
         assert_eq!(r.distinct_outputs(), vec![&1, &2]);
+    }
+
+    #[test]
+    fn on_scan_panic_is_contained() {
+        /// Panics on its first scan.
+        struct Bomb;
+        impl TurnProcess for Bomb {
+            type Msg = u32;
+            type Out = u32;
+            fn initial_msg(&mut self) -> u32 {
+                0
+            }
+            fn on_scan(&mut self, _: &[u32]) -> TurnStep<u32, u32> {
+                panic!("chaos: deliberate on_scan panic");
+            }
+        }
+        // Silence the expected panic's default stderr report.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = TurnDriver::new(vec![Bomb, Bomb]).run(&mut TurnRoundRobin::new(), 100);
+        std::panic::set_hook(prev);
+        assert!(report.completed, "both bombs halt, so the run completes");
+        assert_eq!(report.halted, vec![Some(Halted::Panicked); 2]);
+        assert_eq!(report.outputs, vec![None, None]);
+    }
+
+    #[test]
+    fn injected_panic_decision_halts_target() {
+        let procs: Vec<MaxFinder> = (0..3).map(|i| MaxFinder { input: i * 10 }).collect();
+        let report = TurnDriver::new(procs).run(
+            &mut TurnFn(|view: &TurnView<'_, u32>| {
+                if view.events == 0 && view.active.contains(&2) {
+                    TurnDecision::Panic(2)
+                } else {
+                    TurnDecision::Step(view.active[0])
+                }
+            }),
+            1_000,
+        );
+        assert!(report.completed);
+        assert_eq!(report.halted[2], Some(Halted::Panicked));
+        assert_eq!(report.outputs[2], None);
+        // Survivors still decide (they saw pid 2's initial value).
+        assert_eq!(report.outputs[0], Some(20));
+        assert_eq!(
+            report.fault_events,
+            vec![(0, 2, FaultKind::PanicInjected)]
+        );
+    }
+
+    #[test]
+    fn event_limit_reports_step_limit_halt() {
+        struct Spinner;
+        impl TurnProcess for Spinner {
+            type Msg = ();
+            type Out = ();
+            fn initial_msg(&mut self) {}
+            fn on_scan(&mut self, _: &[()]) -> TurnStep<(), ()> {
+                TurnStep::Write(())
+            }
+        }
+        let report = TurnDriver::new(vec![Spinner]).run(&mut TurnRoundRobin::new(), 5);
+        assert_eq!(report.halted, vec![Some(Halted::StepLimit)]);
     }
 }

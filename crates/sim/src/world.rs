@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::error::Halted;
-use crate::history::{Annotation, Event, History, OpKind, RegId};
+use crate::history::{Annotation, Event, FaultKind, History, OpKind, RegId};
 use crate::sched::{Decision, PendingOp, ScheduleView, Strategy};
 
 /// How shared-memory accesses are interleaved.
@@ -38,8 +38,12 @@ pub struct RunReport<T> {
     /// Per-process output: `Some` if the body returned `Ok`, `None` if it was
     /// halted (see [`RunReport::halted`]) or panicked.
     pub outputs: Vec<Option<T>>,
-    /// Per-process halt reason, if any.
+    /// Per-process halt reason, if any. A process whose body panicked
+    /// (its own bug or an injected chaos panic) reports
+    /// [`Halted::Panicked`]; the panic message is in [`RunReport::panics`].
     pub halted: Vec<Option<Halted>>,
+    /// Per-process contained panic message, if the body panicked.
+    pub panics: Vec<Option<String>>,
     /// Total granted shared-memory accesses.
     pub steps: u64,
     /// Granted accesses per process.
@@ -68,6 +72,16 @@ impl<T> RunReport<T> {
     pub fn decided_count(&self) -> usize {
         self.outputs.iter().filter(|o| o.is_some()).count()
     }
+
+    /// Pids whose bodies panicked (contained as [`Halted::Panicked`]).
+    pub fn panicked_pids(&self) -> Vec<usize> {
+        self.halted
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h, Some(Halted::Panicked)))
+            .map(|(p, _)| p)
+            .collect()
+    }
 }
 
 pub(crate) struct Central {
@@ -75,6 +89,8 @@ pub(crate) struct Central {
     waiting: Vec<Option<PendingOp>>,
     finished: Vec<bool>,
     crashed: Vec<bool>,
+    /// Panic-injection flags: a poisoned process panics at its next gate.
+    poisoned: Vec<bool>,
     shutdown: Option<Halted>,
     steps: u64,
     per_proc_steps: Vec<u64>,
@@ -141,6 +157,25 @@ impl WorldInner {
                         self.sched_cv.notify_one();
                         return Err(Halted::Crashed);
                     }
+                    if c.poisoned[pid] {
+                        // An injected panic: unwind on the process thread so
+                        // panic containment is exercised for real. The
+                        // central lock is released by the unwind; the
+                        // FinishGuard then marks the process finished.
+                        c.poisoned[pid] = false;
+                        c.waiting[pid] = None;
+                        if self.record {
+                            let step = c.steps;
+                            c.history.push(Event::Fault {
+                                step,
+                                pid,
+                                kind: FaultKind::PanicInjected,
+                            });
+                        }
+                        self.sched_cv.notify_one();
+                        drop(c);
+                        panic!("chaos: injected panic (pid {pid})");
+                    }
                     if let Some(h) = c.shutdown {
                         c.waiting[pid] = None;
                         self.sched_cv.notify_one();
@@ -187,6 +222,11 @@ impl WorldInner {
             let mut c = self.central.lock();
             c.finished[pid] = true;
             c.waiting[pid] = None;
+            // If the body panicked mid-access (while holding its grant) the
+            // grant would otherwise stay stuck and deadlock the scheduler.
+            if c.granted == Some(pid) {
+                c.granted = None;
+            }
             self.sched_cv.notify_one();
         }
     }
@@ -203,8 +243,12 @@ impl WorldInner {
                     self.proc_cv.notify_all();
                     return;
                 }
+                // A poisoned process is mid-unwind: wait until its
+                // FinishGuard reports it finished, so decisions are made
+                // against a settled process set (deterministic replay).
                 let all_quiet = c.granted.is_none()
-                    && (0..self.n).all(|p| c.finished[p] || c.waiting[p].is_some());
+                    && (0..self.n)
+                        .all(|p| c.finished[p] || (c.waiting[p].is_some() && !c.poisoned[p]));
                 if all_quiet {
                     break;
                 }
@@ -240,16 +284,32 @@ impl WorldInner {
                 Decision::Grant(pid) => {
                     assert!(
                         runnable.contains(&pid),
-                        "strategy granted non-runnable process {pid}"
+                        "illegal strategy decision Grant({pid}) at step {}: \
+                         process is not runnable (runnable = {runnable:?})",
+                        c.steps
                     );
                     c.granted = Some(pid);
                     self.proc_cv.notify_all();
                 }
                 Decision::Crash(pid) => {
-                    assert!(pid < self.n, "strategy crashed unknown process {pid}");
                     assert!(
-                        !c.finished[pid] && !c.crashed[pid],
-                        "strategy crashed process {pid} twice or after it finished"
+                        pid < self.n,
+                        "illegal strategy decision Crash({pid}) at step {}: \
+                         unknown process (world has {} processes)",
+                        c.steps,
+                        self.n
+                    );
+                    assert!(
+                        !c.crashed[pid],
+                        "illegal strategy decision Crash({pid}) at step {}: \
+                         process {pid} is already crashed",
+                        c.steps
+                    );
+                    assert!(
+                        !c.finished[pid],
+                        "illegal strategy decision Crash({pid}) at step {}: \
+                         process {pid} already finished",
+                        c.steps
                     );
                     c.crashed[pid] = true;
                     let step = c.steps;
@@ -257,6 +317,22 @@ impl WorldInner {
                         c.history.push(Event::Crash { step, pid });
                     }
                     self.proc_cv.notify_all();
+                }
+                Decision::Panic(pid) => {
+                    assert!(
+                        runnable.contains(&pid),
+                        "illegal strategy decision Panic({pid}) at step {}: \
+                         process is not runnable (runnable = {runnable:?})",
+                        c.steps
+                    );
+                    c.poisoned[pid] = true;
+                    self.proc_cv.notify_all();
+                }
+            }
+            if self.record {
+                let step = c.steps;
+                for (pid, kind) in strategy.drain_fault_notes() {
+                    c.history.push(Event::Fault { step, pid, kind });
                 }
             }
         }
@@ -355,6 +431,7 @@ impl WorldBuilder {
                     waiting: vec![None; self.n],
                     finished: vec![false; self.n],
                     crashed: vec![false; self.n],
+                    poisoned: vec![false; self.n],
                     shutdown: None,
                     steps: 0,
                     per_proc_steps: vec![0; self.n],
@@ -484,7 +561,12 @@ impl World {
                     rng: SmallRng::seed_from_u64(seed),
                     inner,
                 };
-                body(&mut ctx)
+                // Contain panics (the body's own bugs or injected chaos
+                // panics): the FinishGuard already told the scheduler this
+                // process is done, so the survivors keep running; the panic
+                // payload is reported instead of re-thrown.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(&mut ctx)))
+                    .map_err(panic_message)
             }));
         }
 
@@ -492,19 +574,29 @@ impl World {
             self.inner.scheduler_loop(strategy.as_mut());
         }
 
+        // Join every thread before inspecting results: a panicked process
+        // must not make us abandon (and leak) the remaining handles.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         let mut outputs = Vec::with_capacity(self.inner.n);
         let mut halted = Vec::with_capacity(self.inner.n);
-        for h in handles {
-            match h.join() {
+        let mut panics = Vec::with_capacity(self.inner.n);
+        for j in joined {
+            match j.expect("process gate thread never panics (bodies are caught)") {
                 Ok(Ok(v)) => {
                     outputs.push(Some(v));
                     halted.push(None);
+                    panics.push(None);
                 }
                 Ok(Err(e)) => {
                     outputs.push(None);
                     halted.push(Some(e));
+                    panics.push(None);
                 }
-                Err(panic) => std::panic::resume_unwind(panic),
+                Err(msg) => {
+                    outputs.push(None);
+                    halted.push(Some(Halted::Panicked));
+                    panics.push(Some(msg));
+                }
             }
         }
 
@@ -519,6 +611,7 @@ impl World {
                 RunReport {
                     outputs,
                     halted,
+                    panics,
                     steps: c.steps,
                     per_proc_steps: std::mem::take(&mut c.per_proc_steps),
                     history,
@@ -527,11 +620,23 @@ impl World {
             Mode::Free => RunReport {
                 outputs,
                 halted,
+                panics,
                 steps: self.inner.free_steps.load(Ordering::Relaxed),
                 per_proc_steps: vec![0; self.inner.n],
                 history: None,
             },
         }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -695,12 +800,120 @@ mod tests {
         let rep = RunReport {
             outputs: vec![Some(1), Some(1), Some(2), None],
             halted: vec![None, None, None, Some(Halted::Crashed)],
+            panics: vec![None, None, None, None],
             steps: 0,
             per_proc_steps: vec![],
             history: None,
         };
         assert_eq!(rep.distinct_outputs(), vec![&1, &2]);
         assert_eq!(rep.decided_count(), 3);
+    }
+
+    /// Suppresses the default panic-to-stderr hook for tests that exercise
+    /// panic containment, so expected contained panics don't spam output.
+    fn quiet_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(String::from)
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.contains("chaos") && !msg.contains("boom") {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn body_panic_is_contained_and_survivors_finish() {
+        quiet_panics();
+        let mut w = World::builder(2).build();
+        let r = w.reg("r", 0u32);
+        let r0 = r.clone();
+        let r1 = r.clone();
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| {
+                r0.write(ctx, 1)?;
+                panic!("boom: deliberate test panic");
+            }),
+            Box::new(move |ctx| {
+                let mut last = 0;
+                for _ in 0..10 {
+                    last = r1.read(ctx)?;
+                }
+                Ok(last)
+            }),
+        ];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.halted[0], Some(Halted::Panicked));
+        assert!(rep.panics[0].as_deref().unwrap().contains("boom"));
+        assert_eq!(rep.outputs[1], Some(1), "survivor must finish normally");
+        assert_eq!(rep.panicked_pids(), vec![0]);
+    }
+
+    #[test]
+    fn injected_panic_decision_poisons_target() {
+        quiet_panics();
+        let mut w = World::builder(2).build();
+        let r = w.reg("r", 0u32);
+        let r0 = r.clone();
+        let r1 = r.clone();
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| loop {
+                r0.write(ctx, 1)?;
+            }),
+            Box::new(move |ctx| {
+                let mut last = 0;
+                for _ in 0..10 {
+                    last = r1.read(ctx)?;
+                }
+                Ok(last)
+            }),
+        ];
+        let strategy = FnStrategy::new(|view: &ScheduleView<'_>| {
+            if view.step == 4 && view.runnable.contains(&0) {
+                Decision::Panic(0)
+            } else {
+                Decision::Grant(view.runnable[view.step as usize % view.runnable.len()])
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        assert_eq!(rep.halted[0], Some(Halted::Panicked));
+        assert!(rep.panics[0].as_deref().unwrap().contains("chaos"));
+        assert_eq!(rep.outputs[1], Some(1));
+        // The injection shows up in the recorded history.
+        let h = rep.history.unwrap();
+        let faults: Vec<_> = h.faults().collect();
+        assert!(faults
+            .iter()
+            .any(|&(_, pid, kind)| pid == 0 && kind == FaultKind::PanicInjected));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal strategy decision Crash(0)")]
+    fn crashing_a_crashed_process_names_the_illegal_decision() {
+        let mut w = World::builder(2).build();
+        let r = w.reg("r", 0u32);
+        let r0 = r.clone();
+        let r1 = r.clone();
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| loop {
+                r0.write(ctx, 1)?;
+            }),
+            Box::new(move |ctx| loop {
+                r1.read(ctx)?;
+            }),
+        ];
+        // Crash pid 0, then illegally crash it again.
+        let strategy = FnStrategy::new(|_view: &ScheduleView<'_>| Decision::Crash(0));
+        let _ = w.run(bodies, Box::new(strategy));
     }
 
     #[test]

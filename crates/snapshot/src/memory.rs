@@ -54,6 +54,9 @@ pub struct ScanStats {
     pub attempts: AtomicU64,
     /// Completed updates.
     pub updates: AtomicU64,
+    /// Scans abandoned because the retry budget ran out
+    /// (see [`ScannableMemory::set_scan_retry_budget`]).
+    pub starved: AtomicU64,
 }
 
 struct Shared<T, A> {
@@ -62,6 +65,9 @@ struct Shared<T, A> {
     /// `arrows[w][s]`: raised by writer `w` toward scanner `s` (None on the
     /// diagonal).
     arrows: Vec<Vec<Option<A>>>,
+    /// Max double-collect attempts per scan; 0 = unbounded (the paper's
+    /// semantics, and the default).
+    scan_retry_budget: AtomicU64,
     stats: Vec<ScanStats>,
     port_taken: Vec<AtomicBool>,
 }
@@ -133,6 +139,7 @@ where
                 n,
                 values,
                 arrows,
+                scan_retry_budget: AtomicU64::new(0),
                 stats: (0..n).map(|_| ScanStats::default()).collect(),
                 port_taken: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
@@ -173,6 +180,32 @@ where
     /// Statistics for process `pid`'s port.
     pub fn stats(&self, pid: usize) -> &ScanStats {
         &self.shared.stats[pid]
+    }
+
+    /// Bounds (or unbounds, with `None`) the number of double-collect
+    /// attempts a single scan may make before degrading gracefully.
+    ///
+    /// The paper's scan retries until stable — correct, but not wait-free:
+    /// a hostile scheduler driving a writer forever starves the scan. With
+    /// a budget of `k`, a scan that fails to stabilize within `k` attempts
+    /// returns [`Halted::ScanStarved`] instead of livelocking, and the
+    /// port's [`ScanStats::starved`] counter is bumped. The default is
+    /// unbounded (the paper's semantics); `Some(0)` is normalized to
+    /// `Some(1)` (a scan always gets at least one attempt).
+    pub fn set_scan_retry_budget(&self, budget: Option<u64>) {
+        let raw = match budget {
+            None => 0,
+            Some(k) => k.max(1),
+        };
+        self.shared.scan_retry_budget.store(raw, Ordering::Relaxed);
+    }
+
+    /// The current scan retry budget (`None` = unbounded).
+    pub fn scan_retry_budget(&self) -> Option<u64> {
+        match self.shared.scan_retry_budget.load(Ordering::Relaxed) {
+            0 => None,
+            k => Some(k),
+        }
     }
 
     /// Unscheduled view of current contents (diagnostics/adversaries only).
@@ -256,20 +289,27 @@ where
     ///
     /// Not wait-free: retries are caused by (and only by) concurrent
     /// updates, so an adversary driving a writer forever can starve a scan —
-    /// the world's step limit converts that into [`Halted::StepLimit`].
+    /// the world's step limit converts that into [`Halted::StepLimit`], or,
+    /// with a retry budget configured
+    /// (see [`ScannableMemory::set_scan_retry_budget`]), the scan itself
+    /// degrades gracefully into [`Halted::ScanStarved`].
     ///
     /// # Errors
     ///
     /// Returns [`Halted`] if the scheduler stopped this process (including
-    /// via the step limit under a starving schedule).
+    /// via the step limit under a starving schedule), or
+    /// [`Halted::ScanStarved`] when a configured retry budget runs out.
     pub fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
         Ok(self.scan_slots(ctx)?.into_iter().map(|s| s.value).collect())
     }
 
     fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<Slot<T>>, Halted> {
         let n = self.shared.n;
+        let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
+        let mut tries: u64 = 0;
         ctx.annotate(labels::SCAN_START, vec![]);
         loop {
+            tries += 1;
             self.shared.stats[self.me]
                 .attempts
                 .fetch_add(1, Ordering::Relaxed);
@@ -328,6 +368,14 @@ where
                     .scans
                     .fetch_add(1, Ordering::Relaxed);
                 return Ok(view);
+            }
+            if budget != 0 && tries >= budget {
+                // Budget exhausted: report starvation instead of retrying
+                // forever under writer pressure.
+                self.shared.stats[self.me]
+                    .starved
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Halted::ScanStarved);
             }
         }
     }
@@ -474,6 +522,54 @@ mod tests {
                 assert_eq!(v.len(), 3);
             }
         }
+    }
+
+    #[test]
+    fn retry_budget_degrades_starved_scan_gracefully() {
+        // Same hostile schedule as the step-limit test, but with a retry
+        // budget: the scanner reports ScanStarved (and the writer, no
+        // longer starved of steps itself, runs to the step limit).
+        let mut w = World::builder(2).step_limit(4_000).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::new(&w, 2, 0);
+        mem.set_scan_retry_budget(Some(5));
+        assert_eq!(mem.scan_retry_budget(), Some(5));
+        let mut wp = mem.port(0);
+        let mut sp = mem.port(1);
+        let bodies: Vec<ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| {
+                let mut k = 0u64;
+                loop {
+                    k += 1;
+                    wp.update(ctx, k)?;
+                }
+            }),
+            Box::new(move |ctx| sp.scan(ctx)),
+        ];
+        let strategy = FnStrategy::new(move |view: &bprc_sim::ScheduleView<'_>| {
+            if view.step.is_multiple_of(3) && view.runnable.contains(&1) {
+                Decision::Grant(1)
+            } else if view.runnable.contains(&0) {
+                Decision::Grant(0)
+            } else {
+                Decision::Grant(1)
+            }
+        });
+        let rep = w.run(bodies, Box::new(strategy));
+        assert_eq!(rep.halted[1], Some(bprc_sim::Halted::ScanStarved));
+        assert_eq!(mem.stats(1).starved.load(Ordering::Relaxed), 1);
+        assert_eq!(mem.stats(1).scans.load(Ordering::Relaxed), 0);
+        // Exactly the budgeted number of attempts was made.
+        assert_eq!(mem.stats(1).attempts.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_budget_normalizes_to_one_attempt() {
+        let w = World::builder(1).build();
+        let mem = ScannableMemory::<u8, DirectArrow>::new(&w, 1, 0);
+        mem.set_scan_retry_budget(Some(0));
+        assert_eq!(mem.scan_retry_budget(), Some(1));
+        mem.set_scan_retry_budget(None);
+        assert_eq!(mem.scan_retry_budget(), None);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Chaos demo: a composed fault plan — an early crash, a long stall
+//! window, and a late injected panic — over the full register-level
+//! consensus stack, with the fault timeline rendered from the recorded
+//! history.
+//!
+//! ```text
+//! cargo run --example chaos
+//! ```
+
+use bprc::core::bounded::ConsensusParams;
+use bprc::core::threaded::ThreadedConsensus;
+use bprc::registers::DirectArrow;
+use bprc::sim::faults::{FaultPlan, FaultedStrategy};
+use bprc::sim::sched::RandomStrategy;
+use bprc::sim::trace::{render, summary, TraceOptions};
+use bprc::sim::World;
+
+fn main() {
+    // The injected panic below is expected and contained; keep its default
+    // unwind report off the demo's output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .is_some_and(|s| s.contains("chaos"));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+
+    let n = 3;
+    let seed = 7;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n).seed(seed).step_limit(5_000_000).build();
+    let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], seed);
+    inst.set_scan_retry_budget(Some(128));
+
+    let plan = FaultPlan::new()
+        .crash_at(40, 0)
+        .stall(1, 60, 140)
+        .panic_at(200, 2);
+    println!("fault plan: {plan:#?}\n");
+
+    let names = world.reg_names();
+    let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
+    let report = world.run(inst.bodies, Box::new(strategy));
+    let history = report.history.as_ref().expect("lockstep records history");
+
+    println!("fault timeline:");
+    for (step, pid, kind) in history.faults() {
+        println!("  step {step:>5}  p{pid}  {kind}");
+    }
+    for (step, pid) in history.crashes() {
+        println!("  step {step:>5}  p{pid}  crash");
+    }
+
+    println!("\noutcome per process:");
+    for p in 0..n {
+        match (&report.outputs[p], &report.halted[p]) {
+            (Some(v), _) => println!("  p{p}: decided {v}"),
+            (None, Some(h)) => {
+                let msg = report.panics[p]
+                    .as_deref()
+                    .map(|m| format!(" ({m})"))
+                    .unwrap_or_default();
+                println!("  p{p}: halted — {h}{msg}");
+            }
+            (None, None) => println!("  p{p}: no output"),
+        }
+    }
+
+    // The decisive window of the register-level timeline, around the panic.
+    let opts = TraceOptions {
+        reg_names: names,
+        steps: Some((190, 215)),
+        notes: false,
+        ..Default::default()
+    };
+    println!("\ntimeline around the injected panic (steps 190..215):");
+    println!("{}", render(history, n, &opts));
+    println!("{}", summary(history, n));
+
+    let survivors: Vec<bool> = report.outputs.iter().flatten().copied().collect();
+    assert!(
+        survivors.windows(2).all(|w| w[0] == w[1]),
+        "agreement must survive the chaos"
+    );
+    println!(
+        "\n{} of {n} processes decided {:?} — agreement held under crash+stall+panic",
+        survivors.len(),
+        survivors.first()
+    );
+}

@@ -4,6 +4,8 @@
 //! sampling, every crash point of the reference schedule is covered.
 
 use bprc::core::bounded::{BoundedCore, ConsensusParams};
+use bprc::core::multishot::{LogCore, LogMsg, StaticProposals};
+use bprc::core::multivalued::MvCore;
 use bprc::core::ProcState;
 use bprc::sim::turn::{TurnAdversary, TurnDecision, TurnDriver, TurnFn, TurnRandom, TurnView};
 
@@ -94,6 +96,119 @@ fn crash_two_of_four_at_every_pair_of_sampled_events() {
             assert_eq!(survivors.len(), 2, "crashes @({c1},{c2})");
             assert_eq!(survivors[0], survivors[1], "crashes @({c1},{c2})");
             assert!(inputs.contains(&survivors[0]));
+        }
+    }
+}
+
+#[test]
+fn crash_each_process_at_every_event_multivalued() {
+    // The same exhaustive sweep for the multivalued extension: at every
+    // crash point the survivors must agree on one of the *proposed* values.
+    let n = 3;
+    let width = 4;
+    let values = [9u64, 3, 12];
+    let seed = 11;
+    let params = ConsensusParams::quick(n);
+    let mk = |seed: u64| -> Vec<MvCore> {
+        (0..n)
+            .map(|p| MvCore::new(params.clone(), p, values[p], width, seed * 101 + p as u64))
+            .collect()
+    };
+    let reference = TurnDriver::new(mk(seed)).run(&mut TurnRandom::new(seed), 5_000_000);
+    assert!(reference.completed);
+    let horizon = reference.events.min(100);
+
+    for victim in 0..n {
+        for crash_at in 0..horizon {
+            let mut inner = TurnRandom::new(seed);
+            let mut crashed = false;
+            let mut adversary = TurnFn(|view: &TurnView<'_, _>| {
+                if !crashed && view.events == crash_at && view.active.contains(&victim) {
+                    crashed = true;
+                    return TurnDecision::Crash(victim);
+                }
+                inner.choose(view)
+            });
+            let r = TurnDriver::new(mk(seed)).run(&mut adversary, 5_000_000);
+            assert!(
+                r.completed,
+                "mv victim {victim} @ {crash_at}: survivors failed to terminate"
+            );
+            let decisions: Vec<u64> = r.outputs.iter().filter_map(|o| *o).collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "mv victim {victim} @ {crash_at}: agreement violated: {:?}",
+                r.outputs
+            );
+            if let Some(&d) = decisions.first() {
+                assert!(
+                    values.contains(&d),
+                    "mv victim {victim} @ {crash_at}: invalid decision {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_each_process_at_every_event_multishot() {
+    // And for the multi-shot log: every slot of every surviving replica's
+    // log must hold a value proposed for that slot, and all logs agree.
+    let n = 3;
+    let n_slots = 2;
+    let width = 4;
+    let seed = 5;
+    let params = ConsensusParams::quick(n);
+    let proposals = [[4u64, 1], [7, 2], [5, 8]];
+    let mk = |seed: u64| -> Vec<LogCore<StaticProposals>> {
+        (0..n)
+            .map(|p| {
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    n_slots,
+                    width,
+                    StaticProposals(proposals[p].to_vec()),
+                    seed * 101 + p as u64,
+                )
+            })
+            .collect()
+    };
+    let reference = TurnDriver::new(mk(seed)).run(&mut TurnRandom::new(seed), 5_000_000);
+    assert!(reference.completed);
+    let horizon = reference.events.min(60);
+
+    for victim in 0..n {
+        for crash_at in 0..horizon {
+            let mut inner = TurnRandom::new(seed);
+            let mut crashed = false;
+            let mut adversary = TurnFn(|view: &TurnView<'_, LogMsg>| {
+                if !crashed && view.events == crash_at && view.active.contains(&victim) {
+                    crashed = true;
+                    return TurnDecision::Crash(victim);
+                }
+                inner.choose(view)
+            });
+            let r = TurnDriver::new(mk(seed)).run(&mut adversary, 5_000_000);
+            assert!(
+                r.completed,
+                "log victim {victim} @ {crash_at}: survivors failed to terminate"
+            );
+            let logs: Vec<&Vec<u64>> = r.outputs.iter().flatten().collect();
+            assert!(
+                logs.windows(2).all(|w| w[0] == w[1]),
+                "log victim {victim} @ {crash_at}: logs diverge: {:?}",
+                r.outputs
+            );
+            if let Some(log) = logs.first() {
+                assert_eq!(log.len(), n_slots);
+                for (s, v) in log.iter().enumerate() {
+                    assert!(
+                        proposals.iter().any(|pp| pp[s] == *v),
+                        "log victim {victim} @ {crash_at}: slot {s} holds unproposed {v}"
+                    );
+                }
+            }
         }
     }
 }
