@@ -1,12 +1,62 @@
 //! CLI driver for the experiment suite.
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e9] [--quick]
+//! experiments [all|e1|e2|...|e9] [--quick]        # markdown tables
+//! experiments bench [--quick] [--out=PATH]        # BENCH_consensus.json
+//! experiments validate PATH                       # schema-check a bench file
 //! ```
 //!
-//! Prints markdown tables (the same ones recorded in EXPERIMENTS.md).
+//! Prints markdown tables (the same ones recorded in EXPERIMENTS.md); the
+//! `bench` subcommand instead emits the structured JSON experiment export
+//! (default path `BENCH_consensus.json`), and `validate` schema-checks an
+//! emitted file (exit 1 on violations — CI runs both).
 
-use bprc_bench::{experiments, Scale, Table};
+use bprc_bench::{consensus_bench, experiments, Scale, Table};
+
+fn run_bench(scale: Scale, out: &str) {
+    let doc = consensus_bench::run(scale, 42);
+    let errs = consensus_bench::validate(&doc);
+    if !errs.is_empty() {
+        eprintln!("generated document violates its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    let text = doc.render_pretty(2);
+    if let Err(e) = std::fs::write(out, text + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn run_validate(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match bprc_sim::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let errs = consensus_bench::validate(&doc);
+    if errs.is_empty() {
+        println!("{path}: valid ({})", consensus_bench::SCHEMA);
+    } else {
+        eprintln!("{path}: schema violations:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +70,24 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
+    if which.first() == Some(&"bench") {
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH_consensus.json");
+        run_bench(scale, out);
+        return;
+    }
+    if which.first() == Some(&"validate") {
+        match which.get(1) {
+            Some(path) => run_validate(path),
+            None => {
+                eprintln!("usage: experiments validate PATH");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let run_one = |name: &str| -> Option<Table> {
         match name {
             "e1" => Some(experiments::e1_disagreement(scale)),
@@ -55,7 +123,9 @@ fn main() {
         match run_one(name) {
             Some(t) => println!("{t}"),
             None => {
-                eprintln!("unknown experiment '{name}' (expected e1..e14, e5b, or all)");
+                eprintln!(
+                    "unknown experiment '{name}' (expected e1..e14, e5b, all, bench, or validate)"
+                );
                 std::process::exit(2);
             }
         }

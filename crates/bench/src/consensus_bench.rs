@@ -1,0 +1,334 @@
+//! Structured consensus benchmark — the JSONL/JSON experiment export.
+//!
+//! Where [`crate::experiments`] prints markdown tables for humans, this
+//! module runs the same E-series workloads and emits one machine-readable
+//! `BENCH_consensus.json` document: rounds-to-decision distributions and
+//! total operation counts for **both** execution backends (the lockstep
+//! world over real registers, and the turn driver), plus the register
+//! high-water bits measured through [`bprc_core::meter`]. CI regenerates
+//! the file on every run and schema-validates it with [`validate`].
+
+use bprc_core::baselines::AhCore;
+use bprc_core::bounded::{BoundedCore, ConsensusParams};
+use bprc_core::meter::run_metered;
+use bprc_core::threaded::ThreadedConsensus;
+use bprc_registers::DirectArrow;
+use bprc_sim::json::Value;
+use bprc_sim::rng::derive_seed;
+use bprc_sim::sched::RandomStrategy;
+use bprc_sim::turn::{TurnDriver, TurnRandom};
+use bprc_sim::{Counter, Gauge, Mode, Telemetry, World};
+
+use crate::Scale;
+
+/// Schema identifier written into (and required from) every document.
+pub const SCHEMA: &str = "bprc.bench.consensus/v1";
+
+/// One workload's measurements across its trials.
+#[derive(Debug, Clone)]
+struct WorkloadResult {
+    name: String,
+    backend: &'static str,
+    n: usize,
+    rounds_to_decision: Vec<u64>,
+    total_ops: Vec<u64>,
+}
+
+impl WorkloadResult {
+    fn to_json(&self) -> Value {
+        let mean = |xs: &[u64]| -> f64 {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<u64>() as f64 / xs.len() as f64
+            }
+        };
+        Value::obj(vec![
+            ("name", self.name.as_str().into()),
+            ("backend", self.backend.into()),
+            ("n", self.n.into()),
+            ("trials", self.rounds_to_decision.len().into()),
+            (
+                "rounds_to_decision",
+                Value::Arr(self.rounds_to_decision.iter().map(|&r| r.into()).collect()),
+            ),
+            (
+                "total_ops",
+                Value::Arr(self.total_ops.iter().map(|&o| o.into()).collect()),
+            ),
+            ("mean_rounds", mean(&self.rounds_to_decision).into()),
+            ("mean_total_ops", mean(&self.total_ops).into()),
+        ])
+    }
+}
+
+/// Max round reached across processes (the run's rounds-to-decision).
+fn max_round(t: &Telemetry, n: usize) -> u64 {
+    (0..n).filter_map(|p| t.gauge(p, Gauge::Round)).max().unwrap_or(0)
+}
+
+/// The lockstep world backend: full register stack, adversarial scheduler.
+fn lockstep_workload(n: usize, trials: u64, seed0: u64) -> WorkloadResult {
+    let mut rounds = Vec::new();
+    let mut ops = Vec::new();
+    for trial in 0..trials {
+        let seed = derive_seed(seed0, trial);
+        let params = ConsensusParams::quick(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut world = World::builder(n).seed(seed).step_limit(50_000_000).build();
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+        if rep.outputs.iter().all(|o| o.is_some()) {
+            let t = &rep.telemetry;
+            rounds.push(max_round(t, n));
+            ops.push(t.total(Counter::RegReads) + t.total(Counter::RegWrites));
+        }
+    }
+    WorkloadResult {
+        name: format!("lockstep_n{n}"),
+        backend: "lockstep",
+        n,
+        rounds_to_decision: rounds,
+        total_ops: ops,
+    }
+}
+
+/// The free-running OS-thread backend: same stack, no recorded history —
+/// telemetry is the only observability channel here.
+fn threads_workload(n: usize, trials: u64, seed0: u64) -> WorkloadResult {
+    let mut rounds = Vec::new();
+    let mut ops = Vec::new();
+    for trial in 0..trials {
+        let seed = derive_seed(seed0, 1_000 + trial);
+        let params = ConsensusParams::quick(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut world = World::builder(n)
+            .mode(Mode::Free)
+            .step_limit(u64::MAX)
+            .build();
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+        if rep.outputs.iter().all(|o| o.is_some()) {
+            let t = &rep.telemetry;
+            rounds.push(max_round(t, n));
+            ops.push(t.total(Counter::RegReads) + t.total(Counter::RegWrites));
+        }
+    }
+    WorkloadResult {
+        name: format!("threads_n{n}"),
+        backend: "free_threads",
+        n,
+        rounds_to_decision: rounds,
+        total_ops: ops,
+    }
+}
+
+/// The turn-driver backend: scan/write event granularity (total ops are
+/// scans + updates, the driver's event count).
+fn turn_workload(n: usize, trials: u64, seed0: u64) -> WorkloadResult {
+    let mut rounds = Vec::new();
+    let mut ops = Vec::new();
+    for trial in 0..trials {
+        let seed = derive_seed(seed0, 2_000 + trial);
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<BoundedCore> = (0..n)
+            .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64)))
+            .collect();
+        let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
+        if rep.completed {
+            let t = &rep.telemetry;
+            rounds.push(max_round(t, n));
+            ops.push(t.total(Counter::Scans) + t.total(Counter::Updates));
+        }
+    }
+    WorkloadResult {
+        name: format!("turn_n{n}"),
+        backend: "turn",
+        n,
+        rounds_to_decision: rounds,
+        total_ops: ops,
+    }
+}
+
+/// Register high-water bits through the [`bprc_core::meter`] path:
+/// bounded protocol (flat) vs the AH88 baseline (grows with rounds).
+fn memory_section(n: usize, seed: u64) -> Value {
+    let params = ConsensusParams::quick(n);
+    let (m, k) = (params.coin().m(), params.k());
+    let procs: Vec<BoundedCore> = (0..n)
+        .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64)))
+        .collect();
+    let (rep_b, hw_b) = run_metered(procs, &mut TurnRandom::new(seed), 10_000_000, |s| {
+        s.register_bits(m, k)
+    });
+    let ah: Vec<AhCore> = (0..n)
+        .map(|p| AhCore::new(n, p, p % 2 == 0, derive_seed(seed, 64 + p as u64), 3))
+        .collect();
+    let (rep_a, hw_a) = run_metered(ah, &mut TurnRandom::new(seed), 10_000_000, |s| s.bits());
+    let hw_json = |completed: bool,
+                   hw: &bprc_core::meter::MemoryHighWater| {
+        Value::obj(vec![
+            ("completed", completed.into()),
+            ("max_register_bits", hw.max_register_bits.into()),
+            ("max_total_bits", hw.max_total_bits.into()),
+            ("events", hw.events.into()),
+        ])
+    };
+    Value::obj(vec![
+        ("n", n.into()),
+        ("bounded", hw_json(rep_b.completed, &hw_b)),
+        ("ah88", hw_json(rep_a.completed, &hw_a)),
+    ])
+}
+
+/// Runs the benchmark suite and builds the `BENCH_consensus.json` document.
+pub fn run(scale: Scale, seed: u64) -> Value {
+    let trials = scale.trials(3, 15);
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[2, 3],
+        Scale::Full => &[2, 3, 4, 6],
+    };
+    let mut workloads = Vec::new();
+    for &n in ns {
+        workloads.push(lockstep_workload(n, trials, derive_seed(seed, n as u64)));
+        workloads.push(threads_workload(n, trials, derive_seed(seed, 100 + n as u64)));
+        workloads.push(turn_workload(n, trials, derive_seed(seed, 200 + n as u64)));
+    }
+    Value::obj(vec![
+        ("schema", SCHEMA.into()),
+        (
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Full => "full",
+            }
+            .into(),
+        ),
+        ("seed", seed.into()),
+        (
+            "workloads",
+            Value::Arr(workloads.iter().map(|w| w.to_json()).collect()),
+        ),
+        ("memory", memory_section(ns[ns.len() - 1], derive_seed(seed, 999))),
+    ])
+}
+
+/// Schema-validates a `BENCH_consensus.json` document. Returns the list of
+/// violations (empty means valid). CI fails the bench job on any violation.
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => errs.push(format!("schema: expected {SCHEMA:?}, got {other:?}")),
+    }
+    if doc.get("scale").and_then(|s| s.as_str()).is_none() {
+        errs.push("scale: missing or not a string".into());
+    }
+    let workloads = match doc.get("workloads").and_then(|w| w.as_arr()) {
+        Some(w) if !w.is_empty() => w,
+        _ => {
+            errs.push("workloads: missing or empty".into());
+            return errs;
+        }
+    };
+    let mut backends_seen = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w
+            .get("name")
+            .and_then(|s| s.as_str())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("workloads[{i}]"));
+        match w.get("backend").and_then(|b| b.as_str()) {
+            Some(b) => {
+                if !backends_seen.contains(&b.to_string()) {
+                    backends_seen.push(b.to_string());
+                }
+            }
+            None => errs.push(format!("{name}: backend missing")),
+        }
+        if w.get("n").and_then(|v| v.as_num()).is_none() {
+            errs.push(format!("{name}: n missing or not a number"));
+        }
+        for key in ["rounds_to_decision", "total_ops"] {
+            match w.get(key).and_then(|v| v.as_arr()) {
+                Some(xs) => {
+                    if xs.iter().any(|x| x.as_num().is_none()) {
+                        errs.push(format!("{name}: {key} has non-numeric entries"));
+                    }
+                }
+                None => errs.push(format!("{name}: {key} missing or not an array")),
+            }
+        }
+        for key in ["mean_rounds", "mean_total_ops"] {
+            if w.get(key).and_then(|v| v.as_num()).is_none() {
+                errs.push(format!("{name}: {key} missing or not a number"));
+            }
+        }
+    }
+    // The whole point is cross-backend comparability: both the register
+    // world and the turn driver must be represented.
+    for required in ["lockstep", "turn"] {
+        if !backends_seen.iter().any(|b| b == required) {
+            errs.push(format!("workloads: no {required} backend present"));
+        }
+    }
+    match doc.get("memory") {
+        Some(m) => {
+            for side in ["bounded", "ah88"] {
+                match m.get(side) {
+                    Some(hw) => {
+                        for key in ["max_register_bits", "max_total_bits", "events"] {
+                            if hw.get(key).and_then(|v| v.as_num()).is_none() {
+                                errs.push(format!("memory.{side}.{key}: missing"));
+                            }
+                        }
+                    }
+                    None => errs.push(format!("memory.{side}: missing")),
+                }
+            }
+        }
+        None => errs.push("memory: missing".into()),
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_emits_a_valid_document() {
+        let doc = run(Scale::Quick, 11);
+        let errs = validate(&doc);
+        assert!(errs.is_empty(), "schema violations: {errs:?}");
+        // Round-trips through the JSON renderer and parser.
+        let text = doc.render_pretty(2);
+        let back = bprc_sim::json::parse(&text).expect("rendered JSON parses");
+        assert!(validate(&back).is_empty());
+        // The quick run must actually measure: every workload decided at
+        // least once, and rounds/ops are positive.
+        let ws = back.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(ws.len(), 6, "2 sizes x 3 backends");
+        for w in ws {
+            let rounds = w.get("rounds_to_decision").unwrap().as_arr().unwrap();
+            assert!(!rounds.is_empty(), "workload never decided");
+            assert!(w.get("mean_total_ops").unwrap().as_num().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let empty = Value::obj(vec![]);
+        assert!(!validate(&empty).is_empty());
+        let wrong_schema = Value::obj(vec![("schema", "nope".into())]);
+        assert!(validate(&wrong_schema)
+            .iter()
+            .any(|e| e.starts_with("schema:")));
+        let mut doc = run(Scale::Quick, 3);
+        // Knock out the memory section: must be flagged.
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "memory");
+        }
+        assert!(validate(&doc).iter().any(|e| e.starts_with("memory")));
+    }
+}

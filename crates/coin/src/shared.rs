@@ -2,7 +2,7 @@
 //! of the same algorithm [`crate::montecarlo`] simulates.
 
 use bprc_registers::Swmr;
-use bprc_sim::{Ctx, Halted, World};
+use bprc_sim::{Counter, Ctx, Halted, PhaseKind, World};
 
 use crate::flip::FlipSource;
 use crate::params::CoinParams;
@@ -90,8 +90,14 @@ impl CoinPort {
     ///
     /// Returns [`Halted`] if the scheduler stopped this process.
     pub fn walk_step(&mut self, ctx: &mut Ctx, flips: &mut dyn FlipSource) -> Result<(), Halted> {
+        let before = self.own;
         self.own = walk_step(&self.params, self.own, flips.flip());
         self.walk_steps += 1;
+        ctx.count(Counter::CoinFlips, 1);
+        if self.own == before {
+            // The flip tried to move past ±Kn and the clamp held it there.
+            ctx.count(Counter::WalkExtremes, 1);
+        }
         self.counters[self.me].write(ctx, self.own)
     }
 
@@ -103,6 +109,7 @@ impl CoinPort {
     /// Returns [`Halted`] if the scheduler stopped this process (e.g. the
     /// world's step limit expired first).
     pub fn flip(&mut self, ctx: &mut Ctx, flips: &mut dyn FlipSource) -> Result<CoinValue, Halted> {
+        ctx.phase(PhaseKind::Coin);
         loop {
             match self.coin_value(ctx)? {
                 CoinValue::Undecided => self.walk_step(ctx, flips)?,
@@ -181,6 +188,40 @@ mod tests {
                 "counter {c} escaped ±(m+1)"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_counts_flips_and_extremes() {
+        // One process, always-heads flips: it walks straight to +Kn, then
+        // every further step is a clamped extreme until the coin decides.
+        let params = CoinParams::new(1, 2, 10_000);
+        let mut world = bprc_sim::World::builder(1).step_limit(1_000_000).build();
+        let coin = SharedCoin::new(&world, params);
+        let mut port = coin.port(0);
+        let bodies: Vec<ProcBody<(CoinValue, u64)>> = vec![Box::new(move |ctx| {
+            let mut flips = BiasedFlips::new(7, 1.0);
+            let v = port.flip(ctx, &mut flips)?;
+            Ok((v, port.walk_steps()))
+        })];
+        let rep = world.run(bodies, Box::new(SoloBursts::new(64)));
+        let (v, walk_steps) = rep.outputs[0].expect("decided");
+        assert_eq!(v, CoinValue::Heads);
+        let t = &rep.telemetry;
+        // Every walk step consumed exactly one flip.
+        assert_eq!(t.counter(0, Counter::CoinFlips), walk_steps);
+        assert!(t.counter(0, Counter::CoinFlips) > 0);
+        // All-heads from a fresh counter: no step is ever clamped before
+        // the decision threshold (barrier Kn < decision boundary), so the
+        // extreme count stays zero here...
+        let extremes = t.counter(0, Counter::WalkExtremes);
+        // ...unless the threshold sits past the cap; either way the count
+        // can never exceed the flip count.
+        assert!(extremes <= t.counter(0, Counter::CoinFlips));
+        // The coin phase was announced.
+        assert!(t
+            .phases(0)
+            .iter()
+            .any(|p| p.kind == bprc_sim::PhaseKind::Coin));
     }
 
     #[test]

@@ -27,7 +27,8 @@
 use bprc_coin::flip::{FlipSource, Flips};
 use bprc_coin::value::{coin_value_total, walk_step, CoinValue};
 use bprc_coin::CoinParams;
-use bprc_sim::turn::{TurnProcess, TurnStep};
+use bprc_sim::turn::{TurnProbe, TurnProcess, TurnStep};
+use bprc_sim::{Counter, ProcMetrics};
 use bprc_strip::{DistanceGraph, EdgeCounters};
 
 use crate::state::{Pref, ProcState};
@@ -98,6 +99,43 @@ pub struct CoreStats {
     pub demotions: u64,
     /// Times a coin value (rather than leader agreement) set the preference.
     pub coin_adoptions: u64,
+    /// Edge-counter increments performed across all `inc` executions.
+    pub strip_incs: u64,
+    /// Edge-counter increments that wrapped modulo `3K` (the bounded-space
+    /// event the unbounded protocol never has).
+    pub strip_wraps: u64,
+    /// Walk steps clamped at the ±Kn barrier (paper's saturation rule).
+    pub walk_extremes: u64,
+}
+
+impl CoreStats {
+    /// Adds another stats block into this one (composed cores — the
+    /// multivalued levels, the multi-shot slots — retire inner cores and
+    /// fold their stats forward so nothing is lost on replacement).
+    pub fn absorb(&mut self, other: &CoreStats) {
+        self.scans += other.scans;
+        self.rounds += other.rounds;
+        self.coin_flips += other.coin_flips;
+        self.demotions += other.demotions;
+        self.coin_adoptions += other.coin_adoptions;
+        self.strip_incs += other.strip_incs;
+        self.strip_wraps += other.strip_wraps;
+        self.walk_extremes += other.walk_extremes;
+    }
+
+    /// Publishes the protocol-level counters to the metrics plane. Scans,
+    /// updates and decisions are *not* published — the driver counts those
+    /// at event granularity and double counting would break the
+    /// cross-backend consistency invariant.
+    pub fn publish(&self, m: &ProcMetrics<'_>) {
+        m.incr(Counter::RoundAdvances, self.rounds);
+        m.incr(Counter::CoinFlips, self.coin_flips);
+        m.incr(Counter::Demotions, self.demotions);
+        m.incr(Counter::CoinAdoptions, self.coin_adoptions);
+        m.incr(Counter::StripIncs, self.strip_incs);
+        m.incr(Counter::StripWraps, self.strip_wraps);
+        m.incr(Counter::WalkExtremes, self.walk_extremes);
+    }
 }
 
 /// One process of the bounded consensus protocol, as a pure
@@ -223,7 +261,10 @@ impl BoundedCore {
         self.state.coins[next] = 0;
         let mut with_my_row = counters.clone();
         with_my_row.set_row(self.me, &self.state.edges);
-        self.state.edges = with_my_row.next_row(self.me, g);
+        let (row, incs, wraps) = with_my_row.next_row_counted(self.me, g);
+        self.state.edges = row;
+        self.stats.strip_incs += incs;
+        self.stats.strip_wraps += wraps;
         self.stats.rounds += 1;
     }
 
@@ -254,8 +295,13 @@ impl BoundedCore {
     fn flip_next_coin(&mut self) {
         let next = self.state.next_coin_slot();
         let heads = self.flips.flip();
+        let before = self.state.coins[next];
         self.state.coins[next] = walk_step(self.params.coin(), self.state.coins[next], heads);
         self.stats.coin_flips += 1;
+        if self.state.coins[next] == before {
+            // The step was clamped at ±Kn (the walk's reflecting barrier).
+            self.stats.walk_extremes += 1;
+        }
     }
 
     /// The common value of all leaders, if they agree (a leader with ⊥
@@ -351,6 +397,17 @@ impl TurnProcess for BoundedCore {
 
     fn on_scan(&mut self, view: &[ProcState]) -> TurnStep<ProcState, bool> {
         self.on_view(view)
+    }
+
+    fn probe(&self) -> TurnProbe {
+        TurnProbe {
+            round: Some(self.stats.rounds),
+            coin_flips: self.stats.coin_flips,
+        }
+    }
+
+    fn publish_telemetry(&self, m: &ProcMetrics<'_>) {
+        self.stats.publish(m);
     }
 }
 
@@ -484,5 +541,27 @@ mod tests {
     #[should_panic(expected = "K >= 2")]
     fn k1_is_rejected() {
         let _ = ConsensusParams::with_k(2, 1, CoinParams::new(2, 1, 10));
+    }
+
+    #[test]
+    fn turn_report_carries_protocol_telemetry() {
+        use bprc_sim::{Counter, Gauge};
+        let r = run_instance(3, &[true, false, true], 5, 3_000_000);
+        assert!(r.completed);
+        let t = &r.telemetry;
+        // Driver-side counters: every process scanned and decided.
+        assert!(t.total(Counter::Scans) >= 3);
+        assert_eq!(t.total(Counter::Decisions), 3);
+        // Core-side counters, published at finish: at least the initial
+        // round advance per process, and scans never exceed driver scans.
+        assert!(t.total(Counter::RoundAdvances) >= 3);
+        assert!(t.total(Counter::StripIncs) > 0, "incs drive the strip");
+        // The round gauge reflects each core's final probe.
+        for pid in 0..3 {
+            assert!(
+                t.gauge(pid, Gauge::Round).unwrap_or(0) >= 1,
+                "decided process must show a positive round"
+            );
+        }
     }
 }

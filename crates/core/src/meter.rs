@@ -6,8 +6,14 @@
 //! registers grow with the round number.
 
 use bprc_sim::turn::{TurnAdversary, TurnDriver, TurnProcess, TurnReport};
+use bprc_sim::{Gauge, Telemetry};
 
 /// Tracks the maximal register width observed during a run.
+///
+/// Since the metrics plane landed this is a thin projection of the
+/// [`Gauge::MaxRegisterBits`] / [`Gauge::MaxTotalBits`] high-water gauges
+/// (global shard) that [`run_metered`] maintains; it is kept so existing
+/// experiment code reads the numbers without touching [`Telemetry`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemoryHighWater {
     /// Largest single-register width seen (bits).
@@ -18,25 +24,46 @@ pub struct MemoryHighWater {
     pub events: u64,
 }
 
+impl MemoryHighWater {
+    /// Reads the high-water gauges back out of a run's telemetry snapshot
+    /// (`events` comes from the report, not the gauges).
+    pub fn from_telemetry(t: &Telemetry, events: u64) -> Self {
+        MemoryHighWater {
+            max_register_bits: t.gauge_global(Gauge::MaxRegisterBits).unwrap_or(0),
+            max_total_bits: t.gauge_global(Gauge::MaxTotalBits).unwrap_or(0),
+            events,
+        }
+    }
+}
+
 /// Runs a turn-based protocol while measuring register widths after every
 /// event, using `bits` to size one register's contents.
+///
+/// The observed maxima are pushed into the driver's metrics registry as
+/// [`Gauge::MaxRegisterBits`] and [`Gauge::MaxTotalBits`] (global shard),
+/// so they ride along in the report's [`Telemetry`] and its JSONL export;
+/// the returned [`MemoryHighWater`] is the same numbers in struct form.
 pub fn run_metered<P: TurnProcess>(
     procs: Vec<P>,
     adversary: &mut dyn TurnAdversary<P::Msg>,
     max_events: u64,
     bits: impl Fn(&P::Msg) -> u64,
 ) -> (TurnReport<P::Out>, MemoryHighWater) {
-    let mut hw = MemoryHighWater::default();
+    let mut events = 0u64;
     let report = TurnDriver::new(procs).run_observed(adversary, max_events, |driver| {
         let mut total = 0u64;
+        let mut max_reg = 0u64;
         for msg in driver.shared() {
             let b = bits(msg);
-            hw.max_register_bits = hw.max_register_bits.max(b);
+            max_reg = max_reg.max(b);
             total += b;
         }
-        hw.max_total_bits = hw.max_total_bits.max(total);
-        hw.events = driver.events();
+        let g = driver.metrics().global();
+        g.gauge_max(Gauge::MaxRegisterBits, max_reg);
+        g.gauge_max(Gauge::MaxTotalBits, total);
+        events = driver.events();
     });
+    let hw = MemoryHighWater::from_telemetry(&report.telemetry, events);
     (report, hw)
 }
 

@@ -63,6 +63,8 @@ pub struct LogCore<S> {
     source: S,
     decided: Vec<u64>,
     inner: MvCore,
+    /// Stats folded forward from inner cores retired at slot boundaries.
+    retired: crate::bounded::CoreStats,
     msg: LogMsg,
 }
 
@@ -112,6 +114,7 @@ impl<S: ProposalSource> LogCore<S> {
             source,
             decided: Vec::new(),
             inner,
+            retired: crate::bounded::CoreStats::default(),
             msg,
         }
     }
@@ -119,6 +122,13 @@ impl<S: ProposalSource> LogCore<S> {
     /// Slots decided so far by this replica.
     pub fn decided(&self) -> &[u64] {
         &self.decided
+    }
+
+    /// Protocol stats summed across every slot this replica worked on.
+    pub fn cumulative_stats(&self) -> crate::bounded::CoreStats {
+        let mut s = self.retired;
+        s.absorb(&self.inner.cumulative_stats());
+        s
     }
 }
 
@@ -159,6 +169,7 @@ impl<S: ProposalSource> TurnProcess for LogCore<S> {
                     return TurnStep::Decide(self.decided.clone());
                 }
                 let proposal = self.source.next_proposal(&self.decided);
+                self.retired.absorb(&self.inner.cumulative_stats());
                 self.inner = MvCore::new(
                     self.params.clone(),
                     self.me,
@@ -170,6 +181,18 @@ impl<S: ProposalSource> TurnProcess for LogCore<S> {
                 TurnStep::Write(self.msg.clone())
             }
         }
+    }
+
+    fn probe(&self) -> bprc_sim::turn::TurnProbe {
+        let s = self.cumulative_stats();
+        bprc_sim::turn::TurnProbe {
+            round: Some(s.rounds),
+            coin_flips: s.coin_flips,
+        }
+    }
+
+    fn publish_telemetry(&self, m: &bprc_sim::ProcMetrics<'_>) {
+        self.cumulative_stats().publish(m);
     }
 }
 

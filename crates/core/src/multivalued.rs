@@ -22,7 +22,7 @@
 
 use bprc_sim::turn::{TurnProcess, TurnStep};
 
-use crate::bounded::{BoundedCore, ConsensusParams};
+use crate::bounded::{BoundedCore, ConsensusParams, CoreStats};
 use crate::state::ProcState;
 
 /// Register contents of one multivalued-consensus process.
@@ -55,6 +55,8 @@ pub struct MvCore {
     level: usize,
     decided_bits: u64,
     inner: BoundedCore,
+    /// Stats folded forward from inner cores retired at level advances.
+    retired: CoreStats,
     state: MvState,
 }
 
@@ -106,8 +108,17 @@ impl MvCore {
             level: 0,
             decided_bits: 0,
             inner,
+            retired: CoreStats::default(),
             state,
         }
+    }
+
+    /// Protocol stats summed across all levels this process has worked on
+    /// (retired inner cores plus the live one).
+    pub fn cumulative_stats(&self) -> CoreStats {
+        let mut s = self.retired;
+        s.absorb(&self.inner.stats());
+        s
     }
 
     fn make_inner(
@@ -212,6 +223,7 @@ impl TurnProcess for MvCore {
                 if self.level as u32 == self.width {
                     return TurnStep::Decide(self.state.candidate);
                 }
+                self.retired.absorb(&self.inner.stats());
                 self.inner = Self::make_inner(
                     &self.params,
                     self.me,
@@ -223,6 +235,18 @@ impl TurnProcess for MvCore {
                 TurnStep::Write(self.state.clone())
             }
         }
+    }
+
+    fn probe(&self) -> bprc_sim::turn::TurnProbe {
+        let s = self.cumulative_stats();
+        bprc_sim::turn::TurnProbe {
+            round: Some(s.rounds),
+            coin_flips: s.coin_flips,
+        }
+    }
+
+    fn publish_telemetry(&self, m: &bprc_sim::ProcMetrics<'_>) {
+        self.cumulative_stats().publish(m);
     }
 }
 

@@ -11,7 +11,7 @@
 use bprc_registers::ArrowCell;
 use bprc_sim::turn::{TurnProcess, TurnStep};
 use bprc_sim::world::ProcBody;
-use bprc_sim::World;
+use bprc_sim::{Counter, Gauge, PhaseKind, World};
 use bprc_snapshot::ScannableMemory;
 
 use crate::bounded::{BoundedCore, ConsensusParams};
@@ -52,14 +52,42 @@ where
             let mut port = memory.port(pid);
             let first = proc.initial_msg();
             let b: ProcBody<P::Out> = Box::new(move |ctx| {
-                port.update(ctx, first)?;
-                loop {
-                    let view = port.scan(ctx)?;
-                    match proc.on_scan(&view) {
-                        TurnStep::Write(s) => port.update(ctx, s)?,
-                        TurnStep::Decide(v) => return Ok(v),
-                    }
+                // Bridge the protocol's probe into the metrics plane: round
+                // changes become `round(r)` phase spans (and move the round
+                // gauge), new coin flips open a `coin` span. The snapshot
+                // layer emits its own `scan`/`write` spans underneath.
+                let mut last = proc.probe();
+                if let Some(r) = last.round {
+                    ctx.phase(PhaseKind::Round(r));
+                    ctx.metrics().gauge_set(Gauge::Round, r);
                 }
+                let result = (|| {
+                    port.update(ctx, first)?;
+                    loop {
+                        let view = port.scan(ctx)?;
+                        let step = proc.on_scan(&view);
+                        let now = proc.probe();
+                        if now.round != last.round {
+                            if let Some(r) = now.round {
+                                ctx.phase(PhaseKind::Round(r));
+                                ctx.metrics().gauge_set(Gauge::Round, r);
+                            }
+                        }
+                        if now.coin_flips > last.coin_flips {
+                            ctx.phase(PhaseKind::Coin);
+                        }
+                        last = now;
+                        match step {
+                            TurnStep::Write(s) => port.update(ctx, s)?,
+                            TurnStep::Decide(v) => {
+                                ctx.count(Counter::Decisions, 1);
+                                return Ok(v);
+                            }
+                        }
+                    }
+                })();
+                proc.publish_telemetry(&ctx.metrics());
+                result
             });
             b
         })
@@ -187,6 +215,32 @@ mod tests {
             let decisions: Vec<u64> = rep.outputs.iter().map(|o| o.unwrap()).collect();
             assert_eq!(decisions[0], decisions[1], "seed {seed}");
             assert!(values.contains(&decisions[0]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn threaded_backend_populates_telemetry() {
+        let params = ConsensusParams::quick(3);
+        let mut world = World::builder(3).seed(7).step_limit(5_000_000).build();
+        let inst =
+            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 7);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(7)));
+        assert!(rep.outputs.iter().all(|o| o.is_some()));
+        let t = &rep.telemetry;
+        assert_eq!(t.total(Counter::Decisions), 3);
+        assert!(t.total(Counter::Scans) >= 3);
+        assert!(t.total(Counter::ScanAttempts) >= t.total(Counter::Scans));
+        assert!(t.total(Counter::ScanAttempts) >= t.total(Counter::ScanRetries));
+        assert!(t.total(Counter::RegReads) > 0 && t.total(Counter::RegWrites) > 0);
+        assert!(t.total(Counter::RoundAdvances) >= 3);
+        for pid in 0..3 {
+            // Decided processes published a positive round via the gauge.
+            assert!(t.gauge(pid, Gauge::Round).unwrap_or(0) >= 1, "pid {pid}");
+            // The probe bridge opened at least the initial round span.
+            assert!(t
+                .phases(pid)
+                .iter()
+                .any(|p| matches!(p.kind, PhaseKind::Round(_))));
         }
     }
 

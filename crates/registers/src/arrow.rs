@@ -11,7 +11,7 @@
 //! [`HandshakeArrow`], the paper-footnote simulation from two single-writer
 //! bits.
 
-use bprc_sim::{Ctx, Halted, Reg, World};
+use bprc_sim::{Counter, Ctx, Halted, Reg, World};
 
 use crate::swmr::Swmr;
 
@@ -79,14 +79,17 @@ impl ArrowCell for DirectArrow {
     }
 
     fn raise(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        ctx.count(Counter::ArrowRaises, 1);
         self.cell.write(ctx, true)
     }
 
     fn lower(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        ctx.count(Counter::ArrowLowers, 1);
         self.cell.write(ctx, false)
     }
 
     fn is_raised(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
+        ctx.count(Counter::ArrowChecks, 1);
         self.cell.read(ctx)
     }
 
@@ -135,16 +138,19 @@ impl ArrowCell for HandshakeArrow {
     }
 
     fn raise(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        ctx.count(Counter::ArrowRaises, 1);
         let a = self.ack.read(ctx)?;
         self.flag.write(ctx, !a)
     }
 
     fn lower(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        ctx.count(Counter::ArrowLowers, 1);
         let f = self.flag.read(ctx)?;
         self.ack.write(ctx, f)
     }
 
     fn is_raised(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
+        ctx.count(Counter::ArrowChecks, 1);
         // Read order matters: read the writer's bit first, then our own ack.
         // (The scanner owns `ack`, so its value cannot change in between.)
         let f = self.flag.read(ctx)?;
@@ -311,5 +317,27 @@ mod tests {
     fn raise_costs_match_documentation() {
         assert_eq!(DirectArrow::raise_cost(), 1);
         assert_eq!(HandshakeArrow::raise_cost(), 2);
+    }
+
+    #[test]
+    fn arrow_toggles_are_counted() {
+        let mut w = bprc_sim::World::builder(1).build();
+        let a = DirectArrow::new(&w, "A");
+        let bodies: Vec<ProcBody<()>> = vec![Box::new(move |ctx| {
+            a.raise(ctx)?;
+            a.raise(ctx)?;
+            a.lower(ctx)?;
+            a.is_raised(ctx)?;
+            Ok(())
+        })];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        let t = &rep.telemetry;
+        assert_eq!(t.counter(0, Counter::ArrowRaises), 2);
+        assert_eq!(t.counter(0, Counter::ArrowLowers), 1);
+        assert_eq!(t.counter(0, Counter::ArrowChecks), 1);
+        // Arrow ops are themselves register accesses, so they also show
+        // up in the access-gate counters.
+        assert_eq!(t.counter(0, Counter::RegWrites), 3);
+        assert_eq!(t.counter(0, Counter::RegReads), 1);
     }
 }

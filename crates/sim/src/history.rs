@@ -229,6 +229,58 @@ impl History {
             _ => None,
         })
     }
+
+    /// Serializes the history as JSONL: one JSON object per event, in
+    /// execution order, discriminated by a `"type"` key (`"op"`,
+    /// `"note"`, `"crash"`, `"fault"`). Pairs with
+    /// [`Telemetry::to_jsonl`](crate::metrics::Telemetry::to_jsonl) for
+    /// structured run export.
+    pub fn to_jsonl(&self) -> String {
+        use crate::json::Value;
+        let mut out = String::new();
+        for e in &self.events {
+            let v = match e {
+                Event::Op {
+                    step,
+                    pid,
+                    kind,
+                    reg,
+                    tag,
+                } => Value::obj(vec![
+                    ("type", "op".into()),
+                    ("step", (*step).into()),
+                    ("pid", (*pid).into()),
+                    ("kind", kind.to_string().into()),
+                    ("reg", (*reg).into()),
+                    ("tag", (*tag).into()),
+                ]),
+                Event::Note { step, pid, note } => Value::obj(vec![
+                    ("type", "note".into()),
+                    ("step", (*step).into()),
+                    ("pid", (*pid).into()),
+                    ("label", note.label.into()),
+                    (
+                        "data",
+                        Value::Arr(note.data.iter().map(|&d| d.into()).collect()),
+                    ),
+                ]),
+                Event::Crash { step, pid } => Value::obj(vec![
+                    ("type", "crash".into()),
+                    ("step", (*step).into()),
+                    ("pid", (*pid).into()),
+                ]),
+                Event::Fault { step, pid, kind } => Value::obj(vec![
+                    ("type", "fault".into()),
+                    ("step", (*step).into()),
+                    ("pid", (*pid).into()),
+                    ("kind", kind.to_string().into()),
+                ]),
+            };
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +337,39 @@ mod tests {
     fn opkind_display() {
         assert_eq!(OpKind::Read.to_string(), "read");
         assert_eq!(OpKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn jsonl_has_one_parsable_line_per_event() {
+        let h = History::from_events(vec![
+            Event::Op {
+                step: 0,
+                pid: 1,
+                kind: OpKind::Write,
+                reg: 3,
+                tag: 9,
+            },
+            Event::Note {
+                step: 1,
+                pid: 1,
+                note: Annotation::new("scan:start", vec![2, 4]),
+            },
+            Event::Crash { step: 2, pid: 0 },
+            Event::Fault {
+                step: 3,
+                pid: 2,
+                kind: FaultKind::StallStart,
+            },
+        ]);
+        let jsonl = h.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("op"));
+        assert_eq!(first.get("tag").unwrap().as_num(), Some(9.0));
+        let note = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(note.get("data").unwrap().as_arr().unwrap().len(), 2);
+        let fault = crate::json::parse(lines[3]).unwrap();
+        assert_eq!(fault.get("kind").unwrap().as_str(), Some("stall:start"));
     }
 }

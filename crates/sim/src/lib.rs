@@ -59,6 +59,8 @@
 pub mod error;
 pub mod faults;
 pub mod history;
+pub mod json;
+pub mod metrics;
 pub mod reg;
 pub mod rng;
 pub mod sched;
@@ -69,6 +71,7 @@ pub mod world;
 pub use error::Halted;
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
+pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};
 pub use reg::Reg;
 pub use sched::{Decision, ScheduleView, Strategy};
 pub use world::{Ctx, Mode, RunReport, World, WorldBuilder};

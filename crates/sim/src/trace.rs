@@ -11,10 +11,17 @@
 //!       ⟨snap:upd:start 1⟩
 //!    1                       R V_0
 //! ```
+//!
+//! [`render`] shows every recorded event (register granularity).
+//! [`render_unified`] is the zoomed-out view: protocol **phase spans**
+//! from the metrics plane (`round(r)`/`scan`/`write`/`coin`) merged with
+//! **fault and crash events** from the history into one timeline — what
+//! the chaos example prints to explain a run.
 
 use std::fmt::Write as _;
 
 use crate::history::{Event, History, OpKind};
+use crate::metrics::Telemetry;
 
 /// Options for [`render`].
 #[derive(Debug, Clone)]
@@ -53,17 +60,7 @@ impl TraceOptions {
 pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
     let mut out = String::new();
     let w = opts.width;
-    // Header.
-    let _ = write!(out, "{:>6}  ", "step");
-    for p in 0..n {
-        let _ = write!(out, "{:<w$}", format!("p{p}"), w = w);
-    }
-    out.push('\n');
-    let _ = write!(out, "{:─>6}  ", "");
-    for _ in 0..n {
-        let _ = write!(out, "{:─<w$}", "", w = w);
-    }
-    out.push('\n');
+    push_header(&mut out, n, w);
 
     for ev in history.events() {
         let step = ev.step();
@@ -107,26 +104,94 @@ pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
             Event::Crash { pid, .. } => (*pid, "☠ CRASHED".to_string(), true),
             Event::Fault { pid, kind, .. } => (*pid, format!("⚡ {kind}"), true),
         };
-        if show_step {
-            let _ = write!(out, "{step:>6}  ");
+        push_row(&mut out, step, show_step, pid, &cell, n, w);
+    }
+    out
+}
+
+/// Writes the column header shared by [`render`] and [`render_unified`].
+fn push_header(out: &mut String, n: usize, w: usize) {
+    let _ = write!(out, "{:>6}  ", "step");
+    for p in 0..n {
+        let _ = write!(out, "{:<w$}", format!("p{p}"), w = w);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:─>6}  ", "");
+    for _ in 0..n {
+        let _ = write!(out, "{:─<w$}", "", w = w);
+    }
+    out.push('\n');
+}
+
+/// Writes one timeline row: `cell` in process `pid`'s column.
+fn push_row(out: &mut String, step: u64, show_step: bool, pid: usize, cell: &str, n: usize, w: usize) {
+    if show_step {
+        let _ = write!(out, "{step:>6}  ");
+    } else {
+        let _ = write!(out, "{:>6}  ", "");
+    }
+    for p in 0..n {
+        if p == pid {
+            let mut c = cell.to_string();
+            if c.chars().count() > w.saturating_sub(1) {
+                c = c.chars().take(w.saturating_sub(2)).collect::<String>() + "…";
+            }
+            let _ = write!(out, "{c:<w$}");
         } else {
-            let _ = write!(out, "{:>6}  ", "");
+            let _ = write!(out, "{:<w$}", "", w = w);
         }
-        for p in 0..n {
-            if p == pid {
-                let mut c = cell.clone();
-                if c.chars().count() > w.saturating_sub(1) {
-                    c = c.chars().take(w.saturating_sub(2)).collect::<String>() + "…";
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Renders the unified protocol-level timeline: phase spans from the
+/// metrics plane merged with fault and crash events from the history,
+/// one column per process, sorted by world step.
+///
+/// `history` may be `None` (free-mode runs record none); the timeline
+/// then shows phases only. [`TraceOptions::steps`] windows the output;
+/// [`TraceOptions::notes`] is ignored (notes stay in [`render`]).
+pub fn render_unified(
+    history: Option<&History>,
+    telemetry: &Telemetry,
+    n: usize,
+    opts: &TraceOptions,
+) -> String {
+    // (step, source-rank, pid, cell, show_step): stable sort on (step,
+    // rank) puts same-step fault/crash events before the phase a process
+    // entered afterwards.
+    let mut rows: Vec<(u64, u8, usize, String, bool)> = Vec::new();
+    if let Some(h) = history {
+        for ev in h.events() {
+            match ev {
+                Event::Crash { step, pid } => {
+                    rows.push((*step, 0, *pid, "☠ CRASHED".to_string(), true));
                 }
-                let _ = write!(out, "{c:<w$}");
-            } else {
-                let _ = write!(out, "{:<w$}", "", w = w);
+                Event::Fault { step, pid, kind } => {
+                    rows.push((*step, 0, *pid, format!("⚡ {kind}"), true));
+                }
+                _ => {}
             }
         }
-        while out.ends_with(' ') {
-            out.pop();
+    }
+    for (step, pid, kind) in telemetry.merged_phases() {
+        rows.push((step, 1, pid, format!("▶ {kind}"), true));
+    }
+    rows.sort_by_key(|&(step, rank, pid, _, _)| (step, rank, pid));
+
+    let w = opts.width;
+    let mut out = String::new();
+    push_header(&mut out, n, w);
+    for (step, _, pid, cell, show_step) in rows {
+        if let Some((lo, hi)) = opts.steps {
+            if step < lo || step >= hi {
+                continue;
+            }
         }
-        out.push('\n');
+        push_row(&mut out, step, show_step, pid, &cell, n, w);
     }
     out
 }
@@ -217,6 +282,41 @@ mod tests {
         let (h, n) = sample_history();
         let s = summary(&h, n);
         assert!(s.contains("1 reads, 1 writes, 0 crashes"), "{s}");
+    }
+
+    #[test]
+    fn unified_timeline_merges_phases_and_faults() {
+        use crate::history::{Event, FaultKind};
+        use crate::metrics::{MetricsRegistry, PhaseKind};
+        let h = History::from_events(vec![
+            Event::Fault {
+                step: 5,
+                pid: 1,
+                kind: FaultKind::StallStart,
+            },
+            Event::Crash { step: 9, pid: 0 },
+        ]);
+        let reg = MetricsRegistry::new(2);
+        reg.proc(0).phase(2, PhaseKind::Round(1));
+        reg.proc(0).phase(3, PhaseKind::Scan);
+        reg.proc(1).phase(7, PhaseKind::Coin);
+        let t = reg.snapshot();
+        let text = render_unified(Some(&h), &t, 2, &TraceOptions::default());
+        assert!(text.contains("▶ round(1)"), "{text}");
+        assert!(text.contains("▶ scan"));
+        assert!(text.contains("▶ coin"));
+        assert!(text.contains("⚡ stall:start"));
+        assert!(text.contains("☠ CRASHED"));
+        // Step order: round(1)@2 before stall@5 before coin@7 before crash@9.
+        let round_at = text.find("round(1)").unwrap();
+        let stall_at = text.find("stall:start").unwrap();
+        let coin_at = text.find("coin").unwrap();
+        let crash_at = text.find("CRASHED").unwrap();
+        assert!(round_at < stall_at && stall_at < coin_at && coin_at < crash_at);
+        // Without a history (free mode), phases alone still render.
+        let text2 = render_unified(None, &t, 2, &TraceOptions::default());
+        assert!(text2.contains("▶ scan"));
+        assert!(!text2.contains("CRASHED"));
     }
 
     #[test]

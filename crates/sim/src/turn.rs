@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::Halted;
 use crate::history::FaultKind;
+use crate::metrics::{Counter, Gauge, MetricsRegistry, ProcMetrics, Telemetry};
 
 /// What a process does after observing a scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,20 @@ pub enum TurnStep<M, O> {
     Write(M),
     /// Decide and halt.
     Decide(O),
+}
+
+/// A cheap, allocation-free telemetry probe a [`TurnProcess`] exposes to
+/// its driver (see [`TurnProcess::probe`]).
+///
+/// The threaded adapter in `bprc-core` polls it once per protocol
+/// iteration to bridge round changes into phase spans; the turn driver
+/// reads it once at the end of a run to set the round gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TurnProbe {
+    /// The round the process has reached, if the protocol has rounds.
+    pub round: Option<u64>,
+    /// Local coin flips performed so far.
+    pub coin_flips: u64,
 }
 
 /// A per-process protocol state machine driven by [`TurnDriver`].
@@ -48,6 +63,21 @@ pub trait TurnProcess {
     /// One protocol turn: observe an atomic snapshot of all registers
     /// (indexed by pid) and return the next action.
     fn on_scan(&mut self, view: &[Self::Msg]) -> TurnStep<Self::Msg, Self::Out>;
+
+    /// A cheap snapshot of protocol-level progress (round, coin flips).
+    /// Polled per iteration by drivers that bridge progress into phase
+    /// spans — keep it a few field reads. Default: empty.
+    fn probe(&self) -> TurnProbe {
+        TurnProbe::default()
+    }
+
+    /// Publishes cumulative protocol-level counters (round advances,
+    /// demotions, strip wraps, …) into the metrics shard `m`. Called
+    /// once when a run finishes — not per step — so implementations may
+    /// simply dump their accumulated stats. Default: nothing.
+    fn publish_telemetry(&self, m: &ProcMetrics<'_>) {
+        let _ = m;
+    }
 }
 
 /// Where a process currently is in its scan/write cycle.
@@ -261,6 +291,10 @@ pub struct TurnReport<O> {
     pub per_proc_events: Vec<u64>,
     /// True if every non-crashed process decided within the event budget.
     pub completed: bool,
+    /// The metrics-plane snapshot: scans/updates counted by the driver,
+    /// plus whatever each process published via
+    /// [`TurnProcess::publish_telemetry`] (round gauge included).
+    pub telemetry: Telemetry,
 }
 
 impl<O: PartialEq> TurnReport<O> {
@@ -288,6 +322,7 @@ pub struct TurnDriver<P: TurnProcess> {
     outputs: Vec<Option<P::Out>>,
     events: u64,
     per_proc_events: Vec<u64>,
+    metrics: MetricsRegistry,
 }
 
 impl<P: TurnProcess> TurnDriver<P> {
@@ -330,7 +365,14 @@ impl<P: TurnProcess> TurnDriver<P> {
             outputs: (0..n).map(|_| None).collect(),
             events: 0,
             per_proc_events: vec![0; n],
+            metrics: MetricsRegistry::new(n),
         }
+    }
+
+    /// The driver's live metrics registry (observers use the global shard
+    /// for run-wide gauges such as memory high-water marks).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Number of processes.
@@ -380,9 +422,11 @@ impl<P: TurnProcess> TurnDriver<P> {
         match std::mem::replace(&mut self.phases[pid], Phase::Scan) {
             Phase::Write(m) => {
                 self.shared[pid] = m;
+                self.metrics.proc(pid).incr(Counter::Updates, 1);
                 // phase already set to Scan
             }
             Phase::Scan => {
+                self.metrics.proc(pid).incr(Counter::Scans, 1);
                 let proc = &mut self.procs[pid];
                 let shared = &self.shared;
                 let step =
@@ -392,6 +436,7 @@ impl<P: TurnProcess> TurnDriver<P> {
                     Ok(TurnStep::Decide(o)) => {
                         self.outputs[pid] = Some(o);
                         self.phases[pid] = Phase::Done;
+                        self.metrics.proc(pid).incr(Counter::Decisions, 1);
                     }
                     Err(_) => {
                         self.crashed[pid] = true;
@@ -485,6 +530,15 @@ impl<P: TurnProcess> TurnDriver<P> {
                 }
             }
         }
+        // Drain protocol-level telemetry once, at the end: cumulative
+        // stats cost nothing per step this way.
+        for (pid, proc) in self.procs.iter().enumerate() {
+            let m = self.metrics.proc(pid);
+            proc.publish_telemetry(&m);
+            if let Some(r) = proc.probe().round {
+                m.gauge_set(Gauge::Round, r);
+            }
+        }
         TurnReport {
             outputs: self.outputs,
             halted: self.halted,
@@ -492,6 +546,7 @@ impl<P: TurnProcess> TurnDriver<P> {
             events: self.events,
             per_proc_events: self.per_proc_events,
             completed,
+            telemetry: self.metrics.snapshot(),
         }
     }
 }
@@ -621,8 +676,56 @@ mod tests {
             events: 0,
             per_proc_events: vec![],
             completed: true,
+            telemetry: Telemetry::empty(4),
         };
         assert_eq!(r.distinct_outputs(), vec![&1, &2]);
+    }
+
+    #[test]
+    fn driver_counts_scans_updates_decisions() {
+        let procs: Vec<MaxFinder> = (0..4).map(|i| MaxFinder { input: i * 10 }).collect();
+        let report = TurnDriver::new(procs).run(&mut TurnRoundRobin::new(), 1_000);
+        let t = &report.telemetry;
+        // 4 initial writes, then one scan each ending in a decision.
+        assert_eq!(t.total(Counter::Updates), 4);
+        assert_eq!(t.total(Counter::Scans), 4);
+        assert_eq!(t.total(Counter::Decisions), 4);
+        assert_eq!(t.total(Counter::Scans) + t.total(Counter::Updates), report.events);
+        for pid in 0..4 {
+            assert_eq!(t.counter(pid, Counter::Scans), 1);
+        }
+    }
+
+    #[test]
+    fn publish_telemetry_and_probe_feed_the_report() {
+        struct Prober {
+            left: u32,
+        }
+        impl TurnProcess for Prober {
+            type Msg = ();
+            type Out = u32;
+            fn initial_msg(&mut self) {}
+            fn on_scan(&mut self, _: &[()]) -> TurnStep<(), u32> {
+                if self.left == 0 {
+                    TurnStep::Decide(7)
+                } else {
+                    self.left -= 1;
+                    TurnStep::Write(())
+                }
+            }
+            fn probe(&self) -> TurnProbe {
+                TurnProbe {
+                    round: Some(3 - self.left as u64),
+                    coin_flips: 0,
+                }
+            }
+            fn publish_telemetry(&self, m: &ProcMetrics<'_>) {
+                m.incr(Counter::RoundAdvances, (3 - self.left) as u64);
+            }
+        }
+        let report = TurnDriver::new(vec![Prober { left: 3 }]).run(&mut TurnRoundRobin::new(), 100);
+        assert_eq!(report.telemetry.counter(0, Counter::RoundAdvances), 3);
+        assert_eq!(report.telemetry.gauge(0, Gauge::Round), Some(3));
     }
 
     #[test]

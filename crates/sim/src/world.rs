@@ -13,6 +13,7 @@ use rand::SeedableRng;
 
 use crate::error::Halted;
 use crate::history::{Annotation, Event, FaultKind, History, OpKind, RegId};
+use crate::metrics::{Counter, MetricsRegistry, PhaseKind, ProcMetrics, Telemetry};
 use crate::sched::{Decision, PendingOp, ScheduleView, Strategy};
 
 /// How shared-memory accesses are interleaved.
@@ -51,6 +52,9 @@ pub struct RunReport<T> {
     /// The recorded history (lockstep mode only, and only if recording was
     /// enabled — it is by default).
     pub history: Option<History>,
+    /// The metrics-plane snapshot: counters, gauges, and phase spans.
+    /// Unlike [`RunReport::history`], this is populated in **both** modes.
+    pub telemetry: Telemetry,
 }
 
 impl<T> RunReport<T> {
@@ -110,6 +114,7 @@ pub(crate) struct WorldInner {
     free_steps: AtomicU64,
     free_shutdown: AtomicBool,
     reg_names: Mutex<Vec<String>>,
+    metrics: MetricsRegistry,
 }
 
 impl WorldInner {
@@ -137,6 +142,7 @@ impl WorldInner {
                     self.free_shutdown.store(true, Ordering::Release);
                     return Err(Halted::StepLimit);
                 }
+                self.metrics.proc(pid).incr(op_counter(kind), 1);
                 Ok(f())
             }
             Mode::Lockstep => {
@@ -191,6 +197,9 @@ impl WorldInner {
                 let step = c.steps;
                 c.steps += 1;
                 c.per_proc_steps[pid] += 1;
+                // Counted at the same point the history records the op, so
+                // lockstep telemetry and `History` agree event-for-event.
+                self.metrics.proc(pid).incr(op_counter(kind), 1);
                 if self.record {
                     c.history.push(Event::Op {
                         step,
@@ -204,6 +213,16 @@ impl WorldInner {
                 self.sched_cv.notify_one();
                 Ok(r)
             }
+        }
+    }
+
+    /// The current global step counter, in either mode. Free mode reads
+    /// the atomic (approximate under concurrency); lockstep takes the
+    /// central lock (exact).
+    pub(crate) fn current_step(&self) -> u64 {
+        match self.mode {
+            Mode::Free => self.free_steps.load(Ordering::Relaxed),
+            Mode::Lockstep => self.central.lock().steps,
         }
     }
 
@@ -376,6 +395,27 @@ impl Ctx {
         self.inner.annotate(self.pid, Annotation::new(label, data));
     }
 
+    /// This process's metrics handle — works identically in lockstep and
+    /// free mode. Protocol layers use it to count events at the source:
+    /// `ctx.metrics().incr(Counter::Scans, 1)`.
+    pub fn metrics(&self) -> ProcMetrics<'_> {
+        self.inner.metrics.proc(self.pid)
+    }
+
+    /// Adds `k` to counter `c` for this process (shorthand for
+    /// [`Ctx::metrics`]`.incr`).
+    pub fn count(&self, c: Counter, k: u64) {
+        self.inner.metrics.proc(self.pid).incr(c, k);
+    }
+
+    /// Announces that this process entered a protocol phase, stamped
+    /// with the current world step. Works in both modes (unlike
+    /// [`Ctx::annotate`], which needs a recorded history).
+    pub fn phase(&self, kind: PhaseKind) {
+        let step = self.inner.current_step();
+        self.inner.metrics.proc(self.pid).phase(step, kind);
+    }
+
     pub(crate) fn inner(&self) -> &Arc<WorldInner> {
         &self.inner
     }
@@ -442,6 +482,7 @@ impl WorldBuilder {
                 free_steps: AtomicU64::new(0),
                 free_shutdown: AtomicBool::new(false),
                 reg_names: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(self.n),
             }),
             used: false,
         }
@@ -494,6 +535,12 @@ impl World {
     /// labelled timelines.
     pub fn reg_names(&self) -> Vec<String> {
         self.inner.reg_names.lock().clone()
+    }
+
+    /// The live metrics registry (counters update while a run is in
+    /// flight; [`RunReport::telemetry`] is the end-of-run snapshot).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Allocates a fresh linearizable register initialized to `init`.
@@ -600,6 +647,7 @@ impl World {
             }
         }
 
+        let telemetry = self.inner.metrics.snapshot();
         match self.inner.mode {
             Mode::Lockstep => {
                 let mut c = self.inner.central.lock();
@@ -615,6 +663,7 @@ impl World {
                     steps: c.steps,
                     per_proc_steps: std::mem::take(&mut c.per_proc_steps),
                     history,
+                    telemetry,
                 }
             }
             Mode::Free => RunReport {
@@ -624,8 +673,17 @@ impl World {
                 steps: self.inner.free_steps.load(Ordering::Relaxed),
                 per_proc_steps: vec![0; self.inner.n],
                 history: None,
+                telemetry,
             },
         }
+    }
+}
+
+/// Which metrics counter a scheduled access increments.
+fn op_counter(kind: OpKind) -> Counter {
+    match kind {
+        OpKind::Read => Counter::RegReads,
+        OpKind::Write => Counter::RegWrites,
     }
 }
 
@@ -804,9 +862,59 @@ mod tests {
             steps: 0,
             per_proc_steps: vec![],
             history: None,
+            telemetry: Telemetry::empty(4),
         };
         assert_eq!(rep.distinct_outputs(), vec![&1, &2]);
         assert_eq!(rep.decided_count(), 3);
+    }
+
+    #[test]
+    fn telemetry_counts_accesses_in_both_modes() {
+        for mode in [Mode::Lockstep, Mode::Free] {
+            let mut w = World::builder(2).mode(mode).build();
+            let (bodies, _a, _b) = two_writer_bodies(&w);
+            let rep = w.run(bodies, Box::new(RoundRobin::new()));
+            // Each body: one write, one read.
+            for pid in 0..2 {
+                assert_eq!(rep.telemetry.counter(pid, Counter::RegReads), 1, "{mode:?}");
+                assert_eq!(rep.telemetry.counter(pid, Counter::RegWrites), 1, "{mode:?}");
+            }
+            assert_eq!(rep.telemetry.total(Counter::RegReads) + rep.telemetry.total(Counter::RegWrites), rep.steps);
+        }
+    }
+
+    #[test]
+    fn lockstep_telemetry_matches_history_op_counts() {
+        let mut w = World::builder(2).seed(9).build();
+        let (bodies, _a, _b) = two_writer_bodies(&w);
+        let rep = w.run(bodies, Box::new(RandomStrategy::new(9)));
+        let h = rep.history.as_ref().unwrap();
+        let t = &rep.telemetry;
+        for pid in 0..2 {
+            let reads = h.ops().filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Read).count() as u64;
+            let writes = h.ops().filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Write).count() as u64;
+            assert_eq!(t.counter(pid, Counter::RegReads), reads);
+            assert_eq!(t.counter(pid, Counter::RegWrites), writes);
+        }
+    }
+
+    #[test]
+    fn phase_announcements_land_in_telemetry() {
+        let mut w = World::builder(1).build();
+        let r = w.reg("r", 0u32);
+        let bodies: Vec<ProcBody<()>> = vec![Box::new(move |ctx| {
+            ctx.phase(PhaseKind::Round(1));
+            r.write(ctx, 5)?;
+            ctx.phase(PhaseKind::Scan);
+            r.read(ctx)?;
+            Ok(())
+        })];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        let phases = rep.telemetry.phases(0);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].kind, PhaseKind::Round(1));
+        assert_eq!(phases[1].kind, PhaseKind::Scan);
+        assert!(phases[0].step <= phases[1].step);
     }
 
     /// Suppresses the default panic-to-stderr hook for tests that exercise

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::{ArrowCell, Swmr};
-use bprc_sim::{Ctx, Halted, World};
+use bprc_sim::{Counter, Ctx, Halted, PhaseKind, World};
 
 /// History annotation labels used by this construction (consumed by
 /// [`crate::checker`]).
@@ -261,6 +261,7 @@ where
     pub fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
         let seq = self.seq + 1;
         ctx.annotate(labels::UPD_START, vec![seq]);
+        ctx.phase(PhaseKind::Write);
         for j in 0..self.shared.n {
             if let Some(a) = &self.shared.arrows[self.me][j] {
                 a.raise(ctx)?;
@@ -278,6 +279,7 @@ where
         self.shared.stats[self.me]
             .updates
             .fetch_add(1, Ordering::Relaxed);
+        ctx.count(Counter::Updates, 1);
         Ok(())
     }
 
@@ -308,11 +310,16 @@ where
         let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
         let mut tries: u64 = 0;
         ctx.annotate(labels::SCAN_START, vec![]);
+        ctx.phase(PhaseKind::Scan);
         loop {
             tries += 1;
             self.shared.stats[self.me]
                 .attempts
                 .fetch_add(1, Ordering::Relaxed);
+            ctx.count(Counter::ScanAttempts, 1);
+            if tries > 1 {
+                ctx.count(Counter::ScanRetries, 1);
+            }
             // Lower all arrows aimed at me.
             for j in 0..n {
                 if let Some(a) = &self.shared.arrows[j][self.me] {
@@ -367,6 +374,7 @@ where
                 self.shared.stats[self.me]
                     .scans
                     .fetch_add(1, Ordering::Relaxed);
+                ctx.count(Counter::Scans, 1);
                 return Ok(view);
             }
             if budget != 0 && tries >= budget {
@@ -375,6 +383,7 @@ where
                 self.shared.stats[self.me]
                     .starved
                     .fetch_add(1, Ordering::Relaxed);
+                ctx.count(Counter::ScanStarved, 1);
                 return Err(Halted::ScanStarved);
             }
         }
@@ -560,6 +569,56 @@ mod tests {
         assert_eq!(mem.stats(1).scans.load(Ordering::Relaxed), 0);
         // Exactly the budgeted number of attempts was made.
         assert_eq!(mem.stats(1).attempts.load(Ordering::Relaxed), 5);
+        // The metrics plane saw the same story as the port-local ScanStats.
+        let t = &rep.telemetry;
+        assert_eq!(t.counter(1, Counter::ScanAttempts), 5);
+        assert_eq!(t.counter(1, Counter::ScanRetries), 4);
+        assert_eq!(t.counter(1, Counter::ScanStarved), 1);
+        assert_eq!(t.counter(1, Counter::Scans), 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_scan_stats() {
+        let mut w = World::builder(2).build();
+        let mem = ScannableMemory::<u32, DirectArrow>::new(&w, 2, 0);
+        let mut p0 = mem.port(0);
+        let mut p1 = mem.port(1);
+        let bodies: Vec<ProcBody<Vec<u32>>> = vec![
+            Box::new(move |ctx| {
+                p0.update(ctx, 1)?;
+                p0.update(ctx, 2)?;
+                p0.scan(ctx)
+            }),
+            Box::new(move |ctx| {
+                p1.update(ctx, 3)?;
+                p1.scan(ctx)
+            }),
+        ];
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        let t = &rep.telemetry;
+        for pid in 0..2 {
+            let s = mem.stats(pid);
+            assert_eq!(
+                t.counter(pid, Counter::Updates),
+                s.updates.load(Ordering::Relaxed)
+            );
+            assert_eq!(
+                t.counter(pid, Counter::Scans),
+                s.scans.load(Ordering::Relaxed)
+            );
+            assert_eq!(
+                t.counter(pid, Counter::ScanAttempts),
+                s.attempts.load(Ordering::Relaxed)
+            );
+            // Clean run: attempts split exactly into successes and retries.
+            assert_eq!(
+                t.counter(pid, Counter::ScanAttempts),
+                t.counter(pid, Counter::Scans) + t.counter(pid, Counter::ScanRetries)
+            );
+            // Scans and writes announce phase spans.
+            assert!(t.phases(pid).iter().any(|p| p.kind == PhaseKind::Scan));
+            assert!(t.phases(pid).iter().any(|p| p.kind == PhaseKind::Write));
+        }
     }
 
     #[test]

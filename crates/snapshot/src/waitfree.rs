@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::Swmr;
-use bprc_sim::{Ctx, Halted, World};
+use bprc_sim::{Counter, Ctx, Halted, PhaseKind, World};
 
 use crate::memory::{labels, ScanStats, SnapshotMeta};
 
@@ -181,6 +181,7 @@ where
         let view = self.scan_slots(ctx)?;
         let seq = self.last.seq + 1;
         ctx.annotate(labels::UPD_START, vec![seq]);
+        ctx.phase(PhaseKind::Write);
         let slot = WfSlot { value, seq, view };
         self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
         self.last = slot;
@@ -188,6 +189,7 @@ where
         self.shared.stats[self.me]
             .updates
             .fetch_add(1, Ordering::Relaxed);
+        ctx.count(Counter::Updates, 1);
         Ok(())
     }
 
@@ -207,11 +209,18 @@ where
     fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<(T, u64)>, Halted> {
         let n = self.shared.n;
         ctx.annotate(labels::SCAN_START, vec![]);
+        ctx.phase(PhaseKind::Scan);
         let mut moved = vec![false; n];
+        let mut tries: u64 = 0;
         loop {
+            tries += 1;
             self.shared.stats[self.me]
                 .attempts
                 .fetch_add(1, Ordering::Relaxed);
+            ctx.count(Counter::ScanAttempts, 1);
+            if tries > 1 {
+                ctx.count(Counter::ScanRetries, 1);
+            }
             let mut c1: Vec<Option<WfSlot<T>>> = vec![None; n];
             for (j, s) in c1.iter_mut().enumerate() {
                 if j != self.me {
@@ -248,6 +257,7 @@ where
                 self.shared.stats[self.me]
                     .scans
                     .fetch_add(1, Ordering::Relaxed);
+                ctx.count(Counter::Scans, 1);
                 return Ok(view);
             }
             for &j in &movers {
@@ -263,6 +273,7 @@ where
                     self.shared.stats[self.me]
                         .scans
                         .fetch_add(1, Ordering::Relaxed);
+                    ctx.count(Counter::Scans, 1);
                     return Ok(borrowed);
                 }
                 moved[j] = true;

@@ -185,15 +185,29 @@ impl EdgeCounters {
     /// computes the new row process `i` should publish. The concurrent
     /// protocol uses this (scan → compute row → write own register).
     pub fn next_row(&self, i: usize, graph: &DistanceGraph) -> Vec<u32> {
+        self.next_row_counted(i, graph).0
+    }
+
+    /// Like [`next_row`](Self::next_row), but also reports how many
+    /// increments and modulo-`3K` wrap-arounds the step performed —
+    /// the bounded-space events the metrics plane counts (a wrap is an
+    /// increment that took a counter from `3K − 1` back to `0`).
+    pub fn next_row_counted(&self, i: usize, graph: &DistanceGraph) -> (Vec<u32>, u64, u64) {
         let closure = graph.closure();
         let m = self.modulus();
         let mut row = self.row(i);
+        let mut incs = 0u64;
+        let mut wraps = 0u64;
         for (j, slot) in row.iter_mut().enumerate() {
             if j != i && graph.should_advance(&closure, i, j) {
+                incs += 1;
+                if *slot == m - 1 {
+                    wraps += 1;
+                }
                 *slot = (*slot + 1) % m;
             }
         }
-        row
+        (row, incs, wraps)
     }
 }
 
@@ -231,6 +245,31 @@ mod tests {
         e.set_row(1, &[5, 0]); // (1 − 5) mod 6 = 2 -> δ(0,1) = 2
         assert_eq!(e.decode(0, 1), 2);
         assert_eq!(e.decode_checked(0, 1), Ok(2));
+    }
+
+    #[test]
+    fn next_row_counted_reports_incs_and_wraps() {
+        let mut e = EdgeCounters::new(2, 2); // modulus 6
+        // Put p0's counter against p1 at the top of the modulus: one more
+        // increment wraps it to 0.
+        e.set_row(0, &[0, 5]);
+        e.set_row(1, &[0, 0]); // δ(0,1) = (5 − 0) mod 6 = 5 -> desync? no: 5 > 2K=4 decodes negative
+        // δ(0,1) = 5 ≥ 2K+? decode maps (m−1) to −1, so p0 is *behind* and
+        // should advance against p1.
+        let g = e.make_graph();
+        let (row, incs, wraps) = e.next_row_counted(0, &g);
+        if incs > 0 {
+            assert_eq!(row[1], 0, "5 + 1 wraps to 0 mod 6");
+            assert_eq!(wraps, incs);
+        }
+        // Counted and uncounted variants agree on the row itself.
+        assert_eq!(row, e.next_row(0, &g));
+        // A fresh strip never wraps.
+        let f = EdgeCounters::new(3, 2);
+        let gf = f.make_graph();
+        let (_, incs0, wraps0) = f.next_row_counted(0, &gf);
+        assert_eq!(wraps0, 0);
+        let _ = incs0;
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Chaos demo: a composed fault plan — an early crash, a long stall
 //! window, and a late injected panic — over the full register-level
-//! consensus stack, with the fault timeline rendered from the recorded
-//! history.
+//! consensus stack, with faults and protocol phase spans rendered as one
+//! unified timeline from the recorded history plus the metrics plane.
 //!
 //! ```text
 //! cargo run --example chaos
@@ -12,7 +12,8 @@ use bprc::core::threaded::ThreadedConsensus;
 use bprc::registers::DirectArrow;
 use bprc::sim::faults::{FaultPlan, FaultedStrategy};
 use bprc::sim::sched::RandomStrategy;
-use bprc::sim::trace::{render, summary, TraceOptions};
+use bprc::sim::trace::{render, render_unified, summary, TraceOptions};
+use bprc::sim::{Counter, Gauge};
 use bprc::sim::World;
 
 fn main() {
@@ -49,13 +50,18 @@ fn main() {
     let report = world.run(inst.bodies, Box::new(strategy));
     let history = report.history.as_ref().expect("lockstep records history");
 
-    println!("fault timeline:");
-    for (step, pid, kind) in history.faults() {
-        println!("  step {step:>5}  p{pid}  {kind}");
-    }
-    for (step, pid) in history.crashes() {
-        println!("  step {step:>5}  p{pid}  crash");
-    }
+    // Faults, crashes, and the protocol's round/scan/write/coin phase
+    // spans, merged into one per-process timeline. The early steps show
+    // each process entering round 1 before the chaos begins.
+    let unified_opts = TraceOptions {
+        steps: Some((0, 80)),
+        ..Default::default()
+    };
+    println!("unified timeline (phases + faults, steps 0..80):");
+    println!(
+        "{}",
+        render_unified(Some(history), &report.telemetry, n, &unified_opts)
+    );
 
     println!("\noutcome per process:");
     for p in 0..n {
@@ -82,6 +88,14 @@ fn main() {
     println!("\ntimeline around the injected panic (steps 190..215):");
     println!("{}", render(history, n, &opts));
     println!("{}", summary(history, n));
+    println!("{}", report.telemetry.summary());
+    println!(
+        "scan attempts {} (retries {}, starved {}), max round {:?}",
+        report.telemetry.total(Counter::ScanAttempts),
+        report.telemetry.total(Counter::ScanRetries),
+        report.telemetry.total(Counter::ScanStarved),
+        (0..n).filter_map(|p| report.telemetry.gauge(p, Gauge::Round)).max(),
+    );
 
     let survivors: Vec<bool> = report.outputs.iter().flatten().copied().collect();
     assert!(

@@ -1,0 +1,190 @@
+//! Cross-backend telemetry consistency: the metrics plane must tell the
+//! same story as the recorded history in lockstep, stay internally
+//! consistent under free-running OS threads (where no history exists),
+//! and survive the round trip through the JSONL export.
+
+use bprc::core::bounded::{BoundedCore, ConsensusParams};
+use bprc::core::meter::{run_metered, MemoryHighWater};
+use bprc::core::threaded::ThreadedConsensus;
+use bprc::registers::DirectArrow;
+use bprc::sim::history::OpKind;
+use bprc::sim::sched::RandomStrategy;
+use bprc::sim::turn::{TurnDriver, TurnRandom};
+use bprc::sim::{json, Counter, Gauge, Mode, World};
+
+const SEEDS: [u64; 4] = [3, 17, 101, 4242];
+
+/// Lockstep: every register access counted by the metrics plane is an op
+/// recorded in the history, per process and per kind — event for event.
+#[test]
+fn lockstep_metrics_equal_history_counts() {
+    for seed in SEEDS {
+        let n = 3;
+        let params = ConsensusParams::quick(n);
+        let mut world = World::builder(n).seed(seed).step_limit(5_000_000).build();
+        let inst =
+            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], seed);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+        let h = rep.history.as_ref().expect("lockstep records history");
+        let t = &rep.telemetry;
+        for pid in 0..n {
+            let reads = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Read)
+                .count() as u64;
+            let writes = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Write)
+                .count() as u64;
+            assert_eq!(
+                t.counter(pid, Counter::RegReads),
+                reads,
+                "seed {seed} pid {pid}: read counts diverge"
+            );
+            assert_eq!(
+                t.counter(pid, Counter::RegWrites),
+                writes,
+                "seed {seed} pid {pid}: write counts diverge"
+            );
+        }
+        assert_eq!(
+            t.total(Counter::RegReads) + t.total(Counter::RegWrites),
+            h.op_count() as u64,
+            "seed {seed}: total ops diverge"
+        );
+    }
+}
+
+/// Free-running OS threads record no history; the counters must still be
+/// nonzero and obey the protocol's arithmetic invariants.
+#[test]
+fn threaded_backend_counters_internally_consistent() {
+    for seed in SEEDS {
+        let n = 3;
+        let params = ConsensusParams::quick(n);
+        let mut world = World::builder(n)
+            .mode(Mode::Free)
+            .step_limit(u64::MAX)
+            .build();
+        let inst =
+            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[false, true, false], seed);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+        assert!(rep.history.is_none(), "free mode records no history");
+        assert!(rep.outputs.iter().all(|o| o.is_some()), "seed {seed}");
+        let t = &rep.telemetry;
+        assert!(t.total(Counter::RegReads) > 0, "seed {seed}");
+        assert!(t.total(Counter::RegWrites) > 0, "seed {seed}");
+        // Scan accounting: attempts dominate successes and retries, and in
+        // a clean (fully decided) run they split exactly.
+        let attempts = t.total(Counter::ScanAttempts);
+        let scans = t.total(Counter::Scans);
+        let retries = t.total(Counter::ScanRetries);
+        assert!(attempts >= scans, "seed {seed}");
+        assert!(attempts >= retries, "seed {seed}");
+        assert_eq!(
+            attempts,
+            scans + retries + t.total(Counter::ScanStarved),
+            "seed {seed}: attempts must split into outcomes"
+        );
+        assert_eq!(t.total(Counter::Decisions), n as u64, "seed {seed}");
+        for pid in 0..n {
+            // Decided processes published a positive round via the probe
+            // bridge.
+            assert!(
+                t.gauge(pid, Gauge::Round).unwrap_or(0) > 0,
+                "seed {seed} pid {pid}: decided but round gauge empty"
+            );
+        }
+        assert!(t.total(Counter::RoundAdvances) >= n as u64, "seed {seed}");
+    }
+}
+
+/// Both backends agree on the protocol-level story for the same instance
+/// shape: positive rounds, scans, and round advances everywhere.
+#[test]
+fn turn_driver_telemetry_matches_backend_invariants() {
+    for seed in SEEDS {
+        let n = 3;
+        let params = ConsensusParams::quick(n);
+        let procs: Vec<BoundedCore> = (0..n)
+            .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, seed * 31 + p as u64))
+            .collect();
+        let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 5_000_000);
+        assert!(rep.completed, "seed {seed}");
+        let t = &rep.telemetry;
+        assert_eq!(t.total(Counter::Decisions), n as u64);
+        // The driver counts one scan per granted scan event; every scan a
+        // core saw is one the driver granted.
+        assert!(t.total(Counter::Scans) >= n as u64);
+        assert_eq!(
+            t.total(Counter::Scans) + t.total(Counter::Updates),
+            rep.events,
+            "seed {seed}: driver events are scans + updates"
+        );
+        for pid in 0..n {
+            assert!(t.gauge(pid, Gauge::Round).unwrap_or(0) > 0, "seed {seed}");
+        }
+    }
+}
+
+/// The meter path and the metrics registry report the same high-water
+/// marks (satellite: `MemoryHighWater` is now a projection of the gauges).
+#[test]
+fn meter_fold_is_equivalent_to_gauges() {
+    let n = 3;
+    let params = ConsensusParams::quick(n);
+    let (m, k) = (params.coin().m(), params.k());
+    let procs: Vec<BoundedCore> = (0..n)
+        .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, p as u64))
+        .collect();
+    let (rep, hw) = run_metered(procs, &mut TurnRandom::new(9), 5_000_000, |s| {
+        s.register_bits(m, k)
+    });
+    assert!(rep.completed);
+    assert!(hw.max_register_bits > 0);
+    assert_eq!(
+        Some(hw.max_register_bits),
+        rep.telemetry.gauge_global(Gauge::MaxRegisterBits)
+    );
+    assert_eq!(
+        Some(hw.max_total_bits),
+        rep.telemetry.gauge_global(Gauge::MaxTotalBits)
+    );
+    let back = MemoryHighWater::from_telemetry(&rep.telemetry, hw.events);
+    assert_eq!(back.max_register_bits, hw.max_register_bits);
+    assert_eq!(back.max_total_bits, hw.max_total_bits);
+}
+
+/// The JSONL export carries every counter, gauge and phase through the
+/// parser and back.
+#[test]
+fn telemetry_jsonl_round_trips() {
+    let n = 2;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n).seed(5).step_limit(5_000_000).build();
+    let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false], 5);
+    let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(5)));
+    let t = &rep.telemetry;
+
+    // Metrics JSON: parse back and spot-check a counter total.
+    let doc = json::parse(&t.to_json().render()).expect("telemetry JSON parses");
+    let reads = doc
+        .get("totals")
+        .and_then(|totals| totals.get("reg_reads"))
+        .and_then(|v| v.as_num())
+        .expect("totals.reg_reads");
+    assert_eq!(reads as u64, t.total(Counter::RegReads));
+    let shards = doc.get("shards").and_then(|s| s.as_arr()).expect("shards");
+    assert_eq!(shards.len(), n + 1, "one shard per process plus global");
+
+    // JSONL: every line parses; history lines and telemetry lines compose
+    // into one structured run export.
+    let h = rep.history.as_ref().unwrap();
+    let export = format!("{}{}", t.to_jsonl(), h.to_jsonl());
+    let mut lines = 0;
+    for line in export.lines() {
+        json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        lines += 1;
+    }
+    assert!(lines > h.len(), "telemetry lines ride along with the history");
+}
