@@ -4,14 +4,20 @@
 //! experiments [all|e1|e2|...|e9] [--quick]        # markdown tables
 //! experiments bench [--quick] [--out=PATH]        # BENCH_consensus.json
 //! experiments validate PATH                       # schema-check a bench file
+//! experiments throughput [--quick] [--out=PATH]   # BENCH_throughput.json
+//! experiments validate-throughput PATH            # schema-check it
+//! experiments compare-throughput OLD NEW          # regression gate (exit 1)
 //! ```
 //!
 //! Prints markdown tables (the same ones recorded in EXPERIMENTS.md); the
 //! `bench` subcommand instead emits the structured JSON experiment export
 //! (default path `BENCH_consensus.json`), and `validate` schema-checks an
-//! emitted file (exit 1 on violations — CI runs both).
+//! emitted file (exit 1 on violations — CI runs both). The `throughput`
+//! family does the same for the scans/sec / decisions/sec suite, and
+//! `compare-throughput` fails (exit 1) when the new document regresses more
+//! than the tolerance against a committed baseline.
 
-use bprc_bench::{consensus_bench, experiments, Scale, Table};
+use bprc_bench::{consensus_bench, experiments, throughput, Scale, Table};
 
 fn run_bench(scale: Scale, out: &str) {
     let doc = consensus_bench::run(scale, 42);
@@ -31,7 +37,7 @@ fn run_bench(scale: Scale, out: &str) {
     println!("wrote {out}");
 }
 
-fn run_validate(path: &str) {
+fn load_json(path: &str) -> bprc_sim::json::Value {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -39,20 +45,79 @@ fn run_validate(path: &str) {
             std::process::exit(1);
         }
     };
-    let doc = match bprc_sim::json::parse(&text) {
+    match bprc_sim::json::parse(&text) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("{path}: not valid JSON: {e}");
             std::process::exit(1);
         }
-    };
-    let errs = consensus_bench::validate(&doc);
+    }
+}
+
+fn run_validate(path: &str) {
+    let errs = consensus_bench::validate(&load_json(path));
     if errs.is_empty() {
         println!("{path}: valid ({})", consensus_bench::SCHEMA);
     } else {
         eprintln!("{path}: schema violations:");
         for e in &errs {
             eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_throughput(scale: Scale, out: &str) {
+    let doc = throughput::run(scale, 42);
+    let errs = throughput::validate(&doc);
+    if !errs.is_empty() {
+        eprintln!("generated document violates its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(c) = doc.get("comparison") {
+        let get = |k: &str| c.get(k).and_then(|v| v.as_num()).unwrap_or(0.0);
+        println!(
+            "free-thread scan n=8: before {:.0} scans/sec, after {:.0} scans/sec (x{:.2})",
+            get("baseline_ops_per_sec"),
+            get("fast_ops_per_sec"),
+            get("speedup"),
+        );
+    }
+    let text = doc.render_pretty(2);
+    if let Err(e) = std::fs::write(out, text + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn run_validate_throughput(path: &str) {
+    let errs = throughput::validate(&load_json(path));
+    if errs.is_empty() {
+        println!("{path}: valid ({})", throughput::SCHEMA);
+    } else {
+        eprintln!("{path}: schema violations:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_compare_throughput(old_path: &str, new_path: &str) {
+    let (report, failures) = throughput::compare(&load_json(old_path), &load_json(new_path));
+    for line in &report {
+        println!("{line}");
+    }
+    if failures.is_empty() {
+        println!("no throughput regressions beyond tolerance");
+    } else {
+        eprintln!("throughput regressions:");
+        for f in &failures {
+            eprintln!("  - {f}");
         }
         std::process::exit(1);
     }
@@ -83,6 +148,34 @@ fn main() {
             Some(path) => run_validate(path),
             None => {
                 eprintln!("usage: experiments validate PATH");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if which.first() == Some(&"throughput") {
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH_throughput.json");
+        run_throughput(scale, out);
+        return;
+    }
+    if which.first() == Some(&"validate-throughput") {
+        match which.get(1) {
+            Some(path) => run_validate_throughput(path),
+            None => {
+                eprintln!("usage: experiments validate-throughput PATH");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if which.first() == Some(&"compare-throughput") {
+        match (which.get(1), which.get(2)) {
+            (Some(old), Some(new)) => run_compare_throughput(old, new),
+            _ => {
+                eprintln!("usage: experiments compare-throughput OLD NEW");
                 std::process::exit(2);
             }
         }

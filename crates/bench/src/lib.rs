@@ -25,6 +25,7 @@
 pub mod consensus_bench;
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use table::Table;
 

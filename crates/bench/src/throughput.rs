@@ -1,0 +1,631 @@
+//! Throughput benchmark — scans/sec and decisions/sec per backend.
+//!
+//! Where [`crate::consensus_bench`] reports *algorithmic* cost (rounds,
+//! total ops), this module reports *implementation* cost: how many snapshot
+//! scans and consensus decisions each backend completes per wall-clock
+//! second, across {lockstep, free_threads, turn} × n ∈ {2, 4, 8, 16}. The
+//! emitted `BENCH_throughput.json` is schema-checked by [`validate`], and
+//! [`compare`] diffs two documents for CI regression gating.
+//!
+//! The document also carries a `comparison` object: the free-thread scan
+//! workload at n = 8 measured twice in the same process — once against the
+//! pre-optimization register stack (locked register plane +
+//! allocating legacy scan) and once against the current one (seqlock arrow
+//! plane + buffer-reuse scan) — so every generated file documents what the
+//! fast path buys on the machine that produced it.
+
+use std::time::Instant;
+
+use bprc_core::bounded::{BoundedCore, ConsensusParams};
+use bprc_core::threaded::ThreadedConsensus;
+use bprc_registers::DirectArrow;
+use bprc_sim::json::Value;
+use bprc_sim::rng::derive_seed;
+use bprc_sim::sched::RandomStrategy;
+use bprc_sim::turn::{TurnDriver, TurnProcess, TurnRandom, TurnStep};
+use bprc_sim::world::ProcBody;
+use bprc_sim::{Counter, Mode, RegisterPlane, World};
+use bprc_snapshot::ScannableMemory;
+
+use crate::Scale;
+
+/// Schema identifier written into (and required from) every document.
+pub const SCHEMA: &str = "bprc.bench.throughput/v1";
+
+/// Process counts measured at both scales (the grid the ISSUE fixes).
+pub const SIZES: [usize; 4] = [2, 4, 8, 16];
+
+/// Relative slowdown tolerated by [`compare`] before a workload counts as
+/// regressed (after machine-speed normalization).
+pub const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Workloads whose measurement window (in either document) is shorter than
+/// this are reported but excluded from the regression gate — a handful of
+/// milliseconds of wall clock is dominated by scheduler jitter, not by the
+/// code under test.
+pub const MIN_GATED_ELAPSED_SEC: f64 = 0.005;
+
+struct Measured {
+    name: String,
+    backend: &'static str,
+    kind: &'static str,
+    n: usize,
+    ops: u64,
+    elapsed_sec: f64,
+}
+
+impl Measured {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_sec.max(1e-9)
+    }
+
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("name", self.name.as_str().into()),
+            ("backend", self.backend.into()),
+            ("kind", self.kind.into()),
+            ("n", self.n.into()),
+            ("ops", self.ops.into()),
+            ("elapsed_sec", self.elapsed_sec.into()),
+            ("ops_per_sec", self.ops_per_sec().into()),
+        ])
+    }
+}
+
+/// How the free-thread scan workload drives the snapshot, so the n = 8
+/// before/after comparison can pit the two register stacks against each
+/// other inside one binary.
+#[derive(Clone, Copy, PartialEq)]
+enum ScanPath {
+    /// Current stack: fast register plane, buffer-reuse `scan_into`.
+    Fast,
+    /// Pre-optimization stack: locked plane, allocating `scan_legacy`.
+    Legacy,
+}
+
+/// Builds `n` bodies that each run `iters` update+scan iterations over one
+/// shared scannable memory, and runs them in `world`. Returns completed
+/// scans (from telemetry) and elapsed wall time.
+fn run_scan_bodies(mut world: World, n: usize, iters: u64, path: ScanPath) -> (u64, f64) {
+    // `new_fast` puts the value slots on the seqlock plane too; under the
+    // Legacy path the world is built with `RegisterPlane::Locked`, which
+    // forces every register back onto the RwLock cells.
+    let mem: ScannableMemory<u64, DirectArrow> = ScannableMemory::new_fast(&world, n, 0);
+    let bodies: Vec<ProcBody<u64>> = (0..n)
+        .map(|pid| {
+            let mut port = mem.port(pid);
+            let b: ProcBody<u64> = Box::new(move |ctx| {
+                let mut view: Vec<u64> = Vec::new();
+                let mut acc = 0u64;
+                for k in 1..=iters {
+                    port.update(ctx, k)?;
+                    match path {
+                        ScanPath::Fast => {
+                            port.scan_into(ctx, &mut view)?;
+                            acc = acc.wrapping_add(view.iter().sum::<u64>());
+                        }
+                        ScanPath::Legacy => {
+                            let v = port.scan_legacy(ctx)?;
+                            acc = acc.wrapping_add(v.iter().sum::<u64>());
+                        }
+                    }
+                }
+                Ok(acc)
+            });
+            b
+        })
+        .collect();
+    let start = Instant::now();
+    let rep = world.run(bodies, Box::new(RandomStrategy::new(7)));
+    let elapsed = start.elapsed().as_secs_f64();
+    (rep.telemetry.total(Counter::Scans), elapsed)
+}
+
+/// Scan throughput on the lockstep backend. History recording is off: the
+/// workload measures the scan path, not the event log appends.
+fn lockstep_scan(n: usize, iters: u64) -> Measured {
+    let world = World::builder(n)
+        .step_limit(u64::MAX)
+        .record_history(false)
+        .build();
+    let (ops, elapsed_sec) = run_scan_bodies(world, n, iters, ScanPath::Fast);
+    Measured {
+        name: format!("scan_lockstep_n{n}"),
+        backend: "lockstep",
+        kind: "scan",
+        n,
+        ops,
+        elapsed_sec,
+    }
+}
+
+/// Scan throughput on free-running OS threads — the backend where the
+/// seqlock plane and the allocation-free collects actually change the
+/// machine-level hot path.
+fn threads_scan(n: usize, iters: u64, path: ScanPath) -> Measured {
+    let mut builder = World::builder(n).mode(Mode::Free).step_limit(u64::MAX);
+    if path == ScanPath::Legacy {
+        builder = builder.register_plane(RegisterPlane::Locked);
+    }
+    let (ops, elapsed_sec) = run_scan_bodies(builder.build(), n, iters, path);
+    Measured {
+        name: format!("scan_threads_n{n}"),
+        backend: "free_threads",
+        kind: "scan",
+        n,
+        ops,
+        elapsed_sec,
+    }
+}
+
+/// A [`TurnProcess`] that does nothing but scan and write for `iters`
+/// iterations — the turn driver's scan-throughput spinner.
+struct ScanSpinner {
+    iters: u64,
+    i: u64,
+}
+
+impl TurnProcess for ScanSpinner {
+    type Msg = u64;
+    type Out = u64;
+
+    fn initial_msg(&mut self) -> u64 {
+        0
+    }
+
+    fn on_scan(&mut self, view: &[u64]) -> TurnStep<u64, u64> {
+        self.i += 1;
+        if self.i >= self.iters {
+            TurnStep::Decide(view.iter().sum())
+        } else {
+            TurnStep::Write(self.i)
+        }
+    }
+}
+
+/// Scan throughput on the turn driver (scan/write event granularity).
+fn turn_scan(n: usize, iters: u64, seed: u64) -> Measured {
+    let procs: Vec<ScanSpinner> = (0..n).map(|_| ScanSpinner { iters, i: 0 }).collect();
+    let start = Instant::now();
+    let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), iters * n as u64 * 4 + 64);
+    let elapsed_sec = start.elapsed().as_secs_f64();
+    Measured {
+        name: format!("scan_turn_n{n}"),
+        backend: "turn",
+        kind: "scan",
+        n,
+        ops: rep.telemetry.total(Counter::Scans),
+        elapsed_sec,
+    }
+}
+
+/// Decisions throughput: full consensus instances back to back; ops =
+/// processes that decided.
+fn decisions_workload(backend: &'static str, n: usize, trials: u64, seed0: u64) -> Measured {
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for trial in 0..trials {
+        let seed = derive_seed(seed0, trial);
+        let params = ConsensusParams::quick(n);
+        match backend {
+            "turn" => {
+                let procs: Vec<BoundedCore> = (0..n)
+                    .map(|p| {
+                        BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64))
+                    })
+                    .collect();
+                let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
+                ops += rep.telemetry.total(Counter::Decisions);
+            }
+            _ => {
+                let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                let mut builder = World::builder(n).seed(seed).record_history(false);
+                builder = match backend {
+                    "free_threads" => builder.mode(Mode::Free).step_limit(u64::MAX),
+                    _ => builder.step_limit(50_000_000),
+                };
+                let mut world = builder.build();
+                let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
+                let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+                ops += rep.telemetry.total(Counter::Decisions);
+            }
+        }
+    }
+    let elapsed_sec = start.elapsed().as_secs_f64();
+    Measured {
+        name: format!("decisions_{backend}_n{n}"),
+        backend,
+        kind: "decisions",
+        n,
+        ops,
+        elapsed_sec,
+    }
+}
+
+/// The before/after section: free-thread scan throughput at n = 8 on the
+/// pre-optimization stack vs the current one, same iteration count.
+fn comparison_section(scale: Scale) -> Value {
+    let n = 8;
+    // Enough iterations that thread spawn/join overhead (identical on both
+    // sides, and substantial at n = 8) stops diluting the measured ratio.
+    let iters = match scale {
+        Scale::Quick => 1_200,
+        Scale::Full => 4_000,
+    };
+    let legacy = threads_scan(n, iters, ScanPath::Legacy);
+    let fast = threads_scan(n, iters, ScanPath::Fast);
+    let speedup = fast.ops_per_sec() / legacy.ops_per_sec().max(1e-9);
+    Value::obj(vec![
+        ("backend", "free_threads".into()),
+        ("kind", "scan".into()),
+        ("n", n.into()),
+        ("iters_per_proc", (iters as usize).into()),
+        ("baseline_ops", legacy.ops.into()),
+        ("baseline_elapsed_sec", legacy.elapsed_sec.into()),
+        ("baseline_ops_per_sec", legacy.ops_per_sec().into()),
+        ("fast_ops", fast.ops.into()),
+        ("fast_elapsed_sec", fast.elapsed_sec.into()),
+        ("fast_ops_per_sec", fast.ops_per_sec().into()),
+        ("speedup", speedup.into()),
+    ])
+}
+
+/// Runs the suite and builds the `BENCH_throughput.json` document.
+pub fn run(scale: Scale, seed: u64) -> Value {
+    let mut workloads = Vec::new();
+    for &n in &SIZES {
+        let (lockstep_iters, free_iters, turn_iters) = match scale {
+            Scale::Quick => (20, 150, 2_000),
+            Scale::Full => (100, 1_000, 20_000),
+        };
+        // Decision trials shrink with n so the suite stays wall-clock
+        // bounded (a single n=16 instance is ~8x the work of an n=2 one).
+        let trials = match scale {
+            Scale::Quick => {
+                if n >= 8 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Scale::Full => {
+                if n >= 8 {
+                    2
+                } else {
+                    5
+                }
+            }
+        };
+        workloads.push(lockstep_scan(n, lockstep_iters));
+        workloads.push(threads_scan(n, free_iters, ScanPath::Fast));
+        workloads.push(turn_scan(n, turn_iters, derive_seed(seed, n as u64)));
+        for backend in ["lockstep", "free_threads", "turn"] {
+            workloads.push(decisions_workload(
+                backend,
+                n,
+                trials,
+                derive_seed(seed, 500 + n as u64),
+            ));
+        }
+    }
+    Value::obj(vec![
+        ("schema", SCHEMA.into()),
+        (
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Full => "full",
+            }
+            .into(),
+        ),
+        ("seed", seed.into()),
+        (
+            "workloads",
+            Value::Arr(workloads.iter().map(|w| w.to_json()).collect()),
+        ),
+        ("comparison", comparison_section(scale)),
+    ])
+}
+
+/// Schema-validates a `BENCH_throughput.json` document. Returns the list of
+/// violations (empty means valid).
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => errs.push(format!("schema: expected {SCHEMA:?}, got {other:?}")),
+    }
+    if doc.get("scale").and_then(|s| s.as_str()).is_none() {
+        errs.push("scale: missing or not a string".into());
+    }
+    let workloads = match doc.get("workloads").and_then(|w| w.as_arr()) {
+        Some(w) if !w.is_empty() => w,
+        _ => {
+            errs.push("workloads: missing or empty".into());
+            return errs;
+        }
+    };
+    let mut backends_seen = Vec::new();
+    let mut kinds_seen = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w
+            .get("name")
+            .and_then(|s| s.as_str())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("workloads[{i}]"));
+        match w.get("backend").and_then(|b| b.as_str()) {
+            Some(b) => {
+                if !backends_seen.contains(&b.to_string()) {
+                    backends_seen.push(b.to_string());
+                }
+            }
+            None => errs.push(format!("{name}: backend missing")),
+        }
+        match w.get("kind").and_then(|k| k.as_str()) {
+            Some(k) => {
+                if !kinds_seen.contains(&k.to_string()) {
+                    kinds_seen.push(k.to_string());
+                }
+            }
+            None => errs.push(format!("{name}: kind missing")),
+        }
+        for key in ["n", "ops", "elapsed_sec", "ops_per_sec"] {
+            if w.get(key).and_then(|v| v.as_num()).is_none() {
+                errs.push(format!("{name}: {key} missing or not a number"));
+            }
+        }
+    }
+    for required in ["lockstep", "free_threads", "turn"] {
+        if !backends_seen.iter().any(|b| b == required) {
+            errs.push(format!("workloads: no {required} backend present"));
+        }
+    }
+    for required in ["scan", "decisions"] {
+        if !kinds_seen.iter().any(|k| k == required) {
+            errs.push(format!("workloads: no {required} kind present"));
+        }
+    }
+    match doc.get("comparison") {
+        Some(c) => {
+            for key in [
+                "n",
+                "baseline_ops_per_sec",
+                "fast_ops_per_sec",
+                "speedup",
+            ] {
+                if c.get(key).and_then(|v| v.as_num()).is_none() {
+                    errs.push(format!("comparison.{key}: missing or not a number"));
+                }
+            }
+        }
+        None => errs.push("comparison: missing".into()),
+    }
+    errs
+}
+
+/// Compares a new document against a committed baseline. Returns
+/// human-readable report lines plus the list of regressions (empty = pass).
+///
+/// Absolute ops/sec shifts with the machine, so the gate is *relative*: the
+/// median per-workload ratio (new/old) is taken as the machine-speed
+/// normalizer, and a workload only counts as regressed when it is more than
+/// [`REGRESSION_TOLERANCE`] slower than that median says it should be. The
+/// `comparison.speedup` ratio is machine-relative already and is gated
+/// directly.
+pub fn compare(old: &Value, new: &Value) -> (Vec<String>, Vec<String>) {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    // (ops_per_sec, elapsed_sec) — elapsed decides whether the workload is
+    // long enough to gate on at all.
+    let rate = |doc: &Value, name: &str| -> Option<(f64, f64)> {
+        doc.get("workloads")?.as_arr()?.iter().find_map(|w| {
+            if w.get("name")?.as_str()? == name {
+                Some((
+                    w.get("ops_per_sec")?.as_num()?,
+                    w.get("elapsed_sec")?.as_num()?,
+                ))
+            } else {
+                None
+            }
+        })
+    };
+    let names: Vec<String> = old
+        .get("workloads")
+        .and_then(|w| w.as_arr())
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| w.get("name")?.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for name in &names {
+        match (rate(old, name), rate(new, name)) {
+            (Some((o, oe)), Some((n, ne))) if o > 0.0 => {
+                // Workloads measured in under a few milliseconds are timer
+                // noise, not signal — report them, but never gate on them.
+                if oe.min(ne) < MIN_GATED_ELAPSED_SEC {
+                    report.push(format!(
+                        "{name}: x{:.3} [noisy: measured under {MIN_GATED_ELAPSED_SEC}s, ungated]",
+                        n / o
+                    ));
+                } else {
+                    ratios.push((name.clone(), n / o));
+                }
+            }
+            _ => report.push(format!("{name}: missing from new document, skipped")),
+        }
+    }
+    if ratios.is_empty() {
+        failures.push("no comparable workloads between the two documents".into());
+        return (report, failures);
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    report.push(format!(
+        "median new/old throughput ratio: {median:.3} ({} workloads)",
+        ratios.len()
+    ));
+    let floor = median * (1.0 - REGRESSION_TOLERANCE);
+    for (name, r) in &ratios {
+        let verdict = if *r < floor { "REGRESSED" } else { "ok" };
+        report.push(format!("{name}: x{r:.3} [{verdict}]"));
+        if *r < floor {
+            failures.push(format!(
+                "{name}: throughput ratio {r:.3} below floor {floor:.3} \
+                 (median {median:.3}, tolerance {REGRESSION_TOLERANCE})"
+            ));
+        }
+    }
+    let speedup = |doc: &Value| doc.get("comparison")?.get("speedup")?.as_num();
+    if let (Some(old_s), Some(new_s)) = (speedup(old), speedup(new)) {
+        report.push(format!(
+            "before/after scan speedup: old x{old_s:.3}, new x{new_s:.3}"
+        ));
+        if new_s < old_s * (1.0 - REGRESSION_TOLERANCE) {
+            failures.push(format!(
+                "comparison.speedup regressed: {new_s:.3} vs baseline {old_s:.3}"
+            ));
+        }
+    }
+    (report, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny document with the full shape but trivial workloads — the
+    /// schema/compare tests don't need real measurements.
+    fn tiny_doc(scale_rate: f64) -> Value {
+        let w = |name: &str, backend: &str, kind: &str, rate: f64| {
+            Value::obj(vec![
+                ("name", name.into()),
+                ("backend", backend.into()),
+                ("kind", kind.into()),
+                ("n", 2u64.into()),
+                ("ops", 100u64.into()),
+                ("elapsed_sec", (100.0 / rate).into()),
+                ("ops_per_sec", rate.into()),
+            ])
+        };
+        Value::obj(vec![
+            ("schema", SCHEMA.into()),
+            ("scale", "quick".into()),
+            ("seed", 1u64.into()),
+            (
+                "workloads",
+                Value::Arr(vec![
+                    w("scan_lockstep_n2", "lockstep", "scan", scale_rate),
+                    w("scan_threads_n2", "free_threads", "scan", 2.0 * scale_rate),
+                    w("scan_turn_n2", "turn", "scan", 10.0 * scale_rate),
+                    w("decisions_turn_n2", "turn", "decisions", 3.0 * scale_rate),
+                ]),
+            ),
+            (
+                "comparison",
+                Value::obj(vec![
+                    ("backend", "free_threads".into()),
+                    ("kind", "scan".into()),
+                    ("n", 8u64.into()),
+                    ("baseline_ops_per_sec", scale_rate.into()),
+                    ("fast_ops_per_sec", (2.0 * scale_rate).into()),
+                    ("speedup", 2.0.into()),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn tiny_document_is_schema_valid() {
+        assert_eq!(validate(&tiny_doc(100.0)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let empty = Value::obj(vec![]);
+        assert!(!validate(&empty).is_empty());
+        let wrong_schema = Value::obj(vec![("schema", "nope".into())]);
+        assert!(validate(&wrong_schema)
+            .iter()
+            .any(|e| e.starts_with("schema:")));
+        let mut doc = tiny_doc(100.0);
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "comparison");
+        }
+        assert!(validate(&doc).iter().any(|e| e.starts_with("comparison")));
+    }
+
+    #[test]
+    fn compare_passes_uniform_speed_changes_and_flags_outliers() {
+        // Same machine: identical docs pass.
+        let (_, fails) = compare(&tiny_doc(100.0), &tiny_doc(100.0));
+        assert!(fails.is_empty(), "{fails:?}");
+        // A uniformly 3x faster machine also passes (median normalizes).
+        let (_, fails) = compare(&tiny_doc(100.0), &tiny_doc(300.0));
+        assert!(fails.is_empty(), "{fails:?}");
+        // One workload cratering 10x while the rest hold must be flagged.
+        let old = tiny_doc(100.0);
+        let mut new = tiny_doc(100.0);
+        if let Value::Obj(pairs) = &mut new {
+            for (k, v) in pairs.iter_mut() {
+                if k == "workloads" {
+                    if let Value::Arr(ws) = v {
+                        if let Value::Obj(w0) = &mut ws[0] {
+                            for (wk, wv) in w0.iter_mut() {
+                                if wk == "ops_per_sec" {
+                                    *wv = 10.0.into();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (_, fails) = compare(&old, &new);
+        assert!(
+            fails.iter().any(|f| f.starts_with("scan_lockstep_n2")),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn small_real_run_emits_a_valid_document() {
+        // A real (but minimal) measurement pass: exercise every workload
+        // constructor at n=2 and the document assembly end to end without
+        // paying for the whole quick grid in a unit test.
+        let workloads = vec![
+            lockstep_scan(2, 5),
+            threads_scan(2, 20, ScanPath::Fast),
+            turn_scan(2, 100, 3),
+            decisions_workload("lockstep", 2, 1, 3),
+            decisions_workload("free_threads", 2, 1, 3),
+            decisions_workload("turn", 2, 1, 3),
+        ];
+        for w in &workloads {
+            assert!(w.ops > 0, "{}: no ops measured", w.name);
+            assert!(w.ops_per_sec() > 0.0, "{}: zero rate", w.name);
+        }
+        let doc = Value::obj(vec![
+            ("schema", SCHEMA.into()),
+            ("scale", "quick".into()),
+            ("seed", 3u64.into()),
+            (
+                "workloads",
+                Value::Arr(workloads.iter().map(|w| w.to_json()).collect()),
+            ),
+            ("comparison", comparison_section(Scale::Quick)),
+        ]);
+        let errs = validate(&doc);
+        assert!(errs.is_empty(), "schema violations: {errs:?}");
+        // Round-trips through the JSON renderer and parser.
+        let text = doc.render_pretty(2);
+        let back = bprc_sim::json::parse(&text).expect("rendered JSON parses");
+        assert!(validate(&back).is_empty());
+        // The comparison measured both stacks for real.
+        let c = back.get("comparison").unwrap();
+        assert!(c.get("baseline_ops_per_sec").unwrap().as_num().unwrap() > 0.0);
+        assert!(c.get("fast_ops_per_sec").unwrap().as_num().unwrap() > 0.0);
+    }
+}

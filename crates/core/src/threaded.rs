@@ -61,10 +61,13 @@ where
                     ctx.phase(PhaseKind::Round(r));
                     ctx.metrics().gauge_set(Gauge::Round, r);
                 }
+                // One view buffer for the whole run: `scan_into` refills it
+                // in place, so the steady-state loop allocates nothing.
+                let mut view: Vec<P::Msg> = Vec::new();
                 let result = (|| {
                     port.update(ctx, first)?;
                     loop {
-                        let view = port.scan(ctx)?;
+                        port.scan_into(ctx, &mut view)?;
                         let step = proc.on_scan(&view);
                         let now = proc.probe();
                         if now.round != last.round {

@@ -53,6 +53,21 @@ pub trait ArrowCell: Clone + Send + Sync + 'static {
 
     /// Worst-case number of register accesses one `raise` performs.
     fn raise_cost() -> u64;
+
+    /// Pre-optimization `lower` for the throughput bench's baseline; same
+    /// semantics, but accessing the register the way the seed code did.
+    /// Defaults to the current path for implementations that never changed.
+    #[doc(hidden)]
+    fn lower_prechange(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        self.lower(ctx)
+    }
+
+    /// Pre-optimization `is_raised`; see
+    /// [`lower_prechange`](ArrowCell::lower_prechange).
+    #[doc(hidden)]
+    fn is_raised_prechange(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
+        self.is_raised(ctx)
+    }
 }
 
 /// An atomic two-writer two-reader boolean register, as the paper assumes.
@@ -66,9 +81,14 @@ pub struct DirectArrow {
 
 impl DirectArrow {
     /// Allocates a lowered arrow.
+    ///
+    /// Rides the world's fast register plane: the boolean cell is a seqlock
+    /// whose writer side is CAS-serialized, so the *two*-writer discipline
+    /// of an arrow (writer raises, scanner lowers) stays atomic. Scheduling
+    /// and telemetry are identical to a locked cell.
     pub fn new(world: &World, name: impl Into<String>) -> Self {
         DirectArrow {
-            cell: world.reg(name, false),
+            cell: world.fast_reg(name, false),
         }
     }
 }
@@ -91,6 +111,16 @@ impl ArrowCell for DirectArrow {
     fn is_raised(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
         ctx.count(Counter::ArrowChecks, 1);
         self.cell.read(ctx)
+    }
+
+    fn lower_prechange(&self, ctx: &mut Ctx) -> Result<(), Halted> {
+        ctx.count(Counter::ArrowLowers, 1);
+        self.cell.write_prechange(ctx, false)
+    }
+
+    fn is_raised_prechange(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
+        ctx.count(Counter::ArrowChecks, 1);
+        self.cell.read_prechange(ctx)
     }
 
     fn peek_raised(&self) -> bool {
@@ -124,10 +154,13 @@ pub struct HandshakeArrow {
 
 impl HandshakeArrow {
     /// Allocates a lowered handshake arrow between `writer` and `scanner`.
+    ///
+    /// Each bit is single-writer, so both ride the fast plane without even
+    /// needing the seqlock's writer CAS to arbitrate.
     pub fn new(world: &World, name: &str, writer: usize, scanner: usize) -> Self {
         HandshakeArrow {
-            flag: Swmr::new(world, format!("{name}.flag"), writer, false),
-            ack: Swmr::new(world, format!("{name}.ack"), scanner, false),
+            flag: Swmr::new_fast(world, format!("{name}.flag"), writer, false),
+            ack: Swmr::new_fast(world, format!("{name}.ack"), scanner, false),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Single-writer multi-reader registers.
 
-use bprc_sim::{Ctx, Halted, Reg, World};
+use bprc_sim::{Ctx, FastPod, Halted, Reg, World};
 
 /// A single-writer multi-reader atomic register.
 ///
@@ -57,6 +57,16 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
         }
     }
 
+    /// The underlying register id (for history inspection).
+    pub fn id(&self) -> usize {
+        self.reg.id()
+    }
+
+    /// Whether the register landed on the seqlock fast plane.
+    pub fn is_fast(&self) -> bool {
+        self.reg.is_fast()
+    }
+
     /// The pid allowed to write this register.
     pub fn writer(&self) -> usize {
         self.writer
@@ -67,8 +77,28 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
     /// # Errors
     ///
     /// Returns [`Halted`] if the scheduler stopped this process.
+    #[inline]
     pub fn read(&self, ctx: &mut Ctx) -> Result<T, Halted> {
         self.reg.read(ctx)
+    }
+
+    /// Pre-optimization read path for the throughput bench's baseline — see
+    /// [`Reg::read_prechange`](bprc_sim::Reg).
+    #[doc(hidden)]
+    pub fn read_prechange(&self, ctx: &mut Ctx) -> Result<T, Halted> {
+        self.reg.read_prechange(ctx)
+    }
+
+    /// Atomically reads the register and maps the value in place — one
+    /// scheduled step, no forced clone (see
+    /// [`Reg::read_with`](bprc_sim::Reg::read_with)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    #[inline]
+    pub fn read_with<R>(&self, ctx: &mut Ctx, f: impl FnOnce(&T) -> R) -> Result<R, Halted> {
+        self.reg.read_with(ctx, f)
     }
 
     /// Atomically writes the register.
@@ -121,10 +151,17 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
     pub fn poke(&self, value: T) {
         self.reg.poke(value)
     }
+}
 
-    /// The underlying register id (for history inspection).
-    pub fn id(&self) -> usize {
-        self.reg.id()
+impl<T: FastPod> Swmr<T> {
+    /// Like [`Swmr::new`] but allocates on the seqlock fast plane when the
+    /// payload fits (and the world's register plane allows it). The SWMR
+    /// discipline is unchanged.
+    pub fn new_fast(world: &World, name: impl Into<String>, writer: usize, init: T) -> Self {
+        Swmr {
+            reg: world.fast_reg(name, init),
+            writer,
+        }
     }
 }
 

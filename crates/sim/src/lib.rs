@@ -72,6 +72,6 @@ pub use error::Halted;
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};
-pub use reg::Reg;
+pub use reg::{FastPod, Reg, MAX_FAST_WORDS};
 pub use sched::{Decision, ScheduleView, Strategy};
-pub use world::{Ctx, Mode, RunReport, World, WorldBuilder};
+pub use world::{Ctx, Mode, RegisterPlane, RunReport, World, WorldBuilder};

@@ -73,6 +73,9 @@ counters! {
     Scans => "scans",
     /// Double-collect attempts (each scan makes ≥ 1).
     ScanAttempts => "scan_attempts",
+    /// Value-register reads performed inside collects — recorded per
+    /// attempt, including the final attempt of a starved scan.
+    CollectReads => "collect_reads",
     /// Attempts beyond the first within one scan call.
     ScanRetries => "scan_retries",
     /// Scan calls that exhausted their retry budget.

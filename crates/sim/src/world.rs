@@ -30,6 +30,23 @@ pub enum Mode {
     Free,
 }
 
+/// Which storage plane [`World::fast_reg`] allocates registers on.
+///
+/// Scheduling, telemetry and history are identical on both planes — the
+/// plane only decides how a *granted* access touches memory. The `Locked`
+/// setting exists so benchmarks can measure the pre-seqlock register stack
+/// in the same binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegisterPlane {
+    /// Small POD payloads get a lock-free seqlock cell; larger payloads
+    /// fall back to the locked cell. The default.
+    #[default]
+    Fast,
+    /// Every register uses the original `RwLock` cell, even when the
+    /// payload would fit the seqlock.
+    Locked,
+}
+
 /// A process body run by [`World::run`].
 pub type ProcBody<T> = Box<dyn FnOnce(&mut Ctx) -> Result<T, Halted> + Send + 'static>;
 
@@ -107,6 +124,7 @@ pub(crate) struct WorldInner {
     step_limit: u64,
     record: bool,
     seed: u64,
+    plane: RegisterPlane,
     central: Mutex<Central>,
     proc_cv: Condvar,
     sched_cv: Condvar,
@@ -395,6 +413,12 @@ impl Ctx {
         self.inner.annotate(self.pid, Annotation::new(label, data));
     }
 
+    /// Whether [`Ctx::annotate`] would actually record anything — lets hot
+    /// paths skip building annotation payloads when no history is kept.
+    pub fn recording(&self) -> bool {
+        self.inner.mode == Mode::Lockstep && self.inner.record
+    }
+
     /// This process's metrics handle — works identically in lockstep and
     /// free mode. Protocol layers use it to count events at the source:
     /// `ctx.metrics().incr(Counter::Scans, 1)`.
@@ -429,6 +453,7 @@ pub struct WorldBuilder {
     step_limit: u64,
     seed: u64,
     record: bool,
+    plane: RegisterPlane,
 }
 
 impl WorldBuilder {
@@ -456,6 +481,13 @@ impl WorldBuilder {
         self
     }
 
+    /// Selects the storage plane for [`World::fast_reg`] allocations
+    /// (default [`RegisterPlane::Fast`]).
+    pub fn register_plane(mut self, plane: RegisterPlane) -> Self {
+        self.plane = plane;
+        self
+    }
+
     /// Finishes building the world.
     pub fn build(self) -> World {
         assert!(self.n >= 1, "a world needs at least one process");
@@ -466,6 +498,7 @@ impl WorldBuilder {
                 step_limit: self.step_limit,
                 record: self.record,
                 seed: self.seed,
+                plane: self.plane,
                 central: Mutex::new(Central {
                     granted: None,
                     waiting: vec![None; self.n],
@@ -517,6 +550,7 @@ impl World {
             step_limit: 10_000_000,
             seed: 0,
             record: true,
+            plane: RegisterPlane::default(),
         }
     }
 
@@ -555,6 +589,28 @@ impl World {
         let id = names.len();
         names.push(name.into());
         crate::reg::Reg::new(id, init, Arc::clone(&self.inner))
+    }
+
+    /// Allocates a register on the seqlock fast plane when the payload is a
+    /// small [`FastPod`](crate::reg::FastPod) (and the world's
+    /// [`RegisterPlane`] allows it); otherwise identical to [`World::reg`].
+    ///
+    /// Access semantics — scheduling, counters, recorded history — do not
+    /// depend on which plane the register lands on.
+    pub fn fast_reg<T: crate::reg::FastPod>(
+        &self,
+        name: impl Into<String>,
+        init: T,
+    ) -> crate::reg::Reg<T> {
+        let mut names = self.inner.reg_names.lock();
+        let id = names.len();
+        names.push(name.into());
+        crate::reg::Reg::new_fast(
+            id,
+            init,
+            Arc::clone(&self.inner),
+            self.inner.plane == RegisterPlane::Fast,
+        )
     }
 
     /// Runs `n` process bodies to completion under `strategy`.

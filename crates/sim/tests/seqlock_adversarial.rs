@@ -1,0 +1,170 @@
+//! Adversarial coverage for the seqlock-backed fast register plane.
+//!
+//! The fast plane replaces the `RwLock` cell with a word-packed seqlock
+//! (`reg.rs`). Its one safety obligation is atomicity of the visible value:
+//! a reader must never observe a mix of two different writes. These tests
+//! attack that from three directions — real OS-thread races in free mode,
+//! adversarial lockstep schedules across many seeds, and a cross-plane
+//! equivalence check that the plane is invisible to scheduling, telemetry,
+//! and history recording.
+
+use bprc_sim::sched::{RandomStrategy, RoundRobin};
+use bprc_sim::world::{Mode, ProcBody, World};
+use bprc_sim::{Counter, RegisterPlane};
+
+/// A value whose two halves must always agree: the writer only ever stores
+/// `(k, 3k)`, so any observed pair with `b != 3a` is a torn read.
+fn pair(k: u64) -> (u64, u64) {
+    (k, k.wrapping_mul(3))
+}
+
+fn assert_untorn(v: (u64, u64)) {
+    assert_eq!(
+        v.1,
+        v.0.wrapping_mul(3),
+        "torn read: observed ({}, {}) which is not of the form (k, 3k)",
+        v.0,
+        v.1
+    );
+}
+
+/// Free-mode (real OS threads): one writer bursts pair-invariant values while
+/// three readers hammer the register. Repeated across 100+ seeds so the
+/// thread interleavings get many chances to line up badly.
+#[test]
+fn free_threads_never_observe_torn_pairs_across_seeds() {
+    for seed in 0..110u64 {
+        let mut w = World::builder(4)
+            .seed(seed)
+            .mode(Mode::Free)
+            .step_limit(u64::MAX)
+            .build();
+        let r = w.fast_reg("pair", pair(0));
+        assert!(r.is_fast(), "(u64,u64) must take the seqlock backing");
+        let writer = {
+            let r = r.clone();
+            let b: ProcBody<()> = Box::new(move |ctx| {
+                for k in 1..=60u64 {
+                    r.write(ctx, pair(seed.wrapping_mul(1000) + k))?;
+                }
+                Ok(())
+            });
+            b
+        };
+        let readers = (0..3).map(|_| {
+            let r = r.clone();
+            let b: ProcBody<()> = Box::new(move |ctx| {
+                for _ in 0..60 {
+                    assert_untorn(r.read(ctx)?);
+                }
+                Ok(())
+            });
+            b
+        });
+        let mut bodies = vec![writer];
+        bodies.extend(readers);
+        let rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(rep.decided_count(), 4, "seed {seed}: all bodies finish");
+        assert_untorn(r.peek());
+    }
+}
+
+/// Lockstep with a randomized adversary across 100+ seeds: the writer bursts
+/// mid-run while readers interleave at every granted step. Lockstep grants
+/// ops one at a time, so this checks the fast plane preserves per-op
+/// atomicity under every schedule the adversary picks — and that `peek`
+/// (which bypasses scheduling entirely) also never sees a torn pair.
+#[test]
+fn random_lockstep_schedules_never_observe_torn_pairs() {
+    for seed in 0..120u64 {
+        let mut w = World::builder(3).seed(seed).build();
+        let r = w.fast_reg("pair", pair(0));
+        let writer = {
+            let r = r.clone();
+            let b: ProcBody<()> = Box::new(move |ctx| {
+                for k in 1..=20u64 {
+                    r.write(ctx, pair(k))?;
+                }
+                Ok(())
+            });
+            b
+        };
+        let readers = (0..2).map(|_| {
+            let r = r.clone();
+            let b: ProcBody<()> = Box::new(move |ctx| {
+                for _ in 0..20 {
+                    assert_untorn(r.read(ctx)?);
+                }
+                Ok(())
+            });
+            b
+        });
+        let mut bodies = vec![writer];
+        bodies.extend(readers);
+        let rep = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+        assert_eq!(rep.decided_count(), 3, "seed {seed}");
+        assert_untorn(r.peek());
+    }
+}
+
+/// The register plane is a memory-representation knob only: the same seeded
+/// run on the fast plane and the locked plane must produce identical outputs,
+/// step counts, telemetry counters, and recorded histories.
+#[test]
+fn fast_and_locked_planes_are_observationally_identical() {
+    let run = |plane: RegisterPlane, seed: u64| {
+        let mut w = World::builder(3).seed(seed).register_plane(plane).build();
+        let r = w.fast_reg("pair", pair(0));
+        let bodies: Vec<ProcBody<u64>> = (0..3)
+            .map(|i| {
+                let r = r.clone();
+                let b: ProcBody<u64> = Box::new(move |ctx| {
+                    for k in 1..=12u64 {
+                        r.write(ctx, pair(i as u64 * 100 + k))?;
+                        let v = r.read(ctx)?;
+                        assert_untorn(v);
+                    }
+                    Ok(r.read(ctx)?.0)
+                });
+                b
+            })
+            .collect();
+        let rep = w.run(bodies, Box::new(RandomStrategy::new(seed)));
+        let ops: Vec<_> = rep.history.as_ref().unwrap().ops().collect();
+        let reads: Vec<u64> = (0..3).map(|p| rep.telemetry.counter(p, Counter::RegReads)).collect();
+        let writes: Vec<u64> = (0..3).map(|p| rep.telemetry.counter(p, Counter::RegWrites)).collect();
+        (rep.outputs.clone(), rep.steps, ops, reads, writes)
+    };
+    for seed in [0, 1, 7, 42, 99] {
+        let fast = run(RegisterPlane::Fast, seed);
+        let locked = run(RegisterPlane::Locked, seed);
+        assert_eq!(fast, locked, "seed {seed}: plane changed observable behaviour");
+    }
+}
+
+/// Large payloads silently take the lock backing; the fast constructor must
+/// still behave identically to `reg` for them.
+#[test]
+fn oversized_payloads_fall_back_to_the_locked_cell() {
+    let mut w = World::builder(1).build();
+    // A 5-word tuple is over MAX_FAST_WORDS on the packing side — the type
+    // doesn't implement FastPod at all, so `reg` is the only route; check
+    // the fast route's fallback knob instead via the Locked plane.
+    let mut wl = World::builder(1)
+        .register_plane(RegisterPlane::Locked)
+        .build();
+    let rf = w.fast_reg("x", (1u64, 2u64));
+    let rl = wl.fast_reg("x", (1u64, 2u64));
+    assert!(rf.is_fast());
+    assert!(!rl.is_fast(), "Locked plane must force the RwLock backing");
+    let bodies = |r: bprc_sim::Reg<(u64, u64)>| -> Vec<ProcBody<(u64, u64)>> {
+        vec![Box::new(move |ctx| {
+            r.write(ctx, (7, 21))?;
+            r.read(ctx)
+        })]
+    };
+    let a = w.run(bodies(rf), Box::new(RoundRobin::new()));
+    let b = wl.run(bodies(rl), Box::new(RoundRobin::new()));
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.steps, b.steps);
+}

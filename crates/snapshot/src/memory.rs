@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::{ArrowCell, Swmr};
-use bprc_sim::{Counter, Ctx, Halted, PhaseKind, World};
+use bprc_sim::{Counter, Ctx, FastPod, Halted, PhaseKind, World};
 
 /// History annotation labels used by this construction (consumed by
 /// [`crate::checker`]).
@@ -38,6 +38,28 @@ impl<T: PartialEq> Slot<T> {
     }
 }
 
+/// Slots of small POD payloads can ride the seqlock register plane: the
+/// packed layout is the payload words, then the toggle, then the ghost seq.
+/// Slots too wide for the plane ([`bprc_sim::MAX_FAST_WORDS`] words)
+/// transparently keep the locked backing — the fast constructor checks.
+impl<T: FastPod> FastPod for Slot<T> {
+    const WORDS: usize = T::WORDS + 2;
+
+    fn pack(&self, out: &mut [u64]) {
+        self.value.pack(&mut out[..T::WORDS]);
+        out[T::WORDS] = u64::from(self.toggle);
+        out[T::WORDS + 1] = self.seq;
+    }
+
+    fn unpack(words: &[u64]) -> Self {
+        Slot {
+            value: T::unpack(&words[..T::WORDS]),
+            toggle: words[T::WORDS] != 0,
+            seq: words[T::WORDS + 1],
+        }
+    }
+}
+
 /// Metadata the offline checker needs to interpret a history.
 #[derive(Debug, Clone)]
 pub struct SnapshotMeta {
@@ -57,6 +79,11 @@ pub struct ScanStats {
     /// Scans abandoned because the retry budget ran out
     /// (see [`ScannableMemory::set_scan_retry_budget`]).
     pub starved: AtomicU64,
+    /// Value-register reads performed inside collects. Flushed at the end
+    /// of **every** attempt — including the final attempt of a scan that
+    /// exhausts its budget — so a starved scan's collect work is accounted
+    /// before [`Halted::ScanStarved`] is returned.
+    pub collect_reads: AtomicU64,
 }
 
 struct Shared<T, A> {
@@ -105,11 +132,32 @@ where
     /// Allocates the memory: `n` value registers (initialized to `init` with
     /// ghost seq 0) and `n·(n−1)` arrows, all lowered.
     pub fn new(world: &World, n: usize, init: T) -> Self {
+        Self::build(world, n, init, Swmr::new)
+    }
+
+    /// Like [`ScannableMemory::new`], but allocates the value registers on
+    /// the world's seqlock fast plane. Payloads whose packed slot exceeds
+    /// the plane's width — and worlds built with
+    /// `RegisterPlane::Locked` — transparently keep the locked cells, so
+    /// this only ever changes the memory representation, never semantics.
+    pub fn new_fast(world: &World, n: usize, init: T) -> Self
+    where
+        T: FastPod,
+    {
+        Self::build(world, n, init, Swmr::new_fast)
+    }
+
+    fn build(
+        world: &World,
+        n: usize,
+        init: T,
+        mk: impl Fn(&World, String, usize, Slot<T>) -> Swmr<Slot<T>>,
+    ) -> Self {
         assert!(n >= 1, "need at least one process");
         assert_eq!(world.n(), n, "memory size must match the world");
         let values = (0..n)
             .map(|i| {
-                Swmr::new(
+                mk(
                     world,
                     format!("V_{i}"),
                     i,
@@ -162,11 +210,14 @@ where
             !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
             "port {pid} taken twice"
         );
+        let snap: Vec<Slot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
         Port {
             shared: Arc::clone(&self.shared),
             me: pid,
-            last: self.shared.values[pid].peek(),
+            last: snap[pid].clone(),
             seq: 0,
+            c1: snap.clone(),
+            c2: snap,
         }
     }
 
@@ -224,6 +275,14 @@ pub struct Port<T, A> {
     me: usize,
     last: Slot<T>,
     seq: u64,
+    /// Persistent double-collect buffers, reused across attempts and across
+    /// scans — `scan` allocates nothing per attempt. A buffered slot whose
+    /// ghost seq matches the register's is known identical (each writer's
+    /// seq is strictly monotonic, so equal seq ⟹ the very same write) and
+    /// is not re-cloned. The seq is *ghost* state: it drives this caching
+    /// and the checker, never the algorithm's stability decision.
+    c1: Vec<Slot<T>>,
+    c2: Vec<Slot<T>>,
 }
 
 impl<T, A> std::fmt::Debug for Port<T, A> {
@@ -302,10 +361,42 @@ where
     /// via the step limit under a starving schedule), or
     /// [`Halted::ScanStarved`] when a configured retry budget runs out.
     pub fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
-        Ok(self.scan_slots(ctx)?.into_iter().map(|s| s.value).collect())
+        self.scan_slots(ctx)?;
+        Ok(self.c2.iter().map(|s| s.value.clone()).collect())
     }
 
-    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<Slot<T>>, Halted> {
+    /// Like [`scan`](Port::scan) but writes the view into `out`, reusing its
+    /// capacity (and, via `clone_from`, any heap the elements already own).
+    /// The hot update/scan loops of the consensus backends call this — a
+    /// steady-state scan performs **zero** allocations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan`](Port::scan).
+    pub fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
+        self.scan_slots(ctx)?;
+        if out.len() == self.shared.n {
+            for (o, s) in out.iter_mut().zip(&self.c2) {
+                o.clone_from(&s.value);
+            }
+        } else {
+            out.clear();
+            out.extend(self.c2.iter().map(|s| s.value.clone()));
+        }
+        Ok(())
+    }
+
+    /// On success the view is left in `self.c2` (own slot included).
+    ///
+    /// Per attempt: lower `n−1` arrows, collect twice into the persistent
+    /// buffers, re-read the arrows. A *successful* attempt performs exactly
+    /// the same `4(n−1)` scheduled accesses as the original implementation
+    /// (the refinement tests pin this); only **failing** attempts exit
+    /// early — the second collect stops at the first visible
+    /// `(value, toggle)` mismatch and the arrow re-read is skipped after a
+    /// mismatch (or stops at the first raised arrow). A failed attempt is
+    /// discarded wholesale, so doing less doomed work changes no outcome.
+    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<(), Halted> {
         let n = self.shared.n;
         let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
         let mut tries: u64 = 0;
@@ -326,29 +417,143 @@ where
                     a.lower(ctx)?;
                 }
             }
-            // First collect.
+            let mut reads: u64 = 0;
+            // First collect, into the persistent buffer. Slots whose ghost
+            // seq is unchanged are provably identical and not re-cloned.
+            for j in 0..n {
+                if j == self.me {
+                    continue;
+                }
+                let c1 = &mut self.c1;
+                reads += 1;
+                self.shared.values[j].read_with(ctx, |s| {
+                    if c1[j].seq != s.seq {
+                        c1[j].clone_from(s);
+                    }
+                })?;
+            }
+            // Second collect, compared against the first as it goes: the
+            // attempt is doomed at the first visible mismatch, so stop
+            // collecting there (failure path only).
+            let mut mismatch = false;
+            for j in 0..n {
+                if j == self.me {
+                    continue;
+                }
+                let c1j = &self.c1[j];
+                let c2 = &mut self.c2;
+                reads += 1;
+                let same = self.shared.values[j].read_with(ctx, |s| {
+                    if c2[j].seq != s.seq {
+                        c2[j].clone_from(s);
+                    }
+                    s.same_visible(c1j)
+                })?;
+                if !same {
+                    mismatch = true;
+                    break;
+                }
+            }
+            // Re-read arrows — skipped entirely after a mismatch, and a
+            // raised arrow short-circuits (both failure paths; a successful
+            // attempt always performs all n−1 checks).
+            let mut raised = false;
+            if !mismatch {
+                for j in 0..n {
+                    if let Some(a) = &self.shared.arrows[j][self.me] {
+                        if a.is_raised(ctx)? {
+                            raised = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Account this attempt's collect reads whether it succeeded,
+            // retries, or is about to starve.
+            self.shared.stats[self.me]
+                .collect_reads
+                .fetch_add(reads, Ordering::Relaxed);
+            ctx.count(Counter::CollectReads, reads);
+            if !mismatch && !raised {
+                let me = self.me;
+                if self.c2[me].seq != self.last.seq {
+                    self.c2[me].clone_from(&self.last);
+                }
+                if ctx.recording() {
+                    ctx.annotate(labels::SCAN_END, self.c2.iter().map(|s| s.seq).collect());
+                }
+                self.shared.stats[me].scans.fetch_add(1, Ordering::Relaxed);
+                ctx.count(Counter::Scans, 1);
+                return Ok(());
+            }
+            if budget != 0 && tries >= budget {
+                // Budget exhausted: report starvation instead of retrying
+                // forever under writer pressure.
+                self.shared.stats[self.me]
+                    .starved
+                    .fetch_add(1, Ordering::Relaxed);
+                ctx.count(Counter::ScanStarved, 1);
+                return Err(Halted::ScanStarved);
+            }
+        }
+    }
+
+    /// The original allocating scan, kept verbatim (fresh collect vectors
+    /// every attempt, full second collect, full arrow re-read, register
+    /// accesses through the pre-optimization `*_prechange` wrappers that
+    /// clone the world handle per op) as the reference implementation: the
+    /// equivalence tests check the buffer-reuse scan against it, and the
+    /// throughput bench's "before" configuration measures it. Not part of
+    /// the supported API.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan`](Port::scan).
+    #[doc(hidden)]
+    pub fn scan_legacy(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
+        let n = self.shared.n;
+        let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
+        let mut tries: u64 = 0;
+        ctx.annotate(labels::SCAN_START, vec![]);
+        ctx.phase(PhaseKind::Scan);
+        loop {
+            tries += 1;
+            self.shared.stats[self.me]
+                .attempts
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.count(Counter::ScanAttempts, 1);
+            if tries > 1 {
+                ctx.count(Counter::ScanRetries, 1);
+            }
+            for j in 0..n {
+                if let Some(a) = &self.shared.arrows[j][self.me] {
+                    a.lower_prechange(ctx)?;
+                }
+            }
             let mut c1: Vec<Option<Slot<T>>> = vec![None; n];
             for (j, slot) in c1.iter_mut().enumerate() {
                 if j != self.me {
-                    *slot = Some(self.shared.values[j].read(ctx)?);
+                    *slot = Some(self.shared.values[j].read_prechange(ctx)?);
                 }
             }
-            // Second collect.
             let mut c2: Vec<Option<Slot<T>>> = vec![None; n];
             for (j, slot) in c2.iter_mut().enumerate() {
                 if j != self.me {
-                    *slot = Some(self.shared.values[j].read(ctx)?);
+                    *slot = Some(self.shared.values[j].read_prechange(ctx)?);
                 }
             }
-            // Re-read arrows.
             let mut raised = false;
             for j in 0..n {
                 if let Some(a) = &self.shared.arrows[j][self.me] {
-                    if a.is_raised(ctx)? {
+                    if a.is_raised_prechange(ctx)? {
                         raised = true;
                     }
                 }
             }
+            self.shared.stats[self.me]
+                .collect_reads
+                .fetch_add(2 * (n as u64 - 1), Ordering::Relaxed);
+            ctx.count(Counter::CollectReads, 2 * (n as u64 - 1));
             let stable = !raised
                 && c1
                     .iter()
@@ -375,11 +580,9 @@ where
                     .scans
                     .fetch_add(1, Ordering::Relaxed);
                 ctx.count(Counter::Scans, 1);
-                return Ok(view);
+                return Ok(view.into_iter().map(|s| s.value).collect());
             }
             if budget != 0 && tries >= budget {
-                // Budget exhausted: report starvation instead of retrying
-                // forever under writer pressure.
                 self.shared.stats[self.me]
                     .starved
                     .fetch_add(1, Ordering::Relaxed);
@@ -569,12 +772,17 @@ mod tests {
         assert_eq!(mem.stats(1).scans.load(Ordering::Relaxed), 0);
         // Exactly the budgeted number of attempts was made.
         assert_eq!(mem.stats(1).attempts.load(Ordering::Relaxed), 5);
+        // Regression: the starved scan's collect work is accounted — every
+        // attempt (including the fifth, which returned ScanStarved) did a
+        // full double collect of the one other slot: 5 × 2 reads.
+        assert_eq!(mem.stats(1).collect_reads.load(Ordering::Relaxed), 10);
         // The metrics plane saw the same story as the port-local ScanStats.
         let t = &rep.telemetry;
         assert_eq!(t.counter(1, Counter::ScanAttempts), 5);
         assert_eq!(t.counter(1, Counter::ScanRetries), 4);
         assert_eq!(t.counter(1, Counter::ScanStarved), 1);
         assert_eq!(t.counter(1, Counter::Scans), 0);
+        assert_eq!(t.counter(1, Counter::CollectReads), 10);
     }
 
     #[test]
@@ -609,6 +817,10 @@ mod tests {
             assert_eq!(
                 t.counter(pid, Counter::ScanAttempts),
                 s.attempts.load(Ordering::Relaxed)
+            );
+            assert_eq!(
+                t.counter(pid, Counter::CollectReads),
+                s.collect_reads.load(Ordering::Relaxed)
             );
             // Clean run: attempts split exactly into successes and retries.
             assert_eq!(

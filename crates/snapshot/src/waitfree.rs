@@ -129,10 +129,14 @@ where
             !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
             "port {pid} taken twice"
         );
+        let snap: Vec<WfSlot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
         WfPort {
             shared: Arc::clone(&self.shared),
             me: pid,
-            last: self.shared.values[pid].peek(),
+            last: snap[pid].clone(),
+            c1: snap.clone(),
+            c2: snap,
+            moved: vec![false; self.shared.n],
         }
     }
 
@@ -154,6 +158,15 @@ pub struct WfPort<T> {
     shared: Arc<WfShared<T>>,
     me: usize,
     last: WfSlot<T>,
+    /// Persistent double-collect buffers (see [`crate::memory::Port`]):
+    /// slots whose seq is unchanged since the buffered copy are provably
+    /// identical — including their embedded views — and are not re-cloned.
+    /// That matters even more here than in the bounded construction,
+    /// because every `WfSlot` clone deep-copies an `n`-entry view.
+    c1: Vec<WfSlot<T>>,
+    c2: Vec<WfSlot<T>>,
+    /// Mover bookkeeping, reset per scan.
+    moved: Vec<bool>,
 }
 
 impl<T> std::fmt::Debug for WfPort<T> {
@@ -206,11 +219,15 @@ where
             .collect())
     }
 
+    /// Unlike the bounded construction's scan, the second collect never
+    /// exits early: the `n + 1`-attempt bound rests on charging every
+    /// failing attempt to a *new* mover or a borrow, which requires seeing
+    /// every register's seq in both collects of every attempt.
     fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<(T, u64)>, Halted> {
         let n = self.shared.n;
         ctx.annotate(labels::SCAN_START, vec![]);
         ctx.phase(PhaseKind::Scan);
-        let mut moved = vec![false; n];
+        self.moved.fill(false);
         let mut tries: u64 = 0;
         loop {
             tries += 1;
@@ -221,62 +238,79 @@ where
             if tries > 1 {
                 ctx.count(Counter::ScanRetries, 1);
             }
-            let mut c1: Vec<Option<WfSlot<T>>> = vec![None; n];
-            for (j, s) in c1.iter_mut().enumerate() {
-                if j != self.me {
-                    *s = Some(self.shared.values[j].read(ctx)?);
+            let mut reads: u64 = 0;
+            for j in 0..n {
+                if j == self.me {
+                    continue;
                 }
+                let c1 = &mut self.c1;
+                reads += 1;
+                self.shared.values[j].read_with(ctx, |s| {
+                    if c1[j].seq != s.seq {
+                        c1[j].clone_from(s);
+                    }
+                })?;
             }
-            let mut c2: Vec<Option<WfSlot<T>>> = vec![None; n];
-            for (j, s) in c2.iter_mut().enumerate() {
-                if j != self.me {
-                    *s = Some(self.shared.values[j].read(ctx)?);
+            for j in 0..n {
+                if j == self.me {
+                    continue;
                 }
+                let c2 = &mut self.c2;
+                reads += 1;
+                self.shared.values[j].read_with(ctx, |s| {
+                    if c2[j].seq != s.seq {
+                        c2[j].clone_from(s);
+                    }
+                })?;
             }
+            self.shared.stats[self.me]
+                .collect_reads
+                .fetch_add(reads, Ordering::Relaxed);
+            ctx.count(Counter::CollectReads, reads);
             // Movers: registers whose seq changed between the two collects —
             // i.e. processes whose write landed inside this attempt.
-            let movers: Vec<usize> = (0..n)
-                .filter(|&j| match (&c1[j], &c2[j]) {
-                    (Some(x), Some(y)) => x.seq != y.seq,
-                    _ => false,
-                })
-                .collect();
-            if movers.is_empty() {
-                let view: Vec<(T, u64)> = c2
-                    .into_iter()
-                    .enumerate()
-                    .map(|(j, s)| match s {
-                        Some(s) => (s.value, s.seq),
-                        None => {
-                            debug_assert_eq!(j, self.me);
+            let any_mover =
+                (0..n).any(|j| j != self.me && self.c1[j].seq != self.c2[j].seq);
+            if !any_mover {
+                let me = self.me;
+                let view: Vec<(T, u64)> = (0..n)
+                    .map(|j| {
+                        if j == me {
                             (self.last.value.clone(), self.last.seq)
+                        } else {
+                            (self.c2[j].value.clone(), self.c2[j].seq)
                         }
                     })
                     .collect();
-                ctx.annotate(labels::SCAN_END, view.iter().map(|(_, s)| *s).collect());
-                self.shared.stats[self.me]
-                    .scans
-                    .fetch_add(1, Ordering::Relaxed);
+                if ctx.recording() {
+                    ctx.annotate(labels::SCAN_END, view.iter().map(|(_, s)| *s).collect());
+                }
+                self.shared.stats[me].scans.fetch_add(1, Ordering::Relaxed);
                 ctx.count(Counter::Scans, 1);
                 return Ok(view);
             }
-            for &j in &movers {
-                if moved[j] {
+            for j in 0..n {
+                if j == self.me || self.c1[j].seq == self.c2[j].seq {
+                    continue;
+                }
+                if self.moved[j] {
                     // j's register changed inside two different attempts:
                     // the update behind the second change ran its embedded
                     // scan entirely within this scan — borrow its view.
-                    let borrowed = c2[j].as_ref().expect("mover is not me").view.clone();
-                    ctx.annotate(
-                        labels::SCAN_END,
-                        borrowed.iter().map(|(_, s)| *s).collect(),
-                    );
+                    let borrowed = self.c2[j].view.clone();
+                    if ctx.recording() {
+                        ctx.annotate(
+                            labels::SCAN_END,
+                            borrowed.iter().map(|(_, s)| *s).collect(),
+                        );
+                    }
                     self.shared.stats[self.me]
                         .scans
                         .fetch_add(1, Ordering::Relaxed);
                     ctx.count(Counter::Scans, 1);
                     return Ok(borrowed);
                 }
-                moved[j] = true;
+                self.moved[j] = true;
             }
         }
     }

@@ -1,0 +1,149 @@
+//! Buffer-reuse scans must be observationally identical to the pre-change
+//! clone-based implementation (kept as `scan_legacy`).
+//!
+//! The reuse path keeps two persistent collect buffers on the port and skips
+//! re-cloning slots whose ghost sequence number is unchanged. The bug class
+//! that invites is stale caching: a wrong skip leaves an old value in the
+//! buffer and the scan returns a snapshot that never existed. These tests
+//! drive both implementations over identical memory states — seeded random
+//! action sequences (no proptest; an in-test LCG picks the actions) — and
+//! require the views to match exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bprc_registers::{ArrowCell, DirectArrow, HandshakeArrow};
+use bprc_sim::sched::{FnStrategy, SoloBursts};
+use bprc_sim::world::ProcBody;
+use bprc_sim::{Decision, ScheduleView, World};
+use bprc_snapshot::ScannableMemory;
+
+/// Minimal deterministic generator so the test needs no external crates.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Every process owns its own port and performs a seeded sequence of
+/// actions: an update, or a back-to-back triple of buffer-reuse scan,
+/// legacy scan, and allocating scan. The strategy below grants each chosen
+/// process an entire action atomically (it watches per-process action
+/// counters rather than guessing op counts), so all scans in a triple
+/// observe the same memory and any divergence is a caching bug — while
+/// other processes' updates between a process's consecutive scans keep the
+/// seq-keyed skip logic under pressure.
+fn solo_action_equivalence<A: ArrowCell>(seed: u64) {
+    let n = 4;
+    let mut world = World::builder(n).seed(seed).step_limit(2_000_000).build();
+    let mem = ScannableMemory::<u64, A>::new(&world, n, 0);
+    let actions: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let bodies: Vec<ProcBody<()>> = (0..n)
+        .map(|i| {
+            let mut port = mem.port(i);
+            let acts = Arc::clone(&actions);
+            let b: ProcBody<()> = Box::new(move |ctx| {
+                let mut rng = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(i as u64 + 1);
+                let mut reuse_view: Vec<u64> = Vec::new();
+                for step in 0..25u64 {
+                    if lcg(&mut rng) % 3 != 0 {
+                        port.update(ctx, (i as u64 + 1) * 10_000 + step)?;
+                    } else {
+                        port.scan_into(ctx, &mut reuse_view)?;
+                        let legacy_view = port.scan_legacy(ctx)?;
+                        assert_eq!(
+                            reuse_view, legacy_view,
+                            "seed {seed} pid {i} step {step}: buffer-reuse scan diverged from legacy"
+                        );
+                        let alloc_view = port.scan(ctx)?;
+                        assert_eq!(
+                            alloc_view, legacy_view,
+                            "seed {seed} pid {i} step {step}: allocating scan wrapper diverged"
+                        );
+                    }
+                    acts[i].fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            });
+            b
+        })
+        .collect();
+    // Grant whole actions: stick with the current process until its action
+    // counter advances (or it finishes), then pick the next one at random.
+    let acts = Arc::clone(&actions);
+    let mut rng = seed.wrapping_mul(0xA24B_AED4).wrapping_add(7);
+    let mut cur: Option<(usize, u64)> = None;
+    let strategy = FnStrategy::new(move |view: &ScheduleView<'_>| {
+        let done = match cur {
+            Some((p, since)) => {
+                !view.runnable.contains(&p) || acts[p].load(Ordering::Relaxed) > since
+            }
+            None => true,
+        };
+        if done {
+            let p = view.runnable[(lcg(&mut rng) as usize) % view.runnable.len()];
+            cur = Some((p, acts[p].load(Ordering::Relaxed)));
+        }
+        Decision::Grant(cur.unwrap().0)
+    });
+    let rep = world.run(bodies, Box::new(strategy));
+    assert_eq!(rep.decided_count(), n, "seed {seed}: run halted early");
+}
+
+#[test]
+fn solo_scan_pairs_match_legacy_direct_arrows() {
+    for seed in 0..60 {
+        solo_action_equivalence::<DirectArrow>(seed);
+    }
+}
+
+#[test]
+fn solo_scan_pairs_match_legacy_handshake_arrows() {
+    for seed in 0..30 {
+        solo_action_equivalence::<HandshakeArrow>(seed);
+    }
+}
+
+/// Cross-world check with every process active: run the same seeded solo-burst
+/// schedule once with buffer-reuse scans and once with legacy scans. Giant
+/// bursts mean every scan succeeds on its first attempt, where both
+/// implementations are pinned to the same scheduled op count — so the two
+/// worlds stay in lockstep and must produce identical view sequences.
+#[test]
+fn whole_runs_match_legacy_under_solo_bursts() {
+    let n = 3;
+    let rounds = 5u64;
+    let run = |legacy: bool, seed: u64| -> Vec<Option<Vec<Vec<u64>>>> {
+        let mut world = World::builder(n).seed(seed).step_limit(2_000_000).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::new(&world, n, 0);
+        let bodies: Vec<ProcBody<Vec<Vec<u64>>>> = (0..n)
+            .map(|i| {
+                let mut port = mem.port(i);
+                let b: ProcBody<Vec<Vec<u64>>> = Box::new(move |ctx| {
+                    let mut views = Vec::new();
+                    for k in 0..rounds {
+                        port.update(ctx, (i as u64 + 1) * 1000 + k)?;
+                        views.push(if legacy {
+                            port.scan_legacy(ctx)?
+                        } else {
+                            port.scan(ctx)?
+                        });
+                    }
+                    Ok(views)
+                });
+                b
+            })
+            .collect();
+        world.run(bodies, Box::new(SoloBursts::new(100_000))).outputs
+    };
+    for seed in [0, 3, 17, 91] {
+        assert_eq!(
+            run(false, seed),
+            run(true, seed),
+            "seed {seed}: reuse and legacy runs diverged"
+        );
+    }
+}
