@@ -7,6 +7,8 @@
 //! experiments throughput [--quick] [--out=PATH]   # BENCH_throughput.json
 //! experiments validate-throughput PATH            # schema-check it
 //! experiments compare-throughput OLD NEW          # regression gate (exit 1)
+//! experiments explore [--quick] [--out=PATH]      # BENCH_explore.json
+//! experiments validate-explore PATH               # schema-check it
 //! ```
 //!
 //! Prints markdown tables (the same ones recorded in EXPERIMENTS.md); the
@@ -17,7 +19,7 @@
 //! `compare-throughput` fails (exit 1) when the new document regresses more
 //! than the tolerance against a committed baseline.
 
-use bprc_bench::{consensus_bench, experiments, throughput, Scale, Table};
+use bprc_bench::{consensus_bench, experiments, explore, throughput, Scale, Table};
 
 fn run_bench(scale: Scale, out: &str) {
     let doc = consensus_bench::run(scale, 42);
@@ -123,6 +125,61 @@ fn run_compare_throughput(old_path: &str, new_path: &str) {
     }
 }
 
+fn run_explore(scale: Scale, out: &str) {
+    let doc = explore::run(scale, 42);
+    let errs = explore::validate(&doc);
+    if !errs.is_empty() {
+        eprintln!("generated document violates its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    for entry in doc
+        .get("exhaustive")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&[])
+    {
+        let get = |k: &str| entry.get(k).and_then(|v| v.as_num()).unwrap_or(0.0);
+        println!(
+            "exhaustive {}: {} schedules, {} pruned, {:.0} schedules/sec",
+            entry.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+            get("schedules"),
+            get("pruned"),
+            get("schedules_per_sec"),
+        );
+    }
+    if let Some(pct) = doc.get("pct") {
+        let get = |k: &str| pct.get(k).and_then(|v| v.as_num()).unwrap_or(0.0);
+        println!(
+            "pct n={}: {} schedules, {} violations, {:.0} schedules/sec",
+            get("n"),
+            get("schedules"),
+            get("violations"),
+            get("schedules_per_sec"),
+        );
+    }
+    let text = doc.render_pretty(2);
+    if let Err(e) = std::fs::write(out, text + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn run_validate_explore(path: &str) {
+    let errs = explore::validate(&load_json(path));
+    if errs.is_empty() {
+        println!("{path}: valid ({})", explore::SCHEMA);
+    } else {
+        eprintln!("{path}: schema violations:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -166,6 +223,24 @@ fn main() {
             Some(path) => run_validate_throughput(path),
             None => {
                 eprintln!("usage: experiments validate-throughput PATH");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if which.first() == Some(&"explore") {
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH_explore.json");
+        run_explore(scale, out);
+        return;
+    }
+    if which.first() == Some(&"validate-explore") {
+        match which.get(1) {
+            Some(path) => run_validate_explore(path),
+            None => {
+                eprintln!("usage: experiments validate-explore PATH");
                 std::process::exit(2);
             }
         }

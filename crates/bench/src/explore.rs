@@ -1,0 +1,546 @@
+//! Schedule-exploration benchmark — coverage and throughput of the
+//! systematic explorer.
+//!
+//! Where [`crate::throughput`] measures how fast the backends execute one
+//! schedule, this module measures how fast `bprc_sim::explore` enumerates
+//! *many*: bounded-exhaustive DFS over small snapshot configurations and a
+//! PCT sweep at n = 4, every explored schedule checked against the snapshot
+//! properties P1–P3. The emitted `BENCH_explore.json` also carries an
+//! end-to-end counterexample demonstration: an intentionally broken
+//! single-collect scanner is explored, caught, shrunk to a minimal decision
+//! trace, serialized (`bprc-trace-v1`), and replayed to the same violation —
+//! so every generated file proves the replay pipeline works on the machine
+//! that produced it. [`validate`] schema-checks a document and fails on any
+//! recorded violation or replay mismatch; CI runs both steps.
+
+use bprc_registers::DirectArrow;
+use bprc_sim::explore::{
+    explore, run_trace, shrink_trace, DecisionTrace, ExploreConfig, ExploreReport, Independence,
+    TRACE_SCHEMA,
+};
+use bprc_sim::json::Value;
+use bprc_sim::sched::PctStrategy;
+use bprc_sim::world::{ProcBody, RunReport, World};
+use bprc_sim::{Counter, MetricsRegistry};
+use bprc_snapshot::memory::labels;
+use bprc_snapshot::{check_history, ScannableMemory, SnapshotMeta};
+
+use crate::Scale;
+
+/// Schema identifier written into (and required from) every document.
+pub const SCHEMA: &str = "bprc.bench.explore/v1";
+
+/// PCT schedules sampled at n = 4 (both scales — the CI smoke requires the
+/// full thousand).
+pub const PCT_SCHEDULES: u64 = 1_000;
+
+fn meta_for(n: usize) -> SnapshotMeta {
+    let world = World::builder(n).build();
+    ScannableMemory::<u64, DirectArrow>::new(&world, n, 0).meta()
+}
+
+fn p1_p3_check(r: &RunReport<Vec<u64>>, meta: &SnapshotMeta) -> Option<String> {
+    let history = r.history.as_ref().expect("lockstep records history");
+    check_history(history, meta)
+        .violations
+        .first()
+        .map(|v| format!("snapshot property violated: {v:?}"))
+}
+
+/// n = 2, both processes update their cell then scan — the canonical
+/// exhaustive configuration from the test suite.
+fn n2_update_scan_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+    || {
+        let world = World::builder(2).seed(0).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::new(&world, 2, 0);
+        let bodies: Vec<ProcBody<Vec<u64>>> = (0..2)
+            .map(|pid| {
+                let mut port = mem.port(pid);
+                let b: ProcBody<Vec<u64>> = Box::new(move |ctx| {
+                    port.update(ctx, 10 + pid as u64)?;
+                    port.scan(ctx)
+                });
+                b
+            })
+            .collect();
+        (world, bodies)
+    }
+}
+
+/// n = 3, two annotated single-write writers racing one honest
+/// double-collect scanner over raw registers — the widest configuration the
+/// exhaustive DFS covers in CI wall-clock. (The full `ScannableMemory`
+/// bodies are too long at n = 3: exhaustive enumeration of three 12+-op
+/// processes is beyond any CI budget, so the n = 3 statement is made on
+/// this distilled update/scan skeleton instead.)
+fn n3_writers_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+    || {
+        let world = World::builder(3).seed(0).build();
+        let v: Vec<_> = (0..3).map(|i| world.reg(format!("V{i}"), 0u64)).collect();
+        let mut bodies: Vec<ProcBody<Vec<u64>>> = Vec::new();
+        for pid in 0..2 {
+            let reg = v[pid].clone();
+            bodies.push(Box::new(move |ctx| {
+                ctx.annotate(labels::UPD_START, vec![1]);
+                reg.write_tagged(ctx, 1, 1)?;
+                ctx.annotate(labels::UPD_END, vec![1]);
+                Ok(vec![])
+            }));
+        }
+        let regs = v.clone();
+        bodies.push(Box::new(move |ctx| {
+            ctx.annotate(labels::SCAN_START, vec![]);
+            // Collect until two consecutive identical views; the registers
+            // are monotone (0 → 1, written once), so this terminates within
+            // four collects and the repeated view is a valid snapshot.
+            let mut prev: Option<Vec<u64>> = None;
+            let view = loop {
+                let mut cur = Vec::with_capacity(3);
+                for reg in &regs {
+                    cur.push(reg.read(ctx)?);
+                }
+                if prev.as_ref() == Some(&cur) {
+                    break cur;
+                }
+                prev = Some(cur);
+            };
+            ctx.annotate(labels::SCAN_END, view.clone());
+            Ok(view)
+        }));
+        (world, bodies)
+    }
+}
+
+/// Meta for the hand-rolled three-register layouts (the n = 3 exhaustive
+/// entry and the broken fixture): registers 0–2 are the value slots and
+/// values double as sequence numbers.
+fn raw_meta() -> SnapshotMeta {
+    SnapshotMeta {
+        value_regs: vec![0, 1, 2],
+    }
+}
+
+/// The intentionally broken fixture for the counterexample demo: honest
+/// annotated writers, but the scanner does ONE naive collect with no retry,
+/// so torn (non-linearizable) views are reachable.
+fn broken_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+    || {
+        let world = World::builder(3).seed(0).build();
+        let v: Vec<_> = (0..3).map(|i| world.reg(format!("V{i}"), 0u64)).collect();
+        let mut bodies: Vec<ProcBody<Vec<u64>>> = Vec::new();
+        for pid in 0..2 {
+            let reg = v[pid].clone();
+            bodies.push(Box::new(move |ctx| {
+                ctx.annotate(labels::UPD_START, vec![1]);
+                reg.write_tagged(ctx, 1, 1)?;
+                ctx.annotate(labels::UPD_END, vec![1]);
+                Ok(vec![])
+            }));
+        }
+        let regs = v.clone();
+        bodies.push(Box::new(move |ctx| {
+            ctx.annotate(labels::SCAN_START, vec![]);
+            let mut view = Vec::with_capacity(3);
+            for reg in &regs {
+                view.push(reg.read(ctx)?);
+            }
+            ctx.annotate(labels::SCAN_END, view.clone());
+            Ok(view)
+        }));
+        (world, bodies)
+    }
+}
+
+fn broken_check(r: &RunReport<Vec<u64>>) -> Option<String> {
+    p1_p3_check(r, &raw_meta())
+}
+
+fn report_to_json(name: &str, n: usize, rep: &ExploreReport) -> Value {
+    Value::obj(vec![
+        ("name", name.into()),
+        ("n", n.into()),
+        ("independence", "reads-only".into()),
+        ("schedules", rep.schedules.into()),
+        ("pruned", rep.pruned.into()),
+        ("truncated", rep.truncated.into()),
+        ("exhausted", rep.exhausted.into()),
+        ("max_depth", rep.max_depth.into()),
+        ("elapsed_sec", rep.elapsed_secs.into()),
+        ("schedules_per_sec", rep.schedules_per_sec().into()),
+        (
+            "violation",
+            rep.violation
+                .as_ref()
+                .map(|c| Value::from(c.description.as_str()))
+                .unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+/// One bounded-exhaustive DFS entry: explore the factory's whole schedule
+/// space under the reads-only relation, checking P1–P3 on every schedule.
+fn exhaustive_entry<F>(name: &str, n: usize, meta: SnapshotMeta, factory: F) -> (Value, ExploreReport)
+where
+    F: FnMut() -> (World, Vec<ProcBody<Vec<u64>>>),
+{
+    let cfg = ExploreConfig {
+        max_steps: 40,
+        max_schedules: 2_000_000,
+        // P1–P3 consume note timestamps, so only the read/read relation is
+        // a sound basis for pruning (see `Independence`).
+        independence: Independence::ReadsOnly,
+        ..ExploreConfig::default()
+    };
+    let rep = explore(&cfg, factory, |r| p1_p3_check(r, &meta));
+    (report_to_json(name, n, &rep), rep)
+}
+
+/// The PCT sweep: `schedules` seeds at n = 4, d = 3 change points, every
+/// run's history checked against P1–P3.
+fn pct_sweep(schedules: u64) -> Value {
+    let n = 4usize;
+    let d = 3usize;
+    let horizon = 200u64;
+    let meta = meta_for(n);
+    let mut violations = 0u64;
+    let mut first_violation: Option<String> = None;
+    let mut leaders = vec![0u64; n];
+    let start = std::time::Instant::now();
+    for seed in 0..schedules {
+        let mut world = World::builder(n).seed(0).step_limit(5_000).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::new(&world, n, 0);
+        let bodies: Vec<ProcBody<Vec<u64>>> = (0..n)
+            .map(|pid| {
+                let mut port = mem.port(pid);
+                let b: ProcBody<Vec<u64>> = Box::new(move |ctx| {
+                    port.update(ctx, pid as u64 + 1)?;
+                    port.scan(ctx)
+                });
+                b
+            })
+            .collect();
+        let strategy = PctStrategy::new(seed, n, d, horizon);
+        if let Some((leader, _)) = strategy
+            .priorities()
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, p)| p)
+        {
+            leaders[leader] += 1;
+        }
+        let rep = world.run(bodies, Box::new(strategy));
+        let check = check_history(rep.history.as_ref().expect("history on"), &meta);
+        if let Some(v) = check.violations.first() {
+            violations += 1;
+            first_violation.get_or_insert_with(|| format!("seed {seed}: {v:?}"));
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Value::obj(vec![
+        ("n", n.into()),
+        ("d", d.into()),
+        ("horizon", horizon.into()),
+        ("schedules", schedules.into()),
+        ("violations", violations.into()),
+        (
+            "first_violation",
+            first_violation
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "initial_leader_counts",
+            Value::Arr(leaders.iter().map(|&c| c.into()).collect()),
+        ),
+        ("elapsed_sec", elapsed.into()),
+        (
+            "schedules_per_sec",
+            (schedules as f64 / elapsed.max(1e-9)).into(),
+        ),
+    ])
+}
+
+/// The end-to-end counterexample demonstration: find, shrink, serialize,
+/// parse back, replay. Returns the JSON section plus the telemetry produced
+/// along the way (explorer counters + `ShrinkRuns`).
+fn counterexample_demo() -> (Value, bprc_sim::Telemetry) {
+    let cfg = ExploreConfig {
+        independence: Independence::ReadsOnly,
+        ..ExploreConfig::default()
+    };
+    let rep = explore(&cfg, broken_scanner_factory(), broken_check);
+    let found = rep.violation.as_ref();
+    let registry = MetricsRegistry::new(1);
+    let (section, shrink_runs) = match found {
+        None => (
+            Value::obj(vec![
+                ("found", false.into()),
+                ("schedules_searched", rep.schedules.into()),
+            ]),
+            0,
+        ),
+        Some(cex) => {
+            let mut make = broken_scanner_factory();
+            let full_len = cex.trace.decisions.len();
+            let (min, shrink_runs) =
+                shrink_trace(&mut make, &mut broken_check, cex.trace.clone());
+            let doc = min.to_json().render();
+            let reparsed = bprc_sim::json::parse(&doc)
+                .ok()
+                .and_then(|v| DecisionTrace::from_json(&v).ok());
+            let round_trip_ok = reparsed.as_ref() == Some(&min);
+            let replay_verified = reparsed
+                .map(|t| {
+                    let (replayed, _) = run_trace(&mut make, &t);
+                    broken_check(&replayed).is_some()
+                })
+                .unwrap_or(false);
+            (
+                Value::obj(vec![
+                    ("found", true.into()),
+                    ("description", cex.description.as_str().into()),
+                    ("schedules_searched", rep.schedules.into()),
+                    ("full_trace_len", full_len.into()),
+                    ("shrunk_trace_len", min.decisions.len().into()),
+                    ("shrink_runs", shrink_runs.into()),
+                    ("round_trip_byte_identical", round_trip_ok.into()),
+                    ("replay_verified", replay_verified.into()),
+                    ("trace", min.to_json()),
+                ]),
+                shrink_runs,
+            )
+        }
+    };
+    // Merge the explorer's own counters with the shrink count so the whole
+    // find→shrink pipeline is visible through one telemetry snapshot.
+    registry.proc(0).incr(Counter::ShrinkRuns, shrink_runs);
+    for c in [
+        Counter::SchedulesExplored,
+        Counter::SchedulesPruned,
+        Counter::SchedulesTruncated,
+    ] {
+        registry.proc(0).incr(c, rep.telemetry.total(c));
+    }
+    (section, registry.snapshot())
+}
+
+/// Runs the full exploration suite and assembles the JSON document.
+pub fn run(scale: Scale, seed: u64) -> Value {
+    let mut exhaustive = Vec::new();
+    let mut totals = [0u64; 3]; // explored, pruned, truncated
+    let mut push = |(json, rep): (Value, ExploreReport)| {
+        totals[0] += rep.telemetry.total(Counter::SchedulesExplored);
+        totals[1] += rep.telemetry.total(Counter::SchedulesPruned);
+        totals[2] += rep.telemetry.total(Counter::SchedulesTruncated);
+        exhaustive.push(json);
+    };
+    push(exhaustive_entry(
+        "snapshot-n2-update-scan",
+        2,
+        meta_for(2),
+        n2_update_scan_factory(),
+    ));
+    if scale == Scale::Full {
+        push(exhaustive_entry(
+            "snapshot-n3-two-writers-one-scanner",
+            3,
+            raw_meta(),
+            n3_writers_scanner_factory(),
+        ));
+    }
+    let pct = pct_sweep(PCT_SCHEDULES);
+    let (demo, demo_telemetry) = counterexample_demo();
+    Value::obj(vec![
+        ("schema", SCHEMA.into()),
+        (
+            "scale",
+            if scale == Scale::Quick { "quick" } else { "full" }.into(),
+        ),
+        ("seed", seed.into()),
+        ("trace_schema", TRACE_SCHEMA.into()),
+        ("exhaustive", Value::Arr(exhaustive)),
+        ("pct", pct),
+        ("counterexample", demo),
+        (
+            "telemetry",
+            Value::obj(vec![
+                (
+                    "schedules_explored",
+                    (totals[0] + demo_telemetry.total(Counter::SchedulesExplored)).into(),
+                ),
+                (
+                    "schedules_pruned",
+                    (totals[1] + demo_telemetry.total(Counter::SchedulesPruned)).into(),
+                ),
+                (
+                    "schedules_truncated",
+                    (totals[2] + demo_telemetry.total(Counter::SchedulesTruncated)).into(),
+                ),
+                (
+                    "shrink_runs",
+                    demo_telemetry.total(Counter::ShrinkRuns).into(),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn num(doc: &Value, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for k in path {
+        v = v.get(k)?;
+    }
+    v.as_num()
+}
+
+/// Schema- and invariant-checks an emitted document. Returns human-readable
+/// violation strings; empty means valid. Any recorded property violation or
+/// replay mismatch is itself a validation failure — CI fails on it.
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => errs.push(format!("schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    if doc.get("trace_schema").and_then(|v| v.as_str()) != Some(TRACE_SCHEMA) {
+        errs.push(format!("trace_schema must be {TRACE_SCHEMA:?}"));
+    }
+
+    match doc.get("exhaustive").and_then(|v| v.as_arr()) {
+        None => errs.push("missing exhaustive array".into()),
+        Some(entries) if entries.is_empty() => errs.push("exhaustive array is empty".into()),
+        Some(entries) => {
+            for (i, e) in entries.iter().enumerate() {
+                let name = e
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("<unnamed>")
+                    .to_string();
+                if e.get("exhausted") != Some(&Value::Bool(true)) {
+                    errs.push(format!("exhaustive[{i}] {name}: space not exhausted"));
+                }
+                if !matches!(e.get("violation"), Some(Value::Null)) {
+                    errs.push(format!(
+                        "exhaustive[{i}] {name}: recorded a property violation"
+                    ));
+                }
+                if e.get("schedules").and_then(|v| v.as_num()).unwrap_or(0.0) < 1.0 {
+                    errs.push(format!("exhaustive[{i}] {name}: no schedules executed"));
+                }
+                if e.get("truncated").and_then(|v| v.as_num()).unwrap_or(-1.0) != 0.0 {
+                    errs.push(format!(
+                        "exhaustive[{i}] {name}: step budget truncated the space"
+                    ));
+                }
+            }
+        }
+    }
+
+    if num(doc, &["pct", "violations"]) != Some(0.0) {
+        errs.push("pct sweep recorded violations (or is missing)".into());
+    }
+    if num(doc, &["pct", "schedules"]).unwrap_or(0.0) < PCT_SCHEDULES as f64 {
+        errs.push(format!("pct sweep must cover >= {PCT_SCHEDULES} schedules"));
+    }
+
+    let demo = doc.get("counterexample");
+    match demo {
+        None => errs.push("missing counterexample section".into()),
+        Some(d) => {
+            for key in ["found", "round_trip_byte_identical", "replay_verified"] {
+                if d.get(key) != Some(&Value::Bool(true)) {
+                    errs.push(format!("counterexample.{key} must be true"));
+                }
+            }
+            let full = num(d, &["full_trace_len"]).unwrap_or(0.0);
+            let shrunk = num(d, &["shrunk_trace_len"]).unwrap_or(f64::MAX);
+            if shrunk > full {
+                errs.push("counterexample: shrunk trace longer than the original".into());
+            }
+            if num(d, &["shrink_runs"]).unwrap_or(0.0) < 1.0 {
+                errs.push("counterexample: shrinker did not run".into());
+            }
+            match d.get("trace") {
+                None => errs.push("counterexample.trace missing".into()),
+                Some(t) => {
+                    if let Err(e) = DecisionTrace::from_json(t) {
+                        errs.push(format!("counterexample.trace is not a valid trace: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    for key in [
+        "schedules_explored",
+        "schedules_pruned",
+        "shrink_runs",
+    ] {
+        if num(doc, &["telemetry", key]).unwrap_or(0.0) < 1.0 {
+            errs.push(format!("telemetry.{key} must be positive"));
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_real_run_emits_a_valid_document() {
+        let doc = run(Scale::Quick, 42);
+        let errs = validate(&doc);
+        assert!(errs.is_empty(), "{errs:?}");
+        // The document survives a render/parse round trip.
+        let text = doc.render_pretty(2);
+        let parsed = bprc_sim::json::parse(&text).unwrap();
+        assert!(validate(&parsed).is_empty());
+        // The embedded trace replays to the recorded violation.
+        let trace = DecisionTrace::from_json(
+            parsed.get("counterexample").unwrap().get("trace").unwrap(),
+        )
+        .unwrap();
+        let mut make = broken_scanner_factory();
+        let (rep, _) = run_trace(&mut make, &trace);
+        assert!(broken_check(&rep).is_some());
+    }
+
+    #[test]
+    fn n3_exhaustive_entry_stays_clean_and_ci_sized() {
+        let (json, rep) = exhaustive_entry(
+            "snapshot-n3-two-writers-one-scanner",
+            3,
+            raw_meta(),
+            n3_writers_scanner_factory(),
+        );
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(rep.exhausted);
+        assert_eq!(rep.truncated, 0);
+        assert!(
+            rep.schedules < 100_000,
+            "n=3 entry must stay CI-sized, got {} schedules",
+            rep.schedules
+        );
+        assert_eq!(json.get("exhausted"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn validate_flags_a_corrupted_document() {
+        let doc = run(Scale::Quick, 42);
+        let text = doc.render();
+        // Forge a violation into the pct section.
+        let forged = text.replace("\"violations\":0", "\"violations\":3");
+        assert_ne!(forged, text, "expected a pct.violations field to forge");
+        let parsed = bprc_sim::json::parse(&forged).unwrap();
+        assert!(!validate(&parsed).is_empty());
+        // And a schema mismatch.
+        let wrong = text.replace(SCHEMA, "bprc.bench.explore/v0");
+        let parsed = bprc_sim::json::parse(&wrong).unwrap();
+        assert!(validate(&parsed)
+            .iter()
+            .any(|e| e.contains("schema")));
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod consensus_bench;
 pub mod experiments;
+pub mod explore;
 pub mod table;
 pub mod throughput;
 

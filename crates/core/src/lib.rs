@@ -55,7 +55,9 @@ pub mod primitives;
 pub mod multivalued;
 pub mod state;
 pub mod threaded;
+pub mod verify;
 pub mod virtual_rounds;
 
 pub use bounded::{BoundedCore, ConsensusParams};
 pub use state::{Pref, ProcState};
+pub use verify::ConsensusSpec;

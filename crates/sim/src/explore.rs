@@ -1,0 +1,881 @@
+//! Systematic schedule-space exploration over the lockstep backend.
+//!
+//! Random strategies *sample* the schedule space; this module *enumerates*
+//! it. Exploration is stateless model checking by re-execution: every
+//! explored schedule is a fresh [`World`] run driven by a controller
+//! strategy that replays a decision prefix recorded on earlier runs, then
+//! extends it with the first unexplored choice. A depth-first stack of
+//! decision nodes tracks, per quiescent point, which grants have been tried.
+//!
+//! # Soundness of the sleep-set reduction
+//!
+//! Exhaustive enumeration of all interleavings explodes; the explorer prunes
+//! with *sleep sets* (Godefroid). After exploring choice `t` at a node, `t`
+//! is put to sleep for the node's remaining branches; a child node inherits
+//! the sleeping ops that are *independent* of the executed choice. A branch
+//! whose every enabled process is asleep is provably redundant (covered by
+//! an already-explored Mazurkiewicz-equivalent interleaving) and is
+//! abandoned, counted in [`ExploreReport::pruned`].
+//!
+//! The reduction is sound exactly for checkers that cannot distinguish
+//! equivalent interleavings, which makes the choice of independence
+//! relation ([`ExploreConfig::independence`]) part of the claim:
+//!
+//! * [`Independence::DistinctRegisters`] — ops are independent when they
+//!   target distinct registers or are both reads of the same one. In the
+//!   lockstep model a process is runnable iff it is parked at a gate, so
+//!   executing one access never enables or disables another — memory
+//!   commutativity is the whole relation. Sound for checkers that inspect
+//!   **process outputs** (flag principles, consensus agreement/validity):
+//!   swapping commuting accesses changes no value any process reads.
+//! * [`Independence::ReadsOnly`] — only read/read pairs are independent.
+//!   Required for the **note-timestamped interval checkers** (snapshot
+//!   P1–P3): an update's `upd:end` annotation rides in the segment after
+//!   its store, so two writes to *distinct* value registers, though they
+//!   commute as memory operations, order their update intervals in real
+//!   time — and P2 verdicts depend on that order. (Concretely: scan reads
+//!   `V0`, writer 0 completes, writer 1 completes, scan reads `V1` — the
+//!   view `(old0, new1)` is torn iff writer 0 finished *before* writer 1.)
+//!   Reads are invisible to the interval checker — they produce no stores
+//!   and P3 compares sequence vectors, not timestamps — so read/read
+//!   commutation is still sound, and scans keep pruning against each other.
+//!
+//! A shared caveat: soundness assumes bodies touch shared state only
+//! through scheduled accesses (no `peek` inside bodies), which holds for
+//! the whole protocol stack.
+//!
+//! # Replay artifacts
+//!
+//! A violating schedule is serialized as a [`DecisionTrace`] — the list of
+//! granted pids, JSON-rendered via [`crate::json`] under schema
+//! [`TRACE_SCHEMA`]. Replay is a tolerant [`FnStrategy`]: each listed pid
+//! is granted when runnable (skipped otherwise), and after the trace is
+//! exhausted the lowest runnable pid runs — so a *prefix* of a run is a
+//! complete, deterministic artifact. [`shrink_trace`] greedily removes
+//! decisions (suffix first, then interior) while the violation persists,
+//! yielding a minimal forcing prefix.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::json::Value;
+use crate::metrics::{Counter, MetricsRegistry, Telemetry};
+use crate::sched::{Decision, FnStrategy, PendingOp, ScheduleView, Strategy};
+use crate::world::{Mode, ProcBody, RunReport, World};
+use crate::history::OpKind;
+
+/// JSON schema tag embedded in every serialized [`DecisionTrace`].
+pub const TRACE_SCHEMA: &str = "bprc-trace-v1";
+
+/// Which pairs of pending ops the sleep-set reduction may commute. Pick the
+/// relation to match what the checker can observe — see the module docs'
+/// soundness discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Independence {
+    /// Independent when targeting distinct registers (or both reading the
+    /// same one). Maximal pruning; sound for output-inspecting checkers.
+    #[default]
+    DistinctRegisters,
+    /// Independent only when both ops are reads. Required for checkers
+    /// that consume note timestamps (snapshot P1–P3), where even writes to
+    /// distinct registers order the enclosing operation intervals.
+    ReadsOnly,
+}
+
+/// Tuning knobs for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum decisions per path; deeper paths are cut and counted in
+    /// [`ExploreReport::truncated`]. Keep ≤ ~40 for exhaustive runs.
+    pub max_steps: u64,
+    /// Safety valve: stop after this many world executions even if the
+    /// space is not exhausted.
+    pub max_schedules: u64,
+    /// Enable the sleep-set partial-order reduction. Turning it off
+    /// enumerates every interleaving — useful for cross-checking the
+    /// reduction itself.
+    pub reduction: bool,
+    /// The independence relation the reduction prunes with; must be chosen
+    /// to match the checker (see [`Independence`]).
+    pub independence: Independence,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_steps: 40,
+            max_schedules: 1_000_000,
+            reduction: true,
+            independence: Independence::DistinctRegisters,
+        }
+    }
+}
+
+/// A violating schedule found by [`explore`], ready to replay.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The decision prefix that forces the violation.
+    pub trace: DecisionTrace,
+    /// The checker's description of what went wrong.
+    pub description: String,
+}
+
+/// What an exploration covered and found.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Complete (un-truncated, non-redundant) schedules executed and
+    /// checked.
+    pub schedules: u64,
+    /// Branches skipped as redundant by the sleep-set reduction.
+    pub pruned: u64,
+    /// Paths cut by [`ExploreConfig::max_steps`] (still executed and
+    /// checked as prefixes, but the subtree below the cut is abandoned).
+    pub truncated: u64,
+    /// Whether the bounded space was fully enumerated (no truncation, no
+    /// `max_schedules` bail-out, no early stop on a violation).
+    pub exhausted: bool,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+    /// First violation found, if any (exploration stops on it).
+    pub violation: Option<Counterexample>,
+    /// Explorer telemetry: `SchedulesExplored` / `SchedulesPruned` /
+    /// `SchedulesTruncated` counters.
+    pub telemetry: Telemetry,
+    /// Wall-clock time spent exploring.
+    pub elapsed_secs: f64,
+}
+
+impl ExploreReport {
+    /// Executed schedules per wall-clock second.
+    pub fn schedules_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            (self.schedules + self.truncated) as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A serializable schedule: the pids granted at successive decision points.
+///
+/// Replay is tolerant: a listed pid that is not currently runnable is
+/// skipped, and once the list is exhausted the lowest runnable pid is
+/// granted — so a shrunk prefix still drives a complete deterministic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTrace {
+    /// Number of processes in the world this trace drives.
+    pub n: usize,
+    /// Granted pids, in decision order.
+    pub decisions: Vec<usize>,
+}
+
+impl DecisionTrace {
+    /// Serializes to the [`TRACE_SCHEMA`] JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("schema", Value::from(TRACE_SCHEMA)),
+            ("n", Value::from(self.n)),
+            (
+                "decisions",
+                Value::Arr(self.decisions.iter().map(|&d| Value::from(d)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a [`TRACE_SCHEMA`] document, validating the schema tag and
+    /// that every decision names a pid `< n`.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        match v.get("schema").and_then(|s| s.as_str()) {
+            Some(s) if s == TRACE_SCHEMA => {}
+            Some(s) => return Err(format!("schema mismatch: got {s:?}, want {TRACE_SCHEMA:?}")),
+            None => return Err("missing schema tag".into()),
+        }
+        let n = v
+            .get("n")
+            .and_then(|x| x.as_num())
+            .ok_or("missing numeric field 'n'")? as usize;
+        if n == 0 {
+            return Err("'n' must be positive".into());
+        }
+        let arr = v
+            .get("decisions")
+            .and_then(|x| x.as_arr())
+            .ok_or("missing array field 'decisions'")?;
+        let mut decisions = Vec::with_capacity(arr.len());
+        for (i, d) in arr.iter().enumerate() {
+            let pid = d
+                .as_num()
+                .ok_or_else(|| format!("decisions[{i}] is not a number"))? as usize;
+            if pid >= n {
+                return Err(format!("decisions[{i}] = {pid} out of range (n = {n})"));
+            }
+            decisions.push(pid);
+        }
+        Ok(DecisionTrace { n, decisions })
+    }
+
+    /// The tolerant replayer: an [`FnStrategy`] that re-executes this trace.
+    pub fn strategy(&self) -> FnStrategy<impl FnMut(&ScheduleView<'_>) -> Decision + 'static> {
+        self.replayer(None)
+    }
+
+    /// Like [`DecisionTrace::strategy`], but also appends every pid it
+    /// actually grants (including fallback grants) to `log` — used by
+    /// [`run_trace`] to canonicalize traces.
+    pub fn recording_strategy(
+        &self,
+        log: Rc<RefCell<Vec<usize>>>,
+    ) -> FnStrategy<impl FnMut(&ScheduleView<'_>) -> Decision + 'static> {
+        self.replayer(Some(log))
+    }
+
+    fn replayer(
+        &self,
+        log: Option<Rc<RefCell<Vec<usize>>>>,
+    ) -> FnStrategy<impl FnMut(&ScheduleView<'_>) -> Decision + 'static> {
+        let decisions = self.decisions.clone();
+        let mut idx = 0usize;
+        FnStrategy::new(move |view: &ScheduleView<'_>| {
+            let mut pick = None;
+            while idx < decisions.len() {
+                let pid = decisions[idx];
+                idx += 1;
+                if view.runnable.contains(&pid) {
+                    pick = Some(pid);
+                    break;
+                }
+                // Not runnable (finished/crashed/hidden): skip the entry.
+            }
+            let pid = pick.unwrap_or(view.runnable[0]);
+            if let Some(log) = &log {
+                log.borrow_mut().push(pid);
+            }
+            Decision::Grant(pid)
+        })
+    }
+}
+
+/// Whether two pending ops of *different* processes commute under the
+/// chosen relation (see the module docs for the soundness argument).
+fn independent(rel: Independence, a: &PendingOp, b: &PendingOp) -> bool {
+    let both_read = a.kind == OpKind::Read && b.kind == OpKind::Read;
+    match rel {
+        Independence::DistinctRegisters => a.reg != b.reg || both_read,
+        Independence::ReadsOnly => both_read,
+    }
+}
+
+/// One decision point on the DFS stack.
+struct Node {
+    /// Runnable pids and their pending ops when this node was first reached.
+    enabled: Vec<(usize, PendingOp)>,
+    /// Sleeping ops: provably redundant here because an equivalent
+    /// interleaving already ran them in an explored sibling branch.
+    sleep: Vec<(usize, PendingOp)>,
+    /// Pids whose subtrees are fully explored.
+    explored: Vec<usize>,
+    /// The pid the current run takes at this node.
+    chosen: usize,
+}
+
+impl Node {
+    fn op_of(&self, pid: usize) -> PendingOp {
+        self.enabled
+            .iter()
+            .find(|&&(p, _)| p == pid)
+            .map(|&(_, op)| op)
+            .expect("chosen/explored pids come from the enabled set")
+    }
+}
+
+/// DFS state shared between the driver loop and the controller strategy.
+struct Dfs {
+    stack: Vec<Node>,
+    /// Decision index within the current run.
+    depth: usize,
+    /// The current run stopped extending the stack (redundant or truncated):
+    /// grant arbitrarily (lowest runnable) until the world finishes.
+    dead: bool,
+    /// The current run was abandoned because every enabled process slept.
+    redundant: bool,
+    /// The current run hit the step budget.
+    truncated: bool,
+    /// Branches proven redundant during this run (dead-node abandonment).
+    pruned_now: u64,
+    max_steps: u64,
+    reduction: bool,
+    independence: Independence,
+}
+
+/// The controller: replays the stack prefix, then extends it.
+struct Controller {
+    st: Rc<RefCell<Dfs>>,
+}
+
+impl Strategy for Controller {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        let mut st = self.st.borrow_mut();
+        if st.dead {
+            return Decision::Grant(view.runnable[0]);
+        }
+        if st.depth < st.stack.len() {
+            // Replay segment: take the recorded choice and check the world
+            // is behaving deterministically.
+            let depth = st.depth;
+            let node = &st.stack[depth];
+            assert!(
+                node.enabled.len() == view.runnable.len()
+                    && node
+                        .enabled
+                        .iter()
+                        .zip(view.runnable.iter())
+                        .all(|(&(p, _), &q)| p == q),
+                "nondeterministic workload: decision point {depth} saw runnable \
+                 {:?} on a previous run but {:?} now — explore() factories must \
+                 rebuild identical worlds",
+                node.enabled.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+                view.runnable,
+            );
+            let chosen = node.chosen;
+            st.depth += 1;
+            return Decision::Grant(chosen);
+        }
+        if st.depth as u64 >= st.max_steps {
+            st.dead = true;
+            st.truncated = true;
+            return Decision::Grant(view.runnable[0]);
+        }
+        // Extension segment: open a new node.
+        let enabled: Vec<(usize, PendingOp)> = view
+            .runnable
+            .iter()
+            .copied()
+            .zip(view.pending.iter().copied())
+            .collect();
+        let sleep: Vec<(usize, PendingOp)> = if !st.reduction {
+            Vec::new()
+        } else if let Some(parent) = st.stack.last() {
+            // Inherit the parent's sleepers (and its already-explored
+            // choices) that are independent of the op the parent executed
+            // to get here — dependent ones wake up.
+            let executed = parent.op_of(parent.chosen);
+            let rel = st.independence;
+            parent
+                .sleep
+                .iter()
+                .copied()
+                .chain(parent.explored.iter().map(|&q| (q, parent.op_of(q))))
+                .filter(|(q, qop)| *q != parent.chosen && independent(rel, qop, &executed))
+                .filter(|(q, _)| enabled.iter().any(|&(p, _)| p == *q))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let pick = enabled
+            .iter()
+            .map(|&(p, _)| p)
+            .find(|p| !sleep.iter().any(|&(q, _)| q == *p));
+        match pick {
+            Some(pid) => {
+                st.stack.push(Node {
+                    enabled,
+                    sleep,
+                    explored: Vec::new(),
+                    chosen: pid,
+                });
+                st.depth += 1;
+                Decision::Grant(pid)
+            }
+            None => {
+                // Everything enabled is asleep: this whole continuation is
+                // covered by an explored sibling. Abandon the path.
+                st.dead = true;
+                st.redundant = true;
+                st.pruned_now += enabled.len() as u64;
+                Decision::Grant(view.runnable[0])
+            }
+        }
+    }
+}
+
+/// Advances the stack to the next unexplored branch. Returns `true` when
+/// the whole space is exhausted.
+fn backtrack(s: &mut Dfs, report: &mut ExploreReport, metrics: &MetricsRegistry) -> bool {
+    loop {
+        let Some(node) = s.stack.last_mut() else {
+            return true;
+        };
+        let prev = node.chosen;
+        node.explored.push(prev);
+        // Sleep-set rule: after exploring `prev`, it sleeps for the node's
+        // remaining branches (it is in `explored`, which the child-sleep
+        // computation treats as sleeping).
+        let next = node
+            .enabled
+            .iter()
+            .map(|&(p, _)| p)
+            .find(|p| !node.explored.contains(p) && !node.sleep.iter().any(|&(q, _)| q == *p));
+        if let Some(p) = next {
+            node.chosen = p;
+            return false;
+        }
+        let skipped = node
+            .enabled
+            .iter()
+            .filter(|&&(p, _)| !node.explored.contains(&p))
+            .count() as u64;
+        if skipped > 0 {
+            report.pruned += skipped;
+            metrics.proc(0).incr(Counter::SchedulesPruned, skipped);
+        }
+        s.stack.pop();
+    }
+}
+
+/// Bounded-exhaustive DFS over every schedule of the world `make` builds.
+///
+/// `make` must be a *deterministic factory*: each call rebuilds an identical
+/// lockstep world plus bodies (same registers, same seed, same code). Every
+/// executed schedule's [`RunReport`] is passed to `check`; a `Some(reason)`
+/// stops exploration and reports the schedule as a replayable
+/// [`Counterexample`].
+///
+/// # Panics
+///
+/// Panics if `make` builds a [`Mode::Free`] world, or if re-running the
+/// factory does not reproduce the same runnable sets (a nondeterministic
+/// workload).
+pub fn explore<T, F, C>(cfg: &ExploreConfig, mut make: F, mut check: C) -> ExploreReport
+where
+    T: Send + 'static,
+    F: FnMut() -> (World, Vec<ProcBody<T>>),
+    C: FnMut(&RunReport<T>) -> Option<String>,
+{
+    let metrics = MetricsRegistry::new(1);
+    let start = Instant::now();
+    let st = Rc::new(RefCell::new(Dfs {
+        stack: Vec::new(),
+        depth: 0,
+        dead: false,
+        redundant: false,
+        truncated: false,
+        pruned_now: 0,
+        max_steps: cfg.max_steps,
+        reduction: cfg.reduction,
+        independence: cfg.independence,
+    }));
+    let mut report = ExploreReport {
+        schedules: 0,
+        pruned: 0,
+        truncated: 0,
+        exhausted: false,
+        max_depth: 0,
+        violation: None,
+        telemetry: Telemetry::empty(1),
+        elapsed_secs: 0.0,
+    };
+    let mut runs: u64 = 0;
+    loop {
+        {
+            let mut s = st.borrow_mut();
+            s.depth = 0;
+            s.dead = false;
+            s.redundant = false;
+            s.truncated = false;
+        }
+        let (mut world, bodies) = make();
+        assert_eq!(
+            world.mode(),
+            Mode::Lockstep,
+            "exploration needs the deterministic lockstep backend"
+        );
+        let run_report = world.run(bodies, Box::new(Controller { st: Rc::clone(&st) }));
+        runs += 1;
+        let (redundant, truncated, pruned_now) = {
+            let mut s = st.borrow_mut();
+            report.max_depth = report.max_depth.max(s.stack.len());
+            (s.redundant, s.truncated, std::mem::take(&mut s.pruned_now))
+        };
+        if pruned_now > 0 {
+            report.pruned += pruned_now;
+            metrics.proc(0).incr(Counter::SchedulesPruned, pruned_now);
+        }
+        if truncated {
+            report.truncated += 1;
+            metrics.proc(0).incr(Counter::SchedulesTruncated, 1);
+        } else if !redundant {
+            report.schedules += 1;
+            metrics.proc(0).incr(Counter::SchedulesExplored, 1);
+        }
+        // Redundant paths were already checked under an equivalent schedule;
+        // truncated prefixes are real executions and still worth checking.
+        if !redundant {
+            if let Some(description) = check(&run_report) {
+                let trace = DecisionTrace {
+                    n: world.n(),
+                    decisions: st.borrow().stack.iter().map(|nd| nd.chosen).collect(),
+                };
+                report.violation = Some(Counterexample { trace, description });
+                break;
+            }
+        }
+        if backtrack(&mut st.borrow_mut(), &mut report, &metrics) {
+            report.exhausted = report.truncated == 0;
+            break;
+        }
+        if runs >= cfg.max_schedules {
+            break;
+        }
+    }
+    report.telemetry = metrics.snapshot();
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
+}
+
+/// Replays `trace` against a fresh world from `make`, returning the run
+/// report plus the *canonical* trace — the grants actually issued, which
+/// may differ from `trace` when entries were skipped as not-runnable.
+pub fn run_trace<T, F>(make: &mut F, trace: &DecisionTrace) -> (RunReport<T>, DecisionTrace)
+where
+    T: Send + 'static,
+    F: FnMut() -> (World, Vec<ProcBody<T>>),
+{
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let (mut world, bodies) = make();
+    let report = world.run(bodies, Box::new(trace.recording_strategy(Rc::clone(&log))));
+    let actual = DecisionTrace {
+        n: trace.n,
+        decisions: log.borrow().clone(),
+    };
+    (report, actual)
+}
+
+/// Greedily shrinks a violating trace while `check` still reports a
+/// violation: first trims the suffix (the tolerant replayer completes any
+/// prefix deterministically), then repeatedly deletes single interior
+/// decisions to a fixpoint. Returns the minimal trace and the number of
+/// candidate re-executions spent (callers feed that into the
+/// `ShrinkRuns` telemetry counter).
+pub fn shrink_trace<T, F, C>(
+    make: &mut F,
+    check: &mut C,
+    trace: DecisionTrace,
+) -> (DecisionTrace, u64)
+where
+    T: Send + 'static,
+    F: FnMut() -> (World, Vec<ProcBody<T>>),
+    C: FnMut(&RunReport<T>) -> Option<String>,
+{
+    let mut runs = 0u64;
+    let mut best = trace;
+    // Suffix trim: pop trailing decisions while the violation persists.
+    while !best.decisions.is_empty() {
+        let mut cand = best.clone();
+        cand.decisions.pop();
+        let (rep, _) = run_trace(make, &cand);
+        runs += 1;
+        if check(&rep).is_some() {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+    // Interior deletion to fixpoint.
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best.decisions.len() {
+            let mut cand = best.clone();
+            cand.decisions.remove(i);
+            let (rep, _) = run_trace(make, &cand);
+            runs += 1;
+            if check(&rep).is_some() {
+                best = cand;
+                improved = true;
+                // Index i now holds the next decision; retry in place.
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    /// The flag-principle workload: each process raises its own flag then
+    /// reads the other's. 4 ops, two per process.
+    fn flag_factory(seed: u64) -> impl FnMut() -> (World, Vec<ProcBody<u32>>) {
+        move || {
+            let w = World::builder(2).seed(seed).build();
+            let a = w.reg("a", 0u32);
+            let b = w.reg("b", 0u32);
+            let (a0, b0) = (a.clone(), b.clone());
+            let (a1, b1) = (a, b);
+            let bodies: Vec<ProcBody<u32>> = vec![
+                Box::new(move |ctx| {
+                    a0.write(ctx, 1)?;
+                    b0.read(ctx)
+                }),
+                Box::new(move |ctx| {
+                    b1.write(ctx, 1)?;
+                    a1.read(ctx)
+                }),
+            ];
+            (w, bodies)
+        }
+    }
+
+    #[test]
+    fn exhaustive_enumeration_without_reduction_counts_interleavings() {
+        // 2 processes x 2 ops each: C(4,2) = 6 interleavings.
+        let cfg = ExploreConfig {
+            reduction: false,
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&cfg, flag_factory(1), |_| None);
+        assert_eq!(rep.schedules, 6);
+        assert_eq!(rep.pruned, 0);
+        assert!(rep.exhausted);
+        assert_eq!(rep.max_depth, 4);
+        assert!(rep.violation.is_none());
+        assert_eq!(
+            rep.telemetry.total(Counter::SchedulesExplored),
+            rep.schedules
+        );
+    }
+
+    #[test]
+    fn reduction_preserves_reachable_outcomes() {
+        let outcomes = |reduction: bool| {
+            let cfg = ExploreConfig {
+                reduction,
+                ..ExploreConfig::default()
+            };
+            let mut seen: Vec<Vec<Option<u32>>> = Vec::new();
+            let rep = explore(&cfg, flag_factory(2), |r| {
+                if !seen.contains(&r.outputs) {
+                    seen.push(r.outputs.clone());
+                }
+                None
+            });
+            seen.sort();
+            (seen, rep)
+        };
+        let (full, full_rep) = outcomes(false);
+        let (reduced, red_rep) = outcomes(true);
+        assert_eq!(full, reduced, "reduction lost a reachable outcome");
+        assert!(red_rep.schedules <= full_rep.schedules);
+        assert!(
+            red_rep.pruned > 0,
+            "the flag workload has independent ops; something must prune"
+        );
+        assert_eq!(
+            red_rep.telemetry.total(Counter::SchedulesPruned),
+            red_rep.pruned
+        );
+        // No schedule lets both processes read 0 (flag principle).
+        for o in &full {
+            assert!(
+                !(o[0] == Some(0) && o[1] == Some(0)),
+                "flag principle violated by {o:?}"
+            );
+        }
+    }
+
+    /// One writer, one reader on a single register: exploring finds the
+    /// read-before-write schedule, and shrinking reduces it to the single
+    /// forcing decision (grant the reader first).
+    fn race_factory() -> impl FnMut() -> (World, Vec<ProcBody<u32>>) {
+        || {
+            let w = World::builder(2).build();
+            let r = w.reg("r", 0u32);
+            let (r0, r1) = (r.clone(), r);
+            let bodies: Vec<ProcBody<u32>> = vec![
+                Box::new(move |ctx| {
+                    r0.write(ctx, 1)?;
+                    Ok(7)
+                }),
+                Box::new(move |ctx| r1.read(ctx)),
+            ];
+            (w, bodies)
+        }
+    }
+
+    fn stale_read(r: &RunReport<u32>) -> Option<String> {
+        (r.outputs[1] == Some(0)).then(|| "reader saw the initial value".to_string())
+    }
+
+    #[test]
+    fn violation_is_found_shrunk_and_replayable() {
+        let rep = explore(&ExploreConfig::default(), race_factory(), stale_read);
+        let cex = rep.violation.expect("the stale read must be reachable");
+        assert!(!rep.exhausted, "exploration stops at the violation");
+
+        // Replay reproduces it.
+        let mut make = race_factory();
+        let (replayed, actual) = run_trace(&mut make, &cex.trace);
+        assert_eq!(stale_read(&replayed), Some("reader saw the initial value".into()));
+        assert_eq!(actual.decisions, cex.trace.decisions, "explorer traces are canonical");
+
+        // Shrinking yields the single forcing decision: grant pid 1 first.
+        let (min, shrink_runs) = shrink_trace(&mut make, &mut |r| stale_read(r), cex.trace);
+        assert_eq!(min.decisions, vec![1]);
+        assert!(shrink_runs > 0);
+        let (rep2, _) = run_trace(&mut make, &min);
+        assert!(stale_read(&rep2).is_some(), "shrunk trace still violates");
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let t = DecisionTrace {
+            n: 3,
+            decisions: vec![2, 0, 1, 1, 0],
+        };
+        let rendered = t.to_json().render();
+        let parsed = crate::json::parse(&rendered).unwrap();
+        let back = DecisionTrace::from_json(&parsed).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json().render(), rendered, "round-trip is byte-identical");
+    }
+
+    #[test]
+    fn trace_json_rejects_bad_documents() {
+        let bad = [
+            r#"{"n": 2, "decisions": []}"#,
+            r#"{"schema": "bprc-trace-v9", "n": 2, "decisions": []}"#,
+            r#"{"schema": "bprc-trace-v1", "decisions": []}"#,
+            r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [5]}"#,
+            r#"{"schema": "bprc-trace-v1", "n": 0, "decisions": []}"#,
+        ];
+        for doc in bad {
+            let v = crate::json::parse(doc).unwrap();
+            assert!(DecisionTrace::from_json(&v).is_err(), "accepted {doc}");
+        }
+    }
+
+    #[test]
+    fn step_budget_truncates_and_reports() {
+        let deep = || {
+            let w = World::builder(2).build();
+            let r = w.reg("r", 0u64);
+            let (r0, r1) = (r.clone(), r);
+            let bodies: Vec<ProcBody<u64>> = vec![
+                Box::new(move |ctx| {
+                    for k in 0..30 {
+                        r0.write(ctx, k)?;
+                    }
+                    Ok(0)
+                }),
+                Box::new(move |ctx| {
+                    let mut last = 0;
+                    for _ in 0..30 {
+                        last = r1.read(ctx)?;
+                    }
+                    Ok(last)
+                }),
+            ];
+            (w, bodies)
+        };
+        let cfg = ExploreConfig {
+            max_steps: 6,
+            max_schedules: 200,
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&cfg, deep, |_| None);
+        assert!(rep.truncated > 0, "60-op workload must hit a 6-step budget");
+        assert!(!rep.exhausted);
+        assert!(rep.max_depth <= 6);
+        assert_eq!(
+            rep.telemetry.total(Counter::SchedulesTruncated),
+            rep.truncated
+        );
+    }
+
+    /// The subtlety the `Independence` knob exists for: each process writes
+    /// its own register, then marks the end of its "operation interval" with
+    /// a note. The two writes commute as memory ops, but the checker reads
+    /// the note *order* — a trace-sensitive property. Under
+    /// `DistinctRegisters` the reduction prunes the interleaving where pid 1
+    /// finishes first (it is Mazurkiewicz-equivalent to the explored one),
+    /// so the "violation" is provably missed; `ReadsOnly` keeps write/write
+    /// pairs dependent and finds it, matching the unreduced enumeration.
+    #[test]
+    fn interval_checkers_need_the_reads_only_relation() {
+        use crate::history::Event;
+
+        let factory = || {
+            let w = World::builder(2).build();
+            let a = w.reg("a", 0u32);
+            let b = w.reg("b", 0u32);
+            let bodies: Vec<ProcBody<u32>> = vec![
+                Box::new(move |ctx| {
+                    a.write(ctx, 1)?;
+                    ctx.annotate("w:end", vec![]);
+                    Ok(0)
+                }),
+                Box::new(move |ctx| {
+                    b.write(ctx, 1)?;
+                    ctx.annotate("w:end", vec![]);
+                    Ok(0)
+                }),
+            ];
+            (w, bodies)
+        };
+        let pid1_ends_first = |r: &RunReport<u32>| {
+            let mut end = [None, None];
+            for ev in r.history.as_ref().unwrap().events() {
+                if let Event::Note { step, pid, note } = ev {
+                    if note.label == "w:end" {
+                        end[*pid] = Some(*step);
+                    }
+                }
+            }
+            (end[1] < end[0]).then(|| "pid 1's interval ended first".to_string())
+        };
+        let with = |independence: Independence, reduction: bool| {
+            let cfg = ExploreConfig {
+                reduction,
+                independence,
+                ..ExploreConfig::default()
+            };
+            explore(&cfg, factory, pid1_ends_first)
+        };
+        let unreduced = with(Independence::DistinctRegisters, false);
+        assert!(
+            unreduced.violation.is_some(),
+            "full enumeration reaches the pid-1-first interleaving"
+        );
+        let reads_only = with(Independence::ReadsOnly, true);
+        assert!(
+            reads_only.violation.is_some(),
+            "ReadsOnly keeps write/write dependent and must find it too"
+        );
+        let distinct = with(Independence::DistinctRegisters, true);
+        assert!(
+            distinct.violation.is_none(),
+            "DistinctRegisters prunes the equivalent sibling — which is why \
+             note-timestamp checkers must not use it"
+        );
+        assert!(distinct.pruned > 0);
+    }
+
+    #[test]
+    fn max_schedules_valve_stops_exploration() {
+        let cfg = ExploreConfig {
+            reduction: false,
+            max_schedules: 2,
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&cfg, flag_factory(0), |_| None);
+        assert_eq!(rep.schedules, 2);
+        assert!(!rep.exhausted);
+    }
+}

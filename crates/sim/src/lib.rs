@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod explore;
 pub mod faults;
 pub mod history;
 pub mod json;
@@ -69,6 +70,7 @@ pub mod turn;
 pub mod world;
 
 pub use error::Halted;
+pub use explore::{Counterexample, DecisionTrace, ExploreConfig, ExploreReport, Independence};
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};

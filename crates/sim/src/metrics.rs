@@ -104,6 +104,15 @@ counters! {
     CoinAdoptions => "coin_adoptions",
     /// Decisions reached.
     Decisions => "decisions",
+    /// Schedules fully explored by the systematic explorer (`explore`).
+    SchedulesExplored => "schedules_explored",
+    /// Branches the explorer's sleep-set reduction proved redundant and
+    /// skipped.
+    SchedulesPruned => "schedules_pruned",
+    /// Explorer paths cut short by the step budget.
+    SchedulesTruncated => "schedules_truncated",
+    /// Candidate re-executions performed by the trace shrinker.
+    ShrinkRuns => "shrink_runs",
 }
 
 macro_rules! gauges {

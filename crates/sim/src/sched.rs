@@ -208,36 +208,126 @@ impl Strategy for SoloBursts {
 #[derive(Debug)]
 pub struct CrashPlan<S> {
     inner: S,
-    /// Sorted list of (step, pid) crash points, consumed front to back.
+    /// Sorted list of (step, pid) crash points still awaiting delivery. An
+    /// entry is only removed when its crash is actually issued: the target
+    /// may be absent from `view.runnable` at the due step without being
+    /// dead — an outer wrapper (e.g. a stall window from the `faults`
+    /// module) can hide a live pid from this view, and the crash must still
+    /// land once the pid reappears.
     plan: Vec<(u64, usize)>,
-    done: usize,
 }
 
 impl<S: Strategy> CrashPlan<S> {
     /// Wraps `inner`, crashing `pid` the first time the global step counter
-    /// reaches `step` for each `(step, pid)` in `plan`.
+    /// reaches `step` *and* `pid` is visible as runnable, for each
+    /// `(step, pid)` in `plan`.
     pub fn new(inner: S, mut plan: Vec<(u64, usize)>) -> Self {
         plan.sort_unstable();
-        CrashPlan {
-            inner,
-            plan,
-            done: 0,
-        }
+        CrashPlan { inner, plan }
+    }
+
+    /// Crash points not yet delivered (targets that finished before their
+    /// due step simply stay here; they are never illegally crashed).
+    pub fn undelivered(&self) -> &[(u64, usize)] {
+        &self.plan
     }
 }
 
 impl<S: Strategy> Strategy for CrashPlan<S> {
     fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
-        if let Some(&(step, pid)) = self.plan.get(self.done) {
-            if view.step >= step {
-                self.done += 1;
-                if view.runnable.contains(&pid) {
-                    return Decision::Crash(pid);
-                }
-                // Process already finished/crashed; fall through.
-            }
+        // Deliver the earliest due entry whose target is currently visible.
+        // Due-but-hidden entries are retried at every later decision point.
+        let due = self
+            .plan
+            .iter()
+            .position(|&(step, pid)| view.step >= step && view.runnable.contains(&pid));
+        if let Some(i) = due {
+            let (_, pid) = self.plan.remove(i);
+            return Decision::Crash(pid);
         }
         self.inner.decide(view)
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<(usize, FaultKind)> {
+        self.inner.drain_fault_notes()
+    }
+}
+
+/// PCT — probabilistic concurrency testing (Burckhardt et al., ASPLOS'10).
+///
+/// Samples a random priority assignment over the `n` processes plus `d`
+/// priority *change points* over the step horizon, then always grants the
+/// highest-priority runnable process. A schedule drawn this way exposes any
+/// bug of depth ≤ d+1 with probability ≥ 1/(n·kᵈ) for a k-step program — a
+/// guarantee uniform random walks lack. With `d = 0` the strategy degenerates
+/// to a fixed priority order: the top-priority process runs solo to
+/// completion, then the next, and so on.
+#[derive(Debug, Clone)]
+pub struct PctStrategy {
+    /// Current priority of each pid; higher wins. Initial priorities are a
+    /// random permutation of `d+1 ..= d+n`, so every change-point demotion
+    /// (to `d - i` for the i-th change point) sinks below all of them.
+    priorities: Vec<u64>,
+    /// Sorted steps at which the currently-leading runnable process is
+    /// demoted.
+    change_points: Vec<u64>,
+    next_cp: usize,
+}
+
+impl PctStrategy {
+    /// Creates a PCT schedule sampler for a world of `n` processes with `d`
+    /// priority change points drawn uniformly over `0..horizon` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero. Granting panics if the world contains a pid
+    /// ≥ `n` — size the strategy to the world it drives.
+    pub fn new(seed: u64, n: usize, d: usize, horizon: u64) -> Self {
+        assert!(n > 0, "PCT needs at least one process");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let base = d as u64;
+        let mut priorities: Vec<u64> = (0..n as u64).map(|i| base + 1 + i).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            priorities.swap(i, j);
+        }
+        let mut change_points: Vec<u64> =
+            (0..d).map(|_| rng.gen_range(0..horizon.max(1))).collect();
+        change_points.sort_unstable();
+        PctStrategy {
+            priorities,
+            change_points,
+            next_cp: 0,
+        }
+    }
+
+    /// Current priority of each pid (higher runs first). Exposed for
+    /// distribution-sanity tests.
+    pub fn priorities(&self) -> &[u64] {
+        &self.priorities
+    }
+
+    fn top(&self, runnable: &[usize]) -> usize {
+        runnable
+            .iter()
+            .copied()
+            .max_by_key(|&p| self.priorities[p])
+            .expect("world guarantees a non-empty runnable set at decisions")
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        while self.next_cp < self.change_points.len()
+            && view.step >= self.change_points[self.next_cp]
+        {
+            let leader = self.top(view.runnable);
+            // The i-th change point demotes to d - i: below every initial
+            // priority, and below earlier demotions of other processes.
+            self.priorities[leader] = (self.change_points.len() - self.next_cp) as u64 - 1;
+            self.next_cp += 1;
+        }
+        Decision::Grant(self.top(view.runnable))
     }
 }
 
@@ -335,6 +425,101 @@ mod tests {
         let runnable = [0];
         let pending = dummy_pending(1);
         assert_eq!(s.decide(&view(2, &runnable, &pending)), Decision::Grant(0));
+    }
+
+    /// A crash whose target is hidden from the view at the due step (as a
+    /// stall wrapper does) must not be dropped: it fires as soon as the pid
+    /// is visible again.
+    #[test]
+    fn crash_plan_retries_hidden_targets() {
+        let mut s = CrashPlan::new(RoundRobin::new(), vec![(2, 1)]);
+        let pending = dummy_pending(1);
+        // At the due step pid 1 is not visible; the plan entry must survive.
+        assert_eq!(s.decide(&view(2, &[0], &pending)), Decision::Grant(0));
+        assert_eq!(s.decide(&view(3, &[0], &pending)), Decision::Grant(0));
+        assert_eq!(s.undelivered(), &[(2, 1)]);
+        // Pid 1 reappears two steps later: the crash lands.
+        let pending = dummy_pending(2);
+        assert_eq!(s.decide(&view(4, &[0, 1], &pending)), Decision::Crash(1));
+        assert!(s.undelivered().is_empty());
+    }
+
+    /// Every planned crash is delivered, even when several become due at the
+    /// same step or their targets are hidden in different windows.
+    #[test]
+    fn crash_plan_delivers_every_planned_crash() {
+        let mut s = CrashPlan::new(RoundRobin::new(), vec![(1, 2), (1, 0)]);
+        let pending = dummy_pending(3);
+        assert_eq!(s.decide(&view(0, &[0, 1, 2], &pending)), Decision::Grant(0));
+        // Both entries due at step 1; pid 0 is hidden, pid 2 visible.
+        let pending2 = dummy_pending(2);
+        assert_eq!(s.decide(&view(1, &[1, 2], &pending2)), Decision::Crash(2));
+        assert_eq!(s.decide(&view(1, &[1], &dummy_pending(1))), Decision::Grant(1));
+        // Pid 0 becomes visible again: its crash still fires.
+        assert_eq!(s.decide(&view(2, &[0, 1], &pending2)), Decision::Crash(0));
+        assert!(s.undelivered().is_empty());
+    }
+
+    /// A target that genuinely finished before its due step stays pending
+    /// harmlessly and never produces an illegal crash decision.
+    #[test]
+    fn crash_plan_never_crashes_finished_processes() {
+        let mut s = CrashPlan::new(RoundRobin::new(), vec![(0, 5)]);
+        let pending = dummy_pending(2);
+        for step in 0..4 {
+            match s.decide(&view(step, &[0, 1], &pending)) {
+                Decision::Grant(_) => {}
+                d => panic!("unexpected {d:?}"),
+            }
+        }
+        assert_eq!(s.undelivered(), &[(0, 5)]);
+    }
+
+    #[test]
+    fn pct_with_zero_change_points_is_strict_priority_order() {
+        let mut s = PctStrategy::new(7, 3, 0, 100);
+        let order: Vec<usize> = {
+            let mut pids: Vec<usize> = (0..3).collect();
+            pids.sort_by_key(|&p| std::cmp::Reverse(s.priorities()[p]));
+            pids
+        };
+        let runnable = [0, 1, 2];
+        let pending = dummy_pending(3);
+        for step in 0..9 {
+            match s.decide(&view(step, &runnable, &pending)) {
+                Decision::Grant(p) => assert_eq!(p, order[0], "d=0 must run the leader solo"),
+                d => panic!("unexpected {d:?}"),
+            }
+        }
+        // Leader gone: the next priority takes over.
+        let rest = [order[1], order[2]];
+        let mut rest_sorted = rest;
+        rest_sorted.sort_unstable();
+        let pending = dummy_pending(2);
+        match s.decide(&view(9, &rest_sorted, &pending)) {
+            Decision::Grant(p) => assert_eq!(p, order[1]),
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn pct_change_point_demotes_the_leader() {
+        // One change point at step 0: the initial leader is demoted before
+        // the first grant, so some other process runs first.
+        let n = 4;
+        let mut s = PctStrategy::new(11, n, 1, 1);
+        let initial_leader = (0..n)
+            .max_by_key(|&p| s.priorities()[p])
+            .unwrap();
+        let runnable: Vec<usize> = (0..n).collect();
+        let pending = dummy_pending(n);
+        match s.decide(&view(0, &runnable, &pending)) {
+            Decision::Grant(p) => {
+                assert_ne!(p, initial_leader, "change point must demote the leader");
+                assert!(s.priorities()[initial_leader] == 0);
+            }
+            d => panic!("unexpected {d:?}"),
+        }
     }
 
     #[test]

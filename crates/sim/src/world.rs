@@ -564,6 +564,12 @@ impl World {
         self.inner.mode
     }
 
+    /// The global step budget this world was built with. The systematic
+    /// explorer (`explore` module) uses it to bound path depth.
+    pub fn step_limit(&self) -> u64 {
+        self.inner.step_limit
+    }
+
     /// Names of all registers allocated so far (indexed by register id) —
     /// feed to [`trace::TraceOptions`](crate::trace::TraceOptions) for
     /// labelled timelines.

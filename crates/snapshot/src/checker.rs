@@ -112,44 +112,60 @@ struct ScanRec {
     seqs: Vec<u64>,
 }
 
-/// Checks the snapshot properties on a recorded lockstep history.
+/// Streaming checker: feed history events one at a time, then [`finish`].
 ///
-/// `meta` maps register ids to writer pids (see
-/// [`ScannableMemory::meta`](crate::memory::ScannableMemory::meta)).
-/// Incomplete scans/updates (the process crashed mid-operation) are ignored,
-/// except that an incomplete update's *store*, if it landed, still counts as
-/// memory content for P2 and staleness for P1 — exactly as a real crashed
-/// write would.
-pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
-    let n = meta.value_regs.len();
-    let reg_to_pid: HashMap<usize, usize> = meta
-        .value_regs
-        .iter()
-        .enumerate()
-        .map(|(pid, &reg)| (reg, pid))
-        .collect();
+/// [`check_history`] is the one-shot wrapper. The incremental form exists
+/// for callers that produce events faster than they can afford to buffer
+/// whole histories — the systematic explorer re-executes thousands of
+/// schedules and feeds each run's events straight through — and for
+/// checkpointing a live run mid-flight ([`IncrementalChecker::finish`]
+/// borrows, so it can be called repeatedly as events keep arriving).
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker {
+    /// writes[pid][seq] -> WriteRec; seq 0 is the implicit initial write.
+    writes: Vec<HashMap<u64, WriteRec>>,
+    reg_to_pid: HashMap<usize, usize>,
+    scans: Vec<ScanRec>,
+    open_scan_start: Vec<Option<i64>>,
+    scan_counts: Vec<usize>,
+}
 
-    // writes[pid][seq] -> WriteRec; seq 0 is the implicit initial write.
-    let mut writes: Vec<HashMap<u64, WriteRec>> = vec![HashMap::new(); n];
-    for w in writes.iter_mut() {
-        w.insert(
-            0,
-            WriteRec {
-                store: Some(-1),
-                end: Some(-1),
-            },
-        );
+impl IncrementalChecker {
+    /// Starts a checker for the memory layout described by `meta` (see
+    /// [`ScannableMemory::meta`](crate::memory::ScannableMemory::meta)).
+    pub fn new(meta: &SnapshotMeta) -> Self {
+        let n = meta.value_regs.len();
+        let mut writes: Vec<HashMap<u64, WriteRec>> = vec![HashMap::new(); n];
+        for w in writes.iter_mut() {
+            w.insert(
+                0,
+                WriteRec {
+                    store: Some(-1),
+                    end: Some(-1),
+                },
+            );
+        }
+        IncrementalChecker {
+            writes,
+            reg_to_pid: meta
+                .value_regs
+                .iter()
+                .enumerate()
+                .map(|(pid, &reg)| (reg, pid))
+                .collect(),
+            scans: Vec::new(),
+            open_scan_start: vec![None; n],
+            scan_counts: vec![0; n],
+        }
     }
-    let mut scans: Vec<ScanRec> = Vec::new();
-    let mut open_scan_start: Vec<Option<i64>> = vec![None; n];
-    let mut scan_counts: Vec<usize> = vec![0; n];
 
-    for ev in history.events() {
+    /// Consumes one history event. Events must arrive in history order.
+    pub fn feed(&mut self, ev: &Event) {
         match ev {
             Event::Note { step, pid, note } => match note.label {
                 labels::UPD_START => {
                     let seq = note.data[0];
-                    writes[*pid].insert(
+                    self.writes[*pid].insert(
                         seq,
                         WriteRec {
                             store: None,
@@ -159,18 +175,18 @@ pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
                 }
                 labels::UPD_END => {
                     let seq = note.data[0];
-                    if let Some(rec) = writes[*pid].get_mut(&seq) {
+                    if let Some(rec) = self.writes[*pid].get_mut(&seq) {
                         rec.end = Some(*step as i64);
                     }
                 }
                 labels::SCAN_START => {
-                    open_scan_start[*pid] = Some(*step as i64);
+                    self.open_scan_start[*pid] = Some(*step as i64);
                 }
                 labels::SCAN_END => {
-                    if let Some(start) = open_scan_start[*pid].take() {
-                        let index = scan_counts[*pid];
-                        scan_counts[*pid] += 1;
-                        scans.push(ScanRec {
+                    if let Some(start) = self.open_scan_start[*pid].take() {
+                        let index = self.scan_counts[*pid];
+                        self.scan_counts[*pid] += 1;
+                        self.scans.push(ScanRec {
                             pid: *pid,
                             index,
                             start,
@@ -188,8 +204,8 @@ pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
                 reg,
                 tag,
             } => {
-                if let Some(&writer) = reg_to_pid.get(reg) {
-                    if let Some(rec) = writes[writer].get_mut(tag) {
+                if let Some(&writer) = self.reg_to_pid.get(reg) {
+                    if let Some(rec) = self.writes[writer].get_mut(tag) {
                         rec.store = Some(*step as i64);
                     }
                 }
@@ -198,101 +214,127 @@ pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
         }
     }
 
-    let mut report = CheckReport {
-        scans: scans.len(),
-        updates: writes
-            .iter()
-            .map(|m| m.values().filter(|r| r.store.is_some()).count() - 1)
-            .sum(),
-        violations: Vec::new(),
-    };
+    /// Completed scans seen so far.
+    pub fn scans_seen(&self) -> usize {
+        self.scans.len()
+    }
 
-    // P1 + P2 per scan.
-    for scan in &scans {
-        let mut lo = i64::MIN; // latest store among returned values
-        let mut hi = i64::MAX; // earliest superseding store
-        let mut complete = true;
-        for (slot, &seq) in scan.seqs.iter().enumerate() {
-            let Some(rec) = writes[slot].get(&seq) else {
-                report.violations.push(SnapshotViolation::UnknownWrite {
-                    scanner: scan.pid,
-                    slot,
-                    seq,
-                });
-                complete = false;
-                continue;
-            };
-            // Future check: the store must exist and precede the scan's end.
-            match rec.store {
-                Some(s) if s < scan.end => lo = lo.max(s),
-                _ => {
-                    report.violations.push(SnapshotViolation::FutureValue {
+    /// Verifies P1–P3 over everything fed so far. Non-consuming: callers
+    /// may keep feeding and finish again later.
+    pub fn finish(&self) -> CheckReport {
+        let mut report = CheckReport {
+            scans: self.scans.len(),
+            updates: self
+                .writes
+                .iter()
+                .map(|m| m.values().filter(|r| r.store.is_some()).count() - 1)
+                .sum(),
+            violations: Vec::new(),
+        };
+
+        // P1 + P2 per scan.
+        for scan in &self.scans {
+            let mut lo = i64::MIN; // latest store among returned values
+            let mut hi = i64::MAX; // earliest superseding store
+            let mut complete = true;
+            for (slot, &seq) in scan.seqs.iter().enumerate() {
+                let Some(rec) = self.writes[slot].get(&seq) else {
+                    report.violations.push(SnapshotViolation::UnknownWrite {
                         scanner: scan.pid,
                         slot,
                         seq,
                     });
                     complete = false;
                     continue;
+                };
+                // Future check: the store must exist and precede the scan's end.
+                match rec.store {
+                    Some(s) if s < scan.end => lo = lo.max(s),
+                    _ => {
+                        report.violations.push(SnapshotViolation::FutureValue {
+                            scanner: scan.pid,
+                            slot,
+                            seq,
+                        });
+                        complete = false;
+                        continue;
+                    }
+                }
+                // Stale check: no later write of this slot completed before the
+                // scan started.
+                if let Some((&sup, _)) = self.writes[slot]
+                    .iter()
+                    .find(|(&s2, r2)| s2 > seq && r2.end.is_some_and(|e| e < scan.start))
+                {
+                    report.violations.push(SnapshotViolation::StaleValue {
+                        scanner: scan.pid,
+                        slot,
+                        seq,
+                        superseded_by: sup,
+                    });
+                    complete = false;
+                }
+                // Superseding store bounds the linearization window from above.
+                if let Some(next_store) = self.writes[slot]
+                    .iter()
+                    .filter(|(&s2, r2)| s2 > seq && r2.store.is_some())
+                    .map(|(_, r2)| r2.store.unwrap())
+                    .min()
+                {
+                    hi = hi.min(next_store);
                 }
             }
-            // Stale check: no later write of this slot completed before the
-            // scan started.
-            if let Some((&sup, _)) = writes[slot]
-                .iter()
-                .find(|(&s2, r2)| s2 > seq && r2.end.is_some_and(|e| e < scan.start))
-            {
-                report.violations.push(SnapshotViolation::StaleValue {
-                    scanner: scan.pid,
-                    slot,
-                    seq,
-                    superseded_by: sup,
-                });
-                complete = false;
-            }
-            // Superseding store bounds the linearization window from above.
-            if let Some(next_store) = writes[slot]
-                .iter()
-                .filter(|(&s2, r2)| s2 > seq && r2.store.is_some())
-                .map(|(_, r2)| r2.store.unwrap())
-                .min()
-            {
-                hi = hi.min(next_store);
+            if complete {
+                // P2: need an integer t with
+                //   max(lo, start−1) <= t <= min(hi−1, end−1)
+                // where "content after op t" equals the view.
+                let t_min = lo.max(scan.start - 1);
+                let t_max = (hi - 1).min(scan.end - 1);
+                if t_min > t_max {
+                    report.violations.push(SnapshotViolation::NotInstantaneous {
+                        scanner: scan.pid,
+                        scan_index: scan.index,
+                    });
+                }
             }
         }
-        if complete {
-            // P2: need an integer t with
-            //   max(lo, start−1) <= t <= min(hi−1, end−1)
-            // where "content after op t" equals the view.
-            let t_min = lo.max(scan.start - 1);
-            let t_max = (hi - 1).min(scan.end - 1);
-            if t_min > t_max {
-                report.violations.push(SnapshotViolation::NotInstantaneous {
-                    scanner: scan.pid,
-                    scan_index: scan.index,
-                });
-            }
-        }
-    }
 
-    // P3: pairwise comparability of views.
-    for i in 0..scans.len() {
-        for j in (i + 1)..scans.len() {
-            let (a, b) = (&scans[i], &scans[j]);
-            if a.seqs.len() != b.seqs.len() {
-                continue;
-            }
-            let le = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x <= y);
-            let ge = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x >= y);
-            if !le && !ge {
-                report.violations.push(SnapshotViolation::IncomparableScans {
-                    a: (a.pid, a.index),
-                    b: (b.pid, b.index),
-                });
+        // P3: pairwise comparability of views.
+        for i in 0..self.scans.len() {
+            for j in (i + 1)..self.scans.len() {
+                let (a, b) = (&self.scans[i], &self.scans[j]);
+                if a.seqs.len() != b.seqs.len() {
+                    continue;
+                }
+                let le = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x <= y);
+                let ge = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x >= y);
+                if !le && !ge {
+                    report.violations.push(SnapshotViolation::IncomparableScans {
+                        a: (a.pid, a.index),
+                        b: (b.pid, b.index),
+                    });
+                }
             }
         }
-    }
 
-    report
+        report
+    }
+}
+
+/// Checks the snapshot properties on a recorded lockstep history.
+///
+/// `meta` maps register ids to writer pids (see
+/// [`ScannableMemory::meta`](crate::memory::ScannableMemory::meta)).
+/// Incomplete scans/updates (the process crashed mid-operation) are ignored,
+/// except that an incomplete update's *store*, if it landed, still counts as
+/// memory content for P2 and staleness for P1 — exactly as a real crashed
+/// write would.
+pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
+    let mut checker = IncrementalChecker::new(meta);
+    for ev in history.events() {
+        checker.feed(ev);
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
@@ -460,5 +502,39 @@ mod tests {
         let r = check_history(&History::from_events(ev), &meta(1));
         assert_eq!(r.scans, 0);
         assert!(r.ok());
+    }
+
+    /// The incremental checker is checkpointable: finishing mid-stream sees
+    /// the scans fed so far, and the final report equals the one-shot
+    /// `check_history` on the same events.
+    #[test]
+    fn incremental_checkpoints_match_one_shot() {
+        let mut ev = Vec::new();
+        upd(&mut ev, 0, 0, 1);
+        upd(&mut ev, 1, 0, 2);
+        ev.push(note(5, 1, labels::SCAN_START, vec![]));
+        ev.push(note(8, 1, labels::SCAN_END, vec![1, 0])); // stale
+        ev.push(note(9, 1, labels::SCAN_START, vec![]));
+        ev.push(note(10, 1, labels::SCAN_END, vec![2, 0])); // fine
+        let history = History::from_events(ev);
+        let m = meta(2);
+
+        let mut inc = IncrementalChecker::new(&m);
+        let mut mid: Option<CheckReport> = None;
+        for e in history.events() {
+            inc.feed(e);
+            if inc.scans_seen() == 1 && mid.is_none() {
+                mid = Some(inc.finish());
+            }
+        }
+        let mid = mid.expect("first scan completes mid-stream");
+        assert_eq!(mid.scans, 1);
+        assert_eq!(mid.violations.len(), 1, "{:?}", mid.violations);
+
+        let full = inc.finish();
+        let one_shot = check_history(&history, &m);
+        assert_eq!(full.scans, one_shot.scans);
+        assert_eq!(full.updates, one_shot.updates);
+        assert_eq!(full.violations, one_shot.violations);
     }
 }

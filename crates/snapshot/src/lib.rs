@@ -63,6 +63,6 @@ pub mod checker;
 pub mod memory;
 pub mod waitfree;
 
-pub use checker::{check_history, CheckReport, SnapshotViolation};
+pub use checker::{check_history, CheckReport, IncrementalChecker, SnapshotViolation};
 pub use memory::{Port, ScanStats, ScannableMemory, SnapshotMeta};
 pub use waitfree::{WaitFreeSnapshot, WfPort};
