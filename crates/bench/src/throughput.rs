@@ -3,8 +3,15 @@
 //! Where [`crate::consensus_bench`] reports *algorithmic* cost (rounds,
 //! total ops), this module reports *implementation* cost: how many snapshot
 //! scans and consensus decisions each backend completes per wall-clock
-//! second, across {lockstep, free_threads, turn} × n ∈ {2, 4, 8, 16}. The
-//! emitted `BENCH_throughput.json` is schema-checked by [`validate`], and
+//! second, across {lockstep, free_threads, turn} × n ∈ {2, 4, 8, 16} —
+//! and, since schema v2, × snapshot backend: every register-level workload
+//! is measured over both the paper's bounded handshake memory
+//! (`"handshake"`) and the wait-free AADGMS snapshot (`"waitfree"`), so
+//! the artifact documents what wait-freedom costs (embedded scans on every
+//! update) next to what it buys (no scan retries under contention). The
+//! turn-driver workloads run at protocol level with no registers at all
+//! and carry `snapshot_backend: "none"`. The emitted
+//! `BENCH_throughput.json` is schema-checked by [`validate`], and
 //! [`compare`] diffs two documents for CI regression gating.
 //!
 //! The document also carries a `comparison` object: the free-thread scan
@@ -17,7 +24,7 @@
 use std::time::Instant;
 
 use bprc_core::bounded::{BoundedCore, ConsensusParams};
-use bprc_core::threaded::ThreadedConsensus;
+use bprc_core::threaded::{ThreadedConsensus, WaitFreeConsensus};
 use bprc_registers::DirectArrow;
 use bprc_sim::json::Value;
 use bprc_sim::rng::derive_seed;
@@ -25,12 +32,16 @@ use bprc_sim::sched::RandomStrategy;
 use bprc_sim::turn::{TurnDriver, TurnProcess, TurnRandom, TurnStep};
 use bprc_sim::world::ProcBody;
 use bprc_sim::{Counter, Mode, RegisterPlane, World};
-use bprc_snapshot::ScannableMemory;
+use bprc_snapshot::{ScannableMemory, SnapshotBackend, SnapshotPort, WaitFreeSnapshot};
 
 use crate::Scale;
 
 /// Schema identifier written into (and required from) every document.
-pub const SCHEMA: &str = "bprc.bench.throughput/v1";
+/// v2 added the `snapshot_backend` dimension to every workload.
+pub const SCHEMA: &str = "bprc.bench.throughput/v2";
+
+/// The snapshot-backend dimension values register-level workloads carry.
+pub const SNAPSHOT_BACKENDS: [&str; 2] = ["handshake", "waitfree"];
 
 /// Process counts measured at both scales (the grid the ISSUE fixes).
 pub const SIZES: [usize; 4] = [2, 4, 8, 16];
@@ -48,6 +59,7 @@ pub const MIN_GATED_ELAPSED_SEC: f64 = 0.005;
 struct Measured {
     name: String,
     backend: &'static str,
+    snapshot_backend: &'static str,
     kind: &'static str,
     n: usize,
     ops: u64,
@@ -63,6 +75,7 @@ impl Measured {
         Value::obj(vec![
             ("name", self.name.as_str().into()),
             ("backend", self.backend.into()),
+            ("snapshot_backend", self.snapshot_backend.into()),
             ("kind", self.kind.into()),
             ("n", self.n.into()),
             ("ops", self.ops.into()),
@@ -84,13 +97,13 @@ enum ScanPath {
 }
 
 /// Builds `n` bodies that each run `iters` update+scan iterations over one
-/// shared scannable memory, and runs them in `world`. Returns completed
-/// scans (from telemetry) and elapsed wall time.
-fn run_scan_bodies(mut world: World, n: usize, iters: u64, path: ScanPath) -> (u64, f64) {
-    // `new_fast` puts the value slots on the seqlock plane too; under the
-    // Legacy path the world is built with `RegisterPlane::Locked`, which
-    // forces every register back onto the RwLock cells.
-    let mem: ScannableMemory<u64, DirectArrow> = ScannableMemory::new_fast(&world, n, 0);
+/// shared snapshot object of backend `B`, and runs them in `world`.
+/// Returns completed scans (from telemetry) and elapsed wall time.
+fn run_scan_bodies<B: SnapshotBackend<u64>>(mut world: World, n: usize, iters: u64) -> (u64, f64) {
+    // `alloc_fast` puts the value slots on the seqlock plane too (the
+    // handshake memory's fixed-width cells and the wait-free snapshot's
+    // dynamic-width ones both qualify for u64 payloads at these sizes).
+    let mem = B::alloc_fast(&world, n, 0u64);
     let bodies: Vec<ProcBody<u64>> = (0..n)
         .map(|pid| {
             let mut port = mem.port(pid);
@@ -99,16 +112,34 @@ fn run_scan_bodies(mut world: World, n: usize, iters: u64, path: ScanPath) -> (u
                 let mut acc = 0u64;
                 for k in 1..=iters {
                     port.update(ctx, k)?;
-                    match path {
-                        ScanPath::Fast => {
-                            port.scan_into(ctx, &mut view)?;
-                            acc = acc.wrapping_add(view.iter().sum::<u64>());
-                        }
-                        ScanPath::Legacy => {
-                            let v = port.scan_legacy(ctx)?;
-                            acc = acc.wrapping_add(v.iter().sum::<u64>());
-                        }
-                    }
+                    port.scan_into(ctx, &mut view)?;
+                    acc = acc.wrapping_add(view.iter().sum::<u64>());
+                }
+                Ok(acc)
+            });
+            b
+        })
+        .collect();
+    let start = Instant::now();
+    let rep = world.run(bodies, Box::new(RandomStrategy::new(7)));
+    let elapsed = start.elapsed().as_secs_f64();
+    (rep.telemetry.total(Counter::Scans), elapsed)
+}
+
+/// The comparison section's pre-optimization leg: locked register plane and
+/// the allocating legacy scan — handshake-only by construction
+/// (`scan_legacy` is the path the optimization replaced).
+fn run_scan_bodies_legacy(mut world: World, n: usize, iters: u64) -> (u64, f64) {
+    let mem: ScannableMemory<u64, DirectArrow> = ScannableMemory::new_fast(&world, n, 0);
+    let bodies: Vec<ProcBody<u64>> = (0..n)
+        .map(|pid| {
+            let mut port = mem.port(pid);
+            let b: ProcBody<u64> = Box::new(move |ctx| {
+                let mut acc = 0u64;
+                for k in 1..=iters {
+                    port.update(ctx, k)?;
+                    let v = port.scan_legacy(ctx)?;
+                    acc = acc.wrapping_add(v.iter().sum::<u64>());
                 }
                 Ok(acc)
             });
@@ -123,15 +154,16 @@ fn run_scan_bodies(mut world: World, n: usize, iters: u64, path: ScanPath) -> (u
 
 /// Scan throughput on the lockstep backend. History recording is off: the
 /// workload measures the scan path, not the event log appends.
-fn lockstep_scan(n: usize, iters: u64) -> Measured {
+fn lockstep_scan<B: SnapshotBackend<u64>>(n: usize, iters: u64) -> Measured {
     let world = World::builder(n)
         .step_limit(u64::MAX)
         .record_history(false)
         .build();
-    let (ops, elapsed_sec) = run_scan_bodies(world, n, iters, ScanPath::Fast);
+    let (ops, elapsed_sec) = run_scan_bodies::<B>(world, n, iters);
     Measured {
-        name: format!("scan_lockstep_n{n}"),
+        name: format!("scan_lockstep_n{n}_{}", B::NAME),
         backend: "lockstep",
+        snapshot_backend: B::NAME,
         kind: "scan",
         n,
         ops,
@@ -142,15 +174,20 @@ fn lockstep_scan(n: usize, iters: u64) -> Measured {
 /// Scan throughput on free-running OS threads — the backend where the
 /// seqlock plane and the allocation-free collects actually change the
 /// machine-level hot path.
-fn threads_scan(n: usize, iters: u64, path: ScanPath) -> Measured {
+fn threads_scan<B: SnapshotBackend<u64>>(n: usize, iters: u64, path: ScanPath) -> Measured {
     let mut builder = World::builder(n).mode(Mode::Free).step_limit(u64::MAX);
     if path == ScanPath::Legacy {
         builder = builder.register_plane(RegisterPlane::Locked);
     }
-    let (ops, elapsed_sec) = run_scan_bodies(builder.build(), n, iters, path);
+    let world = builder.build();
+    let (ops, elapsed_sec) = match path {
+        ScanPath::Fast => run_scan_bodies::<B>(world, n, iters),
+        ScanPath::Legacy => run_scan_bodies_legacy(world, n, iters),
+    };
     Measured {
-        name: format!("scan_threads_n{n}"),
+        name: format!("scan_threads_n{n}_{}", B::NAME),
         backend: "free_threads",
+        snapshot_backend: B::NAME,
         kind: "scan",
         n,
         ops,
@@ -192,6 +229,7 @@ fn turn_scan(n: usize, iters: u64, seed: u64) -> Measured {
     Measured {
         name: format!("scan_turn_n{n}"),
         backend: "turn",
+        snapshot_backend: "none",
         kind: "scan",
         n,
         ops: rep.telemetry.total(Counter::Scans),
@@ -199,42 +237,69 @@ fn turn_scan(n: usize, iters: u64, seed: u64) -> Measured {
     }
 }
 
-/// Decisions throughput: full consensus instances back to back; ops =
-/// processes that decided.
-fn decisions_workload(backend: &'static str, n: usize, trials: u64, seed0: u64) -> Measured {
+/// Turn-driver decisions throughput (protocol level, no registers).
+fn turn_decisions(n: usize, trials: u64, seed0: u64) -> Measured {
     let mut ops = 0u64;
     let start = Instant::now();
     for trial in 0..trials {
         let seed = derive_seed(seed0, trial);
         let params = ConsensusParams::quick(n);
-        match backend {
-            "turn" => {
-                let procs: Vec<BoundedCore> = (0..n)
-                    .map(|p| {
-                        BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64))
-                    })
-                    .collect();
-                let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
-                ops += rep.telemetry.total(Counter::Decisions);
-            }
-            _ => {
-                let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-                let mut builder = World::builder(n).seed(seed).record_history(false);
-                builder = match backend {
-                    "free_threads" => builder.mode(Mode::Free).step_limit(u64::MAX),
-                    _ => builder.step_limit(50_000_000),
-                };
-                let mut world = builder.build();
-                let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
-                let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
-                ops += rep.telemetry.total(Counter::Decisions);
-            }
-        }
+        let procs: Vec<BoundedCore> = (0..n)
+            .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64)))
+            .collect();
+        let rep = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
+        ops += rep.telemetry.total(Counter::Decisions);
     }
     let elapsed_sec = start.elapsed().as_secs_f64();
     Measured {
-        name: format!("decisions_{backend}_n{n}"),
+        name: format!("decisions_turn_n{n}"),
+        backend: "turn",
+        snapshot_backend: "none",
+        kind: "decisions",
+        n,
+        ops,
+        elapsed_sec,
+    }
+}
+
+/// Register-level decisions throughput: full consensus instances back to
+/// back over snapshot backend `B`; ops = processes that decided.
+fn decisions_workload(
+    backend: &'static str,
+    snap: &'static str,
+    n: usize,
+    trials: u64,
+    seed0: u64,
+) -> Measured {
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for trial in 0..trials {
+        let seed = derive_seed(seed0, trial);
+        let params = ConsensusParams::quick(n);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut builder = World::builder(n).seed(seed).record_history(false);
+        builder = match backend {
+            "free_threads" => builder.mode(Mode::Free).step_limit(u64::MAX),
+            _ => builder.step_limit(50_000_000),
+        };
+        let mut world = builder.build();
+        let rep = match snap {
+            "waitfree" => {
+                let inst = WaitFreeConsensus::new(&world, &params, &inputs, seed);
+                world.run(inst.bodies, Box::new(RandomStrategy::new(seed)))
+            }
+            _ => {
+                let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
+                world.run(inst.bodies, Box::new(RandomStrategy::new(seed)))
+            }
+        };
+        ops += rep.telemetry.total(Counter::Decisions);
+    }
+    let elapsed_sec = start.elapsed().as_secs_f64();
+    Measured {
+        name: format!("decisions_{backend}_n{n}_{snap}"),
         backend,
+        snapshot_backend: snap,
         kind: "decisions",
         n,
         ops,
@@ -252,11 +317,12 @@ fn comparison_section(scale: Scale) -> Value {
         Scale::Quick => 1_200,
         Scale::Full => 4_000,
     };
-    let legacy = threads_scan(n, iters, ScanPath::Legacy);
-    let fast = threads_scan(n, iters, ScanPath::Fast);
+    let legacy = threads_scan::<ScannableMemory<u64, DirectArrow>>(n, iters, ScanPath::Legacy);
+    let fast = threads_scan::<ScannableMemory<u64, DirectArrow>>(n, iters, ScanPath::Fast);
     let speedup = fast.ops_per_sec() / legacy.ops_per_sec().max(1e-9);
     Value::obj(vec![
         ("backend", "free_threads".into()),
+        ("snapshot_backend", "handshake".into()),
         ("kind", "scan".into()),
         ("n", n.into()),
         ("iters_per_proc", (iters as usize).into()),
@@ -296,17 +362,34 @@ pub fn run(scale: Scale, seed: u64) -> Value {
                 }
             }
         };
-        workloads.push(lockstep_scan(n, lockstep_iters));
-        workloads.push(threads_scan(n, free_iters, ScanPath::Fast));
+        workloads.push(lockstep_scan::<ScannableMemory<u64, DirectArrow>>(
+            n,
+            lockstep_iters,
+        ));
+        workloads.push(lockstep_scan::<WaitFreeSnapshot<u64>>(n, lockstep_iters));
+        workloads.push(threads_scan::<ScannableMemory<u64, DirectArrow>>(
+            n,
+            free_iters,
+            ScanPath::Fast,
+        ));
+        workloads.push(threads_scan::<WaitFreeSnapshot<u64>>(
+            n,
+            free_iters,
+            ScanPath::Fast,
+        ));
         workloads.push(turn_scan(n, turn_iters, derive_seed(seed, n as u64)));
-        for backend in ["lockstep", "free_threads", "turn"] {
-            workloads.push(decisions_workload(
-                backend,
-                n,
-                trials,
-                derive_seed(seed, 500 + n as u64),
-            ));
+        for backend in ["lockstep", "free_threads"] {
+            for snap in SNAPSHOT_BACKENDS {
+                workloads.push(decisions_workload(
+                    backend,
+                    snap,
+                    n,
+                    trials,
+                    derive_seed(seed, 500 + n as u64),
+                ));
+            }
         }
+        workloads.push(turn_decisions(n, trials, derive_seed(seed, 500 + n as u64)));
     }
     Value::obj(vec![
         ("schema", SCHEMA.into()),
@@ -346,6 +429,7 @@ pub fn validate(doc: &Value) -> Vec<String> {
         }
     };
     let mut backends_seen = Vec::new();
+    let mut snaps_seen = Vec::new();
     let mut kinds_seen = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         let name = w
@@ -360,6 +444,14 @@ pub fn validate(doc: &Value) -> Vec<String> {
                 }
             }
             None => errs.push(format!("{name}: backend missing")),
+        }
+        match w.get("snapshot_backend").and_then(|b| b.as_str()) {
+            Some(s) => {
+                if !snaps_seen.contains(&s.to_string()) {
+                    snaps_seen.push(s.to_string());
+                }
+            }
+            None => errs.push(format!("{name}: snapshot_backend missing")),
         }
         match w.get("kind").and_then(|k| k.as_str()) {
             Some(k) => {
@@ -378,6 +470,13 @@ pub fn validate(doc: &Value) -> Vec<String> {
     for required in ["lockstep", "free_threads", "turn"] {
         if !backends_seen.iter().any(|b| b == required) {
             errs.push(format!("workloads: no {required} backend present"));
+        }
+    }
+    for required in SNAPSHOT_BACKENDS {
+        if !snaps_seen.iter().any(|s| s == required) {
+            errs.push(format!(
+                "workloads: no {required} snapshot backend present"
+            ));
         }
     }
     for required in ["scan", "decisions"] {
@@ -499,10 +598,11 @@ mod tests {
     /// A tiny document with the full shape but trivial workloads — the
     /// schema/compare tests don't need real measurements.
     fn tiny_doc(scale_rate: f64) -> Value {
-        let w = |name: &str, backend: &str, kind: &str, rate: f64| {
+        let w = |name: &str, backend: &str, snap: &str, kind: &str, rate: f64| {
             Value::obj(vec![
                 ("name", name.into()),
                 ("backend", backend.into()),
+                ("snapshot_backend", snap.into()),
                 ("kind", kind.into()),
                 ("n", 2u64.into()),
                 ("ops", 100u64.into()),
@@ -517,16 +617,35 @@ mod tests {
             (
                 "workloads",
                 Value::Arr(vec![
-                    w("scan_lockstep_n2", "lockstep", "scan", scale_rate),
-                    w("scan_threads_n2", "free_threads", "scan", 2.0 * scale_rate),
-                    w("scan_turn_n2", "turn", "scan", 10.0 * scale_rate),
-                    w("decisions_turn_n2", "turn", "decisions", 3.0 * scale_rate),
+                    w(
+                        "scan_lockstep_n2_handshake",
+                        "lockstep",
+                        "handshake",
+                        "scan",
+                        scale_rate,
+                    ),
+                    w(
+                        "scan_threads_n2_waitfree",
+                        "free_threads",
+                        "waitfree",
+                        "scan",
+                        2.0 * scale_rate,
+                    ),
+                    w("scan_turn_n2", "turn", "none", "scan", 10.0 * scale_rate),
+                    w(
+                        "decisions_turn_n2",
+                        "turn",
+                        "none",
+                        "decisions",
+                        3.0 * scale_rate,
+                    ),
                 ]),
             ),
             (
                 "comparison",
                 Value::obj(vec![
                     ("backend", "free_threads".into()),
+                    ("snapshot_backend", "handshake".into()),
                     ("kind", "scan".into()),
                     ("n", 8u64.into()),
                     ("baseline_ops_per_sec", scale_rate.into()),
@@ -596,12 +715,16 @@ mod tests {
         // constructor at n=2 and the document assembly end to end without
         // paying for the whole quick grid in a unit test.
         let workloads = vec![
-            lockstep_scan(2, 5),
-            threads_scan(2, 20, ScanPath::Fast),
+            lockstep_scan::<ScannableMemory<u64, DirectArrow>>(2, 5),
+            lockstep_scan::<WaitFreeSnapshot<u64>>(2, 5),
+            threads_scan::<ScannableMemory<u64, DirectArrow>>(2, 20, ScanPath::Fast),
+            threads_scan::<WaitFreeSnapshot<u64>>(2, 20, ScanPath::Fast),
             turn_scan(2, 100, 3),
-            decisions_workload("lockstep", 2, 1, 3),
-            decisions_workload("free_threads", 2, 1, 3),
-            decisions_workload("turn", 2, 1, 3),
+            decisions_workload("lockstep", "handshake", 2, 1, 3),
+            decisions_workload("lockstep", "waitfree", 2, 1, 3),
+            decisions_workload("free_threads", "handshake", 2, 1, 3),
+            decisions_workload("free_threads", "waitfree", 2, 1, 3),
+            turn_decisions(2, 1, 3),
         ];
         for w in &workloads {
             assert!(w.ops > 0, "{}: no ops measured", w.name);

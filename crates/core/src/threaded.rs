@@ -1,21 +1,31 @@
-//! Running the bounded protocol over the real scannable memory.
+//! Running the bounded protocol over real snapshot memory.
 //!
 //! The same [`BoundedCore`] that drives the fast turn-based experiments is
 //! wrapped here into process bodies for a [`bprc_sim::World`]: every
-//! iteration performs a genuine §2 snapshot scan (double collect over SWMR
-//! registers and arrows) followed by a genuine update. This validates the
-//! full stack — protocol + strip + coin + snapshot — at register
-//! granularity, in both lockstep (deterministic, adversary-scheduled) and
-//! free-running (OS threads) modes.
+//! iteration performs a genuine snapshot scan followed by a genuine update.
+//! This validates the full stack — protocol + strip + coin + snapshot — at
+//! register granularity, in both lockstep (deterministic,
+//! adversary-scheduled) and free-running (OS threads) modes.
+//!
+//! The driver is generic over the [`SnapshotBackend`]: the paper's bounded
+//! handshake construction ([`ScannableMemory`], the default) or the
+//! wait-free AADGMS construction ([`bprc_snapshot::WaitFreeSnapshot`],
+//! immune to scan starvation). [`over_snapshot`] takes the backend as a
+//! type parameter; [`over_scannable_memory`] and [`ThreadedConsensus`] are
+//! the historical handshake-specialised entry points.
 
 use bprc_registers::ArrowCell;
 use bprc_sim::turn::{TurnProcess, TurnStep};
 use bprc_sim::world::ProcBody;
 use bprc_sim::{Counter, Gauge, PhaseKind, World};
-use bprc_snapshot::ScannableMemory;
+use bprc_snapshot::{ScannableMemory, SnapshotBackend, SnapshotPort, WaitFreeSnapshot};
 
 use crate::bounded::{BoundedCore, ConsensusParams};
 use crate::state::ProcState;
+
+/// What [`over_snapshot`] returns: the backend plus one runnable body per
+/// process.
+pub type BackendAndBodies<B, O> = (B, Vec<ProcBody<O>>);
 
 /// What [`over_scannable_memory`] returns: the memory plus one runnable
 /// body per process.
@@ -23,7 +33,8 @@ pub type MemoryAndBodies<M, A, O> = (ScannableMemory<M, A>, Vec<ProcBody<O>>);
 
 /// Wraps any scan/write protocol ([`TurnProcess`]) into process bodies that
 /// run it over a real [`ScannableMemory`]: the returned memory plus one
-/// body per process.
+/// body per process. Shorthand for [`over_snapshot`] with the handshake
+/// backend.
 ///
 /// `initial` is the registers' initial contents (what a process that has
 /// not yet written appears as).
@@ -33,7 +44,7 @@ pub type MemoryAndBodies<M, A, O> = (ScannableMemory<M, A>, Vec<ProcBody<O>>);
 /// Panics if `procs.len()` differs from the world size.
 pub fn over_scannable_memory<P, A>(
     world: &World,
-    mut procs: Vec<P>,
+    procs: Vec<P>,
     initial: P::Msg,
 ) -> MemoryAndBodies<P::Msg, A, P::Out>
 where
@@ -42,9 +53,36 @@ where
     P::Out: Send + 'static,
     A: ArrowCell,
 {
+    over_snapshot::<P, ScannableMemory<P::Msg, A>>(world, procs, initial)
+}
+
+/// Wraps any scan/write protocol ([`TurnProcess`]) into process bodies that
+/// run it over any [`SnapshotBackend`] `B`: the returned backend plus one
+/// body per process. The body loop, the probe bridge into the metrics
+/// plane, and the telemetry publication are identical for every backend —
+/// which backend you pick changes only how the scans underneath are
+/// implemented.
+///
+/// `initial` is the registers' initial contents (what a process that has
+/// not yet written appears as).
+///
+/// # Panics
+///
+/// Panics if `procs.len()` differs from the world size.
+pub fn over_snapshot<P, B>(
+    world: &World,
+    mut procs: Vec<P>,
+    initial: P::Msg,
+) -> BackendAndBodies<B, P::Out>
+where
+    P: TurnProcess + Send + 'static,
+    P::Msg: Clone + PartialEq + Send + Sync + 'static,
+    P::Out: Send + 'static,
+    B: SnapshotBackend<P::Msg>,
+{
     let n = procs.len();
     assert_eq!(world.n(), n, "one process per world slot");
-    let memory: ScannableMemory<P::Msg, A> = ScannableMemory::new(world, n, initial);
+    let memory = B::alloc(world, n, initial);
     let bodies = procs
         .drain(..)
         .enumerate()
@@ -98,16 +136,30 @@ where
     (memory, bodies)
 }
 
-/// A full-stack consensus instance: the scannable memory plus one body per
-/// process.
-pub struct ThreadedConsensus<A: ArrowCell> {
-    /// The underlying scannable memory (for stats and checker metadata).
-    pub memory: ScannableMemory<ProcState, A>,
+/// A full-stack consensus instance over any snapshot backend: the backend
+/// plus one body per process.
+///
+/// Use the aliases for the common cases: [`ThreadedConsensus`] (the paper's
+/// handshake memory) and [`WaitFreeConsensus`] (the wait-free snapshot,
+/// immune to scan starvation).
+pub struct ThreadedConsensusOn<B> {
+    /// The underlying snapshot backend (for stats and checker metadata).
+    pub memory: B,
     /// One body per process; pass to [`World::run`].
     pub bodies: Vec<ProcBody<bool>>,
 }
 
-impl<A: ArrowCell> ThreadedConsensus<A> {
+/// The historical handshake-backed instance: [`ThreadedConsensusOn`] over
+/// [`ScannableMemory`] with arrow implementation `A`.
+pub type ThreadedConsensus<A> = ThreadedConsensusOn<ScannableMemory<ProcState, A>>;
+
+/// Consensus over the wait-free AADGMS snapshot: same protocol, same
+/// driver, but scans cannot starve — the writer-pressure adversary that
+/// drives the handshake memory to [`bprc_sim::Halted::ScanStarved`]
+/// (under a retry budget) costs this backend at most `n + 1` attempts.
+pub type WaitFreeConsensus = ThreadedConsensusOn<WaitFreeSnapshot<ProcState>>;
+
+impl<B: SnapshotBackend<ProcState>> ThreadedConsensusOn<B> {
     /// Builds the instance in `world` with the given inputs.
     ///
     /// `seed` derives each process's local coin flips.
@@ -128,16 +180,17 @@ impl<A: ArrowCell> ThreadedConsensus<A> {
             })
             .collect();
         let (memory, bodies) =
-            over_scannable_memory(world, procs, ProcState::phantom(params.n(), params.k()));
-        ThreadedConsensus { memory, bodies }
+            over_snapshot(world, procs, ProcState::phantom(params.n(), params.k()));
+        ThreadedConsensusOn { memory, bodies }
     }
 
-    /// Bounds (or unbounds) the underlying memory's per-scan retry budget —
+    /// Bounds (or unbounds) the backend's per-scan retry budget —
     /// shorthand for `self.memory.set_scan_retry_budget(budget)`. With a
-    /// budget, a scan starved by concurrent writers halts its process as
-    /// [`bprc_sim::Halted::ScanStarved`] instead of retrying forever.
+    /// budget, a handshake scan starved by concurrent writers halts its
+    /// process as [`bprc_sim::Halted::ScanStarved`] instead of retrying
+    /// forever; on a wait-free backend this is a no-op (nothing to bound).
     pub fn set_scan_retry_budget(&self, budget: Option<u64>) {
-        self.memory.set_scan_retry_budget(budget);
+        SnapshotBackend::set_scan_retry_budget(&self.memory, budget);
     }
 }
 
@@ -180,6 +233,68 @@ mod tests {
             let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
             assert!(decisions.windows(2).all(|w| w[0] == w[1]));
         }
+    }
+
+    #[test]
+    fn lockstep_full_stack_agreement_waitfree() {
+        for seed in 0..6 {
+            let params = ConsensusParams::quick(3);
+            let mut world = World::builder(3).seed(seed).step_limit(5_000_000).build();
+            let inst = WaitFreeConsensus::new(&world, &params, &[true, false, true], seed);
+            let meta = inst.memory.meta();
+            let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+            let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: agreement violated: {decisions:?}"
+            );
+            // P1–P3 hold for the wait-free interleavings too — the checker
+            // is backend-agnostic.
+            let check = check_history(rep.history.as_ref().unwrap(), &meta);
+            assert!(check.ok(), "seed {seed}: {:?}", check.violations);
+        }
+    }
+
+    #[test]
+    fn waitfree_validity_over_threads() {
+        let params = ConsensusParams::quick(3);
+        let mut world = World::builder(3)
+            .mode(Mode::Free)
+            .step_limit(u64::MAX)
+            .build();
+        let inst = WaitFreeConsensus::new(&world, &params, &[true, true, true], 5);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(0)));
+        assert!(rep.outputs.iter().all(|o| *o == Some(true)));
+    }
+
+    #[test]
+    fn waitfree_agreement_at_op_granularity() {
+        // The third execution granularity: whole scans/updates as atomic
+        // turns, reconstructed over real registers by the OpGrained
+        // strategy (see `bprc_snapshot::OpGrained`).
+        use bprc_snapshot::OpGrained;
+        let params = ConsensusParams::quick(3);
+        let mut world = World::builder(3).seed(11).step_limit(5_000_000).build();
+        let inst = WaitFreeConsensus::new(&world, &params, &[true, false, false], 11);
+        let strategy = OpGrained::new(&inst.memory);
+        let rep = world.run(inst.bodies, Box::new(strategy));
+        let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn op_grained_turns_work_on_handshake_too() {
+        use bprc_snapshot::OpGrained;
+        let params = ConsensusParams::quick(2);
+        let mut world = World::builder(2).seed(3).step_limit(5_000_000).build();
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[false, true], 3);
+        let strategy = OpGrained::new(&inst.memory);
+        let rep = world.run(inst.bodies, Box::new(strategy));
+        let decisions: Vec<bool> = rep.outputs.iter().map(|o| o.unwrap()).collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

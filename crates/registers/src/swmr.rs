@@ -1,6 +1,6 @@
 //! Single-writer multi-reader registers.
 
-use bprc_sim::{Ctx, FastPod, Halted, Reg, World};
+use bprc_sim::{Ctx, FastDyn, FastPod, Halted, Reg, World};
 
 /// A single-writer multi-reader atomic register.
 ///
@@ -160,6 +160,19 @@ impl<T: FastPod> Swmr<T> {
     pub fn new_fast(world: &World, name: impl Into<String>, writer: usize, init: T) -> Self {
         Swmr {
             reg: world.fast_reg(name, init),
+            writer,
+        }
+    }
+}
+
+impl<T: FastDyn> Swmr<T> {
+    /// Like [`Swmr::new_fast`] but for payloads whose packed width is fixed
+    /// at *runtime* by the initial value ([`FastDyn`]) — the wait-free
+    /// snapshot's slots, whose embedded views grow with `n`. The SWMR
+    /// discipline is unchanged.
+    pub fn new_fast_dyn(world: &World, name: impl Into<String>, writer: usize, init: T) -> Self {
+        Swmr {
+            reg: world.fast_reg_dyn(name, init),
             writer,
         }
     }

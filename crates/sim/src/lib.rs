@@ -74,6 +74,6 @@ pub use explore::{Counterexample, DecisionTrace, ExploreConfig, ExploreReport, I
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};
-pub use reg::{FastPod, Reg, MAX_FAST_WORDS};
+pub use reg::{FastDyn, FastPod, Reg, MAX_FAST_WORDS, MAX_FAST_WORDS_DYN};
 pub use sched::{Decision, ScheduleView, Strategy};
 pub use world::{Ctx, Mode, RegisterPlane, RunReport, World, WorldBuilder};

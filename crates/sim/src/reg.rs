@@ -49,6 +49,13 @@ use crate::world::{Ctx, WorldInner};
 /// [`FastPod`] types fall back to the locked backing.
 pub const MAX_FAST_WORDS: usize = 4;
 
+/// Widest *runtime-sized* payload (in 64-bit words) the dynamic seqlock
+/// path ([`FastDyn`]) accepts; wider values fall back to the locked
+/// backing. Larger than [`MAX_FAST_WORDS`] because the dynamic path exists
+/// precisely for payloads whose width depends on run parameters (the
+/// wait-free snapshot's embedded views grow with the process count `n`).
+pub const MAX_FAST_WORDS_DYN: usize = 64;
+
 /// Plain-old-data payloads that can ride the seqlock fast plane.
 ///
 /// A `FastPod` value packs into a fixed number of 64-bit words and unpacks
@@ -64,6 +71,52 @@ pub trait FastPod: Clone + Send + Sync + 'static {
 
     /// Reconstructs a value from words produced by [`FastPod::pack`].
     fn unpack(words: &[u64]) -> Self;
+}
+
+/// Payloads whose packed width is only known at *runtime* but fixed per
+/// register — the dynamic cousin of [`FastPod`].
+///
+/// The seqlock cell sizes its word array from the **initial** value, so
+/// every value subsequently written to the same register must report the
+/// same [`dyn_words`](FastDyn::dyn_words). (The wait-free snapshot's slots
+/// satisfy this by construction: the embedded view always has exactly `n`
+/// entries.) Widths above [`MAX_FAST_WORDS_DYN`] fall back to the locked
+/// backing transparently.
+///
+/// There is deliberately **no** blanket `FastPod → FastDyn` impl: it would
+/// forbid downstream crates from implementing `FastDyn` for their own slot
+/// types (coherence disallows the overlap), and those runtime-width slots
+/// are the whole point of this trait.
+pub trait FastDyn: Clone + Send + Sync + 'static {
+    /// How many 64-bit words [`pack_dyn`](FastDyn::pack_dyn) fills for
+    /// *this* value. Must be identical for every value written to a given
+    /// register.
+    fn dyn_words(&self) -> usize;
+
+    /// Serializes `self` into exactly [`dyn_words`](FastDyn::dyn_words)
+    /// words.
+    fn pack_dyn(&self, out: &mut [u64]);
+
+    /// Reconstructs a value from words produced by
+    /// [`pack_dyn`](FastDyn::pack_dyn).
+    fn unpack_dyn(words: &[u64]) -> Self;
+}
+
+/// A fixed-length `Vec<u64>` is the simplest runtime-width payload: one
+/// header word for the length, then the elements. (The length header keeps
+/// `unpack_dyn` total even though the register's width already implies it.)
+impl FastDyn for Vec<u64> {
+    fn dyn_words(&self) -> usize {
+        1 + self.len()
+    }
+    fn pack_dyn(&self, out: &mut [u64]) {
+        out[0] = self.len() as u64;
+        out[1..=self.len()].copy_from_slice(self);
+    }
+    fn unpack_dyn(words: &[u64]) -> Self {
+        let len = words[0] as usize;
+        words[1..=len].to_vec()
+    }
 }
 
 macro_rules! fast_pod_int {
@@ -140,13 +193,32 @@ impl<T: FastPod> SeqCell<T> {
     }
 }
 
+impl<T: FastDyn> SeqCell<T> {
+    /// Builds a cell whose word count comes from the initial value's
+    /// [`FastDyn::dyn_words`] instead of a compile-time constant. The
+    /// load/store machinery is shared with the const-width path — the cell
+    /// already type-erases packing into function pointers.
+    fn new_dyn(init: &T) -> Self {
+        let w = init.dyn_words();
+        debug_assert!(w >= 1 && w <= MAX_FAST_WORDS_DYN);
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        init.pack_dyn(&mut buf[..w]);
+        SeqCell {
+            version: AtomicU64::new(0),
+            words: buf[..w].iter().map(|&b| AtomicU64::new(b)).collect(),
+            pack: T::pack_dyn,
+            unpack: T::unpack_dyn,
+        }
+    }
+}
+
 impl<T> SeqCell<T> {
     /// Optimistic lock-free read: snapshot the version (must be even), read
     /// the payload words, fence, re-check the version. A concurrent writer
     /// moves the version, so a stable even version brackets a quiescent
     /// window and the words form one consistent write.
     fn load(&self) -> T {
-        let mut buf = [0u64; MAX_FAST_WORDS];
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
         loop {
             let v1 = self.version.load(Ordering::Acquire);
             if v1 & 1 == 1 {
@@ -170,7 +242,7 @@ impl<T> SeqCell<T> {
     /// the paper's arrow registers have two), store the words, publish the
     /// next even version with Release.
     fn store(&self, value: &T) {
-        let mut buf = [0u64; MAX_FAST_WORDS];
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
         (self.pack)(value, &mut buf[..self.words.len()]);
         let mut v = self.version.load(Ordering::Relaxed);
         loop {
@@ -376,6 +448,32 @@ impl<T: FastPod + Clone + Send + Sync + 'static> Reg<T> {
     pub(crate) fn new_fast(id: RegId, init: T, world: Arc<WorldInner>, allow_fast: bool) -> Self {
         let cell = if allow_fast && T::WORDS <= MAX_FAST_WORDS {
             Backing::Seq(SeqCell::new(&init))
+        } else {
+            Backing::Lock(RwLock::new(init))
+        };
+        Reg {
+            id,
+            cell: Arc::new(cell),
+            world,
+        }
+    }
+}
+
+impl<T: FastDyn> Reg<T> {
+    /// The runtime-width counterpart of [`new_fast`](Reg::new_fast): takes
+    /// the seqlock backing when the initial value's [`FastDyn::dyn_words`]
+    /// fits [`MAX_FAST_WORDS_DYN`] (and the world's plane allows it), the
+    /// locked backing otherwise. Called via
+    /// [`World::fast_reg_dyn`](crate::world::World::fast_reg_dyn).
+    pub(crate) fn new_fast_dyn(
+        id: RegId,
+        init: T,
+        world: Arc<WorldInner>,
+        allow_fast: bool,
+    ) -> Self {
+        let w = init.dyn_words();
+        let cell = if allow_fast && w >= 1 && w <= MAX_FAST_WORDS_DYN {
+            Backing::Seq(SeqCell::new_dyn(&init))
         } else {
             Backing::Lock(RwLock::new(init))
         };

@@ -619,6 +619,31 @@ impl World {
         )
     }
 
+    /// Allocates a register on the seqlock fast plane when the payload's
+    /// *runtime* packed width ([`FastDyn`](crate::reg::FastDyn)) fits
+    /// [`MAX_FAST_WORDS_DYN`](crate::reg::MAX_FAST_WORDS_DYN) (and the
+    /// world's [`RegisterPlane`] allows it); otherwise identical to
+    /// [`World::reg`]. The width is fixed by `init`: every later write must
+    /// pack to the same number of words.
+    ///
+    /// Access semantics — scheduling, counters, recorded history — do not
+    /// depend on which plane the register lands on.
+    pub fn fast_reg_dyn<T: crate::reg::FastDyn>(
+        &self,
+        name: impl Into<String>,
+        init: T,
+    ) -> crate::reg::Reg<T> {
+        let mut names = self.inner.reg_names.lock();
+        let id = names.len();
+        names.push(name.into());
+        crate::reg::Reg::new_fast_dyn(
+            id,
+            init,
+            Arc::clone(&self.inner),
+            self.inner.plane == RegisterPlane::Fast,
+        )
+    }
+
     /// Runs `n` process bodies to completion under `strategy`.
     ///
     /// In [`Mode::Free`] the strategy is ignored. The calling thread drives

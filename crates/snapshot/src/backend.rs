@@ -1,0 +1,341 @@
+//! The unified snapshot interface: [`SnapshotBackend`] / [`SnapshotPort`].
+//!
+//! The paper builds consensus (§5) on top of a scannable memory (§2) whose
+//! *interface* — `update`/`scan` satisfying P1–P3 — is all the protocol
+//! needs; the handshake construction is one implementation of it, not part
+//! of the contract. This module names that contract so the upper stack
+//! (the `bprc-core` driver, the chaos harness, the benchmarks) can run over
+//! either implementation:
+//!
+//! * [`ScannableMemory`] — the paper's bounded handshake construction
+//!   (`"handshake"`). Bounded registers, but a scan can be starved by a
+//!   relentless writer (gate with
+//!   [`set_scan_retry_budget`](SnapshotBackend::set_scan_retry_budget)).
+//! * [`WaitFreeSnapshot`] — the AADGMS construction (`"waitfree"`).
+//!   Scans finish in at most `n + 1` attempts no matter what writers do,
+//!   at the price of unbounded sequence numbers.
+//!
+//! Both backends emit the same history annotations and metrics, so the
+//! P1–P3 checker, the telemetry plane, and the phase timelines treat them
+//! identically — see [`check_backend_history`].
+
+use bprc_registers::ArrowCell;
+use bprc_sim::history::History;
+use bprc_sim::sched::{Decision, ScheduleView, Strategy};
+use bprc_sim::{Ctx, FastPod, Halted, World};
+
+use crate::checker::{check_history, CheckReport};
+use crate::memory::{Port, ScanStats, ScannableMemory, SnapshotMeta};
+use crate::waitfree::{WaitFreeSnapshot, WfPort};
+
+/// A process's handle on a snapshot object: the paper's `update` and
+/// `scan` operations (plus the allocation-free [`scan_into`]
+/// (SnapshotPort::scan_into) the hot consensus loops use).
+pub trait SnapshotPort<T>: Send + 'static {
+    /// This port's process id.
+    fn pid(&self) -> usize;
+
+    /// Publishes `value` (the paper's `update`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted>;
+
+    /// Takes a snapshot: one value per process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process — for
+    /// backends with a retry budget, [`Halted::ScanStarved`] when it runs
+    /// out.
+    fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted>;
+
+    /// Like [`scan`](SnapshotPort::scan) but refills `out` in place,
+    /// reusing its capacity (and the elements' heap, via `clone_from`): a
+    /// steady-state scan allocates nothing on either backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan`](SnapshotPort::scan).
+    fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted>;
+}
+
+/// A snapshot object: allocates in a [`World`], hands each process its
+/// [`SnapshotPort`] once, and exposes the checker metadata and statistics
+/// both constructions share.
+///
+/// Handles are cheaply cloneable (ports stay single-owner); the bound
+/// exists so harnesses can keep a handle for stats while bodies run.
+pub trait SnapshotBackend<T>: Clone + Send + Sync + 'static
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+{
+    /// The port type handed to each process.
+    type Port: SnapshotPort<T>;
+
+    /// Stable name for benchmark artifacts and logs (`"handshake"`,
+    /// `"waitfree"`).
+    const NAME: &'static str;
+
+    /// Allocates the object: `n` processes, all registers holding `init`.
+    fn alloc(world: &World, n: usize, init: T) -> Self;
+
+    /// Like [`alloc`](SnapshotBackend::alloc) but puts the value registers
+    /// on the world's seqlock fast plane where the payload fits; falls back
+    /// to the locked cells transparently (a representation knob, never a
+    /// semantics change).
+    fn alloc_fast(world: &World, n: usize, init: T) -> Self
+    where
+        T: FastPod;
+
+    /// Number of processes.
+    fn n(&self) -> usize;
+
+    /// Takes process `pid`'s port. Each port may be taken once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was already taken or `pid` is out of range.
+    fn port(&self, pid: usize) -> Self::Port;
+
+    /// Checker metadata (register-id ↦ process mapping) — same format for
+    /// every backend, which is what keeps [`check_history`] backend-
+    /// agnostic.
+    fn meta(&self) -> SnapshotMeta;
+
+    /// Statistics for process `pid`'s port.
+    fn stats(&self, pid: usize) -> &ScanStats;
+
+    /// Bounds (or unbounds, with `None`) the scan retry budget. The
+    /// default is a no-op: a wait-free backend has nothing to bound — its
+    /// scans cannot starve.
+    fn set_scan_retry_budget(&self, budget: Option<u64>) {
+        let _ = budget;
+    }
+
+    /// The current scan retry budget (`None` = unbounded, and always
+    /// `None` for backends whose scans cannot starve).
+    fn scan_retry_budget(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T, A> SnapshotBackend<T> for ScannableMemory<T, A>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    A: ArrowCell,
+{
+    type Port = Port<T, A>;
+
+    const NAME: &'static str = "handshake";
+
+    fn alloc(world: &World, n: usize, init: T) -> Self {
+        ScannableMemory::new(world, n, init)
+    }
+
+    fn alloc_fast(world: &World, n: usize, init: T) -> Self
+    where
+        T: FastPod,
+    {
+        ScannableMemory::new_fast(world, n, init)
+    }
+
+    fn n(&self) -> usize {
+        ScannableMemory::n(self)
+    }
+
+    fn port(&self, pid: usize) -> Self::Port {
+        ScannableMemory::port(self, pid)
+    }
+
+    fn meta(&self) -> SnapshotMeta {
+        ScannableMemory::meta(self)
+    }
+
+    fn stats(&self, pid: usize) -> &ScanStats {
+        ScannableMemory::stats(self, pid)
+    }
+
+    fn set_scan_retry_budget(&self, budget: Option<u64>) {
+        ScannableMemory::set_scan_retry_budget(self, budget);
+    }
+
+    fn scan_retry_budget(&self) -> Option<u64> {
+        ScannableMemory::scan_retry_budget(self)
+    }
+}
+
+impl<T, A> SnapshotPort<T> for Port<T, A>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    A: ArrowCell,
+{
+    fn pid(&self) -> usize {
+        Port::pid(self)
+    }
+
+    fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        Port::update(self, ctx, value)
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
+        Port::scan(self, ctx)
+    }
+
+    fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
+        Port::scan_into(self, ctx, out)
+    }
+}
+
+impl<T> SnapshotBackend<T> for WaitFreeSnapshot<T>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+{
+    type Port = WfPort<T>;
+
+    const NAME: &'static str = "waitfree";
+
+    fn alloc(world: &World, n: usize, init: T) -> Self {
+        WaitFreeSnapshot::new(world, n, init)
+    }
+
+    fn alloc_fast(world: &World, n: usize, init: T) -> Self
+    where
+        T: FastPod,
+    {
+        WaitFreeSnapshot::new_fast(world, n, init)
+    }
+
+    fn n(&self) -> usize {
+        WaitFreeSnapshot::n(self)
+    }
+
+    fn port(&self, pid: usize) -> Self::Port {
+        WaitFreeSnapshot::port(self, pid)
+    }
+
+    fn meta(&self) -> SnapshotMeta {
+        WaitFreeSnapshot::meta(self)
+    }
+
+    fn stats(&self, pid: usize) -> &ScanStats {
+        WaitFreeSnapshot::stats(self, pid)
+    }
+}
+
+impl<T> SnapshotPort<T> for WfPort<T>
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+{
+    fn pid(&self) -> usize {
+        WfPort::pid(self)
+    }
+
+    fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
+        WfPort::update(self, ctx, value)
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
+        WfPort::scan(self, ctx)
+    }
+
+    fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
+        WfPort::scan_into(self, ctx, out)
+    }
+}
+
+/// Checks a recorded history against a backend's metadata — the
+/// backend-dimension entry point to [`check_history`]: both constructions
+/// emit the same annotations, so the P1–P3 verdict is computed identically
+/// for either.
+pub fn check_backend_history<T, B>(history: &History, backend: &B) -> CheckReport
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    B: SnapshotBackend<T>,
+{
+    check_history(history, &backend.meta())
+}
+
+/// A lockstep [`Strategy`] that schedules at **snapshot-operation
+/// granularity**: the chosen process is granted register accesses
+/// continuously until it completes a whole `scan` or `update`, then the
+/// turn rotates round-robin. This reconstructs, over *real* registers, the
+/// turn-level execution model of `bprc_sim::turn` (where a whole scan or
+/// write is one atomic event) — the third execution backend of the
+/// consensus matrix.
+///
+/// Completion is observed through the backend's [`ScanStats`] atomics
+/// (scans + updates + starved): at a lockstep decision point no process is
+/// mid-access, so the counters are quiescent. The strategy is
+/// deterministic and RNG-free.
+pub struct OpGrained {
+    /// Completed-op readers, one per pid (each owns a backend handle).
+    done: Vec<Box<dyn Fn() -> u64>>,
+    /// The process currently holding the turn and its op count at the time
+    /// the turn started.
+    holding: Option<(usize, u64)>,
+    /// Next pid preferred when the turn rotates.
+    next: usize,
+}
+
+impl OpGrained {
+    /// Builds the strategy over `memory`'s per-port statistics.
+    pub fn new<T, B>(memory: &B) -> Self
+    where
+        T: Clone + PartialEq + Send + Sync + 'static,
+        B: SnapshotBackend<T>,
+    {
+        use std::sync::atomic::Ordering;
+        let done = (0..memory.n())
+            .map(|pid| {
+                let mem = memory.clone();
+                let f: Box<dyn Fn() -> u64> = Box::new(move || {
+                    let s = mem.stats(pid);
+                    s.scans.load(Ordering::Relaxed)
+                        + s.updates.load(Ordering::Relaxed)
+                        + s.starved.load(Ordering::Relaxed)
+                });
+                f
+            })
+            .collect();
+        OpGrained {
+            done,
+            holding: None,
+            next: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for OpGrained {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpGrained")
+            .field("holding", &self.holding)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl Strategy for OpGrained {
+    fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
+        if let Some((pid, ops)) = self.holding {
+            // Keep the turn while the holder is runnable and still inside
+            // the same snapshot operation.
+            if view.runnable.contains(&pid) && (self.done[pid])() == ops {
+                return Decision::Grant(pid);
+            }
+        }
+        let n = self.done.len();
+        for k in 0..n {
+            let pid = (self.next + k) % n;
+            if view.runnable.contains(&pid) {
+                self.next = (pid + 1) % n;
+                self.holding = Some((pid, (self.done[pid])()));
+                return Decision::Grant(pid);
+            }
+        }
+        // Unreachable while the world has runnable processes; grant
+        // whatever is offered to stay total.
+        Decision::Grant(view.runnable[0])
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared double-collect plumbing for the two snapshot constructions.
+//!
+//! [`crate::memory`] (the paper's bounded handshake construction) and
+//! [`crate::waitfree`] (the AADGMS wait-free construction) used to copy
+//! this machinery from each other: the take-once port gate, the
+//! ghost-seq-keyed buffer-reuse collect pass, and the attempt/stats
+//! bookkeeping that keeps the port-local [`ScanStats`] and the metrics
+//! plane telling the same story. It lives here once now; the two modules
+//! keep only what genuinely differs (arrows and the stability rule on one
+//! side, movers and view borrowing on the other).
+//!
+//! Everything here is order-preserving relative to the original inlined
+//! code — the same counters bump in the same sequence around the same
+//! scheduled accesses — which is what keeps the refactor observationally
+//! invisible (pinned by the determinism fingerprints in
+//! `tests/determinism.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use bprc_registers::Swmr;
+use bprc_sim::{Counter, Ctx, Halted, PhaseKind};
+
+use crate::memory::{labels, ScanStats};
+
+/// A register slot carrying a *ghost* sequence number: per-writer strictly
+/// monotonic, invisible to the algorithm. Equal seq ⟹ the very same write,
+/// which is what lets a collect skip re-cloning an unchanged slot.
+pub(crate) trait SeqSlot: Clone + Send + Sync + 'static {
+    /// The slot's ghost sequence number.
+    fn ghost_seq(&self) -> u64;
+}
+
+/// Marks port `pid` taken (panicking if it already was) — every backend
+/// hands each process its port exactly once.
+pub(crate) fn claim_port(taken: &[AtomicBool], pid: usize) {
+    assert!(pid < taken.len(), "pid {pid} out of range");
+    assert!(
+        !taken[pid].swap(true, Ordering::SeqCst),
+        "port {pid} taken twice"
+    );
+}
+
+/// One collect pass over everyone else's register, into the persistent
+/// buffer `buf`: slots whose ghost seq is unchanged since the buffered copy
+/// are provably identical and are not re-cloned. Returns the number of
+/// register reads performed (the caller flushes them into stats once the
+/// attempt's accounting point is reached).
+///
+/// # Errors
+///
+/// Returns [`Halted`] if the scheduler stopped this process mid-collect.
+pub(crate) fn collect_pass<S: SeqSlot>(
+    ctx: &mut Ctx,
+    values: &[Swmr<S>],
+    me: usize,
+    buf: &mut [S],
+) -> Result<u64, Halted> {
+    let mut reads = 0;
+    for (j, reg) in values.iter().enumerate() {
+        if j == me {
+            continue;
+        }
+        let slot = &mut buf[j];
+        reads += 1;
+        reg.read_with(ctx, |s| {
+            if slot.ghost_seq() != s.ghost_seq() {
+                slot.clone_from(s);
+            }
+        })?;
+    }
+    Ok(reads)
+}
+
+/// Opens a scan: the `SCAN_START` annotation and the scan phase span.
+pub(crate) fn begin_scan(ctx: &mut Ctx) {
+    ctx.annotate(labels::SCAN_START, vec![]);
+    ctx.phase(PhaseKind::Scan);
+}
+
+/// Counts attempts across one scan's retry loop, mirroring every bump into
+/// both the port-local [`ScanStats`] and the metrics plane.
+#[derive(Default)]
+pub(crate) struct AttemptTracker {
+    tries: u64,
+}
+
+impl AttemptTracker {
+    /// Opens the next attempt: bumps `attempts`/`ScanAttempts`, and
+    /// `ScanRetries` from the second attempt on.
+    pub(crate) fn begin_attempt(&mut self, ctx: &mut Ctx, stats: &ScanStats) {
+        self.tries += 1;
+        stats.attempts.fetch_add(1, Ordering::Relaxed);
+        ctx.count(Counter::ScanAttempts, 1);
+        if self.tries > 1 {
+            ctx.count(Counter::ScanRetries, 1);
+        }
+    }
+
+    /// Attempts opened so far.
+    pub(crate) fn tries(&self) -> u64 {
+        self.tries
+    }
+}
+
+/// Flushes one attempt's collect reads into stats — called on **every**
+/// attempt exit path (success, retry, starvation), so a scan abandoned by
+/// its budget still accounts the collect work it did.
+pub(crate) fn flush_collect_reads(ctx: &mut Ctx, stats: &ScanStats, reads: u64) {
+    stats.collect_reads.fetch_add(reads, Ordering::Relaxed);
+    ctx.count(Counter::CollectReads, reads);
+}
+
+/// Closes a successful scan: the `SCAN_END` annotation (seqs built lazily —
+/// only when the world records history) and the scan counters.
+pub(crate) fn finish_scan(
+    ctx: &mut Ctx,
+    stats: &ScanStats,
+    seqs: impl FnOnce() -> Vec<u64>,
+) {
+    if ctx.recording() {
+        ctx.annotate(labels::SCAN_END, seqs());
+    }
+    stats.scans.fetch_add(1, Ordering::Relaxed);
+    ctx.count(Counter::Scans, 1);
+}
+
+/// Records a starved scan (budget exhausted) and returns the halt the
+/// caller propagates.
+pub(crate) fn starve_scan(ctx: &mut Ctx, stats: &ScanStats) -> Halted {
+    stats.starved.fetch_add(1, Ordering::Relaxed);
+    ctx.count(Counter::ScanStarved, 1);
+    Halted::ScanStarved
+}

@@ -59,10 +59,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod checker;
+pub(crate) mod collect;
 pub mod memory;
 pub mod waitfree;
 
+pub use backend::{check_backend_history, OpGrained, SnapshotBackend, SnapshotPort};
 pub use checker::{check_history, CheckReport, IncrementalChecker, SnapshotViolation};
 pub use memory::{Port, ScanStats, ScannableMemory, SnapshotMeta};
 pub use waitfree::{WaitFreeSnapshot, WfPort};

@@ -38,6 +38,12 @@ impl<T: PartialEq> Slot<T> {
     }
 }
 
+impl<T: Clone + Send + Sync + 'static> crate::collect::SeqSlot for Slot<T> {
+    fn ghost_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// Slots of small POD payloads can ride the seqlock register plane: the
 /// packed layout is the payload words, then the toggle, then the ghost seq.
 /// Slots too wide for the plane ([`bprc_sim::MAX_FAST_WORDS`] words)
@@ -205,11 +211,7 @@ where
     ///
     /// Panics if the port was already taken or `pid` is out of range.
     pub fn port(&self, pid: usize) -> Port<T, A> {
-        assert!(pid < self.shared.n, "pid {pid} out of range");
-        assert!(
-            !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
-            "port {pid} taken twice"
-        );
+        crate::collect::claim_port(&self.shared.port_taken, pid);
         let snap: Vec<Slot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
         Port {
             shared: Arc::clone(&self.shared),
@@ -399,39 +401,20 @@ where
     fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<(), Halted> {
         let n = self.shared.n;
         let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
-        let mut tries: u64 = 0;
-        ctx.annotate(labels::SCAN_START, vec![]);
-        ctx.phase(PhaseKind::Scan);
+        let mut attempt = crate::collect::AttemptTracker::default();
+        crate::collect::begin_scan(ctx);
         loop {
-            tries += 1;
-            self.shared.stats[self.me]
-                .attempts
-                .fetch_add(1, Ordering::Relaxed);
-            ctx.count(Counter::ScanAttempts, 1);
-            if tries > 1 {
-                ctx.count(Counter::ScanRetries, 1);
-            }
+            attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
             // Lower all arrows aimed at me.
             for j in 0..n {
                 if let Some(a) = &self.shared.arrows[j][self.me] {
                     a.lower(ctx)?;
                 }
             }
-            let mut reads: u64 = 0;
-            // First collect, into the persistent buffer. Slots whose ghost
-            // seq is unchanged are provably identical and not re-cloned.
-            for j in 0..n {
-                if j == self.me {
-                    continue;
-                }
-                let c1 = &mut self.c1;
-                reads += 1;
-                self.shared.values[j].read_with(ctx, |s| {
-                    if c1[j].seq != s.seq {
-                        c1[j].clone_from(s);
-                    }
-                })?;
-            }
+            // First collect, into the persistent buffer (the shared pass
+            // skips re-cloning slots whose ghost seq is unchanged).
+            let mut reads =
+                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c1)?;
             // Second collect, compared against the first as it goes: the
             // attempt is doomed at the first visible mismatch, so stop
             // collecting there (failure path only).
@@ -470,30 +453,25 @@ where
             }
             // Account this attempt's collect reads whether it succeeded,
             // retries, or is about to starve.
-            self.shared.stats[self.me]
-                .collect_reads
-                .fetch_add(reads, Ordering::Relaxed);
-            ctx.count(Counter::CollectReads, reads);
+            crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
             if !mismatch && !raised {
                 let me = self.me;
                 if self.c2[me].seq != self.last.seq {
                     self.c2[me].clone_from(&self.last);
                 }
-                if ctx.recording() {
-                    ctx.annotate(labels::SCAN_END, self.c2.iter().map(|s| s.seq).collect());
-                }
-                self.shared.stats[me].scans.fetch_add(1, Ordering::Relaxed);
-                ctx.count(Counter::Scans, 1);
+                let c2 = &self.c2;
+                crate::collect::finish_scan(ctx, &self.shared.stats[me], || {
+                    c2.iter().map(|s| s.seq).collect()
+                });
                 return Ok(());
             }
-            if budget != 0 && tries >= budget {
+            if budget != 0 && attempt.tries() >= budget {
                 // Budget exhausted: report starvation instead of retrying
                 // forever under writer pressure.
-                self.shared.stats[self.me]
-                    .starved
-                    .fetch_add(1, Ordering::Relaxed);
-                ctx.count(Counter::ScanStarved, 1);
-                return Err(Halted::ScanStarved);
+                return Err(crate::collect::starve_scan(
+                    ctx,
+                    &self.shared.stats[self.me],
+                ));
             }
         }
     }

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::Swmr;
-use bprc_sim::{Counter, Ctx, Halted, PhaseKind, World};
+use bprc_sim::{Counter, Ctx, FastDyn, FastPod, Halted, PhaseKind, World};
 
 use crate::memory::{labels, ScanStats, SnapshotMeta};
 
@@ -50,6 +50,54 @@ struct WfSlot<T> {
     value: T,
     seq: u64,
     view: Vec<(T, u64)>,
+}
+
+impl<T: Clone + Send + Sync + 'static> crate::collect::SeqSlot for WfSlot<T> {
+    fn ghost_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Slots of small POD payloads can ride the seqlock register plane — but
+/// unlike the bounded construction's [`crate::memory`] slots, a `WfSlot`'s
+/// packed width depends on `n` (the embedded view has one entry per
+/// process), so it takes the *runtime-width* [`FastDyn`] route. Layout:
+/// payload words, seq, view length, then `(payload words, seq)` per view
+/// entry. Every slot written to a given register packs to the same width
+/// because the view always has exactly `n` entries. Slots too wide for the
+/// dynamic plane ([`bprc_sim::MAX_FAST_WORDS_DYN`] words) transparently
+/// keep the locked backing — the fast constructor checks.
+impl<T: FastPod> FastDyn for WfSlot<T> {
+    fn dyn_words(&self) -> usize {
+        T::WORDS + 2 + self.view.len() * (T::WORDS + 1)
+    }
+
+    fn pack_dyn(&self, out: &mut [u64]) {
+        self.value.pack(&mut out[..T::WORDS]);
+        out[T::WORDS] = self.seq;
+        out[T::WORDS + 1] = self.view.len() as u64;
+        let mut at = T::WORDS + 2;
+        for (v, s) in &self.view {
+            v.pack(&mut out[at..at + T::WORDS]);
+            out[at + T::WORDS] = *s;
+            at += T::WORDS + 1;
+        }
+    }
+
+    fn unpack_dyn(words: &[u64]) -> Self {
+        let value = T::unpack(&words[..T::WORDS]);
+        let seq = words[T::WORDS];
+        let len = words[T::WORDS + 1] as usize;
+        let mut at = T::WORDS + 2;
+        let view = (0..len)
+            .map(|_| {
+                let entry = (T::unpack(&words[at..at + T::WORDS]), words[at + T::WORDS]);
+                at += T::WORDS + 1;
+                entry
+            })
+            .collect();
+        WfSlot { value, seq, view }
+    }
 }
 
 struct WfShared<T> {
@@ -86,12 +134,23 @@ where
 {
     /// Allocates the object (all registers hold `init`).
     pub fn new(world: &World, n: usize, init: T) -> Self {
+        Self::build(world, n, &init, |world, name, writer, slot| {
+            Swmr::new(world, name, writer, slot)
+        })
+    }
+
+    fn build(
+        world: &World,
+        n: usize,
+        init: &T,
+        mk: impl Fn(&World, String, usize, WfSlot<T>) -> Swmr<WfSlot<T>>,
+    ) -> Self {
         assert!(n >= 1, "need at least one process");
         assert_eq!(world.n(), n, "snapshot size must match the world");
         let initial_view: Vec<(T, u64)> = (0..n).map(|_| (init.clone(), 0)).collect();
         let values = (0..n)
             .map(|i| {
-                Swmr::new(
+                mk(
                     world,
                     format!("WfV_{i}"),
                     i,
@@ -113,6 +172,22 @@ where
         }
     }
 
+    /// Like [`new`](WaitFreeSnapshot::new) but puts the registers on the
+    /// world's seqlock fast plane when the packed slot — payload, seq, and
+    /// the `n`-entry embedded view — fits in
+    /// [`bprc_sim::MAX_FAST_WORDS_DYN`] words; wider slots transparently
+    /// keep the locked backing. A representation knob, never a semantics
+    /// change: the `fast_and_locked_planes_agree` test pins observational
+    /// identity across planes.
+    pub fn new_fast(world: &World, n: usize, init: T) -> Self
+    where
+        T: FastPod,
+    {
+        Self::build(world, n, &init, |world, name, writer, slot| {
+            Swmr::new_fast_dyn(world, name, writer, slot)
+        })
+    }
+
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.shared.n
@@ -124,12 +199,9 @@ where
     ///
     /// Panics if taken twice or `pid` out of range.
     pub fn port(&self, pid: usize) -> WfPort<T> {
-        assert!(pid < self.shared.n, "pid {pid} out of range");
-        assert!(
-            !self.shared.port_taken[pid].swap(true, Ordering::SeqCst),
-            "port {pid} taken twice"
-        );
+        crate::collect::claim_port(&self.shared.port_taken, pid);
         let snap: Vec<WfSlot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
+        let view = snap[pid].view.clone();
         WfPort {
             shared: Arc::clone(&self.shared),
             me: pid,
@@ -137,6 +209,7 @@ where
             c1: snap.clone(),
             c2: snap,
             moved: vec![false; self.shared.n],
+            view,
         }
     }
 
@@ -167,6 +240,9 @@ pub struct WfPort<T> {
     c2: Vec<WfSlot<T>>,
     /// Mover bookkeeping, reset per scan.
     moved: Vec<bool>,
+    /// Persistent result buffer: [`scan_slots`](WfPort::scan_slots) leaves
+    /// the completed view here, so a steady-state scan allocates nothing.
+    view: Vec<(T, u64)>,
 }
 
 impl<T> std::fmt::Debug for WfPort<T> {
@@ -191,11 +267,15 @@ where
     ///
     /// Returns [`Halted`] if the scheduler stopped this process.
     pub fn update(&mut self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
-        let view = self.scan_slots(ctx)?;
+        self.scan_slots(ctx)?;
         let seq = self.last.seq + 1;
         ctx.annotate(labels::UPD_START, vec![seq]);
         ctx.phase(PhaseKind::Write);
-        let slot = WfSlot { value, seq, view };
+        let slot = WfSlot {
+            value,
+            seq,
+            view: self.view.clone(),
+        };
         self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
         self.last = slot;
         ctx.annotate(labels::UPD_END, vec![seq]);
@@ -212,82 +292,69 @@ where
     ///
     /// Returns [`Halted`] if the scheduler stopped this process.
     pub fn scan(&mut self, ctx: &mut Ctx) -> Result<Vec<T>, Halted> {
-        Ok(self
-            .scan_slots(ctx)?
-            .into_iter()
-            .map(|(v, _)| v)
-            .collect())
+        self.scan_slots(ctx)?;
+        Ok(self.view.iter().map(|(v, _)| v.clone()).collect())
+    }
+
+    /// Like [`scan`](WfPort::scan) but refills `out` in place, reusing its
+    /// capacity (and the elements' heap, via `clone_from`): together with
+    /// the persistent collect and view buffers, a steady-state scan
+    /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan`](WfPort::scan).
+    pub fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
+        self.scan_slots(ctx)?;
+        if out.len() == self.shared.n {
+            for (dst, (src, _)) in out.iter_mut().zip(self.view.iter()) {
+                dst.clone_from(src);
+            }
+        } else {
+            out.clear();
+            out.extend(self.view.iter().map(|(v, _)| v.clone()));
+        }
+        Ok(())
     }
 
     /// Unlike the bounded construction's scan, the second collect never
     /// exits early: the `n + 1`-attempt bound rests on charging every
     /// failing attempt to a *new* mover or a borrow, which requires seeing
-    /// every register's seq in both collects of every attempt.
-    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<Vec<(T, u64)>, Halted> {
+    /// every register's seq in both collects of every attempt. The result
+    /// is left in `self.view`.
+    fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<(), Halted> {
         let n = self.shared.n;
-        ctx.annotate(labels::SCAN_START, vec![]);
-        ctx.phase(PhaseKind::Scan);
+        crate::collect::begin_scan(ctx);
         self.moved.fill(false);
-        let mut tries: u64 = 0;
+        let mut attempt = crate::collect::AttemptTracker::default();
         loop {
-            tries += 1;
-            self.shared.stats[self.me]
-                .attempts
-                .fetch_add(1, Ordering::Relaxed);
-            ctx.count(Counter::ScanAttempts, 1);
-            if tries > 1 {
-                ctx.count(Counter::ScanRetries, 1);
-            }
-            let mut reads: u64 = 0;
-            for j in 0..n {
-                if j == self.me {
-                    continue;
-                }
-                let c1 = &mut self.c1;
-                reads += 1;
-                self.shared.values[j].read_with(ctx, |s| {
-                    if c1[j].seq != s.seq {
-                        c1[j].clone_from(s);
-                    }
-                })?;
-            }
-            for j in 0..n {
-                if j == self.me {
-                    continue;
-                }
-                let c2 = &mut self.c2;
-                reads += 1;
-                self.shared.values[j].read_with(ctx, |s| {
-                    if c2[j].seq != s.seq {
-                        c2[j].clone_from(s);
-                    }
-                })?;
-            }
-            self.shared.stats[self.me]
-                .collect_reads
-                .fetch_add(reads, Ordering::Relaxed);
-            ctx.count(Counter::CollectReads, reads);
+            attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
+            let mut reads =
+                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c1)?;
+            reads +=
+                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c2)?;
+            crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
             // Movers: registers whose seq changed between the two collects —
             // i.e. processes whose write landed inside this attempt.
             let any_mover =
                 (0..n).any(|j| j != self.me && self.c1[j].seq != self.c2[j].seq);
             if !any_mover {
                 let me = self.me;
-                let view: Vec<(T, u64)> = (0..n)
-                    .map(|j| {
-                        if j == me {
-                            (self.last.value.clone(), self.last.seq)
-                        } else {
-                            (self.c2[j].value.clone(), self.c2[j].seq)
-                        }
-                    })
-                    .collect();
-                if ctx.recording() {
-                    ctx.annotate(labels::SCAN_END, view.iter().map(|(_, s)| *s).collect());
+                debug_assert_eq!(self.view.len(), n);
+                for j in 0..n {
+                    let (src, seq) = if j == me {
+                        (&self.last.value, self.last.seq)
+                    } else {
+                        (&self.c2[j].value, self.c2[j].seq)
+                    };
+                    self.view[j].0.clone_from(src);
+                    self.view[j].1 = seq;
                 }
-                self.shared.stats[me].scans.fetch_add(1, Ordering::Relaxed);
-                ctx.count(Counter::Scans, 1);
-                return Ok(view);
+                let view = &self.view;
+                crate::collect::finish_scan(ctx, &self.shared.stats[me], || {
+                    view.iter().map(|(_, s)| *s).collect()
+                });
+                return Ok(());
             }
             for j in 0..n {
                 if j == self.me || self.c1[j].seq == self.c2[j].seq {
@@ -297,18 +364,12 @@ where
                     // j's register changed inside two different attempts:
                     // the update behind the second change ran its embedded
                     // scan entirely within this scan — borrow its view.
-                    let borrowed = self.c2[j].view.clone();
-                    if ctx.recording() {
-                        ctx.annotate(
-                            labels::SCAN_END,
-                            borrowed.iter().map(|(_, s)| *s).collect(),
-                        );
-                    }
-                    self.shared.stats[self.me]
-                        .scans
-                        .fetch_add(1, Ordering::Relaxed);
-                    ctx.count(Counter::Scans, 1);
-                    return Ok(borrowed);
+                    self.view.clone_from(&self.c2[j].view);
+                    let view = &self.view;
+                    crate::collect::finish_scan(ctx, &self.shared.stats[self.me], || {
+                        view.iter().map(|(_, s)| *s).collect()
+                    });
+                    return Ok(());
                 }
                 self.moved[j] = true;
             }
@@ -517,5 +578,93 @@ mod tests {
         let snap = WaitFreeSnapshot::<u8>::new(&w, 1, 0);
         let _a = snap.port(0);
         let _b = snap.port(0);
+    }
+
+    #[test]
+    fn scan_into_refills_in_place() {
+        let mut w = World::builder(2).build();
+        let snap = WaitFreeSnapshot::<u32>::new(&w, 2, 0);
+        let mut p0 = snap.port(0);
+        let mut p1 = snap.port(1);
+        let bodies: Vec<ProcBody<Vec<u32>>> = vec![
+            Box::new(move |ctx| {
+                let mut out = vec![99, 99]; // right length: refilled via clone_from
+                p0.update(ctx, 5)?;
+                p0.scan_into(ctx, &mut out)?;
+                Ok(out)
+            }),
+            Box::new(move |ctx| {
+                let mut out = Vec::new(); // wrong length: cleared and refilled
+                p1.update(ctx, 9)?;
+                p1.scan_into(ctx, &mut out)?;
+                Ok(out)
+            }),
+        ];
+        let rep = w.run(bodies, Box::new(bprc_sim::sched::RoundRobin::new()));
+        let v0 = rep.outputs[0].clone().unwrap();
+        let v1 = rep.outputs[1].clone().unwrap();
+        assert_eq!(v0.len(), 2);
+        assert_eq!(v0[0], 5, "own slot current");
+        assert_eq!(v1.len(), 2);
+        assert_eq!(v1[1], 9, "own slot current");
+    }
+
+    /// The mirror of the sim-level seqlock equivalence test
+    /// (`fast_and_locked_planes_are_observationally_identical` in
+    /// `crates/sim/tests/seqlock_adversarial.rs`), one layer up: a
+    /// [`WaitFreeSnapshot::new_fast`] workload run on the seqlock plane and
+    /// the locked plane must produce identical outputs, step counts,
+    /// recorded register ops, and scan statistics. WfSlot<u64> at n=3 packs
+    /// to 9 words, comfortably on the dynamic fast path.
+    #[test]
+    fn fast_and_locked_planes_are_observationally_identical() {
+        use bprc_sim::RegisterPlane;
+        let run = |plane: RegisterPlane, seed: u64| {
+            let n = 3;
+            let mut world = World::builder(n)
+                .seed(seed)
+                .register_plane(plane)
+                .step_limit(2_000_000)
+                .build();
+            let snap = WaitFreeSnapshot::<u64>::new_fast(&world, n, 0);
+            let meta = snap.meta();
+            let bodies: Vec<ProcBody<Vec<u64>>> = (0..n)
+                .map(|i| {
+                    let mut port = snap.port(i);
+                    let b: ProcBody<Vec<u64>> = Box::new(move |ctx| {
+                        let mut out = Vec::new();
+                        for k in 0..4u64 {
+                            port.update(ctx, (i as u64) * 100 + k)?;
+                            port.scan_into(ctx, &mut out)?;
+                        }
+                        Ok(out)
+                    });
+                    b
+                })
+                .collect();
+            let rep = world.run(bodies, Box::new(RandomStrategy::new(seed)));
+            let check = check_history(rep.history.as_ref().unwrap(), &meta);
+            assert!(check.ok(), "seed {seed}: {:?}", check.violations);
+            let ops: Vec<_> = rep.history.as_ref().unwrap().ops().collect();
+            let stats: Vec<(u64, u64, u64)> = (0..n)
+                .map(|p| {
+                    let s = snap.stats(p);
+                    (
+                        s.scans.load(Ordering::Relaxed),
+                        s.attempts.load(Ordering::Relaxed),
+                        s.collect_reads.load(Ordering::Relaxed),
+                    )
+                })
+                .collect();
+            (rep.outputs.clone(), rep.steps, ops, stats)
+        };
+        for seed in [0u64, 1, 7, 42, 99] {
+            let fast = run(RegisterPlane::Fast, seed);
+            let locked = run(RegisterPlane::Locked, seed);
+            assert_eq!(
+                fast, locked,
+                "seed {seed}: plane changed observable behaviour"
+            );
+        }
     }
 }

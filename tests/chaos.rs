@@ -17,15 +17,21 @@
 //! * multivalued consensus, turn level: 3 adversaries × 12 seeds = 36
 //! * multi-shot log, turn level: 3 adversaries × 8 seeds = 24
 //! * bounded consensus, full register-level stack: 24 seeds = 24
+//! * bounded consensus, full stack over the wait-free snapshot: 24
+//! * multivalued + multi-shot over the wait-free snapshot: 8 + 6 = 14
 //! * plan-driven crash sweep at every event index of a reference run
 //!
-//! Total: 204 composed chaos scenarios plus the exhaustive sweep.
+//! Total: 242 composed chaos scenarios plus the exhaustive sweep. The
+//! wait-free scenarios additionally assert **zero starvation**: the
+//! writer-pressure schedule that drives the handshake memory to
+//! `ScanStarved` under a retry budget completes on the wait-free backend
+//! with no starvation halts at all.
 
 use bprc::core::adversaries::{LeaderStarver, SplitAdversary};
 use bprc::core::bounded::{BoundedCore, ConsensusParams};
-use bprc::core::multishot::{LogCore, StaticProposals};
+use bprc::core::multishot::{LogCore, LogMsg, StaticProposals};
 use bprc::core::multivalued::{MvCore, MvState};
-use bprc::core::threaded::ThreadedConsensus;
+use bprc::core::threaded::{over_snapshot, ThreadedConsensus, WaitFreeConsensus};
 use bprc::core::ProcState;
 use bprc::registers::DirectArrow;
 use bprc::sim::faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
@@ -34,6 +40,7 @@ use bprc::sim::turn::{
     TurnAdversary, TurnBsp, TurnDriver, TurnRandom, TurnReport, TurnRoundRobin,
 };
 use bprc::sim::{FaultKind, Halted, World};
+use bprc::snapshot::{SnapshotBackend, WaitFreeSnapshot};
 
 /// Silences the default panic-to-stderr hook for the *expected*, contained
 /// chaos panics; everything else still reports.
@@ -264,6 +271,222 @@ fn full_stack_survives_seeded_chaos() {
                 "stack seed={seed}: pid {p} panicked without a message"
             );
         }
+    }
+}
+
+#[test]
+fn full_stack_survives_seeded_chaos_waitfree() {
+    // The register-level chaos contract over the wait-free snapshot: same
+    // seeded plans, same assertions — plus one the handshake memory cannot
+    // make: no scan is ever starved, whatever the plan and schedule do.
+    quiet_chaos_panics();
+    let n = 3;
+    for seed in 0..24u64 {
+        let params = ConsensusParams::quick(n);
+        let inputs: Vec<bool> = (0..n).map(|p| (seed >> p) & 1 == 1).collect();
+        let mut world = World::builder(n).seed(seed).step_limit(5_000_000).build();
+        let inst = WaitFreeConsensus::new(&world, &params, &inputs, seed);
+        let memory = inst.memory.clone();
+        let plan = FaultPlan::seeded(seed, n, 400);
+        let kills = plan.kill_count();
+        let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
+        let rep = world.run(inst.bodies, Box::new(strategy));
+        let distinct = rep.distinct_outputs();
+        assert!(
+            distinct.len() <= 1,
+            "wf stack seed={seed}: disagreement {distinct:?}"
+        );
+        let survivors = rep.outputs.iter().filter(|o| o.is_some()).count();
+        assert!(
+            survivors >= n - kills,
+            "wf stack seed={seed}: only {survivors} of >= {} survivors decided",
+            n - kills
+        );
+        for out in rep.outputs.iter().flatten() {
+            assert!(inputs.contains(out), "wf stack seed={seed}: invalid decision");
+        }
+        assert_no_starvation(&memory, n, &format!("wf stack seed={seed}"));
+        assert!(
+            !rep.halted.iter().any(|h| *h == Some(Halted::ScanStarved)),
+            "wf stack seed={seed}: wait-free scan starved"
+        );
+    }
+}
+
+/// Asserts the backend recorded zero starved scans — the wait-free
+/// guarantee, checked through the shared [`SnapshotBackend`] stats.
+fn assert_no_starvation<T, B>(memory: &B, n: usize, label: &str)
+where
+    T: Clone + PartialEq + Send + Sync + 'static,
+    B: SnapshotBackend<T>,
+{
+    for pid in 0..n {
+        assert_eq!(
+            memory
+                .stats(pid)
+                .starved
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "{label}: pid {pid} recorded a starved scan on a wait-free backend"
+        );
+    }
+}
+
+#[test]
+fn multivalued_full_stack_waitfree_chaos() {
+    // Multivalued consensus over the wait-free snapshot under seeded fault
+    // plans: agreement, validity, and zero starvation.
+    quiet_chaos_panics();
+    let n = 3;
+    for seed in 0..8u64 {
+        let params = ConsensusParams::quick(n);
+        let values: Vec<u64> = (0..n).map(|p| (seed + p as u64) % 11).collect();
+        let procs: Vec<MvCore> = (0..n)
+            .map(|p| MvCore::new(params.clone(), p, values[p], 4, seed * 31 + p as u64))
+            .collect();
+        let initial = MvState {
+            candidate: 0,
+            levels: Vec::new(),
+        };
+        let mut world = World::builder(n).seed(seed).step_limit(20_000_000).build();
+        let (memory, bodies) =
+            over_snapshot::<_, WaitFreeSnapshot<MvState>>(&world, procs, initial);
+        let plan = FaultPlan::seeded(seed * 7, n, 300);
+        let kills = plan.kill_count();
+        let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
+        let rep = world.run(bodies, Box::new(strategy));
+        let decisions: Vec<u64> = rep.outputs.iter().filter_map(|o| *o).collect();
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "wf mv seed={seed}: disagreement {:?}",
+            rep.outputs
+        );
+        assert!(
+            decisions.len() >= n - kills,
+            "wf mv seed={seed}: survivors failed to decide"
+        );
+        for d in &decisions {
+            assert!(values.contains(d), "wf mv seed={seed}: invalid decision {d}");
+        }
+        assert_no_starvation(&memory, n, &format!("wf mv seed={seed}"));
+    }
+}
+
+#[test]
+fn multishot_full_stack_waitfree_chaos() {
+    // The multi-shot log over the wait-free snapshot: surviving replicas
+    // agree slot for slot, every slot holds a proposed value, no scan
+    // starves.
+    quiet_chaos_panics();
+    let n = 3;
+    let n_slots = 2;
+    for seed in 0..6u64 {
+        let params = ConsensusParams::quick(n);
+        let proposals: Vec<Vec<u64>> = (0..n)
+            .map(|p| (0..n_slots).map(|s| (seed + p as u64 + s as u64) % 9).collect())
+            .collect();
+        let procs: Vec<LogCore<StaticProposals>> = (0..n)
+            .map(|p| {
+                LogCore::new(
+                    params.clone(),
+                    p,
+                    n_slots,
+                    4,
+                    StaticProposals(proposals[p].clone()),
+                    seed * 13 + p as u64,
+                )
+            })
+            .collect();
+        let initial = LogMsg { slots: Vec::new() };
+        let mut world = World::builder(n).seed(seed).step_limit(20_000_000).build();
+        let (memory, bodies) =
+            over_snapshot::<_, WaitFreeSnapshot<LogMsg>>(&world, procs, initial);
+        let plan = FaultPlan::seeded(seed * 3 + 1, n, 350);
+        let kills = plan.kill_count();
+        let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
+        let rep = world.run(bodies, Box::new(strategy));
+        let logs: Vec<&Vec<u64>> = rep.outputs.iter().flatten().collect();
+        assert!(
+            logs.windows(2).all(|w| w[0] == w[1]),
+            "wf log seed={seed}: logs diverge: {:?}",
+            rep.outputs
+        );
+        assert!(
+            logs.len() >= n - kills,
+            "wf log seed={seed}: survivors failed to finish the log"
+        );
+        for log in &logs {
+            assert_eq!(log.len(), n_slots, "wf log seed={seed}");
+            for (s, v) in log.iter().enumerate() {
+                assert!(
+                    proposals.iter().any(|pp| pp[s] == *v),
+                    "wf log seed={seed}: slot {s} holds unproposed {v}"
+                );
+            }
+        }
+        assert_no_starvation(&memory, n, &format!("wf log seed={seed}"));
+    }
+}
+
+#[test]
+fn writer_pressure_starves_handshake_but_not_waitfree() {
+    // The decisive backend comparison, one schedule, two memories: a
+    // writer granted two of every three steps. With a retry budget the
+    // handshake scan degrades to ScanStarved (that is
+    // `scan_retry_budget_degrades_full_stack_scan` above); the wait-free
+    // scan under the *same* adversary completes, with zero starvation
+    // halts, inside its n+1 attempt bound.
+    use bprc::sim::sched::FnStrategy;
+    use bprc::sim::Decision;
+    let run = |budget: Option<u64>| {
+        let mut world = World::builder(2).step_limit(100_000).build();
+        let mem = WaitFreeSnapshot::<u64>::alloc(&world, 2, 0);
+        mem.set_scan_retry_budget(budget); // no-op: nothing to bound
+        let mut wp = mem.port(0);
+        let mut sp = mem.port(1);
+        let bodies: Vec<bprc::sim::world::ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| {
+                let mut k = 0u64;
+                loop {
+                    k += 1;
+                    wp.update(ctx, k)?;
+                }
+            }),
+            Box::new(move |ctx| sp.scan(ctx)),
+        ];
+        let strategy = FnStrategy::new(|view: &bprc::sim::ScheduleView<'_>| {
+            if view.step % 3 == 0 && view.runnable.contains(&1) {
+                Decision::Grant(1)
+            } else if view.runnable.contains(&0) {
+                Decision::Grant(0)
+            } else {
+                Decision::Grant(1)
+            }
+        });
+        let rep = world.run(bodies, Box::new(strategy));
+        (rep, mem)
+    };
+    for budget in [Some(8), None] {
+        let (rep, mem) = run(budget);
+        assert_ne!(
+            rep.halted[1],
+            Some(Halted::ScanStarved),
+            "budget {budget:?}: wait-free scan starved"
+        );
+        assert!(
+            rep.outputs[1].is_some(),
+            "budget {budget:?}: scan did not complete (halted: {:?})",
+            rep.halted[1]
+        );
+        assert_no_starvation(&mem, 2, &format!("writer-pressure budget {budget:?}"));
+        assert_eq!(mem.scan_retry_budget(), None, "wait-free has no budget");
+        assert!(
+            mem.stats(1)
+                .attempts
+                .load(std::sync::atomic::Ordering::Relaxed)
+                <= 3,
+            "n+1 attempt bound violated"
+        );
     }
 }
 

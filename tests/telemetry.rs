@@ -5,7 +5,7 @@
 
 use bprc::core::bounded::{BoundedCore, ConsensusParams};
 use bprc::core::meter::{run_metered, MemoryHighWater};
-use bprc::core::threaded::ThreadedConsensus;
+use bprc::core::threaded::{ThreadedConsensus, WaitFreeConsensus};
 use bprc::registers::DirectArrow;
 use bprc::sim::history::OpKind;
 use bprc::sim::sched::RandomStrategy;
@@ -51,6 +51,80 @@ fn lockstep_metrics_equal_history_counts() {
             t.total(Counter::RegReads) + t.total(Counter::RegWrites),
             h.op_count() as u64,
             "seed {seed}: total ops diverge"
+        );
+    }
+}
+
+/// The wait-free backend keeps the same books: metrics equal history
+/// counts event for event, exactly as for the handshake memory — the
+/// telemetry plane is backend-agnostic.
+#[test]
+fn lockstep_metrics_equal_history_counts_waitfree() {
+    for seed in SEEDS {
+        let n = 3;
+        let params = ConsensusParams::quick(n);
+        let mut world = World::builder(n).seed(seed).step_limit(5_000_000).build();
+        let inst = WaitFreeConsensus::new(&world, &params, &[true, false, true], seed);
+        let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(seed)));
+        let h = rep.history.as_ref().expect("lockstep records history");
+        let t = &rep.telemetry;
+        for pid in 0..n {
+            let reads = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Read)
+                .count() as u64;
+            let writes = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Write)
+                .count() as u64;
+            assert_eq!(
+                t.counter(pid, Counter::RegReads),
+                reads,
+                "seed {seed} pid {pid}: read counts diverge"
+            );
+            assert_eq!(
+                t.counter(pid, Counter::RegWrites),
+                writes,
+                "seed {seed} pid {pid}: write counts diverge"
+            );
+        }
+        assert_eq!(
+            t.total(Counter::RegReads) + t.total(Counter::RegWrites),
+            h.op_count() as u64,
+            "seed {seed}: total ops diverge"
+        );
+        // Scan accounting holds, and with no starvation by construction.
+        assert_eq!(
+            t.total(Counter::ScanAttempts),
+            t.total(Counter::Scans) + t.total(Counter::ScanRetries),
+            "seed {seed}: attempts must split into outcomes"
+        );
+        assert_eq!(t.total(Counter::ScanStarved), 0, "seed {seed}");
+    }
+}
+
+/// Wait-free scans show up in the unified phase timeline exactly like
+/// handshake scans: `render_unified` is fed by the same `scan`/`write`
+/// phase spans both backends emit.
+#[test]
+fn waitfree_scans_visible_in_unified_timeline() {
+    use bprc::sim::trace::{render_unified, TraceOptions};
+    let n = 3;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n).seed(7).step_limit(5_000_000).build();
+    let inst = WaitFreeConsensus::new(&world, &params, &[true, false, true], 7);
+    let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(7)));
+    assert!(rep.outputs.iter().all(|o| o.is_some()));
+    let timeline = render_unified(
+        rep.history.as_ref(),
+        &rep.telemetry,
+        n,
+        &TraceOptions::default(),
+    );
+    for needle in ["▶ scan", "▶ write", "▶ round(", "▶ coin"] {
+        assert!(
+            timeline.contains(needle),
+            "unified timeline missing {needle:?}:\n{timeline}"
         );
     }
 }
