@@ -9,6 +9,8 @@
 //! experiments compare-throughput OLD NEW          # regression gate (exit 1)
 //! experiments explore [--quick] [--out=PATH]      # BENCH_explore.json
 //! experiments validate-explore PATH               # schema-check it
+//! experiments verify-gate [--quick] [--serial]    # fail-closed gate (exit 1
+//!             [--fixture=NAME] [--out-trace=PATH] #   on any violation)
 //! ```
 //!
 //! Prints markdown tables (the same ones recorded in EXPERIMENTS.md); the
@@ -17,9 +19,15 @@
 //! emitted file (exit 1 on violations — CI runs both). The `throughput`
 //! family does the same for the scans/sec / decisions/sec suite, and
 //! `compare-throughput` fails (exit 1) when the new document regresses more
-//! than the tolerance against a committed baseline.
+//! than the tolerance against a committed baseline. `verify-gate` runs the
+//! fail-closed verification gate (exhaustive + PCT schedule×fault
+//! exploration of the real stack; see `bprc_bench::verify_gate`) and exits
+//! non-zero on any violation, writing the shrunk replayable trace to
+//! `--out-trace` (default `verify_gate_counterexample.json`);
+//! `--fixture=torn-scan|crash-publish` runs a seeded broken implementation
+//! the gate must catch — CI asserts the non-zero exit and the artifact.
 
-use bprc_bench::{consensus_bench, experiments, explore, throughput, Scale, Table};
+use bprc_bench::{consensus_bench, experiments, explore, throughput, verify_gate, Scale, Table};
 
 fn run_bench(scale: Scale, out: &str) {
     let doc = consensus_bench::run(scale, 42);
@@ -243,6 +251,38 @@ fn main() {
                 eprintln!("usage: experiments validate-explore PATH");
                 std::process::exit(2);
             }
+        }
+        return;
+    }
+    if which.first() == Some(&"verify-gate") {
+        let fixture = args.iter().find_map(|a| a.strip_prefix("--fixture=")).map(|name| {
+            verify_gate::Fixture::parse(name).unwrap_or_else(|| {
+                eprintln!("unknown fixture '{name}' (expected torn-scan or crash-publish)");
+                std::process::exit(2);
+            })
+        });
+        let opts = verify_gate::GateOptions {
+            quick: scale == Scale::Quick,
+            serial: args.iter().any(|a| a == "--serial"),
+            fixture,
+            out_trace: args
+                .iter()
+                .find_map(|a| a.strip_prefix("--out-trace="))
+                .unwrap_or("verify_gate_counterexample.json")
+                .to_string(),
+        };
+        let report = verify_gate::run(&opts);
+        if report.passed() {
+            println!("verify-gate: PASS ({} checks)", report.checks.len());
+        } else {
+            eprintln!("verify-gate: FAIL");
+            for c in report.checks.iter().filter(|c| !c.passed) {
+                eprintln!("  - {}: {}", c.name, c.detail);
+            }
+            if let Some(path) = &report.trace_path {
+                eprintln!("  shrunk counterexample trace: {path}");
+            }
+            std::process::exit(1);
         }
         return;
     }

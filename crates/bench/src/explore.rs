@@ -12,11 +12,20 @@
 //! so every generated file proves the replay pipeline works on the machine
 //! that produced it. [`validate`] schema-checks a document and fails on any
 //! recorded violation or replay mismatch; CI runs both steps.
+//!
+//! Schema v2 additionally covers the schedule×fault space: exhaustive
+//! entries carry their [`ExploreConfig::fault_budget`] and per-crash-count
+//! schedule buckets (`schedules_by_faults`), and a `frontier` section times
+//! the same fault-budgeted frontier through the work-stealing parallel
+//! explorer against the `workers = 1` serial baseline. [`validate`] also
+//! rejects any non-finite number anywhere in the document — a rate or
+//! speedup that divided through to `inf`/`NaN` would render as JSON no
+//! parser accepts, so it must be caught before the file is written.
 
 use bprc_registers::DirectArrow;
 use bprc_sim::explore::{
-    explore, run_trace, shrink_trace, DecisionTrace, ExploreConfig, ExploreReport, Independence,
-    TRACE_SCHEMA,
+    explore, explore_parallel, run_trace, shrink_trace, DecisionTrace, ExploreConfig,
+    ExploreReport, Independence, ParallelConfig, TRACE_SCHEMA,
 };
 use bprc_sim::json::Value;
 use bprc_sim::sched::PctStrategy;
@@ -28,18 +37,18 @@ use bprc_snapshot::{check_history, ScannableMemory, SnapshotMeta};
 use crate::Scale;
 
 /// Schema identifier written into (and required from) every document.
-pub const SCHEMA: &str = "bprc.bench.explore/v1";
+pub const SCHEMA: &str = "bprc.bench.explore/v2";
 
 /// PCT schedules sampled at n = 4 (both scales — the CI smoke requires the
 /// full thousand).
 pub const PCT_SCHEDULES: u64 = 1_000;
 
-fn meta_for(n: usize) -> SnapshotMeta {
+pub(crate) fn meta_for(n: usize) -> SnapshotMeta {
     let world = World::builder(n).build();
     ScannableMemory::<u64, DirectArrow>::new(&world, n, 0).meta()
 }
 
-fn p1_p3_check(r: &RunReport<Vec<u64>>, meta: &SnapshotMeta) -> Option<String> {
+pub(crate) fn p1_p3_check(r: &RunReport<Vec<u64>>, meta: &SnapshotMeta) -> Option<String> {
     let history = r.history.as_ref().expect("lockstep records history");
     check_history(history, meta)
         .violations
@@ -49,7 +58,7 @@ fn p1_p3_check(r: &RunReport<Vec<u64>>, meta: &SnapshotMeta) -> Option<String> {
 
 /// n = 2, both processes update their cell then scan — the canonical
 /// exhaustive configuration from the test suite.
-fn n2_update_scan_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+pub(crate) fn n2_update_scan_factory() -> impl Fn() -> (World, Vec<ProcBody<Vec<u64>>>) + Sync {
     || {
         let world = World::builder(2).seed(0).build();
         let mem = ScannableMemory::<u64, DirectArrow>::new(&world, 2, 0);
@@ -73,7 +82,7 @@ fn n2_update_scan_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) 
 /// bodies are too long at n = 3: exhaustive enumeration of three 12+-op
 /// processes is beyond any CI budget, so the n = 3 statement is made on
 /// this distilled update/scan skeleton instead.)
-fn n3_writers_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+pub(crate) fn n3_writers_scanner_factory() -> impl Fn() -> (World, Vec<ProcBody<Vec<u64>>>) + Sync {
     || {
         let world = World::builder(3).seed(0).build();
         let v: Vec<_> = (0..3).map(|i| world.reg(format!("V{i}"), 0u64)).collect();
@@ -114,7 +123,7 @@ fn n3_writers_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>
 /// Meta for the hand-rolled three-register layouts (the n = 3 exhaustive
 /// entry and the broken fixture): registers 0–2 are the value slots and
 /// values double as sequence numbers.
-fn raw_meta() -> SnapshotMeta {
+pub(crate) fn raw_meta() -> SnapshotMeta {
     SnapshotMeta {
         value_regs: vec![0, 1, 2],
     }
@@ -123,7 +132,7 @@ fn raw_meta() -> SnapshotMeta {
 /// The intentionally broken fixture for the counterexample demo: honest
 /// annotated writers, but the scanner does ONE naive collect with no retry,
 /// so torn (non-linearizable) views are reachable.
-fn broken_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) {
+pub(crate) fn broken_scanner_factory() -> impl Fn() -> (World, Vec<ProcBody<Vec<u64>>>) + Sync {
     || {
         let world = World::builder(3).seed(0).build();
         let v: Vec<_> = (0..3).map(|i| world.reg(format!("V{i}"), 0u64)).collect();
@@ -151,7 +160,7 @@ fn broken_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) 
     }
 }
 
-fn broken_check(r: &RunReport<Vec<u64>>) -> Option<String> {
+pub(crate) fn broken_check(r: &RunReport<Vec<u64>>) -> Option<String> {
     p1_p3_check(r, &raw_meta())
 }
 
@@ -165,6 +174,12 @@ fn report_to_json(name: &str, n: usize, rep: &ExploreReport) -> Value {
         ("truncated", rep.truncated.into()),
         ("exhausted", rep.exhausted.into()),
         ("max_depth", rep.max_depth.into()),
+        ("fault_budget", rep.fault_budget.into()),
+        ("faults_injected", rep.faults_injected.into()),
+        (
+            "schedules_by_faults",
+            Value::Arr(rep.schedules_by_faults.iter().map(|&c| c.into()).collect()),
+        ),
         ("elapsed_sec", rep.elapsed_secs.into()),
         ("schedules_per_sec", rep.schedules_per_sec().into()),
         (
@@ -177,9 +192,16 @@ fn report_to_json(name: &str, n: usize, rep: &ExploreReport) -> Value {
     ])
 }
 
-/// One bounded-exhaustive DFS entry: explore the factory's whole schedule
-/// space under the reads-only relation, checking P1–P3 on every schedule.
-fn exhaustive_entry<F>(name: &str, n: usize, meta: SnapshotMeta, factory: F) -> (Value, ExploreReport)
+/// One bounded-exhaustive DFS entry: explore the factory's whole
+/// schedule×fault space (up to `fault_budget` injected crashes per run)
+/// under the reads-only relation, checking P1–P3 on every schedule.
+fn exhaustive_entry<F>(
+    name: &str,
+    n: usize,
+    meta: SnapshotMeta,
+    fault_budget: u64,
+    factory: F,
+) -> (Value, ExploreReport)
 where
     F: FnMut() -> (World, Vec<ProcBody<Vec<u64>>>),
 {
@@ -189,10 +211,82 @@ where
         // P1–P3 consume note timestamps, so only the read/read relation is
         // a sound basis for pruning (see `Independence`).
         independence: Independence::ReadsOnly,
+        fault_budget,
         ..ExploreConfig::default()
     };
     let rep = explore(&cfg, factory, |r| p1_p3_check(r, &meta));
     (report_to_json(name, n, &rep), rep)
+}
+
+/// Times one fault-budgeted frontier through the work-stealing parallel
+/// explorer against the identical `workers = 1` serial split — same
+/// subtree jobs, same configuration, only the thread count differs.
+fn frontier_section(scale: Scale) -> Value {
+    let (name, n, meta, budget) = match scale {
+        Scale::Quick => ("snapshot-n2-update-scan", 2usize, meta_for(2), 1u64),
+        Scale::Full => ("snapshot-n3-two-writers-one-scanner", 3, raw_meta(), 1),
+    };
+    let cfg = ExploreConfig {
+        max_steps: 40,
+        max_schedules: 2_000_000,
+        independence: Independence::ReadsOnly,
+        fault_budget: budget,
+        ..ExploreConfig::default()
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let run_with = |w: usize| {
+        let par = ParallelConfig {
+            workers: w,
+            frontier_factor: 4,
+            max_frontier_depth: 4,
+        };
+        match scale {
+            Scale::Quick => {
+                explore_parallel(&cfg, &par, n2_update_scan_factory(), |r| {
+                    p1_p3_check(r, &meta)
+                })
+            }
+            Scale::Full => {
+                explore_parallel(&cfg, &par, n3_writers_scanner_factory(), |r| {
+                    p1_p3_check(r, &meta)
+                })
+            }
+        }
+    };
+    let serial = run_with(1);
+    let parallel = run_with(workers);
+    let speedup = serial.report.elapsed_secs / parallel.report.elapsed_secs.max(1e-9);
+    let side = |rep: &bprc_sim::explore::ParallelExploreReport| {
+        Value::obj(vec![
+            ("workers", rep.workers.into()),
+            ("jobs", rep.jobs.into()),
+            ("steals", rep.steals.into()),
+            ("frontier_depth", rep.frontier_depth.into()),
+            ("schedules", rep.report.schedules.into()),
+            ("faults_injected", rep.report.faults_injected.into()),
+            ("exhausted", rep.report.exhausted.into()),
+            ("elapsed_sec", rep.report.elapsed_secs.into()),
+            (
+                "violation",
+                rep.report
+                    .violation
+                    .as_ref()
+                    .map(|c| Value::from(c.description.as_str()))
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    };
+    Value::obj(vec![
+        ("name", name.into()),
+        ("n", n.into()),
+        ("fault_budget", budget.into()),
+        ("serial", side(&serial)),
+        ("parallel", side(&parallel)),
+        ("speedup", if speedup.is_finite() { speedup } else { 0.0 }.into()),
+    ])
 }
 
 /// The PCT sweep: `schedules` seeds at n = 4, d = 3 change points, every
@@ -340,6 +434,14 @@ pub fn run(scale: Scale, seed: u64) -> Value {
         "snapshot-n2-update-scan",
         2,
         meta_for(2),
+        0,
+        n2_update_scan_factory(),
+    ));
+    push(exhaustive_entry(
+        "snapshot-n2-update-scan-faults1",
+        2,
+        meta_for(2),
+        1,
         n2_update_scan_factory(),
     ));
     if scale == Scale::Full {
@@ -347,10 +449,19 @@ pub fn run(scale: Scale, seed: u64) -> Value {
             "snapshot-n3-two-writers-one-scanner",
             3,
             raw_meta(),
+            0,
+            n3_writers_scanner_factory(),
+        ));
+        push(exhaustive_entry(
+            "snapshot-n3-two-writers-one-scanner-faults1",
+            3,
+            raw_meta(),
+            1,
             n3_writers_scanner_factory(),
         ));
     }
     let pct = pct_sweep(PCT_SCHEDULES);
+    let frontier = frontier_section(scale);
     let (demo, demo_telemetry) = counterexample_demo();
     Value::obj(vec![
         ("schema", SCHEMA.into()),
@@ -362,6 +473,7 @@ pub fn run(scale: Scale, seed: u64) -> Value {
         ("trace_schema", TRACE_SCHEMA.into()),
         ("exhaustive", Value::Arr(exhaustive)),
         ("pct", pct),
+        ("frontier", frontier),
         ("counterexample", demo),
         (
             "telemetry",
@@ -395,6 +507,28 @@ fn num(doc: &Value, path: &[&str]) -> Option<f64> {
     v.as_num()
 }
 
+/// Walks the whole document and records every non-finite number with its
+/// path. JSON has no `inf`/`NaN`, so a non-finite value would render into
+/// a file nothing can parse back — it must be caught before writing.
+fn check_finite(v: &Value, path: &str, errs: &mut Vec<String>) {
+    match v {
+        Value::Num(x) if !x.is_finite() => {
+            errs.push(format!("{path}: non-finite number {x}"));
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_finite(item, &format!("{path}[{i}]"), errs);
+            }
+        }
+        Value::Obj(pairs) => {
+            for (k, item) in pairs {
+                check_finite(item, &format!("{path}.{k}"), errs);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Schema- and invariant-checks an emitted document. Returns human-readable
 /// violation strings; empty means valid. Any recorded property violation or
 /// replay mismatch is itself a validation failure — CI fails on it.
@@ -412,6 +546,7 @@ pub fn validate(doc: &Value) -> Vec<String> {
         None => errs.push("missing exhaustive array".into()),
         Some(entries) if entries.is_empty() => errs.push("exhaustive array is empty".into()),
         Some(entries) => {
+            let mut any_faulted = false;
             for (i, e) in entries.iter().enumerate() {
                 let name = e
                     .get("name")
@@ -426,7 +561,8 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         "exhaustive[{i}] {name}: recorded a property violation"
                     ));
                 }
-                if e.get("schedules").and_then(|v| v.as_num()).unwrap_or(0.0) < 1.0 {
+                let schedules = e.get("schedules").and_then(|v| v.as_num()).unwrap_or(0.0);
+                if schedules < 1.0 {
                     errs.push(format!("exhaustive[{i}] {name}: no schedules executed"));
                 }
                 if e.get("truncated").and_then(|v| v.as_num()).unwrap_or(-1.0) != 0.0 {
@@ -434,6 +570,52 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         "exhaustive[{i}] {name}: step budget truncated the space"
                     ));
                 }
+                // Fault-budget coverage accounting (schema v2): the
+                // per-crash-count buckets must exist, be `budget + 1` wide,
+                // and sum back to the schedule count; a positive budget
+                // must actually have injected crashes.
+                let budget = e.get("fault_budget").and_then(|v| v.as_num());
+                match budget {
+                    None => errs.push(format!("exhaustive[{i}] {name}: missing fault_budget")),
+                    Some(b) => {
+                        if b >= 1.0 {
+                            any_faulted = true;
+                            if e.get("faults_injected").and_then(|v| v.as_num()).unwrap_or(0.0)
+                                < 1.0
+                            {
+                                errs.push(format!(
+                                    "exhaustive[{i}] {name}: fault budget {b} injected no crashes"
+                                ));
+                            }
+                        }
+                        match e.get("schedules_by_faults").and_then(|v| v.as_arr()) {
+                            None => errs.push(format!(
+                                "exhaustive[{i}] {name}: missing schedules_by_faults"
+                            )),
+                            Some(buckets) => {
+                                if buckets.len() as f64 != b + 1.0 {
+                                    errs.push(format!(
+                                        "exhaustive[{i}] {name}: schedules_by_faults must have \
+                                         fault_budget+1 buckets"
+                                    ));
+                                }
+                                let sum: f64 = buckets
+                                    .iter()
+                                    .map(|v| v.as_num().unwrap_or(0.0))
+                                    .sum();
+                                if sum != schedules {
+                                    errs.push(format!(
+                                        "exhaustive[{i}] {name}: schedules_by_faults sums to \
+                                         {sum}, schedules is {schedules}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_faulted {
+                errs.push("no exhaustive entry covered the fault space (fault_budget >= 1)".into());
             }
         }
     }
@@ -444,6 +626,39 @@ pub fn validate(doc: &Value) -> Vec<String> {
     if num(doc, &["pct", "schedules"]).unwrap_or(0.0) < PCT_SCHEDULES as f64 {
         errs.push(format!("pct sweep must cover >= {PCT_SCHEDULES} schedules"));
     }
+
+    match doc.get("frontier") {
+        None => errs.push("missing frontier section".into()),
+        Some(f) => {
+            for side in ["serial", "parallel"] {
+                match f.get(side) {
+                    None => errs.push(format!("frontier.{side} missing")),
+                    Some(s) => {
+                        if s.get("exhausted") != Some(&Value::Bool(true)) {
+                            errs.push(format!("frontier.{side}: space not exhausted"));
+                        }
+                        if !matches!(s.get("violation"), Some(Value::Null)) {
+                            errs.push(format!("frontier.{side}: recorded a property violation"));
+                        }
+                        if s.get("schedules").and_then(|v| v.as_num()).unwrap_or(0.0) < 1.0 {
+                            errs.push(format!("frontier.{side}: no schedules executed"));
+                        }
+                    }
+                }
+            }
+            if num(f, &["serial", "workers"]) != Some(1.0) {
+                errs.push("frontier.serial must run with workers = 1".into());
+            }
+            if num(f, &["speedup"]).unwrap_or(0.0) <= 0.0 {
+                errs.push("frontier.speedup must be positive".into());
+            }
+            if num(f, &["fault_budget"]).unwrap_or(0.0) < 1.0 {
+                errs.push("frontier must cover the fault space (fault_budget >= 1)".into());
+            }
+        }
+    }
+
+    check_finite(doc, "$", &mut errs);
 
     let demo = doc.get("counterexample");
     match demo {
@@ -514,6 +729,7 @@ mod tests {
             "snapshot-n3-two-writers-one-scanner",
             3,
             raw_meta(),
+            0,
             n3_writers_scanner_factory(),
         );
         assert!(rep.violation.is_none(), "{:?}", rep.violation);
@@ -525,6 +741,47 @@ mod tests {
             rep.schedules
         );
         assert_eq!(json.get("exhausted"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn fault_budgeted_entry_carries_coverage_counts() {
+        let (json, rep) = exhaustive_entry(
+            "snapshot-n2-update-scan-faults1",
+            2,
+            meta_for(2),
+            1,
+            n2_update_scan_factory(),
+        );
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(rep.exhausted);
+        assert!(rep.faults_injected > 0, "budget 1 must explore crash branches");
+        let buckets = json
+            .get("schedules_by_faults")
+            .and_then(|v| v.as_arr())
+            .expect("v2 entries carry schedules_by_faults");
+        assert_eq!(buckets.len(), 2);
+        let sum: f64 = buckets.iter().map(|v| v.as_num().unwrap()).sum();
+        assert_eq!(sum, rep.schedules as f64);
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_numbers() {
+        let doc = run(Scale::Quick, 42);
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+        // Forge an `inf` where a rate belongs — exactly what a zero-elapsed
+        // division would have produced before rates were clamped.
+        let forged = match doc {
+            Value::Obj(mut pairs) => {
+                pairs.push(("forged_rate".to_string(), Value::Num(f64::INFINITY)));
+                Value::Obj(pairs)
+            }
+            _ => unreachable!("documents are objects"),
+        };
+        let errs = validate(&forged);
+        assert!(
+            errs.iter().any(|e| e.contains("non-finite")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod explore;
 pub mod table;
 pub mod throughput;
+pub mod verify_gate;
 
 pub use table::Table;
 

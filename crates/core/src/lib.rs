@@ -60,4 +60,4 @@ pub mod virtual_rounds;
 
 pub use bounded::{BoundedCore, ConsensusParams};
 pub use state::{Pref, ProcState};
-pub use verify::ConsensusSpec;
+pub use verify::{check_telemetry_parity, ConsensusSpec};

@@ -17,8 +17,54 @@
 //! checker, so one closure covers the full property stack.
 
 use bprc_sim::error::Halted;
+use bprc_sim::history::OpKind;
+use bprc_sim::metrics::Counter;
 use bprc_sim::world::RunReport;
 use bprc_snapshot::{check_history, SnapshotMeta};
+
+/// Checks that a run's telemetry agrees with its recorded history: for
+/// every process, the [`Counter::RegReads`] / [`Counter::RegWrites`]
+/// counters must equal the read/write operations the history recorded for
+/// that process. The two planes are produced by independent code paths
+/// (atomic counters at the register cells vs. the scheduler's event log),
+/// so divergence means one of them lied — a verification-gate property,
+/// not a consensus one.
+///
+/// Returns `None` on parity, `Some(reason)` naming the first divergent
+/// process.
+///
+/// # Panics
+///
+/// Panics if the run recorded no history (free mode, or recording
+/// disabled) — silently skipping the comparison would make a gate built on
+/// it vacuous.
+pub fn check_telemetry_parity<T>(report: &RunReport<T>) -> Option<String> {
+    let history = report
+        .history
+        .as_ref()
+        .expect("telemetry parity needs a recorded lockstep history");
+    let n = report.outputs.len();
+    let mut reads = vec![0u64; n];
+    let mut writes = vec![0u64; n];
+    for (_, pid, kind, _, _) in history.ops() {
+        match kind {
+            OpKind::Read => reads[pid] += 1,
+            OpKind::Write => writes[pid] += 1,
+        }
+    }
+    for pid in 0..n {
+        let tr = report.telemetry.counter(pid, Counter::RegReads);
+        let tw = report.telemetry.counter(pid, Counter::RegWrites);
+        if tr != reads[pid] || tw != writes[pid] {
+            return Some(format!(
+                "telemetry/history parity violated for pid {pid}: telemetry says {tr} \
+                 reads / {tw} writes, history records {} reads / {} writes",
+                reads[pid], writes[pid]
+            ));
+        }
+    }
+    None
+}
 
 /// What a consensus run promised: the inputs it started from and whether
 /// it was given enough budget that everyone must decide.
@@ -182,5 +228,29 @@ mod tests {
             vec![None, Some(Halted::Crashed)],
         );
         assert_eq!(spec.check(&r), None);
+    }
+
+    #[test]
+    fn telemetry_parity_holds_on_a_real_run_and_flags_divergence() {
+        use bprc_sim::sched::RoundRobin;
+        use bprc_sim::world::{ProcBody, World};
+
+        let mut w = World::builder(2).build();
+        let reg = w.reg("r", 0u32);
+        let (r0, r1) = (reg.clone(), reg);
+        let bodies: Vec<ProcBody<bool>> = vec![
+            Box::new(move |ctx| {
+                r0.write(ctx, 1)?;
+                Ok(true)
+            }),
+            Box::new(move |ctx| Ok(r1.read(ctx)? == 1)),
+        ];
+        let mut rep = w.run(bodies, Box::new(RoundRobin::new()));
+        assert_eq!(check_telemetry_parity(&rep), None);
+
+        // Forge divergence: drop the history's ops but keep the telemetry.
+        rep.history = Some(bprc_sim::history::History::new());
+        let msg = check_telemetry_parity(&rep).expect("must flag the divergence");
+        assert!(msg.contains("parity"), "{msg}");
     }
 }

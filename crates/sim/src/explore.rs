@@ -44,16 +44,36 @@
 //! through scheduled accesses (no `peek` inside bodies), which holds for
 //! the whole protocol stack.
 //!
+//! # Faults as decisions
+//!
+//! With [`ExploreConfig::fault_budget`] > 0 the DFS additionally branches
+//! on *crash injections*: at a decision point the adversary may crash a
+//! process instead of granting one. Two rules keep the joint
+//! schedule × fault space tractable and the reduction sound:
+//!
+//! * **Canonical crash placement** — a crash performs no memory access, so
+//!   crashing `p` anywhere after `p`'s last step is equivalent (to any
+//!   checker that does not read crash-event timestamps) to crashing it
+//!   immediately after that step. The explorer only branches `Crash(p)`
+//!   right after a `Grant(p)`, plus every enabled pid while no grant has
+//!   occurred yet — which canonicalizes multi-crash prefixes too.
+//! * **Crashes are dependent with everything** — a crash edge never enters
+//!   a sleep set, and a node reached through a crash starts with an empty
+//!   sleep set: survivors' behavior may depend on the victim's absence, so
+//!   no sibling equivalence argument crosses a crash.
+//!
 //! # Replay artifacts
 //!
 //! A violating schedule is serialized as a [`DecisionTrace`] — the list of
-//! granted pids, JSON-rendered via [`crate::json`] under schema
-//! [`TRACE_SCHEMA`]. Replay is a tolerant [`FnStrategy`]: each listed pid
-//! is granted when runnable (skipped otherwise), and after the trace is
-//! exhausted the lowest runnable pid runs — so a *prefix* of a run is a
-//! complete, deterministic artifact. [`shrink_trace`] greedily removes
-//! decisions (suffix first, then interior) while the violation persists,
-//! yielding a minimal forcing prefix.
+//! [`TraceStep`] decisions (grants and crash injections), JSON-rendered via
+//! [`crate::json`] under schema [`TRACE_SCHEMA`]; grants render as bare pid
+//! numbers, so pre-fault trace documents still parse. Replay is a tolerant
+//! [`FnStrategy`]: each listed step fires when its pid is runnable (skipped
+//! otherwise), and after the trace is exhausted the lowest runnable pid
+//! runs — so a *prefix* of a run is a complete, deterministic artifact.
+//! [`shrink_trace`] greedily removes decisions — injected crashes included
+//! — (suffix first, then interior) while the violation persists, yielding a
+//! minimal forcing prefix.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -99,6 +119,11 @@ pub struct ExploreConfig {
     /// The independence relation the reduction prunes with; must be chosen
     /// to match the checker (see [`Independence`]).
     pub independence: Independence,
+    /// Maximum crash decisions injected per schedule. `0` (the default)
+    /// explores grants only; `k ≤ n−1` additionally branches on "crash
+    /// process p here" at canonical placement points (see the module docs'
+    /// fault-as-decision discussion).
+    pub fault_budget: u64,
 }
 
 impl Default for ExploreConfig {
@@ -108,6 +133,7 @@ impl Default for ExploreConfig {
             max_schedules: 1_000_000,
             reduction: true,
             independence: Independence::DistinctRegisters,
+            fault_budget: 0,
         }
     }
 }
@@ -140,51 +166,107 @@ pub struct ExploreReport {
     /// First violation found, if any (exploration stops on it).
     pub violation: Option<Counterexample>,
     /// Explorer telemetry: `SchedulesExplored` / `SchedulesPruned` /
-    /// `SchedulesTruncated` counters.
+    /// `SchedulesTruncated` / `FaultsInjected` counters.
     pub telemetry: Telemetry,
     /// Wall-clock time spent exploring.
     pub elapsed_secs: f64,
+    /// The [`ExploreConfig::fault_budget`] this exploration ran with.
+    pub fault_budget: u64,
+    /// Total crash decisions across all counted schedules.
+    pub faults_injected: u64,
+    /// Counted schedules bucketed by how many crash decisions they carried
+    /// (index = crash count; length = `fault_budget + 1`).
+    pub schedules_by_faults: Vec<u64>,
 }
 
 impl ExploreReport {
-    /// Executed schedules per wall-clock second.
+    /// Executed schedules per wall-clock second. Always finite: a
+    /// zero/denormal elapsed duration (sub-microsecond explorations exist)
+    /// clamps to a nanosecond instead of dividing through to `inf`/`NaN`.
     pub fn schedules_per_sec(&self) -> f64 {
-        if self.elapsed_secs > 0.0 {
-            (self.schedules + self.truncated) as f64 / self.elapsed_secs
+        let total = (self.schedules + self.truncated) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let rate = total / self.elapsed_secs.max(1e-9);
+        if rate.is_finite() {
+            rate
         } else {
             0.0
         }
     }
 }
 
-/// A serializable schedule: the pids granted at successive decision points.
+/// One decision of a serialized schedule: grant a process its pending
+/// access, or crash it.
 ///
-/// Replay is tolerant: a listed pid that is not currently runnable is
+/// In the JSON form a grant renders as a bare pid number — so every
+/// pre-fault `bprc-trace-v1` document still parses, as an all-grant trace —
+/// and a crash renders as the object `{"crash": pid}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Grant this pid its pending operation.
+    Grant(usize),
+    /// Crash this pid (it never takes another step).
+    Crash(usize),
+}
+
+impl TraceStep {
+    /// The pid this step targets.
+    pub fn pid(self) -> usize {
+        match self {
+            TraceStep::Grant(p) | TraceStep::Crash(p) => p,
+        }
+    }
+
+    /// True for crash decisions.
+    pub fn is_crash(self) -> bool {
+        matches!(self, TraceStep::Crash(_))
+    }
+}
+
+/// A serializable schedule: the decisions taken at successive decision
+/// points — grants and injected crashes.
+///
+/// Replay is tolerant: a listed step whose pid is not currently runnable is
 /// skipped, and once the list is exhausted the lowest runnable pid is
-/// granted — so a shrunk prefix still drives a complete deterministic run.
+/// granted — so a *prefix* of a run is a complete deterministic artifact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecisionTrace {
     /// Number of processes in the world this trace drives.
     pub n: usize,
-    /// Granted pids, in decision order.
-    pub decisions: Vec<usize>,
+    /// Decisions in order: grants and crash injections.
+    pub decisions: Vec<TraceStep>,
 }
 
 impl DecisionTrace {
-    /// Serializes to the [`TRACE_SCHEMA`] JSON document.
+    /// Serializes to the [`TRACE_SCHEMA`] JSON document. Grants are bare
+    /// pid numbers (backward compatible with pre-fault traces); crashes are
+    /// `{"crash": pid}` objects.
     pub fn to_json(&self) -> Value {
         Value::obj(vec![
             ("schema", Value::from(TRACE_SCHEMA)),
             ("n", Value::from(self.n)),
             (
                 "decisions",
-                Value::Arr(self.decisions.iter().map(|&d| Value::from(d)).collect()),
+                Value::Arr(
+                    self.decisions
+                        .iter()
+                        .map(|&d| match d {
+                            TraceStep::Grant(p) => Value::from(p),
+                            TraceStep::Crash(p) => {
+                                Value::obj(vec![("crash", Value::from(p))])
+                            }
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
 
     /// Parses a [`TRACE_SCHEMA`] document, validating the schema tag and
-    /// that every decision names a pid `< n`.
+    /// that every decision names a pid `< n`. Bare numbers parse as grants,
+    /// `{"crash": pid}` objects as crash injections.
     pub fn from_json(v: &Value) -> Result<Self, String> {
         match v.get("schema").and_then(|s| s.as_str()) {
             Some(s) if s == TRACE_SCHEMA => {}
@@ -204,13 +286,22 @@ impl DecisionTrace {
             .ok_or("missing array field 'decisions'")?;
         let mut decisions = Vec::with_capacity(arr.len());
         for (i, d) in arr.iter().enumerate() {
-            let pid = d
-                .as_num()
-                .ok_or_else(|| format!("decisions[{i}] is not a number"))? as usize;
-            if pid >= n {
-                return Err(format!("decisions[{i}] = {pid} out of range (n = {n})"));
+            let step = if let Some(pid) = d.as_num() {
+                TraceStep::Grant(pid as usize)
+            } else if let Some(pid) = d.get("crash").and_then(|x| x.as_num()) {
+                TraceStep::Crash(pid as usize)
+            } else {
+                return Err(format!(
+                    "decisions[{i}] is neither a pid number nor a {{\"crash\": pid}} object"
+                ));
+            };
+            if step.pid() >= n {
+                return Err(format!(
+                    "decisions[{i}] targets pid {} out of range (n = {n})",
+                    step.pid()
+                ));
             }
-            decisions.push(pid);
+            decisions.push(step);
         }
         Ok(DecisionTrace { n, decisions })
     }
@@ -220,38 +311,41 @@ impl DecisionTrace {
         self.replayer(None)
     }
 
-    /// Like [`DecisionTrace::strategy`], but also appends every pid it
-    /// actually grants (including fallback grants) to `log` — used by
+    /// Like [`DecisionTrace::strategy`], but also appends every decision it
+    /// actually issues (including fallback grants) to `log` — used by
     /// [`run_trace`] to canonicalize traces.
     pub fn recording_strategy(
         &self,
-        log: Rc<RefCell<Vec<usize>>>,
+        log: Rc<RefCell<Vec<TraceStep>>>,
     ) -> FnStrategy<impl FnMut(&ScheduleView<'_>) -> Decision + 'static> {
         self.replayer(Some(log))
     }
 
     fn replayer(
         &self,
-        log: Option<Rc<RefCell<Vec<usize>>>>,
+        log: Option<Rc<RefCell<Vec<TraceStep>>>>,
     ) -> FnStrategy<impl FnMut(&ScheduleView<'_>) -> Decision + 'static> {
         let decisions = self.decisions.clone();
         let mut idx = 0usize;
         FnStrategy::new(move |view: &ScheduleView<'_>| {
             let mut pick = None;
             while idx < decisions.len() {
-                let pid = decisions[idx];
+                let step = decisions[idx];
                 idx += 1;
-                if view.runnable.contains(&pid) {
-                    pick = Some(pid);
+                if view.runnable.contains(&step.pid()) {
+                    pick = Some(step);
                     break;
                 }
-                // Not runnable (finished/crashed/hidden): skip the entry.
+                // Pid not runnable (finished/crashed/hidden): skip the entry.
             }
-            let pid = pick.unwrap_or(view.runnable[0]);
+            let step = pick.unwrap_or(TraceStep::Grant(view.runnable[0]));
             if let Some(log) = &log {
-                log.borrow_mut().push(pid);
+                log.borrow_mut().push(step);
             }
-            Decision::Grant(pid)
+            match step {
+                TraceStep::Grant(pid) => Decision::Grant(pid),
+                TraceStep::Crash(pid) => Decision::Crash(pid),
+            }
         })
     }
 }
@@ -273,10 +367,15 @@ struct Node {
     /// Sleeping ops: provably redundant here because an equivalent
     /// interleaving already ran them in an explored sibling branch.
     sleep: Vec<(usize, PendingOp)>,
-    /// Pids whose subtrees are fully explored.
+    /// Pids whose grant subtrees are fully explored.
     explored: Vec<usize>,
-    /// The pid the current run takes at this node.
-    chosen: usize,
+    /// Crash branches this node may take (canonical placement — computed
+    /// from the ancestor path when the node is opened).
+    crash_cands: Vec<usize>,
+    /// Pids whose crash subtrees are fully explored.
+    crash_explored: Vec<usize>,
+    /// The decision the current run takes at this node.
+    chosen: TraceStep,
 }
 
 impl Node {
@@ -291,8 +390,11 @@ impl Node {
 
 /// DFS state shared between the driver loop and the controller strategy.
 struct Dfs {
+    /// A fixed decision prefix replayed verbatim before the DFS stack — the
+    /// subtree root for parallel frontier jobs (empty for [`explore`]).
+    fixed: Vec<TraceStep>,
     stack: Vec<Node>,
-    /// Decision index within the current run.
+    /// Decision index within the current run (counts `fixed` decisions too).
     depth: usize,
     /// The current run stopped extending the stack (redundant or truncated):
     /// grant arbitrarily (lowest runnable) until the world finishes.
@@ -306,6 +408,44 @@ struct Dfs {
     max_steps: u64,
     reduction: bool,
     independence: Independence,
+    fault_budget: u64,
+}
+
+impl Dfs {
+    /// Crash decisions on the whole current path (fixed prefix + stack).
+    fn faults_on_path(&self) -> u64 {
+        self.fixed.iter().filter(|s| s.is_crash()).count() as u64
+            + self.stack.iter().filter(|n| n.chosen.is_crash()).count() as u64
+    }
+
+    /// The pids whose crash may be branched at the *next* node (canonical
+    /// crash placement): a crash has no memory effect, so crashing `p` at
+    /// any point after `p`'s last step is Mazurkiewicz-equivalent to
+    /// crashing it immediately after that step (or before any step at all).
+    /// We therefore only branch `Crash(p)` right after a `Grant(p)`, plus
+    /// every enabled pid while no grant has happened yet (pure-crash
+    /// prefixes, which canonicalize multi-crash-at-start schedules). Sound
+    /// for checkers that do not read crash-event *timestamps* — they
+    /// observe crashes only through the steps the victim no longer takes —
+    /// which holds for every checker in this workspace.
+    fn crash_candidates(&self, enabled: &[(usize, PendingOp)]) -> Vec<usize> {
+        for step in self
+            .stack
+            .iter()
+            .map(|n| n.chosen)
+            .rev()
+            .chain(self.fixed.iter().copied().rev())
+        {
+            if let TraceStep::Grant(p) = step {
+                return enabled
+                    .iter()
+                    .map(|&(q, _)| q)
+                    .filter(|&q| q == p)
+                    .collect();
+            }
+        }
+        enabled.iter().map(|&(q, _)| q).collect()
+    }
 }
 
 /// The controller: replays the stack prefix, then extends it.
@@ -319,10 +459,28 @@ impl Strategy for Controller {
         if st.dead {
             return Decision::Grant(view.runnable[0]);
         }
-        if st.depth < st.stack.len() {
+        if st.depth < st.fixed.len() {
+            // Fixed-prefix segment (parallel frontier jobs): issue the
+            // prefix decision verbatim.
+            let step = st.fixed[st.depth];
+            assert!(
+                view.runnable.contains(&step.pid()),
+                "nondeterministic workload: fixed prefix step {} targets pid {} \
+                 but runnable is {:?}",
+                st.depth,
+                step.pid(),
+                view.runnable,
+            );
+            st.depth += 1;
+            return match step {
+                TraceStep::Grant(pid) => Decision::Grant(pid),
+                TraceStep::Crash(pid) => Decision::Crash(pid),
+            };
+        }
+        if st.depth - st.fixed.len() < st.stack.len() {
             // Replay segment: take the recorded choice and check the world
             // is behaving deterministically.
-            let depth = st.depth;
+            let depth = st.depth - st.fixed.len();
             let node = &st.stack[depth];
             assert!(
                 node.enabled.len() == view.runnable.len()
@@ -339,7 +497,10 @@ impl Strategy for Controller {
             );
             let chosen = node.chosen;
             st.depth += 1;
-            return Decision::Grant(chosen);
+            return match chosen {
+                TraceStep::Grant(pid) => Decision::Grant(pid),
+                TraceStep::Crash(pid) => Decision::Crash(pid),
+            };
         }
         if st.depth as u64 >= st.max_steps {
             st.dead = true;
@@ -356,19 +517,34 @@ impl Strategy for Controller {
         let sleep: Vec<(usize, PendingOp)> = if !st.reduction {
             Vec::new()
         } else if let Some(parent) = st.stack.last() {
-            // Inherit the parent's sleepers (and its already-explored
-            // choices) that are independent of the op the parent executed
-            // to get here — dependent ones wake up.
-            let executed = parent.op_of(parent.chosen);
-            let rel = st.independence;
-            parent
-                .sleep
-                .iter()
-                .copied()
-                .chain(parent.explored.iter().map(|&q| (q, parent.op_of(q))))
-                .filter(|(q, qop)| *q != parent.chosen && independent(rel, qop, &executed))
-                .filter(|(q, _)| enabled.iter().any(|&(p, _)| p == *q))
-                .collect()
+            match parent.chosen {
+                // A crash is dependent with every process: survivors'
+                // subsequent behavior may hinge on the victim's absence, so
+                // nothing stays asleep across a crash edge.
+                TraceStep::Crash(_) => Vec::new(),
+                TraceStep::Grant(chosen_pid) => {
+                    // Inherit the parent's sleepers (and its already-explored
+                    // choices) that are independent of the op the parent
+                    // executed to get here — dependent ones wake up.
+                    let executed = parent.op_of(chosen_pid);
+                    let rel = st.independence;
+                    parent
+                        .sleep
+                        .iter()
+                        .copied()
+                        .chain(parent.explored.iter().map(|&q| (q, parent.op_of(q))))
+                        .filter(|(q, qop)| {
+                            *q != chosen_pid && independent(rel, qop, &executed)
+                        })
+                        .filter(|(q, _)| enabled.iter().any(|&(p, _)| p == *q))
+                        .collect()
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let crash_cands = if st.faults_on_path() < st.fault_budget {
+            st.crash_candidates(&enabled)
         } else {
             Vec::new()
         };
@@ -382,10 +558,31 @@ impl Strategy for Controller {
                     enabled,
                     sleep,
                     explored: Vec::new(),
-                    chosen: pid,
+                    crash_cands,
+                    crash_explored: Vec::new(),
+                    chosen: TraceStep::Grant(pid),
                 });
                 st.depth += 1;
                 Decision::Grant(pid)
+            }
+            None if !crash_cands.is_empty() => {
+                // Every grant is asleep, but crash branches remain — they
+                // are dependent with everything, so sleeping grants cannot
+                // cover them. Take the first crash; the grants here were
+                // proven redundant.
+                st.pruned_now += enabled.len() as u64;
+                let victim = crash_cands[0];
+                let explored = enabled.iter().map(|&(p, _)| p).collect();
+                st.stack.push(Node {
+                    enabled,
+                    sleep,
+                    explored,
+                    crash_cands,
+                    crash_explored: Vec::new(),
+                    chosen: TraceStep::Crash(victim),
+                });
+                st.depth += 1;
+                Decision::Crash(victim)
             }
             None => {
                 // Everything enabled is asleep: this whole continuation is
@@ -406,18 +603,32 @@ fn backtrack(s: &mut Dfs, report: &mut ExploreReport, metrics: &MetricsRegistry)
         let Some(node) = s.stack.last_mut() else {
             return true;
         };
-        let prev = node.chosen;
-        node.explored.push(prev);
-        // Sleep-set rule: after exploring `prev`, it sleeps for the node's
-        // remaining branches (it is in `explored`, which the child-sleep
-        // computation treats as sleeping).
+        match node.chosen {
+            // Sleep-set rule: after exploring a grant, it sleeps for the
+            // node's remaining branches (it is in `explored`, which the
+            // child-sleep computation treats as sleeping). Crash choices
+            // never enter sleep sets — they are dependent with everything.
+            TraceStep::Grant(p) => node.explored.push(p),
+            TraceStep::Crash(p) => node.crash_explored.push(p),
+        }
         let next = node
             .enabled
             .iter()
             .map(|&(p, _)| p)
             .find(|p| !node.explored.contains(p) && !node.sleep.iter().any(|&(q, _)| q == *p));
         if let Some(p) = next {
-            node.chosen = p;
+            node.chosen = TraceStep::Grant(p);
+            return false;
+        }
+        // Grants exhausted: take the next unexplored crash branch, if the
+        // fault budget allowed any at this node.
+        let next_crash = node
+            .crash_cands
+            .iter()
+            .copied()
+            .find(|p| !node.crash_explored.contains(p));
+        if let Some(p) = next_crash {
+            node.chosen = TraceStep::Crash(p);
             return false;
         }
         let skipped = node
@@ -452,9 +663,28 @@ where
     F: FnMut() -> (World, Vec<ProcBody<T>>),
     C: FnMut(&RunReport<T>) -> Option<String>,
 {
+    explore_inner(cfg, &[], &mut make, &mut check, &|| false)
+}
+
+/// The DFS driver shared by [`explore`] (empty prefix) and the parallel
+/// frontier jobs (subtree rooted at a fixed prefix, with a cancellation
+/// probe checked between runs).
+fn explore_inner<T, F, C>(
+    cfg: &ExploreConfig,
+    prefix: &[TraceStep],
+    make: &mut F,
+    check: &mut C,
+    cancelled: &dyn Fn() -> bool,
+) -> ExploreReport
+where
+    T: Send + 'static,
+    F: FnMut() -> (World, Vec<ProcBody<T>>),
+    C: FnMut(&RunReport<T>) -> Option<String>,
+{
     let metrics = MetricsRegistry::new(1);
     let start = Instant::now();
     let st = Rc::new(RefCell::new(Dfs {
+        fixed: prefix.to_vec(),
         stack: Vec::new(),
         depth: 0,
         dead: false,
@@ -464,6 +694,7 @@ where
         max_steps: cfg.max_steps,
         reduction: cfg.reduction,
         independence: cfg.independence,
+        fault_budget: cfg.fault_budget,
     }));
     let mut report = ExploreReport {
         schedules: 0,
@@ -474,9 +705,17 @@ where
         violation: None,
         telemetry: Telemetry::empty(1),
         elapsed_secs: 0.0,
+        fault_budget: cfg.fault_budget,
+        faults_injected: 0,
+        schedules_by_faults: vec![0; cfg.fault_budget as usize + 1],
     };
     let mut runs: u64 = 0;
     loop {
+        if cancelled() {
+            // A cancelled job reports what it covered; `exhausted` stays
+            // false.
+            break;
+        }
         {
             let mut s = st.borrow_mut();
             s.depth = 0;
@@ -492,10 +731,15 @@ where
         );
         let run_report = world.run(bodies, Box::new(Controller { st: Rc::clone(&st) }));
         runs += 1;
-        let (redundant, truncated, pruned_now) = {
+        let (redundant, truncated, pruned_now, path_faults) = {
             let mut s = st.borrow_mut();
-            report.max_depth = report.max_depth.max(s.stack.len());
-            (s.redundant, s.truncated, std::mem::take(&mut s.pruned_now))
+            report.max_depth = report.max_depth.max(s.fixed.len() + s.stack.len());
+            (
+                s.redundant,
+                s.truncated,
+                std::mem::take(&mut s.pruned_now),
+                s.faults_on_path(),
+            )
         };
         if pruned_now > 0 {
             report.pruned += pruned_now;
@@ -507,14 +751,26 @@ where
         } else if !redundant {
             report.schedules += 1;
             metrics.proc(0).incr(Counter::SchedulesExplored, 1);
+            let bucket = (path_faults as usize).min(report.schedules_by_faults.len() - 1);
+            report.schedules_by_faults[bucket] += 1;
+            if path_faults > 0 {
+                report.faults_injected += path_faults;
+                metrics.proc(0).incr(Counter::FaultsInjected, path_faults);
+            }
         }
         // Redundant paths were already checked under an equivalent schedule;
         // truncated prefixes are real executions and still worth checking.
         if !redundant {
             if let Some(description) = check(&run_report) {
+                let s = st.borrow();
                 let trace = DecisionTrace {
                     n: world.n(),
-                    decisions: st.borrow().stack.iter().map(|nd| nd.chosen).collect(),
+                    decisions: s
+                        .fixed
+                        .iter()
+                        .copied()
+                        .chain(s.stack.iter().map(|nd| nd.chosen))
+                        .collect(),
                 };
                 report.violation = Some(Counterexample { trace, description });
                 break;
@@ -605,6 +861,312 @@ where
     (best, runs)
 }
 
+/// Outcome of probing one frontier prefix: either the world finished while
+/// (or right after) replaying the prefix — a complete schedule — or there is
+/// a live decision point with this enabled set.
+enum Probe<T> {
+    Complete(RunReport<T>),
+    Branch(Vec<usize>),
+}
+
+/// Replays `prefix` verbatim and captures the runnable set at the first
+/// decision point past it (granting lowest-runnable from there on).
+fn probe_prefix<T, F>(make: &mut F, prefix: &[TraceStep]) -> Probe<T>
+where
+    T: Send + 'static,
+    F: FnMut() -> (World, Vec<ProcBody<T>>),
+{
+    let captured: Rc<RefCell<Option<Vec<usize>>>> = Rc::new(RefCell::new(None));
+    let cap = Rc::clone(&captured);
+    let steps = prefix.to_vec();
+    let mut idx = 0usize;
+    let strategy = FnStrategy::new(move |view: &ScheduleView<'_>| {
+        if idx < steps.len() {
+            let step = steps[idx];
+            idx += 1;
+            assert!(
+                view.runnable.contains(&step.pid()),
+                "frontier prefixes are built from observed enabled sets"
+            );
+            return match step {
+                TraceStep::Grant(pid) => Decision::Grant(pid),
+                TraceStep::Crash(pid) => Decision::Crash(pid),
+            };
+        }
+        if idx == steps.len() {
+            idx += 1;
+            *cap.borrow_mut() = Some(view.runnable.to_vec());
+        }
+        Decision::Grant(view.runnable[0])
+    });
+    let (mut world, bodies) = make();
+    assert_eq!(
+        world.mode(),
+        Mode::Lockstep,
+        "exploration needs the deterministic lockstep backend"
+    );
+    let report = world.run(bodies, Box::new(strategy));
+    let enabled = captured.borrow_mut().take();
+    match enabled {
+        Some(e) => Probe::Branch(e),
+        None => Probe::Complete(report),
+    }
+}
+
+/// Tuning knobs for [`explore_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker threads. `1` runs the identical frontier serially — the fair
+    /// baseline for speedup measurements.
+    pub workers: usize,
+    /// Stop splitting once the frontier holds at least
+    /// `workers × frontier_factor` jobs.
+    pub frontier_factor: usize,
+    /// Never split deeper than this many decisions.
+    pub max_frontier_depth: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+            frontier_factor: 4,
+            max_frontier_depth: 4,
+        }
+    }
+}
+
+/// What a parallel exploration covered, plus frontier statistics.
+#[derive(Debug)]
+pub struct ParallelExploreReport {
+    /// The merged per-job coverage. On a clean (violation-free) run every
+    /// job ran to completion, so the aggregate counts are deterministic; on
+    /// a violating run jobs above the winning index may have been cancelled
+    /// mid-flight, so only [`ExploreReport::violation`] itself is
+    /// deterministic.
+    pub report: ExploreReport,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Subtree jobs the frontier was split into.
+    pub jobs: usize,
+    /// Jobs a worker popped from another worker's deque or the injector.
+    pub steals: u64,
+    /// Decision depth at which the frontier was split.
+    pub frontier_depth: usize,
+}
+
+/// Work-stealing parallel version of [`explore`]: splits the schedule tree
+/// into subtree jobs at a shallow frontier (breadth-first over observed
+/// enabled sets, crash branches included under the fault budget), then runs
+/// the jobs on `par.workers` threads with per-worker deques plus a global
+/// injector ([`crate::stealing`]).
+///
+/// **Deterministic result merge:** on violation, the reported
+/// counterexample is the one from the *lowest-indexed* job (frontier jobs
+/// are ordered breadth-first, matching the serial DFS visit order of their
+/// roots) — workers publish violations into an atomic min-index and jobs
+/// above the current minimum are cancelled, while lower-indexed jobs always
+/// run to their own completion or first violation. The winning
+/// counterexample is therefore independent of thread timing.
+///
+/// Frontier splitting drops cross-sibling sleep-set inheritance at the
+/// split levels, so the union of jobs may re-execute schedules the serial
+/// DFS would have pruned; the result is coverage-equivalent, just
+/// potentially larger `schedules` counts.
+pub fn explore_parallel<T, F, C>(
+    cfg: &ExploreConfig,
+    par: &ParallelConfig,
+    factory: F,
+    check: C,
+) -> ParallelExploreReport
+where
+    T: Send + 'static,
+    F: Fn() -> (World, Vec<ProcBody<T>>) + Sync,
+    C: Fn(&RunReport<T>) -> Option<String> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let start = Instant::now();
+    let workers = par.workers.max(1);
+    let target = workers * par.frontier_factor.max(1);
+    let mut merged = ExploreReport {
+        schedules: 0,
+        pruned: 0,
+        truncated: 0,
+        exhausted: false,
+        max_depth: 0,
+        violation: None,
+        telemetry: Telemetry::empty(1),
+        elapsed_secs: 0.0,
+        fault_budget: cfg.fault_budget,
+        faults_injected: 0,
+        schedules_by_faults: vec![0; cfg.fault_budget as usize + 1],
+    };
+
+    // Serial frontier phase: BFS-split the tree until enough subtree roots
+    // exist. Prefixes that complete the world are full schedules — check
+    // them right here (their serial visit order precedes every job's).
+    let mut frontier: Vec<Vec<TraceStep>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    while frontier.len() < target && depth < par.max_frontier_depth {
+        let mut next: Vec<Vec<TraceStep>> = Vec::new();
+        let mut make = || factory();
+        for prefix in &frontier {
+            match probe_prefix::<T, _>(&mut make, prefix) {
+                Probe::Complete(rep) => {
+                    merged.schedules += 1;
+                    let crashes = prefix.iter().filter(|s| s.is_crash()).count() as u64;
+                    let bucket =
+                        (crashes as usize).min(merged.schedules_by_faults.len() - 1);
+                    merged.schedules_by_faults[bucket] += 1;
+                    merged.faults_injected += crashes;
+                    merged.max_depth = merged.max_depth.max(prefix.len());
+                    if merged.violation.is_none() {
+                        if let Some(description) = check(&rep) {
+                            merged.violation = Some(Counterexample {
+                                trace: DecisionTrace {
+                                    n: rep.outputs.len(),
+                                    decisions: prefix.clone(),
+                                },
+                                description,
+                            });
+                        }
+                    }
+                }
+                Probe::Branch(enabled) => {
+                    let crashes = prefix.iter().filter(|s| s.is_crash()).count() as u64;
+                    for &p in &enabled {
+                        let mut child = prefix.clone();
+                        child.push(TraceStep::Grant(p));
+                        next.push(child);
+                    }
+                    if crashes < cfg.fault_budget {
+                        // Canonical crash placement at frontier level: the
+                        // last granted pid, or every enabled pid while the
+                        // prefix is all-crash/empty.
+                        let last_grant = prefix.iter().rev().find_map(|s| match s {
+                            TraceStep::Grant(p) => Some(*p),
+                            TraceStep::Crash(_) => None,
+                        });
+                        let cands: Vec<usize> = match last_grant {
+                            Some(p) => {
+                                enabled.iter().copied().filter(|&q| q == p).collect()
+                            }
+                            None => enabled.clone(),
+                        };
+                        for p in cands {
+                            let mut child = prefix.clone();
+                            child.push(TraceStep::Crash(p));
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            frontier.clear();
+            break;
+        }
+        frontier = next;
+        depth += 1;
+    }
+    if merged.violation.is_some() || frontier.is_empty() {
+        // Violation among complete short schedules, or the whole tree is
+        // shallower than one split level: nothing left to parallelize.
+        merged.exhausted = merged.violation.is_none() && merged.truncated == 0;
+        let metrics = MetricsRegistry::new(1);
+        fill_merged_telemetry(&metrics, &merged);
+        merged.telemetry = metrics.snapshot();
+        merged.elapsed_secs = start.elapsed().as_secs_f64();
+        return ParallelExploreReport {
+            report: merged,
+            workers,
+            jobs: 0,
+            steals: 0,
+            frontier_depth: depth,
+        };
+    }
+
+    // Parallel phase: one explore_inner per subtree, work-stealing, lowest
+    // violating job index wins.
+    let jobs = frontier.len();
+    let queues = crate::stealing::StealQueues::new(workers);
+    queues.seed(frontier.iter().cloned().enumerate());
+    let min_violation = AtomicUsize::new(usize::MAX);
+    let results: Vec<parking_lot::Mutex<Option<ExploreReport>>> =
+        (0..jobs).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let min_violation = &min_violation;
+            let results = &results;
+            let factory = &factory;
+            let check = &check;
+            scope.spawn(move || {
+                while let Some((idx, prefix)) = queues.pop(w) {
+                    if idx > min_violation.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let mut make = || factory();
+                    let mut chk = |r: &RunReport<T>| check(r);
+                    let rep = explore_inner(cfg, &prefix, &mut make, &mut chk, &|| {
+                        idx > min_violation.load(Ordering::Relaxed)
+                    });
+                    if rep.violation.is_some() {
+                        min_violation.fetch_min(idx, Ordering::AcqRel);
+                    }
+                    *results[idx].lock() = Some(rep);
+                }
+            });
+        }
+    });
+
+    let winner = min_violation.load(Ordering::Acquire);
+    let mut all_exhausted = true;
+    for (idx, slot) in results.iter().enumerate() {
+        let Some(rep) = slot.lock().take() else {
+            all_exhausted = false;
+            continue;
+        };
+        merged.schedules += rep.schedules;
+        merged.pruned += rep.pruned;
+        merged.truncated += rep.truncated;
+        merged.max_depth = merged.max_depth.max(rep.max_depth);
+        merged.faults_injected += rep.faults_injected;
+        for (b, c) in rep.schedules_by_faults.iter().enumerate() {
+            let b = b.min(merged.schedules_by_faults.len() - 1);
+            merged.schedules_by_faults[b] += c;
+        }
+        all_exhausted &= rep.exhausted;
+        if idx == winner {
+            merged.violation = rep.violation;
+        }
+    }
+    merged.exhausted = merged.violation.is_none() && all_exhausted && merged.truncated == 0;
+    let metrics = MetricsRegistry::new(1);
+    fill_merged_telemetry(&metrics, &merged);
+    merged.telemetry = metrics.snapshot();
+    merged.elapsed_secs = start.elapsed().as_secs_f64();
+    ParallelExploreReport {
+        report: merged,
+        workers,
+        jobs,
+        steals: queues.steals(),
+        frontier_depth: depth,
+    }
+}
+
+/// Rebuilds the aggregate explorer counters for a merged parallel report.
+fn fill_merged_telemetry(metrics: &MetricsRegistry, merged: &ExploreReport) {
+    let m = metrics.proc(0);
+    m.incr(Counter::SchedulesExplored, merged.schedules);
+    m.incr(Counter::SchedulesPruned, merged.pruned);
+    m.incr(Counter::SchedulesTruncated, merged.truncated);
+    m.incr(Counter::FaultsInjected, merged.faults_injected);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,7 +1174,7 @@ mod tests {
 
     /// The flag-principle workload: each process raises its own flag then
     /// reads the other's. 4 ops, two per process.
-    fn flag_factory(seed: u64) -> impl FnMut() -> (World, Vec<ProcBody<u32>>) {
+    fn flag_factory(seed: u64) -> impl Fn() -> (World, Vec<ProcBody<u32>>) + Sync {
         move || {
             let w = World::builder(2).seed(seed).build();
             let a = w.reg("a", 0u32);
@@ -693,7 +1255,7 @@ mod tests {
     /// One writer, one reader on a single register: exploring finds the
     /// read-before-write schedule, and shrinking reduces it to the single
     /// forcing decision (grant the reader first).
-    fn race_factory() -> impl FnMut() -> (World, Vec<ProcBody<u32>>) {
+    fn race_factory() -> impl Fn() -> (World, Vec<ProcBody<u32>>) + Sync {
         || {
             let w = World::builder(2).build();
             let r = w.reg("r", 0u32);
@@ -727,7 +1289,7 @@ mod tests {
 
         // Shrinking yields the single forcing decision: grant pid 1 first.
         let (min, shrink_runs) = shrink_trace(&mut make, &mut |r| stale_read(r), cex.trace);
-        assert_eq!(min.decisions, vec![1]);
+        assert_eq!(min.decisions, vec![TraceStep::Grant(1)]);
         assert!(shrink_runs > 0);
         let (rep2, _) = run_trace(&mut make, &min);
         assert!(stale_read(&rep2).is_some(), "shrunk trace still violates");
@@ -737,13 +1299,31 @@ mod tests {
     fn trace_json_round_trips() {
         let t = DecisionTrace {
             n: 3,
-            decisions: vec![2, 0, 1, 1, 0],
+            decisions: vec![
+                TraceStep::Grant(2),
+                TraceStep::Grant(0),
+                TraceStep::Crash(1),
+                TraceStep::Grant(0),
+            ],
         };
         let rendered = t.to_json().render();
         let parsed = crate::json::parse(&rendered).unwrap();
         let back = DecisionTrace::from_json(&parsed).unwrap();
         assert_eq!(back, t);
         assert_eq!(back.to_json().render(), rendered, "round-trip is byte-identical");
+    }
+
+    /// Pre-fault `bprc-trace-v1` documents (bare pid numbers only) still
+    /// parse, as all-grant traces.
+    #[test]
+    fn legacy_grant_only_documents_still_parse() {
+        let doc = r#"{"schema": "bprc-trace-v1", "n": 3, "decisions": [2, 0, 1]}"#;
+        let v = crate::json::parse(doc).unwrap();
+        let t = DecisionTrace::from_json(&v).unwrap();
+        assert_eq!(
+            t.decisions,
+            vec![TraceStep::Grant(2), TraceStep::Grant(0), TraceStep::Grant(1)]
+        );
     }
 
     #[test]
@@ -754,6 +1334,8 @@ mod tests {
             r#"{"schema": "bprc-trace-v1", "decisions": []}"#,
             r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [5]}"#,
             r#"{"schema": "bprc-trace-v1", "n": 0, "decisions": []}"#,
+            r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [{"crash": 5}]}"#,
+            r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [{"halt": 0}]}"#,
         ];
         for doc in bad {
             let v = crate::json::parse(doc).unwrap();
@@ -877,5 +1459,195 @@ mod tests {
         let rep = explore(&cfg, flag_factory(0), |_| None);
         assert_eq!(rep.schedules, 2);
         assert!(!rep.exhausted);
+    }
+
+    #[test]
+    fn schedules_per_sec_is_always_finite() {
+        let mut rep = explore(&ExploreConfig::default(), flag_factory(3), |_| None);
+        rep.elapsed_secs = 0.0;
+        assert!(rep.schedules_per_sec().is_finite());
+        rep.elapsed_secs = f64::MIN_POSITIVE; // denormal-adjacent: would inf out unclamped
+        assert!(rep.schedules_per_sec().is_finite());
+        rep.schedules = 0;
+        rep.truncated = 0;
+        assert_eq!(rep.schedules_per_sec(), 0.0);
+    }
+
+    /// With a fault budget the explorer visits crash-extended schedules:
+    /// every bucket of `schedules_by_faults` is populated, crashed runs
+    /// show crash events, and the budget is never exceeded.
+    #[test]
+    fn fault_budget_explores_crash_branches() {
+        let cfg = ExploreConfig {
+            reduction: false,
+            fault_budget: 1,
+            ..ExploreConfig::default()
+        };
+        let mut max_crashes = 0usize;
+        let rep = explore(&cfg, flag_factory(4), |r| {
+            let crashes = r.history.as_ref().unwrap().crashes().count();
+            max_crashes = max_crashes.max(crashes);
+            None
+        });
+        assert!(rep.exhausted);
+        assert_eq!(
+            rep.schedules_by_faults[0], 6,
+            "fault-free schedules must match the budget-0 enumeration"
+        );
+        assert!(rep.schedules_by_faults[1] > 0, "crash branches must run");
+        assert_eq!(
+            rep.schedules,
+            rep.schedules_by_faults.iter().sum::<u64>()
+        );
+        assert_eq!(rep.faults_injected, rep.schedules_by_faults[1]);
+        assert_eq!(max_crashes, 1, "budget 1 must cap injected crashes at 1");
+        assert_eq!(
+            rep.telemetry.total(Counter::FaultsInjected),
+            rep.faults_injected
+        );
+    }
+
+    /// Sleep-set reduction with fault branches reaches exactly the outcome
+    /// set (outputs + halt pattern) of the unreduced fault enumeration.
+    #[test]
+    fn reduction_with_faults_preserves_reachable_outcomes() {
+        let outcomes = |reduction: bool| {
+            let cfg = ExploreConfig {
+                reduction,
+                fault_budget: 1,
+                ..ExploreConfig::default()
+            };
+            let mut seen: Vec<(Vec<Option<u32>>, Vec<bool>)> = Vec::new();
+            let rep = explore(&cfg, flag_factory(5), |r| {
+                let crashed: Vec<bool> = (0..r.outputs.len())
+                    .map(|p| {
+                        r.history
+                            .as_ref()
+                            .unwrap()
+                            .crashes()
+                            .any(|(_, pid)| pid == p)
+                    })
+                    .collect();
+                let key = (r.outputs.clone(), crashed);
+                if !seen.contains(&key) {
+                    seen.push(key);
+                }
+                None
+            });
+            assert!(rep.exhausted, "reduction={reduction}");
+            seen.sort();
+            (seen, rep.schedules)
+        };
+        let (full, full_count) = outcomes(false);
+        let (reduced, reduced_count) = outcomes(true);
+        assert_eq!(full, reduced, "fault-aware reduction lost an outcome");
+        assert!(reduced_count <= full_count);
+    }
+
+    /// A bug only reachable through a crash: pid 0 writes `v` then `p`
+    /// (publish bit); the checker flags a run where `v` was written but `p`
+    /// never was — impossible under pure grant schedules (the body always
+    /// writes both), forced by crashing pid 0 between the two writes. The
+    /// explorer must find it, the shrinker must keep the crash, and the
+    /// trace must replay.
+    #[test]
+    fn crash_dependent_violation_found_shrunk_and_replayed() {
+        let factory = || {
+            let w = World::builder(2).build();
+            let v = w.reg("v", 0u32);
+            let p = w.reg("p", 0u32);
+            let (v0, p0) = (v.clone(), p.clone());
+            let bodies: Vec<ProcBody<u32>> = vec![
+                Box::new(move |ctx| {
+                    v0.write(ctx, 1)?;
+                    p0.write(ctx, 1)?;
+                    Ok(0)
+                }),
+                Box::new(move |ctx| {
+                    let seen_v = v.read(ctx)?;
+                    let seen_p = p.read(ctx)?;
+                    Ok(seen_v * 10 + seen_p)
+                }),
+            ];
+            (w, bodies)
+        };
+        // A survivor that read the handshake value without its publish bit
+        // is fine while the writer is still alive (it will publish later);
+        // it is a permanently-torn state only once the writer is dead.
+        let unpublished = |r: &RunReport<u32>| {
+            (r.outputs[1] == Some(10) && r.outputs[0].is_none())
+                .then(|| "v visible without its publish bit and the writer is gone".into())
+        };
+
+        let grants_only = explore(&ExploreConfig::default(), factory, unpublished);
+        assert!(
+            grants_only.violation.is_none() && grants_only.exhausted,
+            "the torn state must be unreachable without faults"
+        );
+
+        let cfg = ExploreConfig {
+            fault_budget: 1,
+            ..ExploreConfig::default()
+        };
+        let rep = explore(&cfg, factory, unpublished);
+        let cex = rep.violation.expect("a crash between the writes forces it");
+        assert!(cex.trace.decisions.iter().any(|s| s.is_crash()));
+
+        let mut make = factory;
+        let (min, _) = shrink_trace(&mut make, &mut |r| unpublished(r), cex.trace);
+        assert!(
+            min.decisions.iter().any(|s| s.is_crash()),
+            "shrinking must keep the forcing crash: {:?}",
+            min.decisions
+        );
+        let (rep2, _) = run_trace(&mut make, &min);
+        assert!(unpublished(&rep2).is_some(), "shrunk trace still violates");
+    }
+
+    /// The parallel frontier covers exactly the serial enumeration (no
+    /// reduction → exact partition of the schedule tree), and a violating
+    /// workload yields the same deterministic counterexample for any worker
+    /// count.
+    #[test]
+    fn parallel_exploration_matches_serial() {
+        let cfg = ExploreConfig {
+            reduction: false,
+            fault_budget: 1,
+            ..ExploreConfig::default()
+        };
+        let serial = explore(&cfg, flag_factory(6), |_| None);
+        for workers in [1usize, 4] {
+            let par = ParallelConfig {
+                workers,
+                frontier_factor: 2,
+                max_frontier_depth: 3,
+            };
+            let rep = explore_parallel(&cfg, &par, flag_factory(6), |_| None);
+            assert!(rep.report.exhausted, "workers={workers}");
+            assert_eq!(
+                rep.report.schedules, serial.schedules,
+                "workers={workers}: unreduced parallel must partition exactly"
+            );
+            assert_eq!(rep.report.schedules_by_faults, serial.schedules_by_faults);
+        }
+
+        // Deterministic violation merge: every worker count reports the
+        // same counterexample as the serial explorer finds first.
+        let vcfg = ExploreConfig::default();
+        let serial_v = explore(&vcfg, race_factory(), stale_read);
+        let want = serial_v.violation.expect("stale read reachable");
+        for workers in [1usize, 4] {
+            let par = ParallelConfig {
+                workers,
+                frontier_factor: 2,
+                max_frontier_depth: 2,
+            };
+            let rep = explore_parallel(&vcfg, &par, race_factory(), stale_read);
+            let got = rep.report.violation.expect("parallel must find it too");
+            assert_eq!(got.description, want.description);
+            let mut make = race_factory();
+            let (r, _) = run_trace(&mut make, &got.trace);
+            assert!(stale_read(&r).is_some(), "parallel trace must replay");
+        }
     }
 }

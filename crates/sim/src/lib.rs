@@ -65,12 +65,16 @@ pub mod metrics;
 pub mod reg;
 pub mod rng;
 pub mod sched;
+pub mod stealing;
 pub mod trace;
 pub mod turn;
 pub mod world;
 
 pub use error::Halted;
-pub use explore::{Counterexample, DecisionTrace, ExploreConfig, ExploreReport, Independence};
+pub use explore::{
+    explore_parallel, Counterexample, DecisionTrace, ExploreConfig, ExploreReport, Independence,
+    ParallelConfig, ParallelExploreReport, TraceStep,
+};
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};

@@ -113,6 +113,8 @@ counters! {
     SchedulesTruncated => "schedules_truncated",
     /// Candidate re-executions performed by the trace shrinker.
     ShrinkRuns => "shrink_runs",
+    /// Crash decisions injected by the explorer's fault branches.
+    FaultsInjected => "faults_injected",
 }
 
 macro_rules! gauges {

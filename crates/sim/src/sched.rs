@@ -84,6 +84,21 @@ pub trait Strategy {
     fn drain_fault_notes(&mut self) -> Vec<(usize, FaultKind)> {
         Vec::new()
     }
+
+    /// The process currently *inside* a multi-access atomic operation, if
+    /// this strategy schedules at a coarser-than-register granularity (see
+    /// `OpGrained` in the snapshot crate, which grants a whole scan or
+    /// update as one turn).
+    ///
+    /// Fault-injection wrappers consult this before delivering a due
+    /// crash/panic point: a fault landing mid-operation would tear the very
+    /// atomicity the strategy exists to provide, so the wrapper defers it
+    /// to the next operation boundary instead of firing (or silently
+    /// skipping) it. The default — every quiescent point is a boundary —
+    /// returns `None`.
+    fn mid_op(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Cycles fairly through the runnable processes.
@@ -272,6 +287,10 @@ pub struct PctStrategy {
     /// demoted.
     change_points: Vec<u64>,
     next_cp: usize,
+    /// Sorted steps at which the currently-leading runnable process is
+    /// *crashed* (empty unless built with [`PctStrategy::with_faults`]).
+    fault_points: Vec<u64>,
+    next_fp: usize,
 }
 
 impl PctStrategy {
@@ -298,7 +317,30 @@ impl PctStrategy {
             priorities,
             change_points,
             next_cp: 0,
+            fault_points: Vec::new(),
+            next_fp: 0,
         }
+    }
+
+    /// Like [`PctStrategy::new`], plus `faults` *fault points* drawn
+    /// uniformly over the horizon: at each one the currently-leading
+    /// runnable process is **crashed** instead of demoted, extending the
+    /// PCT depth-d guarantee to bugs that additionally require crash
+    /// faults. A fault point due while only one process remains runnable is
+    /// skipped (crashing the sole survivor would wedge the run), keeping
+    /// every sampled schedule a complete execution.
+    ///
+    /// The fault steps are drawn from a stream derived from (but
+    /// independent of) `seed`, so `with_faults(seed, .., 0)` samples
+    /// exactly the same schedule as `new(seed, ..)`.
+    pub fn with_faults(seed: u64, n: usize, d: usize, horizon: u64, faults: usize) -> Self {
+        let mut pct = Self::new(seed, n, d, horizon);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut fault_points: Vec<u64> =
+            (0..faults).map(|_| rng.gen_range(0..horizon.max(1))).collect();
+        fault_points.sort_unstable();
+        pct.fault_points = fault_points;
+        pct
     }
 
     /// Current priority of each pid (higher runs first). Exposed for
@@ -326,6 +368,14 @@ impl Strategy for PctStrategy {
             // priority, and below earlier demotions of other processes.
             self.priorities[leader] = (self.change_points.len() - self.next_cp) as u64 - 1;
             self.next_cp += 1;
+        }
+        while self.next_fp < self.fault_points.len() && view.step >= self.fault_points[self.next_fp]
+        {
+            self.next_fp += 1;
+            if view.runnable.len() > 1 {
+                return Decision::Crash(self.top(view.runnable));
+            }
+            // Sole survivor: spend the point without firing and grant.
         }
         Decision::Grant(self.top(view.runnable))
     }
@@ -519,6 +569,50 @@ mod tests {
                 assert!(s.priorities()[initial_leader] == 0);
             }
             d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn pct_fault_point_crashes_the_leader_but_never_the_sole_survivor() {
+        // Horizon 1 pins the sampled fault point to step 0 regardless of
+        // the seed: the leader is crashed, then the remaining processes
+        // are scheduled by priority.
+        let n = 3;
+        let mut s = PctStrategy::with_faults(13, n, 0, 1, 1);
+        let leader = (0..n).max_by_key(|&p| s.priorities()[p]).unwrap();
+        let runnable: Vec<usize> = (0..n).collect();
+        let pending = dummy_pending(n);
+        match s.decide(&view(0, &runnable, &pending)) {
+            Decision::Crash(p) => assert_eq!(p, leader, "fault point must hit the leader"),
+            d => panic!("unexpected {d:?}"),
+        }
+        // Re-consulted at the same step, it grants (the point is spent).
+        let rest: Vec<usize> = (0..n).filter(|&p| p != leader).collect();
+        let pending = dummy_pending(rest.len());
+        assert!(matches!(
+            s.decide(&view(0, &rest, &pending)),
+            Decision::Grant(_)
+        ));
+
+        // A due fault point with one survivor is skipped, not fired.
+        let mut lone = PctStrategy::with_faults(13, 2, 0, 1, 1);
+        let pending = dummy_pending(1);
+        match lone.decide(&view(0, &[1], &pending)) {
+            Decision::Grant(p) => assert_eq!(p, 1, "sole survivor must keep running"),
+            d => panic!("unexpected {d:?}"),
+        }
+    }
+
+    #[test]
+    fn pct_with_zero_faults_matches_new() {
+        let mut a = PctStrategy::new(42, 3, 2, 50);
+        let mut b = PctStrategy::with_faults(42, 3, 2, 50, 0);
+        let runnable = [0, 1, 2];
+        let pending = dummy_pending(3);
+        for step in 0..50 {
+            let da = a.decide(&view(step, &runnable, &pending));
+            let db = b.decide(&view(step, &runnable, &pending));
+            assert_eq!(da, db, "step {step}: fault-free sampling must agree");
         }
     }
 

@@ -1,0 +1,160 @@
+//! Work-stealing job queues for the parallel DFS frontier.
+//!
+//! [`StealQueues`] is the minimal deque set [`crate::explore::explore_parallel`]
+//! schedules subtree jobs on: one double-ended queue per worker plus a
+//! global injector. An owner pops its own deque LIFO (depth-first locality:
+//! the job it seeded last is the one whose factory state is warmest);
+//! thieves take from the injector or a victim's deque FIFO (oldest job —
+//! the classic Chase–Lev discipline, here with plain mutexed deques, which
+//! the job granularity easily amortizes: one steal per multi-millisecond
+//! subtree exploration).
+//!
+//! The queues are `Sync` for `T: Send` and safe Rust throughout (the crate
+//! forbids `unsafe`); fairness and progress come from `pop` falling back to
+//! stealing before reporting exhaustion.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Per-worker deques plus a global injector (see the module docs).
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    injector: Mutex<VecDeque<T>>,
+    locals: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates queues for `workers` workers (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        StealQueues {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Distributes `jobs` round-robin across the worker deques, so every
+    /// worker starts with local work before any stealing happens.
+    pub fn seed(&self, jobs: impl IntoIterator<Item = T>) {
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.locals[i % self.locals.len()].lock().push_back(job);
+        }
+    }
+
+    /// Pushes a job onto `worker`'s own deque (popped LIFO by the owner).
+    pub fn push_local(&self, worker: usize, job: T) {
+        self.locals[worker].lock().push_back(job);
+    }
+
+    /// Pushes a job onto the global injector (taken FIFO by anyone).
+    pub fn push_global(&self, job: T) {
+        self.injector.lock().push_back(job);
+    }
+
+    /// Takes the next job for `worker`: its own deque LIFO first, then the
+    /// injector FIFO, then the other workers' deques FIFO (cyclic scan from
+    /// `worker + 1`). Returns `None` only when every queue was observed
+    /// empty — with a fixed seeded job set and no concurrent pushes that is
+    /// a stable exhaustion signal.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        if let Some(job) = self.locals[worker].lock().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().pop_front() {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        let n = self.locals.len();
+        for k in 1..n {
+            let victim = (worker + k) % n;
+            if let Some(job) = self.locals[victim].lock().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Jobs taken from the injector or another worker's deque.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thieves_steal_fifo() {
+        let q = StealQueues::new(2);
+        q.push_local(0, 1);
+        q.push_local(0, 2);
+        q.push_local(0, 3);
+        // Owner sees its newest job first.
+        assert_eq!(q.pop(0), Some(3));
+        // The thief takes the oldest.
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn injector_feeds_every_worker() {
+        let q = StealQueues::new(3);
+        q.push_global(10);
+        q.push_global(20);
+        assert_eq!(q.pop(2), Some(10));
+        assert_eq!(q.pop(0), Some(20));
+        assert_eq!(q.steals(), 2);
+    }
+
+    #[test]
+    fn seed_round_robins_and_drains_completely() {
+        let q = StealQueues::new(3);
+        q.seed(0..10);
+        let mut got: Vec<i32> = Vec::new();
+        // Worker 0 drains everything, stealing the other deques dry.
+        while let Some(j) = q.pop(0) {
+            got.push(j);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(q.steals() > 0, "draining foreign deques counts as steals");
+    }
+
+    #[test]
+    fn concurrent_drain_loses_nothing() {
+        use std::sync::atomic::AtomicU64;
+        let q = StealQueues::new(4);
+        q.seed(0..1000u64);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = &q;
+                let sum = &sum;
+                let count = &count;
+                s.spawn(move || {
+                    while let Some(j) = q.pop(w) {
+                        sum.fetch_add(j, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+}

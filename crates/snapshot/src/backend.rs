@@ -338,4 +338,115 @@ impl Strategy for OpGrained {
         // whatever is offered to stay total.
         Decision::Grant(view.runnable[0])
     }
+
+    fn mid_op(&self) -> Option<usize> {
+        // The holder is mid-operation exactly while its op counter has not
+        // moved since the turn began. Fault wrappers consult this so a
+        // crash/stall landing inside a scan or update is deferred to the
+        // next operation boundary instead of tearing it (see
+        // `Strategy::mid_op`).
+        self.holding
+            .filter(|&(pid, ops)| (self.done[pid])() == ops)
+            .map(|(pid, _)| pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::labels;
+    use crate::waitfree::WaitFreeSnapshot;
+    use bprc_sim::world::ProcBody;
+    use bprc_sim::{FaultPlan, FaultedStrategy};
+
+    /// Two processes over the wait-free snapshot: pid 0 updates, scans,
+    /// then keeps updating (so a deferred fault has boundaries to land on);
+    /// pid 1 writes continuously (so the scan spans many register steps).
+    fn workload(world: &World) -> (WaitFreeSnapshot<u32>, Vec<ProcBody<u32>>) {
+        let mem = WaitFreeSnapshot::alloc(world, 2, 0u32);
+        let mut p0 = mem.port(0);
+        let mut p1 = mem.port(1);
+        let bodies: Vec<ProcBody<u32>> = vec![
+            Box::new(move |ctx| {
+                p0.update(ctx, 1)?;
+                let snap = p0.scan(ctx)?;
+                for i in 0..16 {
+                    p0.update(ctx, 2 + i)?;
+                }
+                Ok(snap[1])
+            }),
+            Box::new(move |ctx| {
+                for i in 0..16 {
+                    p1.update(ctx, 100 + i)?;
+                }
+                Ok(0)
+            }),
+        ];
+        (mem, bodies)
+    }
+
+    /// A crash point landing mid-scan under `OpGrained` must defer to the
+    /// next op boundary (the scan completes untorn) and still be delivered
+    /// (not silently skipped) — the `FaultPlan` × `OpGrained` composition
+    /// contract.
+    #[test]
+    fn fault_point_mid_scan_defers_to_op_boundary_and_still_fires() {
+        // Clean run: locate a step strictly inside pid 0's scan.
+        let mut world = World::builder(2).build();
+        let (mem, bodies) = workload(&world);
+        let rep = world.run(bodies, Box::new(OpGrained::new(&mem)));
+        let h = rep.history.unwrap();
+        let start = h
+            .notes_labelled(labels::SCAN_START)
+            .find(|&(_, pid, _)| pid == 0)
+            .expect("pid 0 scans")
+            .0;
+        let end = h
+            .notes_labelled(labels::SCAN_END)
+            .find(|&(_, pid, _)| pid == 0)
+            .expect("pid 0's scan completes")
+            .0;
+        assert!(end > start + 1, "scan too short to land a fault inside");
+        let mid = start + 1;
+
+        // Faulted run: identical decisions up to `mid`, where the crash
+        // point comes due while pid 0 is mid-scan.
+        let mut world = World::builder(2).build();
+        let (mem, bodies) = workload(&world);
+        let plan = FaultPlan::new().crash_at(mid, 0);
+        let rep = world.run(
+            bodies,
+            Box::new(FaultedStrategy::new(OpGrained::new(&mem), plan)),
+        );
+        assert_eq!(
+            rep.halted[0],
+            Some(Halted::Crashed),
+            "deferred point must still fire, not be silently skipped"
+        );
+        let h = rep.history.unwrap();
+        assert_eq!(h.crashes().count(), 1);
+        let starts = h
+            .notes_labelled(labels::SCAN_START)
+            .filter(|&(_, pid, _)| pid == 0)
+            .count();
+        let ends = h
+            .notes_labelled(labels::SCAN_END)
+            .filter(|&(_, pid, _)| pid == 0)
+            .count();
+        assert_eq!(starts, ends, "the crash tore a scan in half");
+        assert!(starts > 0, "pid 0 must have scanned before dying");
+        let (crash_step, crash_pid) = h.crashes().next().unwrap();
+        assert_eq!(crash_pid, 0);
+        let scan_end = h
+            .notes_labelled(labels::SCAN_END)
+            .find(|&(_, pid, _)| pid == 0)
+            .unwrap()
+            .0;
+        assert!(
+            crash_step >= scan_end,
+            "crash at step {crash_step} should follow the scan end at {scan_end}"
+        );
+        // The survivor finishes untouched.
+        assert_eq!(rep.outputs[1], Some(0));
+    }
 }

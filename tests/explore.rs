@@ -301,10 +301,16 @@ fn manual_fn_strategy_replay_matches_run_trace() {
     let decisions = cex.trace.decisions.clone();
     let strategy = bprc::sim::sched::FnStrategy::new(move |view: &bprc::sim::ScheduleView<'_>| {
         while idx < decisions.len() {
-            let pid = decisions[idx];
+            let step = decisions[idx];
             idx += 1;
-            if view.runnable.contains(&pid) {
-                return Decision::Grant(pid);
+            match step {
+                bprc::sim::TraceStep::Grant(pid) if view.runnable.contains(&pid) => {
+                    return Decision::Grant(pid);
+                }
+                bprc::sim::TraceStep::Crash(pid) if view.runnable.contains(&pid) => {
+                    return Decision::Crash(pid);
+                }
+                _ => {}
             }
         }
         Decision::Grant(view.runnable[0])

@@ -5,7 +5,7 @@
 use bprc::core::bounded::{BoundedCore, ConsensusParams};
 use bprc::registers::DirectArrow;
 use bprc::sim::explore::{
-    explore, run_trace, shrink_trace, DecisionTrace, ExploreConfig, Independence,
+    explore, run_trace, shrink_trace, DecisionTrace, ExploreConfig, Independence, TraceStep,
 };
 use bprc::sim::turn::{TurnDriver, TurnRandom};
 use bprc::sim::world::{ProcBody, World};
@@ -181,7 +181,7 @@ proptest! {
         let mut padded = found.trace.clone();
         for (pid, at) in pads {
             let idx = at % (padded.decisions.len() + 1);
-            padded.decisions.insert(idx, pid);
+            padded.decisions.insert(idx, TraceStep::Grant(pid));
         }
         let mut make = race_factory();
         let (rep, _) = run_trace(&mut make, &padded);
