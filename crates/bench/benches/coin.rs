@@ -9,9 +9,7 @@ use bprc_coin::{CoinParams, FlipSource};
 fn one_coin(n: usize, b: u32, seed: u64) -> u64 {
     let params = CoinParams::new(n, b, 1_000_000);
     let flips: Vec<Box<dyn FlipSource>> = (0..n)
-        .map(|p| {
-            Box::new(bprc_coin::flip::FairFlips::new(seed + p as u64)) as Box<dyn FlipSource>
-        })
+        .map(|p| Box::new(bprc_coin::flip::FairFlips::new(seed + p as u64)) as Box<dyn FlipSource>)
         .collect();
     run_walk(&params, flips, &mut WalkRoundRobin::new(), 100_000_000).events
 }

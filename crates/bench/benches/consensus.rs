@@ -86,7 +86,9 @@ fn bench_full_stack(c: &mut Criterion) {
                     .build();
                 let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
                 let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &inputs, seed);
-                world.run(inst.bodies, Box::new(RandomStrategy::new(seed))).steps
+                world
+                    .run(inst.bodies, Box::new(RandomStrategy::new(seed)))
+                    .steps
             })
         });
     }

@@ -45,23 +45,11 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--protocol" => args.protocol = val("--protocol")?,
-            "--n" => {
-                args.n = val("--n")?
-                    .parse()
-                    .map_err(|e| format!("bad --n: {e}"))?
-            }
-            "--inputs" => {
-                args.inputs = val("--inputs")?
-                    .chars()
-                    .map(|c| c == '1')
-                    .collect()
-            }
+            "--n" => args.n = val("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--inputs" => args.inputs = val("--inputs")?.chars().map(|c| c == '1').collect(),
             "--adversary" => args.adversary = val("--adversary")?,
             "--seed" => {
                 args.seed = val("--seed")?
@@ -71,10 +59,12 @@ fn parse_args() -> Result<Args, String> {
             "--registers" => args.registers = true,
             "--trace" => args.trace = true,
             "--help" | "-h" => {
-                return Err("usage: demo [--protocol bounded|ah88|local|oracle] [--n N] \
+                return Err(
+                    "usage: demo [--protocol bounded|ah88|local|oracle] [--n N] \
                      [--inputs 1010] [--adversary random|rr|bsp|split|starver] \
                      [--seed S] [--registers] [--trace]"
-                    .into())
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
@@ -92,7 +82,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn adversary_for(name: &str, k: u32, seed: u64) -> Result<Box<dyn TurnAdversary<ProcState>>, String> {
+fn adversary_for(
+    name: &str,
+    k: u32,
+    seed: u64,
+) -> Result<Box<dyn TurnAdversary<ProcState>>, String> {
     Ok(match name {
         "random" => Box::new(TurnRandom::new(seed)),
         "rr" => Box::new(TurnRoundRobin::new()),
@@ -116,9 +110,7 @@ fn generic_adversary<M>(name: &str, seed: u64) -> Result<Box<dyn TurnAdversary<M
     })
 }
 
-fn summarize<O: std::fmt::Debug + PartialEq>(
-    report: &bprc_sim::turn::TurnReport<O>,
-) {
+fn summarize<O: std::fmt::Debug + PartialEq>(report: &bprc_sim::turn::TurnReport<O>) {
     println!("events:    {}", report.events);
     println!("completed: {}", report.completed);
     for (p, out) in report.outputs.iter().enumerate() {
@@ -152,11 +144,13 @@ fn main() {
             .seed(args.seed)
             .step_limit(budget)
             .build();
-        let inst =
-            ThreadedConsensus::<DirectArrow>::new(&world, &params, &args.inputs, args.seed);
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &args.inputs, args.seed);
         let names = world.reg_names();
         let report = world.run(inst.bodies, Box::new(RandomStrategy::new(args.seed)));
-        println!("register-level run: {} shared-memory operations", report.steps);
+        println!(
+            "register-level run: {} shared-memory operations",
+            report.steps
+        );
         for (p, out) in report.outputs.iter().enumerate() {
             println!("process {p} decided {:?}", out);
         }
@@ -197,7 +191,15 @@ fn main() {
         }
         "ah88" => {
             let procs: Vec<AhCore> = (0..args.n)
-                .map(|p| AhCore::new(args.n, p, args.inputs[p], derive_seed(args.seed, p as u64), 3))
+                .map(|p| {
+                    AhCore::new(
+                        args.n,
+                        p,
+                        args.inputs[p],
+                        derive_seed(args.seed, p as u64),
+                        3,
+                    )
+                })
                 .collect();
             let mut adv = match generic_adversary(&args.adversary, args.seed) {
                 Ok(a) => a,

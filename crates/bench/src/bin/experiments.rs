@@ -9,6 +9,9 @@
 //! experiments compare-throughput OLD NEW          # regression gate (exit 1)
 //! experiments explore [--quick] [--out=PATH]      # BENCH_explore.json
 //! experiments validate-explore PATH               # schema-check it
+//! experiments profile [--quick] [--out=PATH]      # BENCH_profile.json +
+//!             [--trace-out=PATH]                  #   Chrome trace companion
+//! experiments validate-profile PATH               # schema-check it
 //! experiments verify-gate [--quick] [--serial]    # fail-closed gate (exit 1
 //!             [--fixture=NAME] [--out-trace=PATH] #   on any violation)
 //! ```
@@ -27,7 +30,9 @@
 //! `--fixture=torn-scan|crash-publish` runs a seeded broken implementation
 //! the gate must catch — CI asserts the non-zero exit and the artifact.
 
-use bprc_bench::{consensus_bench, experiments, explore, throughput, verify_gate, Scale, Table};
+use bprc_bench::{
+    consensus_bench, experiments, explore, profile, throughput, verify_gate, Scale, Table,
+};
 
 fn run_bench(scale: Scale, out: &str) {
     let doc = consensus_bench::run(scale, 42);
@@ -188,6 +193,60 @@ fn run_validate_explore(path: &str) {
     }
 }
 
+fn run_profile(scale: Scale, out: &str, trace_out: &str) {
+    let doc = profile::run(scale, 42);
+    let errs = profile::validate(&doc);
+    if !errs.is_empty() {
+        eprintln!("generated document violates its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    for entry in doc.get("entries").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+        let lat = |which: &str, k: &str| {
+            entry
+                .get(which)
+                .and_then(|h| h.get(k))
+                .and_then(|v| v.as_num())
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{}: scan p50 {:.0}ns p99 {:.0}ns, decision p50 {:.0}ns p99 {:.0}ns",
+            entry.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+            lat("scan_latency_ns", "p50"),
+            lat("scan_latency_ns", "p99"),
+            lat("decision_latency_ns", "p50"),
+            lat("decision_latency_ns", "p99"),
+        );
+    }
+    let text = doc.render_pretty(2);
+    if let Err(e) = std::fs::write(out, text + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    let trace = profile::chrome_trace_demo(42);
+    if let Err(e) = std::fs::write(trace_out, trace.render_pretty(2) + "\n") {
+        eprintln!("cannot write {trace_out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {trace_out} (load it at https://ui.perfetto.dev)");
+}
+
+fn run_validate_profile(path: &str) {
+    let errs = profile::validate(&load_json(path));
+    if errs.is_empty() {
+        println!("{path}: valid ({})", profile::SCHEMA);
+    } else {
+        eprintln!("{path}: schema violations:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -254,13 +313,38 @@ fn main() {
         }
         return;
     }
-    if which.first() == Some(&"verify-gate") {
-        let fixture = args.iter().find_map(|a| a.strip_prefix("--fixture=")).map(|name| {
-            verify_gate::Fixture::parse(name).unwrap_or_else(|| {
-                eprintln!("unknown fixture '{name}' (expected torn-scan or crash-publish)");
+    if which.first() == Some(&"profile") {
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH_profile.json");
+        let trace_out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--trace-out="))
+            .unwrap_or("BENCH_profile_trace.json");
+        run_profile(scale, out, trace_out);
+        return;
+    }
+    if which.first() == Some(&"validate-profile") {
+        match which.get(1) {
+            Some(path) => run_validate_profile(path),
+            None => {
+                eprintln!("usage: experiments validate-profile PATH");
                 std::process::exit(2);
-            })
-        });
+            }
+        }
+        return;
+    }
+    if which.first() == Some(&"verify-gate") {
+        let fixture = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--fixture="))
+            .map(|name| {
+                verify_gate::Fixture::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown fixture '{name}' (expected torn-scan or crash-publish)");
+                    std::process::exit(2);
+                })
+            });
         let opts = verify_gate::GateOptions {
             quick: scale == Scale::Quick,
             serial: args.iter().any(|a| a == "--serial"),
@@ -319,7 +403,11 @@ fn main() {
 
     println!(
         "# BPRC experiment run ({})\n",
-        if scale == Scale::Quick { "quick" } else { "full" }
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        }
     );
     if which.is_empty() || which.contains(&"all") {
         for t in experiments::all(scale) {

@@ -64,7 +64,10 @@ impl WorkloadResult {
 
 /// Max round reached across processes (the run's rounds-to-decision).
 fn max_round(t: &Telemetry, n: usize) -> u64 {
-    (0..n).filter_map(|p| t.gauge(p, Gauge::Round)).max().unwrap_or(0)
+    (0..n)
+        .filter_map(|p| t.gauge(p, Gauge::Round))
+        .max()
+        .unwrap_or(0)
 }
 
 /// The lockstep world backend: full register stack, adversarial scheduler.
@@ -165,8 +168,7 @@ fn memory_section(n: usize, seed: u64) -> Value {
         .map(|p| AhCore::new(n, p, p % 2 == 0, derive_seed(seed, 64 + p as u64), 3))
         .collect();
     let (rep_a, hw_a) = run_metered(ah, &mut TurnRandom::new(seed), 10_000_000, |s| s.bits());
-    let hw_json = |completed: bool,
-                   hw: &bprc_core::meter::MemoryHighWater| {
+    let hw_json = |completed: bool, hw: &bprc_core::meter::MemoryHighWater| {
         Value::obj(vec![
             ("completed", completed.into()),
             ("max_register_bits", hw.max_register_bits.into()),
@@ -191,7 +193,11 @@ pub fn run(scale: Scale, seed: u64) -> Value {
     let mut workloads = Vec::new();
     for &n in ns {
         workloads.push(lockstep_workload(n, trials, derive_seed(seed, n as u64)));
-        workloads.push(threads_workload(n, trials, derive_seed(seed, 100 + n as u64)));
+        workloads.push(threads_workload(
+            n,
+            trials,
+            derive_seed(seed, 100 + n as u64),
+        ));
         workloads.push(turn_workload(n, trials, derive_seed(seed, 200 + n as u64)));
     }
     Value::obj(vec![
@@ -209,7 +215,10 @@ pub fn run(scale: Scale, seed: u64) -> Value {
             "workloads",
             Value::Arr(workloads.iter().map(|w| w.to_json()).collect()),
         ),
-        ("memory", memory_section(ns[ns.len() - 1], derive_seed(seed, 999))),
+        (
+            "memory",
+            memory_section(ns[ns.len() - 1], derive_seed(seed, 999)),
+        ),
     ])
 }
 

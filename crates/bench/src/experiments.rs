@@ -1,9 +1,7 @@
 //! The experiment implementations (one per quantitative claim of the
 //! paper). Each returns a [`Table`]; the `experiments` binary prints them.
 
-use bprc_coin::montecarlo::{
-    run_trials, StaleCollectAdversary, WalkRandom,
-};
+use bprc_coin::montecarlo::{run_trials, StaleCollectAdversary, WalkRandom};
 use bprc_coin::{theory, CoinParams};
 use bprc_core::baselines::{AhCore, LocalCoinCore, OracleCore};
 use bprc_core::bounded::{BoundedCore, ConsensusParams};
@@ -31,7 +29,13 @@ pub fn e1_disagreement(scale: Scale) -> Table {
     let n = 3;
     let mut t = Table::new(
         "E1 — coin disagreement probability vs b (Lemma 3.1)",
-        &["b", "trials", "P[disagree] random", "P[disagree] adversary", "1/(2b) reference"],
+        &[
+            "b",
+            "trials",
+            "P[disagree] random",
+            "P[disagree] adversary",
+            "1/(2b) reference",
+        ],
     );
     for b in [1u32, 2, 4, 8] {
         let params = CoinParams::new(n, b, 1_000_000);
@@ -49,7 +53,9 @@ pub fn e1_disagreement(scale: Scale) -> Table {
             prob(1.0 / (2.0 * b as f64)),
         ]);
     }
-    t.note(format!("n = {n}; counters effectively unbounded to isolate Lemma 3.1"));
+    t.note(format!(
+        "n = {n}; counters effectively unbounded to isolate Lemma 3.1"
+    ));
     t.note("shape check: both measured columns should decay roughly like 1/b");
     t
 }
@@ -60,13 +66,25 @@ pub fn e2_walk_steps(scale: Scale) -> Table {
     let trials = scale.trials(100, 1000);
     let mut t = Table::new(
         "E2 — expected walk steps to decide the coin (Lemma 3.2)",
-        &["n", "b", "mean steps", "(b·n)² theory", "(b+1)²·n² bound", "within bound"],
+        &[
+            "n",
+            "b",
+            "mean steps",
+            "(b·n)² theory",
+            "(b+1)²·n² bound",
+            "within bound",
+        ],
     );
     for n in [2usize, 4, 8] {
         for b in [1u32, 2, 4] {
             let params = CoinParams::new(n, b, 10_000_000);
-            let s = run_trials(&params, trials, derive_seed(7, (n * 10 + b as usize) as u64),
-                100_000_000, |t| Box::new(WalkRandom::new(t)));
+            let s = run_trials(
+                &params,
+                trials,
+                derive_seed(7, (n * 10 + b as usize) as u64),
+                100_000_000,
+                |t| Box::new(WalkRandom::new(t)),
+            );
             let bound = params.expected_steps_bound();
             t.row(vec![
                 n.to_string(),
@@ -78,7 +96,9 @@ pub fn e2_walk_steps(scale: Scale) -> Table {
             ]);
         }
     }
-    t.note(format!("{trials} trials per row, fair local coins, random scheduler"));
+    t.note(format!(
+        "{trials} trials per row, fair local coins, random scheduler"
+    ));
     t
 }
 
@@ -104,7 +124,9 @@ pub fn e3_overflow(scale: Scale) -> Table {
             prob(s.disagreement_rate()),
         ]);
     }
-    t.note(format!("n = {n}, b = {b}; overflowing counters decide heads deterministically"));
+    t.note(format!(
+        "n = {n}, b = {b}; overflowing counters decide heads deterministically"
+    ));
     t.note("shape check: overflow decays ~1/sqrt(m) and is absorbed into disagreement");
     t
 }
@@ -115,7 +137,14 @@ pub fn e4_rounds(scale: Scale) -> Table {
     let trials = scale.trials(30, 200);
     let mut t = Table::new(
         "E4 — rounds to decide (constant expected rounds, §6.3)",
-        &["n", "trials", "mean max round", "p90", "max", "mean events/proc"],
+        &[
+            "n",
+            "trials",
+            "mean max round",
+            "p90",
+            "max",
+            "mean events/proc",
+        ],
     );
     for n in [2usize, 3, 5, 8] {
         let params = ConsensusParams::quick(n);
@@ -146,7 +175,9 @@ pub fn e4_rounds(scale: Scale) -> Table {
             mean(events / trials as f64),
         ]);
     }
-    t.note("mixed inputs (alternating), random scheduler; rounds via the §6.1 virtual-round tracker");
+    t.note(
+        "mixed inputs (alternating), random scheduler; rounds via the §6.1 virtual-round tracker",
+    );
     t.note("shape check: mean rounds roughly flat in n (geometric with constant success)");
     t
 }
@@ -195,7 +226,13 @@ pub fn e5_total_work(scale: Scale) -> Table {
     let budget = 50_000_000u64;
     let mut t = Table::new(
         "E5 — mean events to decide: bounded vs baselines (headline)",
-        &["n", "bounded", "AH88 (unbounded)", "oracle coin", "local coin (A88)"],
+        &[
+            "n",
+            "bounded",
+            "AH88 (unbounded)",
+            "oracle coin",
+            "local coin (A88)",
+        ],
     );
     let mean_of = |f: &dyn Fn(usize, u64, u64) -> Option<f64>, n: usize, budget: u64| -> String {
         let mut total = 0f64;
@@ -228,7 +265,9 @@ pub fn e5_total_work(scale: Scale) -> Table {
             mean_of(&run_local, n, budget),
         ]);
     }
-    t.note(format!("{trials} trials per cell, mixed inputs, random scheduler"));
+    t.note(format!(
+        "{trials} trials per cell, mixed inputs, random scheduler"
+    ));
     if fit_points.len() >= 3 {
         // Least-squares slope of ln(events) vs ln(n): the measured exponent.
         let m = fit_points.len() as f64;
@@ -265,7 +304,9 @@ pub fn e5b_adversarial_work(scale: Scale) -> Table {
             let seed = derive_seed(55, trial * 64 + n as u64);
             let params = ConsensusParams::quick(n);
             let procs: Vec<BoundedCore> = (0..n)
-                .map(|p| BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64)))
+                .map(|p| {
+                    BoundedCore::new(params.clone(), p, p % 2 == 0, derive_seed(seed, p as u64))
+                })
                 .collect();
             let r = TurnDriver::new(procs).run(&mut TurnBsp::new(), budget);
             if r.completed {
@@ -296,11 +337,12 @@ pub fn e5b_adversarial_work(scale: Scale) -> Table {
             cell(l_total, l_done),
         ]);
     }
-    t.note(format!("{trials} trials per cell, event budget {budget} per trial"));
+    t.note(format!(
+        "{trials} trials per cell, event budget {budget} per trial"
+    ));
     t.note("the BSP adversary forces simultaneous reveals: local coins need spontaneous unanimity (expected 2^(n-1) rounds); the shared coin is unaffected");
     t
 }
-
 
 /// The "hold the deciders" adversary (the Lemma 3.1 attack) for the AH88
 /// baseline. Once some process holds a pending *round-advancing* write with
@@ -319,7 +361,9 @@ struct AhHoldDeciders {
     rng: SmallRng,
 }
 
-impl bprc_sim::turn::TurnAdversary<bprc_core::baselines::aspnes_herlihy::AhState> for AhHoldDeciders {
+impl bprc_sim::turn::TurnAdversary<bprc_core::baselines::aspnes_herlihy::AhState>
+    for AhHoldDeciders
+{
     fn choose(
         &mut self,
         view: &bprc_sim::turn::TurnView<'_, bprc_core::baselines::aspnes_herlihy::AhState>,
@@ -489,7 +533,13 @@ pub fn e6_memory(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E6 — register width: bounded constant vs AH88 growth (headline)",
-        &["contested rounds R", "P[R ≥ r] measured", "AH88 bits at R", "measured AH88 bits", "bounded bits (const)"],
+        &[
+            "contested rounds R",
+            "P[R ≥ r] measured",
+            "AH88 bits at R",
+            "measured AH88 bits",
+            "bounded bits (const)",
+        ],
     );
     let total = tail.len() as f64;
     for r in [1u64, 2, 3, 4, 5, 10, 100, 10_000, 1_000_000] {
@@ -503,7 +553,9 @@ pub fn e6_memory(scale: Scale) -> Table {
                 "unobserved".into()
             },
             analytic(r).to_string(),
-            measured.map(|b| b.to_string()).unwrap_or_else(|| "—".into()),
+            measured
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "—".into()),
             bounded_bits.to_string(),
         ]);
     }
@@ -520,7 +572,12 @@ pub fn e7_scan_retries(scale: Scale) -> Table {
     let trials = scale.trials(3, 10);
     let mut t = Table::new(
         "E7 — scan retries vs writer pressure (§2 progress behaviour)",
-        &["P[writer step]", "mean attempts/scan", "scans completed", "scans starved"],
+        &[
+            "P[writer step]",
+            "mean attempts/scan",
+            "scans completed",
+            "scans starved",
+        ],
     );
     for pressure in [0.2f64, 0.5, 0.8, 0.95] {
         let mut attempts = 0u64;
@@ -528,10 +585,7 @@ pub fn e7_scan_retries(scale: Scale) -> Table {
         let mut starved = 0u64;
         for trial in 0..trials {
             let n = 3;
-            let mut world = World::builder(n)
-                .seed(trial)
-                .step_limit(60_000)
-                .build();
+            let mut world = World::builder(n).seed(trial).step_limit(60_000).build();
             let mem = ScannableMemory::<u64, DirectArrow>::new(&world, n, 0);
             let mut scanner = mem.port(0);
             let mut bodies: Vec<ProcBody<u64>> = vec![Box::new(move |ctx| {
@@ -594,7 +648,13 @@ pub fn e8_claim41(scale: Scale) -> Table {
     let trials = scale.trials(50, 500);
     let mut t = Table::new(
         "E8 — Claim 4.1: graph game ≡ shrunken token game",
-        &["n", "K", "plays checked", "graph mismatches", "counter mismatches"],
+        &[
+            "n",
+            "K",
+            "plays checked",
+            "graph mismatches",
+            "counter mismatches",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(80);
     for (n, k) in [(2usize, 1u32), (3, 2), (4, 2), (6, 3), (8, 2)] {
@@ -628,7 +688,9 @@ pub fn e8_claim41(scale: Scale) -> Table {
             c_bad.to_string(),
         ]);
     }
-    t.note("every play: move the shrunken game, inc the graph, inc the counters, compare all three");
+    t.note(
+        "every play: move the shrunken game, inc the graph, inc the counters, compare all three",
+    );
     t
 }
 
@@ -655,10 +717,7 @@ pub fn e9_snapshot(scale: Scale) -> Table {
                 b
             })
             .collect();
-        let rep = world.run(
-            bodies,
-            Box::new(bprc_sim::sched::RandomStrategy::new(seed)),
-        );
+        let rep = world.run(bodies, Box::new(bprc_sim::sched::RandomStrategy::new(seed)));
         let check = check_history(rep.history.as_ref().unwrap(), &meta);
         (check.scans, check.updates, check.violations.len())
     }
@@ -691,7 +750,6 @@ pub fn e9_snapshot(scale: Scale) -> Table {
     t
 }
 
-
 /// E10: exhaustive model-checking summary — the finite state space of the
 /// bounded protocol fully explored for n = 2 (every schedule, every flip),
 /// zero safety violations. A table version of `examples/model_check.rs`.
@@ -699,7 +757,13 @@ pub fn e10_modelcheck(scale: Scale) -> Table {
     use bprc_core::modelcheck::{check_bounded, McConfig};
     let mut t = Table::new(
         "E10 — exhaustive verification (all schedules × all flips)",
-        &["config", "states", "complete paths", "violations", "coverage"],
+        &[
+            "config",
+            "states",
+            "complete paths",
+            "violations",
+            "coverage",
+        ],
     );
     let mut cases: Vec<(usize, u32, i64, Vec<bool>)> = vec![
         (2, 1, 1, vec![false, false]),
@@ -728,7 +792,11 @@ pub fn e10_modelcheck(scale: Scale) -> Table {
                 format!("n={n} b={b} m={m} {inputs:?}{tag}"),
                 report.states.to_string(),
                 report.complete_paths.to_string(),
-                if report.violation.is_some() { "FOUND".into() } else { "0".to_string() },
+                if report.violation.is_some() {
+                    "FOUND".into()
+                } else {
+                    "0".to_string()
+                },
                 if report.verified() {
                     "exhaustive".into()
                 } else {
@@ -788,7 +856,9 @@ pub fn e11_ablation_b(scale: Scale) -> Table {
             timeouts.to_string(),
         ]);
     }
-    t.note(format!("n = {n}, {trials} trials per row, random scheduler, mixed inputs"));
+    t.note(format!(
+        "n = {n}, {trials} trials per row, random scheduler, mixed inputs"
+    ));
     t.note("shape check: events grow ~b² (walk length); rounds shrink toward the constant floor as b grows");
     t
 }
@@ -801,13 +871,18 @@ pub fn e12_ablation_k(scale: Scale) -> Table {
     let n = 4;
     let mut t = Table::new(
         "E12 — ablation: strip window K",
-        &["K", "mean events", "mean max round", "register bits", "timeouts"],
+        &[
+            "K",
+            "mean events",
+            "mean max round",
+            "register bits",
+            "timeouts",
+        ],
     );
     for k in [2u32, 3, 4, 6] {
         let params = ConsensusParams::with_k(n, k, CoinParams::new(n, 3, 1_000_000));
         let (events, rounds, timeouts) = ablation_run(&params, trials, 1200 + k as u64);
-        let bits = bprc_core::state::ProcState::phantom(n, k)
-            .register_bits(params.coin().m(), k);
+        let bits = bprc_core::state::ProcState::phantom(n, k).register_bits(params.coin().m(), k);
         t.row(vec![
             k.to_string(),
             mean(events),
@@ -841,11 +916,12 @@ pub fn e13_ablation_m(scale: Scale) -> Table {
             timeouts.to_string(),
         ]);
     }
-    t.note(format!("n = {n}, b = 2, {trials} trials per row; agreement/validity asserted in every trial"));
+    t.note(format!(
+        "n = {n}, b = 2, {trials} trials per row; agreement/validity asserted in every trial"
+    ));
     t.note("shape check: safety never depends on m; tiny m actually decides FASTER (overflows short-circuit the walk into deterministic heads) at the price of a badly biased coin; large m converges to the unbounded walk cost");
     t
 }
-
 
 /// E14 (extension): the paper's scan vs the wait-free (AADGMS-style) scan
 /// under the same writer pressure as E7. The paper's scan starves at high
@@ -856,7 +932,13 @@ pub fn e14_waitfree(scale: Scale) -> Table {
     let trials = scale.trials(3, 10);
     let mut t = Table::new(
         "E14 — paper scan vs wait-free scan under writer pressure (extension)",
-        &["P[writer step]", "paper: scans done", "paper: starved", "wait-free: scans done", "wait-free: max attempts"],
+        &[
+            "P[writer step]",
+            "paper: scans done",
+            "paper: starved",
+            "wait-free: scans done",
+            "wait-free: max attempts",
+        ],
     );
     for pressure in [0.5f64, 0.8, 0.95] {
         let mut paper_scans = 0u64;
@@ -899,7 +981,10 @@ pub fn e14_waitfree(scale: Scale) -> Table {
                     }
                 });
                 let rep = world.run(bodies, Box::new(strategy));
-                paper_scans += mem.stats(0).scans.load(std::sync::atomic::Ordering::Relaxed);
+                paper_scans += mem
+                    .stats(0)
+                    .scans
+                    .load(std::sync::atomic::Ordering::Relaxed);
                 if rep.outputs[0].is_none() {
                     paper_starved += 1;
                 }
@@ -953,7 +1038,9 @@ pub fn e14_waitfree(scale: Scale) -> Table {
             wf_max_attempts.to_string(),
         ]);
     }
-    t.note(format!("{trials} trials per row; 1 scanner attempting 20 scans + 2 relentless writers"));
+    t.note(format!(
+        "{trials} trials per row; 1 scanner attempting 20 scans + 2 relentless writers"
+    ));
     t.note("the paper's protocol never needs a wait-free scan (its writers pause); the wait-free variant shows what the later literature added");
     t
 }

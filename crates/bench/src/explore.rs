@@ -27,7 +27,7 @@ use bprc_sim::explore::{
     explore, explore_parallel, run_trace, shrink_trace, DecisionTrace, ExploreConfig,
     ExploreReport, Independence, ParallelConfig, TRACE_SCHEMA,
 };
-use bprc_sim::json::Value;
+use bprc_sim::json::{check_finite, Value};
 use bprc_sim::sched::PctStrategy;
 use bprc_sim::world::{ProcBody, RunReport, World};
 use bprc_sim::{Counter, MetricsRegistry};
@@ -212,6 +212,7 @@ where
         // a sound basis for pruning (see `Independence`).
         independence: Independence::ReadsOnly,
         fault_budget,
+        progress: true,
         ..ExploreConfig::default()
     };
     let rep = explore(&cfg, factory, |r| p1_p3_check(r, &meta));
@@ -231,6 +232,7 @@ fn frontier_section(scale: Scale) -> Value {
         max_schedules: 2_000_000,
         independence: Independence::ReadsOnly,
         fault_budget: budget,
+        progress: true,
         ..ExploreConfig::default()
     };
     let workers = std::thread::available_parallelism()
@@ -244,16 +246,12 @@ fn frontier_section(scale: Scale) -> Value {
             max_frontier_depth: 4,
         };
         match scale {
-            Scale::Quick => {
-                explore_parallel(&cfg, &par, n2_update_scan_factory(), |r| {
-                    p1_p3_check(r, &meta)
-                })
-            }
-            Scale::Full => {
-                explore_parallel(&cfg, &par, n3_writers_scanner_factory(), |r| {
-                    p1_p3_check(r, &meta)
-                })
-            }
+            Scale::Quick => explore_parallel(&cfg, &par, n2_update_scan_factory(), |r| {
+                p1_p3_check(r, &meta)
+            }),
+            Scale::Full => explore_parallel(&cfg, &par, n3_writers_scanner_factory(), |r| {
+                p1_p3_check(r, &meta)
+            }),
         }
     };
     let serial = run_with(1);
@@ -264,6 +262,14 @@ fn frontier_section(scale: Scale) -> Value {
             ("workers", rep.workers.into()),
             ("jobs", rep.jobs.into()),
             ("steals", rep.steals.into()),
+            (
+                "worker_steals",
+                Value::Arr(rep.worker_steals.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "worker_executes",
+                Value::Arr(rep.worker_executes.iter().map(|&e| e.into()).collect()),
+            ),
             ("frontier_depth", rep.frontier_depth.into()),
             ("schedules", rep.report.schedules.into()),
             ("faults_injected", rep.report.faults_injected.into()),
@@ -285,7 +291,10 @@ fn frontier_section(scale: Scale) -> Value {
         ("fault_budget", budget.into()),
         ("serial", side(&serial)),
         ("parallel", side(&parallel)),
-        ("speedup", if speedup.is_finite() { speedup } else { 0.0 }.into()),
+        (
+            "speedup",
+            if speedup.is_finite() { speedup } else { 0.0 }.into(),
+        ),
     ])
 }
 
@@ -378,8 +387,7 @@ fn counterexample_demo() -> (Value, bprc_sim::Telemetry) {
         Some(cex) => {
             let mut make = broken_scanner_factory();
             let full_len = cex.trace.decisions.len();
-            let (min, shrink_runs) =
-                shrink_trace(&mut make, &mut broken_check, cex.trace.clone());
+            let (min, shrink_runs) = shrink_trace(&mut make, &mut broken_check, cex.trace.clone());
             let doc = min.to_json().render();
             let reparsed = bprc_sim::json::parse(&doc)
                 .ok()
@@ -467,7 +475,12 @@ pub fn run(scale: Scale, seed: u64) -> Value {
         ("schema", SCHEMA.into()),
         (
             "scale",
-            if scale == Scale::Quick { "quick" } else { "full" }.into(),
+            if scale == Scale::Quick {
+                "quick"
+            } else {
+                "full"
+            }
+            .into(),
         ),
         ("seed", seed.into()),
         ("trace_schema", TRACE_SCHEMA.into()),
@@ -505,28 +518,6 @@ fn num(doc: &Value, path: &[&str]) -> Option<f64> {
         v = v.get(k)?;
     }
     v.as_num()
-}
-
-/// Walks the whole document and records every non-finite number with its
-/// path. JSON has no `inf`/`NaN`, so a non-finite value would render into
-/// a file nothing can parse back — it must be caught before writing.
-fn check_finite(v: &Value, path: &str, errs: &mut Vec<String>) {
-    match v {
-        Value::Num(x) if !x.is_finite() => {
-            errs.push(format!("{path}: non-finite number {x}"));
-        }
-        Value::Arr(items) => {
-            for (i, item) in items.iter().enumerate() {
-                check_finite(item, &format!("{path}[{i}]"), errs);
-            }
-        }
-        Value::Obj(pairs) => {
-            for (k, item) in pairs {
-                check_finite(item, &format!("{path}.{k}"), errs);
-            }
-        }
-        _ => {}
-    }
 }
 
 /// Schema- and invariant-checks an emitted document. Returns human-readable
@@ -580,7 +571,9 @@ pub fn validate(doc: &Value) -> Vec<String> {
                     Some(b) => {
                         if b >= 1.0 {
                             any_faulted = true;
-                            if e.get("faults_injected").and_then(|v| v.as_num()).unwrap_or(0.0)
+                            if e.get("faults_injected")
+                                .and_then(|v| v.as_num())
+                                .unwrap_or(0.0)
                                 < 1.0
                             {
                                 errs.push(format!(
@@ -599,10 +592,8 @@ pub fn validate(doc: &Value) -> Vec<String> {
                                          fault_budget+1 buckets"
                                     ));
                                 }
-                                let sum: f64 = buckets
-                                    .iter()
-                                    .map(|v| v.as_num().unwrap_or(0.0))
-                                    .sum();
+                                let sum: f64 =
+                                    buckets.iter().map(|v| v.as_num().unwrap_or(0.0)).sum();
                                 if sum != schedules {
                                     errs.push(format!(
                                         "exhaustive[{i}] {name}: schedules_by_faults sums to \
@@ -642,6 +633,41 @@ pub fn validate(doc: &Value) -> Vec<String> {
                         }
                         if s.get("schedules").and_then(|v| v.as_num()).unwrap_or(0.0) < 1.0 {
                             errs.push(format!("frontier.{side}: no schedules executed"));
+                        }
+                        // The per-worker split must be present, one slot
+                        // per worker, and sum back to the totals.
+                        let workers = num(s, &["workers"]).unwrap_or(0.0);
+                        for (key, total) in [
+                            ("worker_steals", num(s, &["steals"])),
+                            ("worker_executes", None),
+                        ] {
+                            match s.get(key).and_then(|v| v.as_arr()) {
+                                None => errs.push(format!("frontier.{side}.{key} missing")),
+                                Some(per) => {
+                                    if per.len() as f64 != workers {
+                                        errs.push(format!(
+                                            "frontier.{side}.{key}: {} slots for {workers} workers",
+                                            per.len()
+                                        ));
+                                    }
+                                    let sum: f64 =
+                                        per.iter().map(|v| v.as_num().unwrap_or(0.0)).sum();
+                                    if let Some(t) = total {
+                                        if sum != t {
+                                            errs.push(format!(
+                                                "frontier.{side}.{key}: sums to {sum}, total is {t}"
+                                            ));
+                                        }
+                                    }
+                                    let jobs = num(s, &["jobs"]).unwrap_or(0.0);
+                                    if key == "worker_executes" && sum != jobs {
+                                        errs.push(format!(
+                                            "frontier.{side}.worker_executes: sums to {sum}, \
+                                             jobs is {jobs}"
+                                        ));
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -688,11 +714,7 @@ pub fn validate(doc: &Value) -> Vec<String> {
         }
     }
 
-    for key in [
-        "schedules_explored",
-        "schedules_pruned",
-        "shrink_runs",
-    ] {
+    for key in ["schedules_explored", "schedules_pruned", "shrink_runs"] {
         if num(doc, &["telemetry", key]).unwrap_or(0.0) < 1.0 {
             errs.push(format!("telemetry.{key} must be positive"));
         }
@@ -714,10 +736,9 @@ mod tests {
         let parsed = bprc_sim::json::parse(&text).unwrap();
         assert!(validate(&parsed).is_empty());
         // The embedded trace replays to the recorded violation.
-        let trace = DecisionTrace::from_json(
-            parsed.get("counterexample").unwrap().get("trace").unwrap(),
-        )
-        .unwrap();
+        let trace =
+            DecisionTrace::from_json(parsed.get("counterexample").unwrap().get("trace").unwrap())
+                .unwrap();
         let mut make = broken_scanner_factory();
         let (rep, _) = run_trace(&mut make, &trace);
         assert!(broken_check(&rep).is_some());
@@ -754,7 +775,10 @@ mod tests {
         );
         assert!(rep.violation.is_none(), "{:?}", rep.violation);
         assert!(rep.exhausted);
-        assert!(rep.faults_injected > 0, "budget 1 must explore crash branches");
+        assert!(
+            rep.faults_injected > 0,
+            "budget 1 must explore crash branches"
+        );
         let buckets = json
             .get("schedules_by_faults")
             .and_then(|v| v.as_arr())
@@ -778,10 +802,7 @@ mod tests {
             _ => unreachable!("documents are objects"),
         };
         let errs = validate(&forged);
-        assert!(
-            errs.iter().any(|e| e.contains("non-finite")),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.contains("non-finite")), "{errs:?}");
     }
 
     #[test]
@@ -796,8 +817,6 @@ mod tests {
         // And a schema mismatch.
         let wrong = text.replace(SCHEMA, "bprc.bench.explore/v0");
         let parsed = bprc_sim::json::parse(&wrong).unwrap();
-        assert!(validate(&parsed)
-            .iter()
-            .any(|e| e.contains("schema")));
+        assert!(validate(&parsed).iter().any(|e| e.contains("schema")));
     }
 }

@@ -25,6 +25,7 @@
 pub mod consensus_bench;
 pub mod experiments;
 pub mod explore;
+pub mod profile;
 pub mod table;
 pub mod throughput;
 pub mod verify_gate;

@@ -474,9 +474,7 @@ pub fn validate(doc: &Value) -> Vec<String> {
     }
     for required in SNAPSHOT_BACKENDS {
         if !snaps_seen.iter().any(|s| s == required) {
-            errs.push(format!(
-                "workloads: no {required} snapshot backend present"
-            ));
+            errs.push(format!("workloads: no {required} snapshot backend present"));
         }
     }
     for required in ["scan", "decisions"] {
@@ -486,12 +484,7 @@ pub fn validate(doc: &Value) -> Vec<String> {
     }
     match doc.get("comparison") {
         Some(c) => {
-            for key in [
-                "n",
-                "baseline_ops_per_sec",
-                "fast_ops_per_sec",
-                "speedup",
-            ] {
+            for key in ["n", "baseline_ops_per_sec", "fast_ops_per_sec", "speedup"] {
                 if c.get(key).and_then(|v| v.as_num()).is_none() {
                     errs.push(format!("comparison.{key}: missing or not a number"));
                 }

@@ -39,8 +39,8 @@ use bprc_core::threaded::ThreadedConsensusOn;
 use bprc_core::{check_telemetry_parity, ConsensusParams, ConsensusSpec, ProcState};
 use bprc_registers::DirectArrow;
 use bprc_sim::explore::{
-    explore, explore_parallel, run_trace, shrink_trace, DecisionTrace, ExploreConfig,
-    Independence, ParallelConfig,
+    explore, explore_parallel, run_trace, shrink_trace, DecisionTrace, ExploreConfig, Independence,
+    ParallelConfig,
 };
 use bprc_sim::sched::{FnStrategy, PctStrategy};
 use bprc_sim::world::{ProcBody, RunReport, World};
@@ -226,7 +226,11 @@ where
             "VIOLATION: {description} — trace shrunk {full_len} -> {} decisions, \
              replay {}, written to {out_trace}",
             min.decisions.len(),
-            if replays { "reproduces" } else { "FAILED to reproduce" },
+            if replays {
+                "reproduces"
+            } else {
+                "FAILED to reproduce"
+            },
         ),
         written && replays,
     )
@@ -250,6 +254,7 @@ fn exhaustive_check<F>(
         max_schedules: 2_000_000,
         independence: Independence::ReadsOnly,
         fault_budget,
+        progress: true,
         ..ExploreConfig::default()
     };
     let check = |r: &RunReport<Vec<u64>>| snapshot_and_parity_check(r, &meta);
@@ -313,6 +318,7 @@ fn frontier_check(out: &mut GateReport, serial_only: bool) {
         max_schedules: 2_000_000,
         independence: Independence::ReadsOnly,
         fault_budget: 1,
+        progress: true,
         ..ExploreConfig::default()
     };
     let workers = if serial_only {
@@ -382,7 +388,15 @@ fn pct_consensus_check<B: SnapshotBackend<ProcState>>(
     let spec = ConsensusSpec::new(&inputs);
     let mut failure: Option<String> = None;
     let mut crashes_seen = 0u64;
+    let mut heartbeat = bprc_sim::Heartbeat::new(2.0);
     for seed in 0..seeds {
+        heartbeat.tick(|secs| {
+            format!(
+                "verify-gate [{label}]: seed {seed}/{seeds} ({:.1}/s), \
+                 {crashes_seen} crashes injected",
+                seed as f64 / secs.max(1e-9),
+            )
+        });
         let mut world = World::builder(n).seed(0).step_limit(60_000).build();
         let params = ConsensusParams::quick(n);
         let inst = ThreadedConsensusOn::<B>::new(&world, &params, &inputs, seed);
@@ -656,11 +670,7 @@ pub fn run(opts: &GateOptions) -> GateReport {
     frontier_check(&mut report, opts.serial);
 
     let seeds = if opts.quick { 300 } else { 5_000 };
-    pct_consensus_check::<ScannableMemory<ProcState, DirectArrow>>(
-        "handshake",
-        seeds,
-        &mut report,
-    );
+    pct_consensus_check::<ScannableMemory<ProcState, DirectArrow>>("handshake", seeds, &mut report);
     pct_consensus_check::<WaitFreeSnapshot<ProcState>>("waitfree", seeds, &mut report);
 
     waitfree_bound_check(&mut report);

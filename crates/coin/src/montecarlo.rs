@@ -409,12 +409,7 @@ mod tests {
     #[test]
     fn single_process_decides() {
         let p = CoinParams::new(1, 2, 100);
-        let out = run_walk(
-            &p,
-            boxed_fair(1, 7),
-            &mut WalkRoundRobin::new(),
-            1_000_000,
-        );
+        let out = run_walk(&p, boxed_fair(1, 7), &mut WalkRoundRobin::new(), 1_000_000);
         assert!(out.decisions[0].is_some());
         assert!(!out.disagreed);
     }

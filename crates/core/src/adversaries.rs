@@ -175,11 +175,12 @@ mod tests {
     #[test]
     fn split_adversary_cannot_prevent_agreement() {
         for seed in 0..8 {
-            let r = TurnDriver::new(cores(4, seed)).run(
-                &mut SplitAdversary::new(2, seed),
-                5_000_000,
+            let r =
+                TurnDriver::new(cores(4, seed)).run(&mut SplitAdversary::new(2, seed), 5_000_000);
+            assert!(
+                r.completed,
+                "seed {seed}: split adversary blocked termination"
             );
-            assert!(r.completed, "seed {seed}: split adversary blocked termination");
             assert_eq!(r.distinct_outputs().len(), 1, "seed {seed}");
         }
     }
@@ -193,13 +194,13 @@ mod tests {
             let (m, k) = (params.coin().m(), params.k());
             let static_bits = crate::state::ProcState::phantom(n, k).register_bits(m, k);
             let procs = cores(n, seed);
-            let (r, hw) = run_metered(
-                procs,
-                &mut HoldDeciders::new(seed),
-                10_000_000,
-                |s| s.register_bits(m, k),
+            let (r, hw) = run_metered(procs, &mut HoldDeciders::new(seed), 10_000_000, |s| {
+                s.register_bits(m, k)
+            });
+            assert!(
+                r.completed,
+                "seed {seed}: hold-deciders blocked termination"
             );
-            assert!(r.completed, "seed {seed}: hold-deciders blocked termination");
             assert_eq!(r.distinct_outputs().len(), 1, "seed {seed}");
             assert_eq!(
                 hw.max_register_bits, static_bits,
@@ -212,7 +213,10 @@ mod tests {
     fn leader_starver_cannot_prevent_agreement() {
         for seed in 0..8 {
             let r = TurnDriver::new(cores(3, seed)).run(&mut LeaderStarver::new(2), 5_000_000);
-            assert!(r.completed, "seed {seed}: leader starver blocked termination");
+            assert!(
+                r.completed,
+                "seed {seed}: leader starver blocked termination"
+            );
             assert_eq!(r.distinct_outputs().len(), 1, "seed {seed}");
         }
     }

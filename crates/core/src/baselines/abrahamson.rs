@@ -84,7 +84,9 @@ impl TurnProcess for LocalCoinCore {
             }
         }
 
-        let leaders: Vec<usize> = (0..self.n).filter(|&j| view[j].round == max_round).collect();
+        let leaders: Vec<usize> = (0..self.n)
+            .filter(|&j| view[j].round == max_round)
+            .collect();
         let mut agreement: Option<bool> = None;
         let mut agree = true;
         for &l in &leaders {

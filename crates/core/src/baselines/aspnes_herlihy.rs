@@ -107,7 +107,9 @@ impl TurnProcess for AhCore {
 
     fn on_scan(&mut self, view: &[AhState]) -> TurnStep<AhState, bool> {
         let max_round = view.iter().map(|s| s.round).max().unwrap_or(0);
-        let leaders: Vec<usize> = (0..self.n).filter(|&j| view[j].round == max_round).collect();
+        let leaders: Vec<usize> = (0..self.n)
+            .filter(|&j| view[j].round == max_round)
+            .collect();
         let my = &view[self.me];
         debug_assert_eq!(my, &self.state);
 

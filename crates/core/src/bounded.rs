@@ -416,12 +416,7 @@ mod tests {
     use super::*;
     use bprc_sim::turn::{TurnDriver, TurnRandom, TurnReport, TurnRoundRobin};
 
-    fn run_instance(
-        n: usize,
-        inputs: &[bool],
-        seed: u64,
-        max_events: u64,
-    ) -> TurnReport<bool> {
+    fn run_instance(n: usize, inputs: &[bool], seed: u64, max_events: u64) -> TurnReport<bool> {
         let params = ConsensusParams::quick(n);
         let procs: Vec<BoundedCore> = (0..n)
             .map(|p| BoundedCore::new(params.clone(), p, inputs[p], seed * 1000 + p as u64))

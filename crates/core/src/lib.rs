@@ -51,8 +51,8 @@ pub mod bounded;
 pub mod meter;
 pub mod modelcheck;
 pub mod multishot;
-pub mod primitives;
 pub mod multivalued;
+pub mod primitives;
 pub mod state;
 pub mod threaded;
 pub mod verify;

@@ -157,7 +157,11 @@ where
     fn canon(&self) -> Canon<P::Msg, P::Out> {
         // Crashed processes are encoded by setting their phase to Done in
         // `crash_process`, so (shared, phases, decided) stays canonical.
-        (self.shared.clone(), self.phases.clone(), self.decided.clone())
+        (
+            self.shared.clone(),
+            self.phases.clone(),
+            self.decided.clone(),
+        )
     }
 
     fn active(&self) -> Vec<usize> {
@@ -185,7 +189,11 @@ where
     P::Msg: Clone + Eq + Hash,
     P::Out: Clone + Eq + Hash + std::fmt::Debug,
 {
-    assert_eq!(procs.len(), initial_shared.len(), "one register per process");
+    assert_eq!(
+        procs.len(),
+        initial_shared.len(),
+        "one register per process"
+    );
     let n = procs.len();
     let phases: Vec<Phase<P::Msg>> = procs
         .iter_mut()
@@ -237,7 +245,16 @@ where
                     let mut child = node.clone();
                     child.shared[pid] = m.clone();
                     child.phases[pid] = Phase::Scan;
-                    stack.push((child, id, Some(McEvent { pid, flip: None, crash: false }), depth + 1));
+                    stack.push((
+                        child,
+                        id,
+                        Some(McEvent {
+                            pid,
+                            flip: None,
+                            crash: false,
+                        }),
+                        depth + 1,
+                    ));
                 }
                 Phase::Scan => {
                     // Probe whether this scan consumes a flip.
@@ -257,13 +274,26 @@ where
                                 &valid,
                                 &arena,
                                 id,
-                                McEvent { pid, flip: None, crash: false },
+                                McEvent {
+                                    pid,
+                                    flip: None,
+                                    crash: false,
+                                },
                             ) {
                                 report.violation = Some(viol);
                                 return report;
                             }
                         }
-                        stack.push((child, id, Some(McEvent { pid, flip: None, crash: false }), depth + 1));
+                        stack.push((
+                            child,
+                            id,
+                            Some(McEvent {
+                                pid,
+                                flip: None,
+                                crash: false,
+                            }),
+                            depth + 1,
+                        ));
                     } else {
                         for heads in [false, true] {
                             let mut child = node.clone();
@@ -276,9 +306,7 @@ where
                                 crash: false,
                             };
                             if let Some(v) = apply_step(&mut child, pid, step, &mut report) {
-                                if let Err(viol) =
-                                    validate::<P>(&node, v, &valid, &arena, id, ev)
-                                {
+                                if let Err(viol) = validate::<P>(&node, v, &valid, &arena, id, ev) {
                                     report.violation = Some(viol);
                                     return report;
                                 }

@@ -156,7 +156,12 @@ impl<S: ProposalSource> TurnProcess for LogCore<S> {
         };
         let slot_view: Vec<MvState> = view
             .iter()
-            .map(|m| m.slots.get(slot).cloned().unwrap_or_else(|| phantom.clone()))
+            .map(|m| {
+                m.slots
+                    .get(slot)
+                    .cloned()
+                    .unwrap_or_else(|| phantom.clone())
+            })
             .collect();
         match self.inner.on_scan(&slot_view) {
             TurnStep::Write(s) => {
@@ -201,12 +206,7 @@ mod tests {
     use super::*;
     use bprc_sim::turn::{TurnBsp, TurnDriver, TurnRandom};
 
-    fn run_log(
-        proposals: Vec<Vec<u64>>,
-        n_slots: usize,
-        width: u32,
-        seed: u64,
-    ) -> Vec<Vec<u64>> {
+    fn run_log(proposals: Vec<Vec<u64>>, n_slots: usize, width: u32, seed: u64) -> Vec<Vec<u64>> {
         let n = proposals.len();
         let params = ConsensusParams::quick(n);
         let procs: Vec<LogCore<StaticProposals>> = proposals

@@ -195,7 +195,12 @@ impl TurnProcess for MvCore {
         let phantom = ProcState::phantom(self.params.n(), self.params.k());
         let level_view: Vec<ProcState> = view
             .iter()
-            .map(|s| s.levels.get(self.level).cloned().unwrap_or_else(|| phantom.clone()))
+            .map(|s| {
+                s.levels
+                    .get(self.level)
+                    .cloned()
+                    .unwrap_or_else(|| phantom.clone())
+            })
             .collect();
         match self.inner.on_view(&level_view) {
             TurnStep::Write(s) => {

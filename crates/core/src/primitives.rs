@@ -132,12 +132,12 @@ mod tests {
                 .collect();
             let r = TurnDriver::new(procs).run(&mut TurnRandom::new(seed), 50_000_000);
             assert!(r.completed, "seed {seed}");
-            let winners = r
-                .outputs
-                .iter()
-                .filter(|o| matches!(o, Some(true)))
-                .count();
-            assert_eq!(winners, 1, "seed {seed}: exactly one winner: {:?}", r.outputs);
+            let winners = r.outputs.iter().filter(|o| matches!(o, Some(true))).count();
+            assert_eq!(
+                winners, 1,
+                "seed {seed}: exactly one winner: {:?}",
+                r.outputs
+            );
         }
     }
 
@@ -150,11 +150,7 @@ mod tests {
             .collect();
         let r = TurnDriver::new(procs).run(&mut TurnBsp::new(), 50_000_000);
         assert!(r.completed);
-        let winners = r
-            .outputs
-            .iter()
-            .filter(|o| matches!(o, Some(true)))
-            .count();
+        let winners = r.outputs.iter().filter(|o| matches!(o, Some(true))).count();
         assert_eq!(winners, 1);
     }
 
@@ -178,12 +174,7 @@ mod tests {
         // The crashed process may or may not be the decided winner pid; the
         // survivors still each learn a consistent won/lost outcome, with at
         // most one survivor winning.
-        let winners = r
-            .outputs
-            .iter()
-            .flatten()
-            .filter(|w| **w)
-            .count();
+        let winners = r.outputs.iter().flatten().filter(|w| **w).count();
         assert!(winners <= 1, "{:?}", r.outputs);
     }
 }

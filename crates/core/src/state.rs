@@ -106,7 +106,10 @@ mod tests {
     fn agreement_semantics() {
         assert!(Pref::Val(true).agrees_with(&Pref::Val(true)));
         assert!(!Pref::Val(true).agrees_with(&Pref::Val(false)));
-        assert!(!Pref::Bottom.agrees_with(&Pref::Bottom), "⊥ agrees with nothing");
+        assert!(
+            !Pref::Bottom.agrees_with(&Pref::Bottom),
+            "⊥ agrees with nothing"
+        );
         assert!(!Pref::Bottom.agrees_with(&Pref::Val(false)));
     }
 

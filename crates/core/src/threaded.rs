@@ -15,6 +15,7 @@
 //! the historical handshake-specialised entry points.
 
 use bprc_registers::ArrowCell;
+use bprc_sim::tracing::{now_nanos, EventKind, Hist};
 use bprc_sim::turn::{TurnProcess, TurnStep};
 use bprc_sim::world::ProcBody;
 use bprc_sim::{Counter, Gauge, PhaseKind, World};
@@ -93,8 +94,13 @@ where
                 // Bridge the protocol's probe into the metrics plane: round
                 // changes become `round(r)` phase spans (and move the round
                 // gauge), new coin flips open a `coin` span. The snapshot
-                // layer emits its own `scan`/`write` spans underneath.
+                // layer emits its own `scan`/`write` spans underneath. The
+                // same probe deltas feed the flight recorder (round-advance
+                // and coin-flip ring events) and the latency histograms
+                // (per-round duration, first-step-to-decision).
                 let mut last = proc.probe();
+                let body_start = now_nanos();
+                let mut round_start = body_start;
                 if let Some(r) = last.round {
                     ctx.phase(PhaseKind::Round(r));
                     ctx.metrics().gauge_set(Gauge::Round, r);
@@ -112,16 +118,29 @@ where
                             if let Some(r) = now.round {
                                 ctx.phase(PhaseKind::Round(r));
                                 ctx.metrics().gauge_set(Gauge::Round, r);
+                                ctx.trace_event(EventKind::RoundAdvance, r);
+                                let t = now_nanos();
+                                ctx.hist_record(
+                                    Hist::RoundDurationNs,
+                                    t.saturating_sub(round_start),
+                                );
+                                round_start = t;
                             }
                         }
                         if now.coin_flips > last.coin_flips {
                             ctx.phase(PhaseKind::Coin);
+                            ctx.trace_event(EventKind::CoinFlip, now.coin_flips - last.coin_flips);
                         }
                         last = now;
                         match step {
                             TurnStep::Write(s) => port.update(ctx, s)?,
                             TurnStep::Decide(v) => {
                                 ctx.count(Counter::Decisions, 1);
+                                ctx.trace_event(EventKind::Decide, 0);
+                                ctx.hist_record(
+                                    Hist::DecisionLatencyNs,
+                                    now_nanos().saturating_sub(body_start),
+                                );
                                 return Ok(v);
                             }
                         }
@@ -304,8 +323,7 @@ mod tests {
             .mode(Mode::Free)
             .step_limit(u64::MAX)
             .build();
-        let inst =
-            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, true, true], 5);
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, true, true], 5);
         let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(0)));
         assert!(rep.outputs.iter().all(|o| *o == Some(true)));
     }
@@ -327,8 +345,7 @@ mod tests {
                 candidate: 0,
                 levels: Vec::new(),
             };
-            let (_mem, bodies) =
-                over_scannable_memory::<_, DirectArrow>(&world, procs, initial);
+            let (_mem, bodies) = over_scannable_memory::<_, DirectArrow>(&world, procs, initial);
             let rep = world.run(bodies, Box::new(RandomStrategy::new(seed)));
             let decisions: Vec<u64> = rep.outputs.iter().map(|o| o.unwrap()).collect();
             assert_eq!(decisions[0], decisions[1], "seed {seed}");
@@ -340,8 +357,7 @@ mod tests {
     fn threaded_backend_populates_telemetry() {
         let params = ConsensusParams::quick(3);
         let mut world = World::builder(3).seed(7).step_limit(5_000_000).build();
-        let inst =
-            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 7);
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 7);
         let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(7)));
         assert!(rep.outputs.iter().all(|o| o.is_some()));
         let t = &rep.telemetry;
@@ -402,14 +418,11 @@ mod tests {
             let mut world = World::builder(3).seed(seed).step_limit(5_000_000).build();
             let inst =
                 ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], seed);
-            let plan = FaultPlan::new()
-                .panic_at(25, 1)
-                .stall(0, 60, 200);
+            let plan = FaultPlan::new().panic_at(25, 1).stall(0, 60, 200);
             let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
             let rep = world.run(inst.bodies, Box::new(strategy));
             assert_eq!(rep.halted[1], Some(Halted::Panicked), "seed {seed}");
-            let survivors: Vec<bool> =
-                [0, 2].iter().filter_map(|&p| rep.outputs[p]).collect();
+            let survivors: Vec<bool> = [0, 2].iter().filter_map(|&p| rep.outputs[p]).collect();
             assert_eq!(survivors.len(), 2, "seed {seed}: survivors must decide");
             assert_eq!(survivors[0], survivors[1], "seed {seed}: agreement");
             let h = rep.history.unwrap();

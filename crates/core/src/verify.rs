@@ -180,6 +180,7 @@ mod tests {
             per_proc_steps: vec![0; n],
             history: None,
             telemetry: Telemetry::empty(n),
+            flight: bprc_sim::FlightLog::empty(n),
         }
     }
 
@@ -208,10 +209,7 @@ mod tests {
 
     #[test]
     fn termination_only_when_demanded() {
-        let r = report(
-            vec![Some(true), None],
-            vec![None, Some(Halted::StepLimit)],
-        );
+        let r = report(vec![Some(true), None], vec![None, Some(Halted::StepLimit)]);
         assert_eq!(ConsensusSpec::new(&[true, true]).check(&r), None);
         let msg = ConsensusSpec::new(&[true, true])
             .require_termination()
@@ -223,10 +221,7 @@ mod tests {
     #[test]
     fn crashed_processes_are_excused_from_termination() {
         let spec = ConsensusSpec::new(&[true, true]).require_termination();
-        let r = report(
-            vec![Some(true), None],
-            vec![None, Some(Halted::Crashed)],
-        );
+        let r = report(vec![Some(true), None], vec![None, Some(Halted::Crashed)]);
         assert_eq!(spec.check(&r), None);
     }
 

@@ -228,10 +228,7 @@ pub fn check_execution(
         fn initial_msg(&mut self) -> ProcState {
             bprc_sim::turn::TurnProcess::initial_msg(&mut self.inner)
         }
-        fn on_scan(
-            &mut self,
-            view: &[ProcState],
-        ) -> bprc_sim::turn::TurnStep<ProcState, bool> {
+        fn on_scan(&mut self, view: &[ProcState]) -> bprc_sim::turn::TurnStep<ProcState, bool> {
             self.tracker.borrow_mut().observe(view);
             let step = self.inner.on_view(view);
             if matches!(step, bprc_sim::turn::TurnStep::Decide(_)) {
@@ -307,15 +304,14 @@ mod tests {
     fn virtual_rounds_are_monotone_under_round_robin() {
         let params = ConsensusParams::quick(4);
         let inputs = [false, true, false, true];
-        let (report, tracker) = check_execution(
-            &params,
-            &inputs,
-            3,
-            &mut TurnRoundRobin::new(),
-            3_000_000,
-        );
+        let (report, tracker) =
+            check_execution(&params, &inputs, 3, &mut TurnRoundRobin::new(), 3_000_000);
         assert!(report.completed);
-        assert!(tracker.violations().is_empty(), "{:?}", tracker.violations());
+        assert!(
+            tracker.violations().is_empty(),
+            "{:?}",
+            tracker.violations()
+        );
     }
 
     #[test]
@@ -332,8 +328,11 @@ mod tests {
                 5_000_000,
             );
             assert!(report.completed, "split seed {seed}");
-            assert!(tracker.violations().is_empty(), "split seed {seed}: {:?}",
-                tracker.violations());
+            assert!(
+                tracker.violations().is_empty(),
+                "split seed {seed}: {:?}",
+                tracker.violations()
+            );
 
             let (report, tracker) = check_execution(
                 &params,
@@ -343,8 +342,11 @@ mod tests {
                 5_000_000,
             );
             assert!(report.completed, "starver seed {seed}");
-            assert!(tracker.violations().is_empty(), "starver seed {seed}: {:?}",
-                tracker.violations());
+            assert!(
+                tracker.violations().is_empty(),
+                "starver seed {seed}: {:?}",
+                tracker.violations()
+            );
         }
     }
 

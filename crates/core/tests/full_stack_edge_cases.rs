@@ -2,12 +2,12 @@
 //! budgets, extreme schedulers, tiny coin bounds, and K variations — all at
 //! register granularity.
 
+use bprc_coin::CoinParams;
 use bprc_core::bounded::ConsensusParams;
 use bprc_core::threaded::ThreadedConsensus;
 use bprc_registers::DirectArrow;
 use bprc_sim::sched::{RandomStrategy, SoloBursts};
 use bprc_sim::{Halted, World};
-use bprc_coin::CoinParams;
 
 #[test]
 fn step_limit_halts_gracefully_with_partial_decisions() {
@@ -17,8 +17,7 @@ fn step_limit_halts_gracefully_with_partial_decisions() {
         let n = 3;
         let params = ConsensusParams::quick(n);
         let mut world = World::builder(n).seed(1).step_limit(budget).build();
-        let inst =
-            ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 1);
+        let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 1);
         let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(1)));
         let mut decided_values: Vec<bool> = Vec::new();
         for (p, out) in rep.outputs.iter().enumerate() {
@@ -98,5 +97,9 @@ fn n1_decides_immediately_at_register_level() {
     let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(0)));
     assert_eq!(rep.outputs[0], Some(true));
     // initial write (1 store, no arrows) + one scan (free for n = 1).
-    assert!(rep.steps <= 2, "n=1 should be nearly free, took {}", rep.steps);
+    assert!(
+        rep.steps <= 2,
+        "n=1 should be nearly free, took {}",
+        rep.steps
+    );
 }

@@ -21,9 +21,7 @@ fn seed_73_multishot_regression() {
     let n = 3;
     let seed = 73u64;
     let params = ConsensusParams::quick(n);
-    let proposals: Vec<Vec<u64>> = (0..n)
-        .map(|p| vec![(p * 37) as u64 & 0xFF])
-        .collect();
+    let proposals: Vec<Vec<u64>> = (0..n).map(|p| vec![(p * 37) as u64 & 0xFF]).collect();
     let procs: Vec<LogCore<StaticProposals>> = (0..n)
         .map(|p| {
             LogCore::new(
@@ -105,8 +103,7 @@ fn staggered_joins_always_terminate() {
                     )
                 })
                 .collect();
-            let r =
-                TurnDriver::new(procs).run(&mut TurnRandom::new(seed * 31 + lead), 10_000_000);
+            let r = TurnDriver::new(procs).run(&mut TurnRandom::new(seed * 31 + lead), 10_000_000);
             assert!(r.completed, "lead {lead} seed {seed}: livelock");
             assert_eq!(r.distinct_outputs().len(), 1, "lead {lead} seed {seed}");
         }

@@ -1,9 +1,9 @@
 //! White-box tests of the §5 protocol's decision branches: hand-built views
 //! driving `on_view` through each of the paper's lines 2–8.
 
+use bprc_coin::{CoinParams, Flips};
 use bprc_core::bounded::{BoundedCore, ConsensusParams};
 use bprc_core::state::{Pref, ProcState};
-use bprc_coin::{CoinParams, Flips};
 use bprc_sim::turn::TurnStep;
 use bprc_strip::EdgeCounters;
 

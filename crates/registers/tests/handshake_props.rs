@@ -55,12 +55,24 @@ fn run_one<A: ArrowCell>(seed: u64, raises: u64, checks: u64) -> History {
 fn assert_no_lost_signal(history: &History, tag: &str) {
     let raises: Vec<(u64, u64)> = {
         // (start_step, end_step) per raise, paired by index.
-        let starts: Vec<u64> = history.notes_labelled(RAISE_START).map(|(s, _, _)| s).collect();
-        let ends: Vec<u64> = history.notes_labelled(RAISE_END).map(|(s, _, _)| s).collect();
+        let starts: Vec<u64> = history
+            .notes_labelled(RAISE_START)
+            .map(|(s, _, _)| s)
+            .collect();
+        let ends: Vec<u64> = history
+            .notes_labelled(RAISE_END)
+            .map(|(s, _, _)| s)
+            .collect();
         starts.into_iter().zip(ends).collect()
     };
-    let lowers: Vec<u64> = history.notes_labelled(LOWER_END).map(|(s, _, _)| s).collect();
-    let check_starts: Vec<u64> = history.notes_labelled(CHECK_START).map(|(s, _, _)| s).collect();
+    let lowers: Vec<u64> = history
+        .notes_labelled(LOWER_END)
+        .map(|(s, _, _)| s)
+        .collect();
+    let check_starts: Vec<u64> = history
+        .notes_labelled(CHECK_START)
+        .map(|(s, _, _)| s)
+        .collect();
     let check_results: Vec<(u64, bool)> = history
         .notes_labelled(CHECK_RESULT)
         .map(|(_, _, n)| (n.data[0], n.data[1] == 1))

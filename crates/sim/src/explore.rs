@@ -79,11 +79,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use crate::history::OpKind;
 use crate::json::Value;
 use crate::metrics::{Counter, MetricsRegistry, Telemetry};
 use crate::sched::{Decision, FnStrategy, PendingOp, ScheduleView, Strategy};
+use crate::tracing::{EventKind, FlightLog, FlightRecorder, Heartbeat, Histogram};
 use crate::world::{Mode, ProcBody, RunReport, World};
-use crate::history::OpKind;
 
 /// JSON schema tag embedded in every serialized [`DecisionTrace`].
 pub const TRACE_SCHEMA: &str = "bprc-trace-v1";
@@ -124,6 +125,11 @@ pub struct ExploreConfig {
     /// process p here" at canonical placement points (see the module docs'
     /// fault-as-decision discussion).
     pub fault_budget: u64,
+    /// Print a rate-limited progress heartbeat to stderr (schedules/sec,
+    /// pruned, faults explored) while the exploration runs. Off by
+    /// default; explorations finishing inside the first second stay
+    /// silent either way.
+    pub progress: bool,
 }
 
 impl Default for ExploreConfig {
@@ -134,6 +140,7 @@ impl Default for ExploreConfig {
             reduction: true,
             independence: Independence::DistinctRegisters,
             fault_budget: 0,
+            progress: false,
         }
     }
 }
@@ -177,6 +184,9 @@ pub struct ExploreReport {
     /// Counted schedules bucketed by how many crash decisions they carried
     /// (index = crash count; length = `fault_budget + 1`).
     pub schedules_by_faults: Vec<u64>,
+    /// Decision-path lengths of executed schedules (complete ones and
+    /// truncated prefixes), power-of-two bucketed.
+    pub schedule_lengths: Histogram,
 }
 
 impl ExploreReport {
@@ -254,9 +264,7 @@ impl DecisionTrace {
                         .iter()
                         .map(|&d| match d {
                             TraceStep::Grant(p) => Value::from(p),
-                            TraceStep::Crash(p) => {
-                                Value::obj(vec![("crash", Value::from(p))])
-                            }
+                            TraceStep::Crash(p) => Value::obj(vec![("crash", Value::from(p))]),
                         })
                         .collect(),
                 ),
@@ -533,9 +541,7 @@ impl Strategy for Controller {
                         .iter()
                         .copied()
                         .chain(parent.explored.iter().map(|&q| (q, parent.op_of(q))))
-                        .filter(|(q, qop)| {
-                            *q != chosen_pid && independent(rel, qop, &executed)
-                        })
+                        .filter(|(q, qop)| *q != chosen_pid && independent(rel, qop, &executed))
                         .filter(|(q, _)| enabled.iter().any(|&(p, _)| p == *q))
                         .collect()
                 }
@@ -708,7 +714,9 @@ where
         fault_budget: cfg.fault_budget,
         faults_injected: 0,
         schedules_by_faults: vec![0; cfg.fault_budget as usize + 1],
+        schedule_lengths: Histogram::default(),
     };
+    let mut heartbeat = cfg.progress.then(|| Heartbeat::new(1.0));
     let mut runs: u64 = 0;
     loop {
         if cancelled() {
@@ -731,16 +739,21 @@ where
         );
         let run_report = world.run(bodies, Box::new(Controller { st: Rc::clone(&st) }));
         runs += 1;
-        let (redundant, truncated, pruned_now, path_faults) = {
+        let (redundant, truncated, pruned_now, path_faults, path_len) = {
             let mut s = st.borrow_mut();
-            report.max_depth = report.max_depth.max(s.fixed.len() + s.stack.len());
+            let path_len = s.fixed.len() + s.stack.len();
+            report.max_depth = report.max_depth.max(path_len);
             (
                 s.redundant,
                 s.truncated,
                 std::mem::take(&mut s.pruned_now),
                 s.faults_on_path(),
+                path_len,
             )
         };
+        if !redundant {
+            report.schedule_lengths.record(path_len as u64);
+        }
         if pruned_now > 0 {
             report.pruned += pruned_now;
             metrics.proc(0).incr(Counter::SchedulesPruned, pruned_now);
@@ -775,6 +788,20 @@ where
                 report.violation = Some(Counterexample { trace, description });
                 break;
             }
+        }
+        if let Some(hb) = heartbeat.as_mut() {
+            hb.tick(|secs| {
+                format!(
+                    "explore: {} schedules ({:.0}/s), {} pruned, {} truncated, \
+                     {} faults injected, depth {}",
+                    report.schedules,
+                    (report.schedules + report.truncated) as f64 / secs.max(1e-9),
+                    report.pruned,
+                    report.truncated,
+                    report.faults_injected,
+                    report.max_depth,
+                )
+            });
         }
         if backtrack(&mut st.borrow_mut(), &mut report, &metrics) {
             report.exhausted = report.truncated == 0;
@@ -955,6 +982,20 @@ pub struct ParallelExploreReport {
     pub steals: u64,
     /// Decision depth at which the frontier was split.
     pub frontier_depth: usize,
+    /// [`ParallelExploreReport::steals`] attributed per worker (index =
+    /// worker id, length = `workers`).
+    pub worker_steals: Vec<u64>,
+    /// Jobs each worker executed (local pops + steals; sums to `jobs` on
+    /// violation-free runs).
+    pub worker_executes: Vec<u64>,
+    /// Frontier-job prefix lengths, power-of-two bucketed (the
+    /// depth profile the BFS split actually produced).
+    pub frontier_lengths: Histogram,
+    /// One flight-recorder lane per **worker** (not per simulated
+    /// process): [`EventKind::Execute`] per job run (arg = prefix
+    /// length) and [`EventKind::Steal`] per stolen job, `step` = job
+    /// index.
+    pub worker_flight: FlightLog,
 }
 
 /// Work-stealing parallel version of [`explore`]: splits the schedule tree
@@ -986,7 +1027,7 @@ where
     F: Fn() -> (World, Vec<ProcBody<T>>) + Sync,
     C: Fn(&RunReport<T>) -> Option<String> + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     let start = Instant::now();
     let workers = par.workers.max(1);
@@ -1003,6 +1044,7 @@ where
         fault_budget: cfg.fault_budget,
         faults_injected: 0,
         schedules_by_faults: vec![0; cfg.fault_budget as usize + 1],
+        schedule_lengths: Histogram::default(),
     };
 
     // Serial frontier phase: BFS-split the tree until enough subtree roots
@@ -1017,9 +1059,9 @@ where
             match probe_prefix::<T, _>(&mut make, prefix) {
                 Probe::Complete(rep) => {
                     merged.schedules += 1;
+                    merged.schedule_lengths.record(prefix.len() as u64);
                     let crashes = prefix.iter().filter(|s| s.is_crash()).count() as u64;
-                    let bucket =
-                        (crashes as usize).min(merged.schedules_by_faults.len() - 1);
+                    let bucket = (crashes as usize).min(merged.schedules_by_faults.len() - 1);
                     merged.schedules_by_faults[bucket] += 1;
                     merged.faults_injected += crashes;
                     merged.max_depth = merged.max_depth.max(prefix.len());
@@ -1051,9 +1093,7 @@ where
                             TraceStep::Crash(_) => None,
                         });
                         let cands: Vec<usize> = match last_grant {
-                            Some(p) => {
-                                enabled.iter().copied().filter(|&q| q == p).collect()
-                            }
+                            Some(p) => enabled.iter().copied().filter(|&q| q == p).collect(),
                             None => enabled.clone(),
                         };
                         for p in cands {
@@ -1086,38 +1126,78 @@ where
             jobs: 0,
             steals: 0,
             frontier_depth: depth,
+            worker_steals: vec![0; workers],
+            worker_executes: vec![0; workers],
+            frontier_lengths: Histogram::default(),
+            worker_flight: FlightLog::empty(workers),
         };
     }
 
     // Parallel phase: one explore_inner per subtree, work-stealing, lowest
     // violating job index wins.
     let jobs = frontier.len();
+    let mut frontier_lengths = Histogram::default();
+    for prefix in &frontier {
+        frontier_lengths.record(prefix.len() as u64);
+    }
     let queues = crate::stealing::StealQueues::new(workers);
     queues.seed(frontier.iter().cloned().enumerate());
     let min_violation = AtomicUsize::new(usize::MAX);
+    let jobs_done = AtomicU64::new(0);
+    // One flight-recorder lane per worker; each job pop is an Execute
+    // event, each stolen pop additionally a Steal event.
+    let worker_rec = FlightRecorder::new(workers, jobs.next_power_of_two().max(64));
+    // Workers heartbeat per job at the loop level (worker 0 speaks for
+    // everyone), so the per-job explorations run quiet.
+    let job_cfg = ExploreConfig {
+        progress: false,
+        ..cfg.clone()
+    };
     let results: Vec<parking_lot::Mutex<Option<ExploreReport>>> =
         (0..jobs).map(|_| parking_lot::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let min_violation = &min_violation;
+            let jobs_done = &jobs_done;
+            let worker_rec = &worker_rec;
             let results = &results;
             let factory = &factory;
             let check = &check;
+            let job_cfg = &job_cfg;
+            let mut heartbeat = (cfg.progress && w == 0).then(|| Heartbeat::new(1.0));
             scope.spawn(move || {
+                let mut my_steals = 0u64;
                 while let Some((idx, prefix)) = queues.pop(w) {
+                    worker_rec.record(w, idx as u64, EventKind::Execute, prefix.len() as u64);
+                    let stolen = queues.worker_steals()[w];
+                    if stolen > my_steals {
+                        my_steals = stolen;
+                        worker_rec.record(w, idx as u64, EventKind::Steal, stolen);
+                    }
                     if idx > min_violation.load(Ordering::Acquire) {
                         continue;
                     }
                     let mut make = || factory();
                     let mut chk = |r: &RunReport<T>| check(r);
-                    let rep = explore_inner(cfg, &prefix, &mut make, &mut chk, &|| {
+                    let rep = explore_inner(job_cfg, &prefix, &mut make, &mut chk, &|| {
                         idx > min_violation.load(Ordering::Relaxed)
                     });
                     if rep.violation.is_some() {
                         min_violation.fetch_min(idx, Ordering::AcqRel);
                     }
                     *results[idx].lock() = Some(rep);
+                    let done = jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(hb) = heartbeat.as_mut() {
+                        hb.tick(|secs| {
+                            format!(
+                                "explore: {done}/{jobs} frontier jobs done \
+                                 ({:.1}/s), {} steals",
+                                done as f64 / secs.max(1e-9),
+                                queues.steals(),
+                            )
+                        });
+                    }
                 }
             });
         }
@@ -1135,6 +1215,7 @@ where
         merged.truncated += rep.truncated;
         merged.max_depth = merged.max_depth.max(rep.max_depth);
         merged.faults_injected += rep.faults_injected;
+        merged.schedule_lengths.merge(&rep.schedule_lengths);
         for (b, c) in rep.schedules_by_faults.iter().enumerate() {
             let b = b.min(merged.schedules_by_faults.len() - 1);
             merged.schedules_by_faults[b] += c;
@@ -1155,6 +1236,10 @@ where
         jobs,
         steals: queues.steals(),
         frontier_depth: depth,
+        worker_steals: queues.worker_steals(),
+        worker_executes: queues.worker_executes(),
+        frontier_lengths,
+        worker_flight: worker_rec.snapshot(),
     }
 }
 
@@ -1284,8 +1369,14 @@ mod tests {
         // Replay reproduces it.
         let mut make = race_factory();
         let (replayed, actual) = run_trace(&mut make, &cex.trace);
-        assert_eq!(stale_read(&replayed), Some("reader saw the initial value".into()));
-        assert_eq!(actual.decisions, cex.trace.decisions, "explorer traces are canonical");
+        assert_eq!(
+            stale_read(&replayed),
+            Some("reader saw the initial value".into())
+        );
+        assert_eq!(
+            actual.decisions, cex.trace.decisions,
+            "explorer traces are canonical"
+        );
 
         // Shrinking yields the single forcing decision: grant pid 1 first.
         let (min, shrink_runs) = shrink_trace(&mut make, &mut |r| stale_read(r), cex.trace);
@@ -1310,7 +1401,11 @@ mod tests {
         let parsed = crate::json::parse(&rendered).unwrap();
         let back = DecisionTrace::from_json(&parsed).unwrap();
         assert_eq!(back, t);
-        assert_eq!(back.to_json().render(), rendered, "round-trip is byte-identical");
+        assert_eq!(
+            back.to_json().render(),
+            rendered,
+            "round-trip is byte-identical"
+        );
     }
 
     /// Pre-fault `bprc-trace-v1` documents (bare pid numbers only) still
@@ -1322,7 +1417,11 @@ mod tests {
         let t = DecisionTrace::from_json(&v).unwrap();
         assert_eq!(
             t.decisions,
-            vec![TraceStep::Grant(2), TraceStep::Grant(0), TraceStep::Grant(1)]
+            vec![
+                TraceStep::Grant(2),
+                TraceStep::Grant(0),
+                TraceStep::Grant(1)
+            ]
         );
     }
 
@@ -1495,10 +1594,7 @@ mod tests {
             "fault-free schedules must match the budget-0 enumeration"
         );
         assert!(rep.schedules_by_faults[1] > 0, "crash branches must run");
-        assert_eq!(
-            rep.schedules,
-            rep.schedules_by_faults.iter().sum::<u64>()
-        );
+        assert_eq!(rep.schedules, rep.schedules_by_faults.iter().sum::<u64>());
         assert_eq!(rep.faults_injected, rep.schedules_by_faults[1]);
         assert_eq!(max_crashes, 1, "budget 1 must cap injected crashes at 1");
         assert_eq!(
@@ -1629,6 +1725,35 @@ mod tests {
                 "workers={workers}: unreduced parallel must partition exactly"
             );
             assert_eq!(rep.report.schedules_by_faults, serial.schedules_by_faults);
+            assert_eq!(
+                rep.report.schedule_lengths.count(),
+                serial.schedule_lengths.count(),
+                "workers={workers}: every counted schedule gets a length sample"
+            );
+            // The per-worker split must tell the same story as the totals.
+            assert_eq!(rep.worker_steals.len(), workers);
+            assert_eq!(rep.worker_executes.len(), workers);
+            assert_eq!(rep.worker_steals.iter().sum::<u64>(), rep.steals);
+            assert_eq!(
+                rep.worker_executes.iter().sum::<u64>(),
+                rep.jobs as u64,
+                "workers={workers}: every frontier job executed exactly once"
+            );
+            assert_eq!(rep.frontier_lengths.count(), rep.jobs as u64);
+            assert_eq!(
+                (0..workers)
+                    .map(|w| rep.worker_flight.count(w, EventKind::Execute))
+                    .sum::<usize>(),
+                rep.jobs,
+                "workers={workers}: one Execute ring event per job"
+            );
+            if workers == 1 {
+                // A lone worker owns every deque: nothing it pops from its
+                // own queue counts as a steal, and the whole execute column
+                // lands on worker 0 — the serial-equivalence baseline.
+                assert_eq!(rep.worker_executes, vec![rep.jobs as u64]);
+                assert_eq!(rep.worker_steals, vec![rep.steals]);
+            }
         }
 
         // Deterministic violation merge: every worker count reports the

@@ -283,7 +283,12 @@ impl PlanEngine {
     /// stays due and is delivered at the next decision point where the
     /// target sits on an operation boundary. A due point whose target is
     /// no longer schedulable at all is spent silently, as before.
-    fn due_point(&mut self, step: u64, runnable: &[usize], defer: Option<usize>) -> Option<FaultPoint> {
+    fn due_point(
+        &mut self,
+        step: u64,
+        runnable: &[usize],
+        defer: Option<usize>,
+    ) -> Option<FaultPoint> {
         for (i, p) in self.plan.points.iter().enumerate() {
             if self.fired[i] {
                 continue;
@@ -649,7 +654,9 @@ mod tests {
             "missing StallStart: {stall_edges:?}"
         );
         assert!(
-            stall_edges.iter().any(|&&(_, _, k)| k == FaultKind::StallEnd),
+            stall_edges
+                .iter()
+                .any(|&&(_, _, k)| k == FaultKind::StallEnd),
             "missing StallEnd: {stall_edges:?}"
         );
     }

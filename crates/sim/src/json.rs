@@ -205,6 +205,31 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Walks a document and records every non-finite number with its path
+/// (e.g. `$.latency.p99` or `$.entries[3]`). JSON has no `inf`/`NaN` —
+/// [`Value::render`] writes them as `null`, silently changing the
+/// document's type structure — so exporters and schema validators call
+/// this before (respectively after) the file exists. Empty `errs`
+/// growth means the document is clean.
+pub fn check_finite(v: &Value, path: &str, errs: &mut Vec<String>) {
+    match v {
+        Value::Num(x) if !x.is_finite() => {
+            errs.push(format!("{path}: non-finite number {x}"));
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_finite(item, &format!("{path}[{i}]"), errs);
+            }
+        }
+        Value::Obj(pairs) => {
+            for (k, item) in pairs {
+                check_finite(item, &format!("{path}.{k}"), errs);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Parses a JSON document. Errors carry a byte offset and message.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
@@ -465,5 +490,104 @@ mod tests {
         assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
         assert!(v.get("missing").is_none());
         assert!(v.get("x").unwrap().as_str().is_none());
+    }
+
+    /// Deterministic splitmix64 — the test is a seeded fuzzer, not a
+    /// statistical one, so reproducibility beats entropy.
+    struct Gen(u64);
+
+    impl Gen {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn string(&mut self) -> String {
+            // Bias hard toward the characters the escaper must handle.
+            const POOL: &[char] = &[
+                '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'a', 'é', '→', '𝄞', ' ', '/',
+            ];
+            let len = (self.next() % 12) as usize;
+            (0..len)
+                .map(|_| POOL[(self.next() as usize) % POOL.len()])
+                .collect()
+        }
+
+        fn value(&mut self, depth: usize) -> Value {
+            let reach = if depth == 0 { 6 } else { 4 };
+            match self.next() % reach {
+                0 => Value::Null,
+                1 => Value::Bool(self.next() % 2 == 0),
+                2 => match self.next() % 3 {
+                    // Integers (the dominant case in telemetry), small
+                    // floats, and floats needing shortest-round-trip.
+                    0 => Value::Num((self.next() % 1_000_000) as f64),
+                    1 => Value::Num((self.next() % 1000) as f64 / 8.0),
+                    _ => Value::Num(f64::from_bits(
+                        // Clamp the exponent into the finite range.
+                        (self.next() & 0x3fff_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000,
+                    )),
+                },
+                3 => Value::Str(self.string()),
+                4 => {
+                    let len = (self.next() % 5) as usize;
+                    Value::Arr((0..len).map(|_| self.value(depth + 1)).collect())
+                }
+                _ => {
+                    let len = (self.next() % 5) as usize;
+                    Value::Obj(
+                        (0..len)
+                            .map(|i| (format!("k{i}_{}", self.string()), self.value(depth + 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_values_round_trip_through_render_and_parse() {
+        let mut g = Gen(0xb41c_5eed);
+        for case in 0..500 {
+            let v = g.value(0);
+            let mut errs = Vec::new();
+            check_finite(&v, "$", &mut errs);
+            assert!(errs.is_empty(), "generator only makes finite numbers");
+            let compact = v.render();
+            assert_eq!(
+                parse(&compact).unwrap(),
+                v,
+                "case {case}: compact round trip of {compact}"
+            );
+            let pretty = v.render_pretty(2);
+            assert_eq!(
+                parse(&pretty).unwrap(),
+                v,
+                "case {case}: pretty round trip of {pretty}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_finite_names_the_offending_path() {
+        let v = Value::obj(vec![
+            ("ok", 1u64.into()),
+            ("latency", Value::obj(vec![("p99", Value::Num(f64::NAN))])),
+            (
+                "series",
+                Value::Arr(vec![0u64.into(), Value::Num(f64::INFINITY)]),
+            ),
+        ]);
+        let mut errs = Vec::new();
+        check_finite(&v, "$", &mut errs);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("$.latency.p99"), "{errs:?}");
+        assert!(errs[1].contains("$.series[1]"), "{errs:?}");
+        // The renderer's stand-in for non-finite numbers is null — the
+        // type change check_finite exists to catch before it happens.
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
     }
 }

@@ -67,6 +67,7 @@ pub mod rng;
 pub mod sched;
 pub mod stealing;
 pub mod trace;
+pub mod tracing;
 pub mod turn;
 pub mod world;
 
@@ -80,4 +81,8 @@ pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};
 pub use reg::{FastDyn, FastPod, Reg, MAX_FAST_WORDS, MAX_FAST_WORDS_DYN};
 pub use sched::{Decision, ScheduleView, Strategy};
+pub use tracing::{
+    now_nanos, EventKind, FlightLog, FlightRecorder, Heartbeat, Hist, Histogram, TraceEvent,
+    DEFAULT_RING_CAPACITY,
+};
 pub use world::{Ctx, Mode, RegisterPlane, RunReport, World, WorldBuilder};

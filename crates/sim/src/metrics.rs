@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::json::Value;
+use crate::tracing::{now_nanos, AtomicHistogram, Hist, Histogram};
 
 macro_rules! counters {
     ($($(#[$doc:meta])* $variant:ident => $name:literal,)*) => {
@@ -150,6 +151,7 @@ gauges! {
 
 const N_COUNTERS: usize = Counter::ALL.len();
 const N_GAUGES: usize = Gauge::ALL.len();
+const N_HISTS: usize = Hist::ALL.len();
 
 /// Gauges store `value + 1` so the all-zeros initial state means "never
 /// set" and `fetch_max` still implements high-water semantics.
@@ -186,6 +188,12 @@ pub struct PhaseEvent {
     /// World step counter at announcement time (approximate global order
     /// in free mode, exact in lockstep).
     pub step: u64,
+    /// Monotonic nanoseconds ([`now_nanos`]) at announcement time: the
+    /// stamp that stays meaningful under
+    /// [`Mode::Free`](crate::Mode::Free), where the step counter is only
+    /// an approximate order, and the feed for Chrome-trace span
+    /// durations.
+    pub nanos: u64,
     /// The phase entered.
     pub kind: PhaseKind,
 }
@@ -196,6 +204,7 @@ pub struct PhaseEvent {
 struct Shard {
     counters: [AtomicU64; N_COUNTERS],
     gauges: [AtomicU64; N_GAUGES],
+    hists: [AtomicHistogram; N_HISTS],
     phases: Mutex<Vec<PhaseEvent>>,
 }
 
@@ -204,6 +213,7 @@ impl Shard {
         Shard {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicU64::new(GAUGE_UNSET)),
+            hists: std::array::from_fn(|_| AtomicHistogram::new()),
             phases: Mutex::new(Vec::new()),
         }
     }
@@ -221,7 +231,9 @@ pub struct MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetricsRegistry").field("n", &self.n).finish()
+        f.debug_struct("MetricsRegistry")
+            .field("n", &self.n)
+            .finish()
     }
 }
 
@@ -265,7 +277,12 @@ impl MetricsRegistry {
             counters: self
                 .shards
                 .iter()
-                .map(|s| s.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+                .map(|s| {
+                    s.counters
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect()
+                })
                 .collect(),
             gauges: self
                 .shards
@@ -280,7 +297,16 @@ impl MetricsRegistry {
                         .collect()
                 })
                 .collect(),
-            phases: self.shards.iter().map(|s| s.phases.lock().clone()).collect(),
+            hists: self
+                .shards
+                .iter()
+                .map(|s| s.hists.iter().map(|h| h.snapshot()).collect())
+                .collect(),
+            phases: self
+                .shards
+                .iter()
+                .map(|s| s.phases.lock().clone())
+                .collect(),
         }
     }
 }
@@ -321,9 +347,20 @@ impl<'a> ProcMetrics<'a> {
         }
     }
 
-    /// Appends a phase announcement stamped with world step `step`.
+    /// Appends a phase announcement stamped with world step `step` and
+    /// the monotonic-nanosecond clock (the free-mode-proof half of the
+    /// dual stamp).
     pub fn phase(&self, step: u64, kind: PhaseKind) {
-        self.shard.phases.lock().push(PhaseEvent { step, kind });
+        let nanos = now_nanos();
+        self.shard
+            .phases
+            .lock()
+            .push(PhaseEvent { step, nanos, kind });
+    }
+
+    /// Records one latency sample into histogram `h` (relaxed atomics).
+    pub fn hist_record(&self, h: Hist, v: u64) {
+        self.shard.hists[h as usize].record(v);
     }
 }
 
@@ -336,6 +373,7 @@ pub struct Telemetry {
     n: usize,
     counters: Vec<Vec<u64>>,
     gauges: Vec<Vec<Option<u64>>>,
+    hists: Vec<Vec<Histogram>>,
     phases: Vec<Vec<PhaseEvent>>,
 }
 
@@ -374,6 +412,21 @@ impl Telemetry {
     /// The maximum of gauge `g` over every shard that set it.
     pub fn gauge_max_all(&self, g: Gauge) -> Option<u64> {
         self.gauges.iter().filter_map(|s| s[g as usize]).max()
+    }
+
+    /// Histogram `h` for process `pid`.
+    pub fn hist(&self, pid: usize, h: Hist) -> &Histogram {
+        &self.hists[pid][h as usize]
+    }
+
+    /// Histogram `h` merged over all shards (processes + global): the
+    /// run-wide latency distribution.
+    pub fn hist_merged(&self, h: Hist) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in &self.hists {
+            out.merge(&shard[h as usize]);
+        }
+        out
     }
 
     /// Process `pid`'s phase log, in announcement order.
@@ -415,23 +468,30 @@ impl Telemetry {
                 let gauges: Vec<(String, Value)> = Gauge::ALL
                     .iter()
                     .filter_map(|&g| {
-                        self.gauges[pid][g as usize]
-                            .map(|v| (g.name().to_string(), v.into()))
+                        self.gauges[pid][g as usize].map(|v| (g.name().to_string(), v.into()))
                     })
                     .collect();
                 pairs.push(("gauges".to_string(), Value::Obj(gauges)));
-                pairs.push((
-                    "phases".to_string(),
-                    self.phases[pid].len().into(),
-                ));
+                pairs.push(("phases".to_string(), self.phases[pid].len().into()));
                 Value::Obj(pairs)
             })
             .collect();
         Value::obj(vec![
             ("n", self.n.into()),
             ("totals", self.totals_json()),
+            ("histograms", self.hists_json()),
             ("shards", Value::Arr(shards)),
         ])
+    }
+
+    fn hists_json(&self) -> Value {
+        Value::Obj(
+            Hist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.hist_merged(h).to_json()))
+                .filter(|(_, v)| v.get("count").and_then(|c| c.as_num()) != Some(0.0))
+                .collect(),
+        )
     }
 
     fn totals_json(&self) -> Value {
@@ -498,6 +558,18 @@ impl Telemetry {
         }
         if let Some(r) = self.gauge_max_all(Gauge::Round) {
             parts.push(format!("max round {r}"));
+        }
+        for &h in Hist::ALL {
+            let merged = self.hist_merged(h);
+            if !merged.is_empty() {
+                parts.push(format!(
+                    "{} p50 {} p99 {} max {}",
+                    h.name(),
+                    merged.p50(),
+                    merged.p99(),
+                    merged.max()
+                ));
+            }
         }
         format!("telemetry: {}", parts.join(", "))
     }
@@ -603,5 +675,54 @@ mod tests {
         let s = reg.snapshot().summary();
         assert!(s.contains("coin_flips 12"));
         assert!(s.contains("max round 3"));
+    }
+
+    #[test]
+    fn summary_skips_empty_histograms_and_names_filled_ones() {
+        let reg = MetricsRegistry::new(1);
+        reg.proc(0).incr(Counter::Scans, 1);
+        let quiet = reg.snapshot().summary();
+        assert!(
+            !quiet.contains("scan_latency_ns"),
+            "empty histograms stay out of the summary: {quiet}"
+        );
+        reg.proc(0).hist_record(Hist::ScanLatencyNs, 1000);
+        let s = reg.snapshot().summary();
+        assert!(s.contains("scan_latency_ns p50"), "{s}");
+    }
+
+    #[test]
+    fn histograms_shard_by_pid_and_merge() {
+        let reg = MetricsRegistry::new(2);
+        reg.proc(0).hist_record(Hist::ScanLatencyNs, 100);
+        reg.proc(0).hist_record(Hist::ScanLatencyNs, 200);
+        reg.proc(1).hist_record(Hist::ScanLatencyNs, 4000);
+        reg.proc(1).hist_record(Hist::DecisionLatencyNs, 7);
+        let t = reg.snapshot();
+        assert_eq!(t.hist(0, Hist::ScanLatencyNs).count(), 2);
+        assert_eq!(t.hist(1, Hist::ScanLatencyNs).count(), 1);
+        let merged = t.hist_merged(Hist::ScanLatencyNs);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), 4000);
+        assert_eq!(t.hist_merged(Hist::RoundDurationNs).count(), 0);
+        let j = t.to_json();
+        let hists = j.get("histograms").expect("histograms key");
+        assert!(hists.get("scan_latency_ns").is_some());
+        assert!(
+            hists.get("round_duration_ns").is_none(),
+            "empty histograms are omitted"
+        );
+    }
+
+    #[test]
+    fn phase_events_carry_monotonic_nanos() {
+        let reg = MetricsRegistry::new(1);
+        reg.proc(0).phase(1, PhaseKind::Scan);
+        reg.proc(0).phase(2, PhaseKind::Write);
+        reg.proc(0).phase(3, PhaseKind::Coin);
+        let t = reg.snapshot();
+        let phases = t.phases(0);
+        assert!(phases.windows(2).all(|w| w[0].nanos <= w[1].nanos));
+        assert!(phases.iter().all(|p| p.nanos > 0));
     }
 }

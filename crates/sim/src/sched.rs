@@ -336,8 +336,9 @@ impl PctStrategy {
     pub fn with_faults(seed: u64, n: usize, d: usize, horizon: u64, faults: usize) -> Self {
         let mut pct = Self::new(seed, n, d, horizon);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-        let mut fault_points: Vec<u64> =
-            (0..faults).map(|_| rng.gen_range(0..horizon.max(1))).collect();
+        let mut fault_points: Vec<u64> = (0..faults)
+            .map(|_| rng.gen_range(0..horizon.max(1)))
+            .collect();
         fault_points.sort_unstable();
         pct.fault_points = fault_points;
         pct
@@ -504,7 +505,10 @@ mod tests {
         // Both entries due at step 1; pid 0 is hidden, pid 2 visible.
         let pending2 = dummy_pending(2);
         assert_eq!(s.decide(&view(1, &[1, 2], &pending2)), Decision::Crash(2));
-        assert_eq!(s.decide(&view(1, &[1], &dummy_pending(1))), Decision::Grant(1));
+        assert_eq!(
+            s.decide(&view(1, &[1], &dummy_pending(1))),
+            Decision::Grant(1)
+        );
         // Pid 0 becomes visible again: its crash still fires.
         assert_eq!(s.decide(&view(2, &[0, 1], &pending2)), Decision::Crash(0));
         assert!(s.undelivered().is_empty());
@@ -558,9 +562,7 @@ mod tests {
         // the first grant, so some other process runs first.
         let n = 4;
         let mut s = PctStrategy::new(11, n, 1, 1);
-        let initial_leader = (0..n)
-            .max_by_key(|&p| s.priorities()[p])
-            .unwrap();
+        let initial_leader = (0..n).max_by_key(|&p| s.priorities()[p]).unwrap();
         let runnable: Vec<usize> = (0..n).collect();
         let pending = dummy_pending(n);
         match s.decide(&view(0, &runnable, &pending)) {

@@ -24,6 +24,12 @@ pub struct StealQueues<T> {
     injector: Mutex<VecDeque<T>>,
     locals: Vec<Mutex<VecDeque<T>>>,
     steals: AtomicU64,
+    // Per-worker halves of the same story: how many jobs each worker
+    // popped at all (`executes`), and how many of those came from the
+    // injector or a victim's deque (`worker_steals`). The totals feed
+    // `steals()`; the per-worker split feeds explorer telemetry.
+    worker_steals: Vec<AtomicU64>,
+    executes: Vec<AtomicU64>,
 }
 
 impl<T> StealQueues<T> {
@@ -34,6 +40,8 @@ impl<T> StealQueues<T> {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             steals: AtomicU64::new(0),
+            worker_steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            executes: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -67,26 +75,51 @@ impl<T> StealQueues<T> {
     /// a stable exhaustion signal.
     pub fn pop(&self, worker: usize) -> Option<T> {
         if let Some(job) = self.locals[worker].lock().pop_back() {
+            self.executes[worker].fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         if let Some(job) = self.injector.lock().pop_front() {
-            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.count_steal(worker);
             return Some(job);
         }
         let n = self.locals.len();
         for k in 1..n {
             let victim = (worker + k) % n;
             if let Some(job) = self.locals[victim].lock().pop_front() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.count_steal(worker);
                 return Some(job);
             }
         }
         None
     }
 
+    fn count_steal(&self, worker: usize) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.worker_steals[worker].fetch_add(1, Ordering::Relaxed);
+        self.executes[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Jobs taken from the injector or another worker's deque.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Per-worker steal counts (same events as [`StealQueues::steals`],
+    /// attributed to the thief).
+    pub fn worker_steals(&self) -> Vec<u64> {
+        self.worker_steals
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-worker job counts: every successful [`StealQueues::pop`],
+    /// local or stolen.
+    pub fn worker_executes(&self) -> Vec<u64> {
+        self.executes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -132,6 +165,25 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
         assert!(q.steals() > 0, "draining foreign deques counts as steals");
+    }
+
+    #[test]
+    fn per_worker_counters_split_the_totals() {
+        let q = StealQueues::new(2);
+        q.push_local(0, 1);
+        q.push_local(0, 2);
+        q.push_global(3);
+        assert_eq!(q.pop(0), Some(2)); // local
+        assert_eq!(q.pop(1), Some(3)); // injector steal
+        assert_eq!(q.pop(1), Some(1)); // victim steal
+        assert_eq!(q.worker_steals(), vec![0, 2]);
+        assert_eq!(q.worker_executes(), vec![1, 2]);
+        assert_eq!(q.steals(), q.worker_steals().iter().sum::<u64>());
+        assert_eq!(
+            q.worker_executes().iter().sum::<u64>(),
+            3,
+            "every popped job is an execute"
+        );
     }
 
     #[test]

@@ -501,10 +501,7 @@ impl<P: TurnProcess> TurnDriver<P> {
                 }
                 TurnDecision::Crash(pid) => self.crash(pid),
                 TurnDecision::Panic(pid) => {
-                    assert!(
-                        active.contains(&pid),
-                        "adversary panicked inactive {pid}"
-                    );
+                    assert!(active.contains(&pid), "adversary panicked inactive {pid}");
                     self.crashed[pid] = true;
                     self.halted[pid] = Some(Halted::Panicked);
                     self.fault_log
@@ -690,7 +687,10 @@ mod tests {
         assert_eq!(t.total(Counter::Updates), 4);
         assert_eq!(t.total(Counter::Scans), 4);
         assert_eq!(t.total(Counter::Decisions), 4);
-        assert_eq!(t.total(Counter::Scans) + t.total(Counter::Updates), report.events);
+        assert_eq!(
+            t.total(Counter::Scans) + t.total(Counter::Updates),
+            report.events
+        );
         for pid in 0..4 {
             assert_eq!(t.counter(pid, Counter::Scans), 1);
         }
@@ -770,10 +770,7 @@ mod tests {
         assert_eq!(report.outputs[2], None);
         // Survivors still decide (they saw pid 2's initial value).
         assert_eq!(report.outputs[0], Some(20));
-        assert_eq!(
-            report.fault_events,
-            vec![(0, 2, FaultKind::PanicInjected)]
-        );
+        assert_eq!(report.fault_events, vec![(0, 2, FaultKind::PanicInjected)]);
     }
 
     #[test]

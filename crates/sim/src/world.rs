@@ -15,6 +15,9 @@ use crate::error::Halted;
 use crate::history::{Annotation, Event, FaultKind, History, OpKind, RegId};
 use crate::metrics::{Counter, MetricsRegistry, PhaseKind, ProcMetrics, Telemetry};
 use crate::sched::{Decision, PendingOp, ScheduleView, Strategy};
+use crate::tracing::{
+    fault_arg, EventKind, FlightLog, FlightRecorder, Hist, DEFAULT_RING_CAPACITY,
+};
 
 /// How shared-memory accesses are interleaved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -72,6 +75,11 @@ pub struct RunReport<T> {
     /// The metrics-plane snapshot: counters, gauges, and phase spans.
     /// Unlike [`RunReport::history`], this is populated in **both** modes.
     pub telemetry: Telemetry,
+    /// The flight-recorder snapshot: the newest ring-buffered fine-grained
+    /// events per process, dual-stamped with steps and nanoseconds.
+    /// Populated in both modes; empty if the world was built with
+    /// [`WorldBuilder::trace_capacity`]`(0)`.
+    pub flight: FlightLog,
 }
 
 impl<T> RunReport<T> {
@@ -133,6 +141,7 @@ pub(crate) struct WorldInner {
     free_shutdown: AtomicBool,
     reg_names: Mutex<Vec<String>>,
     metrics: MetricsRegistry,
+    recorder: FlightRecorder,
 }
 
 impl WorldInner {
@@ -161,6 +170,12 @@ impl WorldInner {
                     return Err(Halted::StepLimit);
                 }
                 self.metrics.proc(pid).incr(op_counter(kind), 1);
+                // Only writes hit the ring: per-read stamping would put a
+                // clock read on the dominant free-mode path.
+                if kind == OpKind::Write {
+                    self.recorder
+                        .record(pid, s, EventKind::RegWrite, reg as u64);
+                }
                 Ok(f())
             }
             Mode::Lockstep => {
@@ -196,6 +211,13 @@ impl WorldInner {
                                 kind: FaultKind::PanicInjected,
                             });
                         }
+                        let step = c.steps;
+                        self.recorder.record(
+                            pid,
+                            step,
+                            EventKind::Fault,
+                            fault_arg(FaultKind::PanicInjected),
+                        );
                         self.sched_cv.notify_one();
                         drop(c);
                         panic!("chaos: injected panic (pid {pid})");
@@ -218,6 +240,10 @@ impl WorldInner {
                 // Counted at the same point the history records the op, so
                 // lockstep telemetry and `History` agree event-for-event.
                 self.metrics.proc(pid).incr(op_counter(kind), 1);
+                if kind == OpKind::Write {
+                    self.recorder
+                        .record(pid, step, EventKind::RegWrite, reg as u64);
+                }
                 if self.record {
                     c.history.push(Event::Op {
                         step,
@@ -353,6 +379,9 @@ impl WorldInner {
                     if self.record {
                         c.history.push(Event::Crash { step, pid });
                     }
+                    // Safe single-writer exception: a crash decision is made
+                    // at quiescence, when no process thread is mid-access.
+                    self.recorder.record(pid, step, EventKind::Fault, 0);
                     self.proc_cv.notify_all();
                 }
                 Decision::Panic(pid) => {
@@ -366,10 +395,14 @@ impl WorldInner {
                     self.proc_cv.notify_all();
                 }
             }
-            if self.record {
+            {
                 let step = c.steps;
                 for (pid, kind) in strategy.drain_fault_notes() {
-                    c.history.push(Event::Fault { step, pid, kind });
+                    self.recorder
+                        .record(pid, step, EventKind::Fault, fault_arg(kind));
+                    if self.record {
+                        c.history.push(Event::Fault { step, pid, kind });
+                    }
                 }
             }
         }
@@ -440,6 +473,29 @@ impl Ctx {
         self.inner.metrics.proc(self.pid).phase(step, kind);
     }
 
+    /// Records a flight-recorder event for this process, dual-stamped
+    /// with the current world step and the monotonic-nanosecond clock.
+    /// Wait-free relaxed stores; a no-op when the world was built with
+    /// [`WorldBuilder::trace_capacity`]`(0)`.
+    pub fn trace_event(&self, kind: EventKind, arg: u64) {
+        if self.inner.recorder.enabled() {
+            let step = self.inner.current_step();
+            self.inner.recorder.record(self.pid, step, kind, arg);
+        }
+    }
+
+    /// Whether the flight recorder is keeping events — lets hot paths
+    /// skip preparing event payloads when tracing is off.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.recorder.enabled()
+    }
+
+    /// Records one latency sample into this process's histogram `h`
+    /// (shorthand for [`Ctx::metrics`]`.hist_record`).
+    pub fn hist_record(&self, h: Hist, v: u64) {
+        self.inner.metrics.proc(self.pid).hist_record(h, v);
+    }
+
     pub(crate) fn inner(&self) -> &Arc<WorldInner> {
         &self.inner
     }
@@ -454,6 +510,7 @@ pub struct WorldBuilder {
     seed: u64,
     record: bool,
     plane: RegisterPlane,
+    trace_capacity: usize,
 }
 
 impl WorldBuilder {
@@ -488,6 +545,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Sets the per-process flight-recorder ring capacity (default
+    /// [`DEFAULT_RING_CAPACITY`]). `0` disables the recorder entirely —
+    /// the overhead self-measurement uses this as its baseline.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Finishes building the world.
     pub fn build(self) -> World {
         assert!(self.n >= 1, "a world needs at least one process");
@@ -516,6 +581,7 @@ impl WorldBuilder {
                 free_shutdown: AtomicBool::new(false),
                 reg_names: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(self.n),
+                recorder: FlightRecorder::new(self.n, self.trace_capacity),
             }),
             used: false,
         }
@@ -551,6 +617,7 @@ impl World {
             seed: 0,
             record: true,
             plane: RegisterPlane::default(),
+            trace_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 
@@ -735,6 +802,8 @@ impl World {
         }
 
         let telemetry = self.inner.metrics.snapshot();
+        // All writers are joined above, so this snapshot sees whole slots.
+        let flight = self.inner.recorder.snapshot();
         match self.inner.mode {
             Mode::Lockstep => {
                 let mut c = self.inner.central.lock();
@@ -751,6 +820,7 @@ impl World {
                     per_proc_steps: std::mem::take(&mut c.per_proc_steps),
                     history,
                     telemetry,
+                    flight,
                 }
             }
             Mode::Free => RunReport {
@@ -761,6 +831,7 @@ impl World {
                 per_proc_steps: vec![0; self.inner.n],
                 history: None,
                 telemetry,
+                flight,
             },
         }
     }
@@ -792,7 +863,11 @@ mod tests {
 
     fn two_writer_bodies(
         world: &World,
-    ) -> (Vec<ProcBody<u32>>, crate::reg::Reg<u32>, crate::reg::Reg<u32>) {
+    ) -> (
+        Vec<ProcBody<u32>>,
+        crate::reg::Reg<u32>,
+        crate::reg::Reg<u32>,
+    ) {
         let a = world.reg("a", 0u32);
         let b = world.reg("b", 0u32);
         let (a0, b0) = (a.clone(), b.clone());
@@ -845,11 +920,7 @@ mod tests {
             let mut w = World::builder(2).seed(seed).build();
             let (bodies, _a, _b) = two_writer_bodies(&w);
             let r = w.run(bodies, Box::new(RandomStrategy::new(seed)));
-            let zeros = r
-                .outputs
-                .iter()
-                .filter(|o| matches!(o, Some(0)))
-                .count();
+            let zeros = r.outputs.iter().filter(|o| matches!(o, Some(0))).count();
             assert!(zeros <= 1, "seed {seed}: both readers saw 0");
         }
     }
@@ -950,6 +1021,7 @@ mod tests {
             per_proc_steps: vec![],
             history: None,
             telemetry: Telemetry::empty(4),
+            flight: FlightLog::empty(4),
         };
         assert_eq!(rep.distinct_outputs(), vec![&1, &2]);
         assert_eq!(rep.decided_count(), 3);
@@ -964,9 +1036,16 @@ mod tests {
             // Each body: one write, one read.
             for pid in 0..2 {
                 assert_eq!(rep.telemetry.counter(pid, Counter::RegReads), 1, "{mode:?}");
-                assert_eq!(rep.telemetry.counter(pid, Counter::RegWrites), 1, "{mode:?}");
+                assert_eq!(
+                    rep.telemetry.counter(pid, Counter::RegWrites),
+                    1,
+                    "{mode:?}"
+                );
             }
-            assert_eq!(rep.telemetry.total(Counter::RegReads) + rep.telemetry.total(Counter::RegWrites), rep.steps);
+            assert_eq!(
+                rep.telemetry.total(Counter::RegReads) + rep.telemetry.total(Counter::RegWrites),
+                rep.steps
+            );
         }
     }
 
@@ -978,8 +1057,14 @@ mod tests {
         let h = rep.history.as_ref().unwrap();
         let t = &rep.telemetry;
         for pid in 0..2 {
-            let reads = h.ops().filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Read).count() as u64;
-            let writes = h.ops().filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Write).count() as u64;
+            let reads = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Read)
+                .count() as u64;
+            let writes = h
+                .ops()
+                .filter(|&(_, p, k, _, _)| p == pid && k == OpKind::Write)
+                .count() as u64;
             assert_eq!(t.counter(pid, Counter::RegReads), reads);
             assert_eq!(t.counter(pid, Counter::RegWrites), writes);
         }

@@ -38,10 +38,7 @@ fn bodies(w: &World) -> Vec<ProcBody<u64>> {
 fn every_pid_is_eventually_scheduled_across_seeds_and_planes() {
     for plane in [RegisterPlane::Fast, RegisterPlane::Locked] {
         for seed in 0..SEEDS {
-            let mut w = World::builder(N)
-                .seed(0)
-                .register_plane(plane)
-                .build();
+            let mut w = World::builder(N).seed(0).register_plane(plane).build();
             let bodies = bodies(&w);
             let rep = w.run(bodies, Box::new(PctStrategy::new(seed, N, 3, 100)));
             assert_eq!(
@@ -72,9 +69,7 @@ fn priority_assignments_are_permutations_and_unbiased() {
         sorted.sort_unstable();
         let want: Vec<u64> = (1..=N as u64).map(|i| d as u64 + i).collect();
         assert_eq!(sorted, want, "seed {seed}: not a permutation of d+1..=d+n");
-        let leader = (0..N)
-            .max_by_key(|&p| strat.priorities()[p])
-            .unwrap();
+        let leader = (0..N).max_by_key(|&p| strat.priorities()[p]).unwrap();
         led[leader] = true;
     }
     assert!(
@@ -95,10 +90,7 @@ fn zero_change_points_degenerate_to_strict_priority_order() {
             let mut expect: Vec<usize> = (0..N).collect();
             expect.sort_by_key(|&p| std::cmp::Reverse(prios[p]));
 
-            let mut w = World::builder(N)
-                .seed(0)
-                .register_plane(plane)
-                .build();
+            let mut w = World::builder(N).seed(0).register_plane(plane).build();
             let bodies = bodies(&w);
             let rep = w.run(bodies, Box::new(strat));
             let grant_pids: Vec<usize> = rep

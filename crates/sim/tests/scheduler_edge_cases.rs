@@ -60,10 +60,7 @@ fn crashing_every_process_terminates_the_world() {
             b
         })
         .collect();
-    let strategy = CrashPlan::new(
-        RoundRobin::new(),
-        vec![(0, 0), (0, 1), (0, 2)],
-    );
+    let strategy = CrashPlan::new(RoundRobin::new(), vec![(0, 0), (0, 1), (0, 2)]);
     let rep = w.run(bodies, Box::new(strategy));
     assert!(rep.outputs.iter().all(|o| o.is_none()));
     assert!(rep
@@ -141,7 +138,10 @@ fn step_limit_zero_halts_immediately() {
 fn free_mode_with_many_threads_is_linearizable_per_register() {
     // 8 threads hammer one register; whatever the interleaving, every read
     // observes some written value (or the initial one).
-    let mut w = World::builder(8).mode(Mode::Free).step_limit(u64::MAX).build();
+    let mut w = World::builder(8)
+        .mode(Mode::Free)
+        .step_limit(u64::MAX)
+        .build();
     let r = w.reg("r", 0u64);
     let bodies: Vec<ProcBody<()>> = (0..8)
         .map(|i| {

@@ -131,14 +131,21 @@ fn fast_and_locked_planes_are_observationally_identical() {
             .collect();
         let rep = w.run(bodies, Box::new(RandomStrategy::new(seed)));
         let ops: Vec<_> = rep.history.as_ref().unwrap().ops().collect();
-        let reads: Vec<u64> = (0..3).map(|p| rep.telemetry.counter(p, Counter::RegReads)).collect();
-        let writes: Vec<u64> = (0..3).map(|p| rep.telemetry.counter(p, Counter::RegWrites)).collect();
+        let reads: Vec<u64> = (0..3)
+            .map(|p| rep.telemetry.counter(p, Counter::RegReads))
+            .collect();
+        let writes: Vec<u64> = (0..3)
+            .map(|p| rep.telemetry.counter(p, Counter::RegWrites))
+            .collect();
         (rep.outputs.clone(), rep.steps, ops, reads, writes)
     };
     for seed in [0, 1, 7, 42, 99] {
         let fast = run(RegisterPlane::Fast, seed);
         let locked = run(RegisterPlane::Locked, seed);
-        assert_eq!(fast, locked, "seed {seed}: plane changed observable behaviour");
+        assert_eq!(
+            fast, locked,
+            "seed {seed}: plane changed observable behaviour"
+        );
     }
 }
 

@@ -309,10 +309,12 @@ impl IncrementalChecker {
                 let le = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x <= y);
                 let ge = a.seqs.iter().zip(&b.seqs).all(|(x, y)| x >= y);
                 if !le && !ge {
-                    report.violations.push(SnapshotViolation::IncomparableScans {
-                        a: (a.pid, a.index),
-                        b: (b.pid, b.index),
-                    });
+                    report
+                        .violations
+                        .push(SnapshotViolation::IncomparableScans {
+                            a: (a.pid, a.index),
+                            b: (b.pid, b.index),
+                        });
                 }
             }
         }

@@ -18,6 +18,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use bprc_registers::Swmr;
+use bprc_sim::tracing::{now_nanos, EventKind, Hist};
 use bprc_sim::{Counter, Ctx, Halted, PhaseKind};
 
 use crate::memory::{labels, ScanStats};
@@ -71,10 +72,22 @@ pub(crate) fn collect_pass<S: SeqSlot>(
     Ok(reads)
 }
 
-/// Opens a scan: the `SCAN_START` annotation and the scan phase span.
-pub(crate) fn begin_scan(ctx: &mut Ctx) {
+/// The open half of one scan's latency measurement: stamped by
+/// [`begin_scan`], closed by [`finish_scan`] into the
+/// [`Hist::ScanLatencyNs`] histogram.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScanSpan {
+    start_nanos: u64,
+}
+
+/// Opens a scan: the `SCAN_START` annotation, the scan phase span, and
+/// the latency stamp the matching [`finish_scan`] closes.
+pub(crate) fn begin_scan(ctx: &mut Ctx) -> ScanSpan {
     ctx.annotate(labels::SCAN_START, vec![]);
     ctx.phase(PhaseKind::Scan);
+    ScanSpan {
+        start_nanos: now_nanos(),
+    }
 }
 
 /// Counts attempts across one scan's retry loop, mirroring every bump into
@@ -94,6 +107,7 @@ impl AttemptTracker {
         if self.tries > 1 {
             ctx.count(Counter::ScanRetries, 1);
         }
+        ctx.trace_event(EventKind::ScanBegin, self.tries);
     }
 
     /// Attempts opened so far.
@@ -108,13 +122,18 @@ impl AttemptTracker {
 pub(crate) fn flush_collect_reads(ctx: &mut Ctx, stats: &ScanStats, reads: u64) {
     stats.collect_reads.fetch_add(reads, Ordering::Relaxed);
     ctx.count(Counter::CollectReads, reads);
+    ctx.trace_event(EventKind::CollectPass, reads);
 }
 
 /// Closes a successful scan: the `SCAN_END` annotation (seqs built lazily —
-/// only when the world records history) and the scan counters.
+/// only when the world records history), the scan counters, the
+/// [`EventKind::ScanEnd`] ring event (arg: attempts it took), and the
+/// scan-latency histogram sample closing `span`.
 pub(crate) fn finish_scan(
     ctx: &mut Ctx,
     stats: &ScanStats,
+    span: ScanSpan,
+    attempts: u64,
     seqs: impl FnOnce() -> Vec<u64>,
 ) {
     if ctx.recording() {
@@ -122,6 +141,11 @@ pub(crate) fn finish_scan(
     }
     stats.scans.fetch_add(1, Ordering::Relaxed);
     ctx.count(Counter::Scans, 1);
+    ctx.trace_event(EventKind::ScanEnd, attempts);
+    ctx.hist_record(
+        Hist::ScanLatencyNs,
+        now_nanos().saturating_sub(span.start_nanos),
+    );
 }
 
 /// Records a starved scan (budget exhausted) and returns the halt the

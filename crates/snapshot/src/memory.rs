@@ -402,7 +402,7 @@ where
         let n = self.shared.n;
         let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
         let mut attempt = crate::collect::AttemptTracker::default();
-        crate::collect::begin_scan(ctx);
+        let span = crate::collect::begin_scan(ctx);
         loop {
             attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
             // Lower all arrows aimed at me.
@@ -460,9 +460,13 @@ where
                     self.c2[me].clone_from(&self.last);
                 }
                 let c2 = &self.c2;
-                crate::collect::finish_scan(ctx, &self.shared.stats[me], || {
-                    c2.iter().map(|s| s.seq).collect()
-                });
+                crate::collect::finish_scan(
+                    ctx,
+                    &self.shared.stats[me],
+                    span,
+                    attempt.tries(),
+                    || c2.iter().map(|s| s.seq).collect(),
+                );
                 return Ok(());
             }
             if budget != 0 && attempt.tries() >= budget {
@@ -533,14 +537,11 @@ where
                 .fetch_add(2 * (n as u64 - 1), Ordering::Relaxed);
             ctx.count(Counter::CollectReads, 2 * (n as u64 - 1));
             let stable = !raised
-                && c1
-                    .iter()
-                    .zip(&c2)
-                    .all(|(x, y)| match (x, y) {
-                        (Some(x), Some(y)) => x.same_visible(y),
-                        (None, None) => true,
-                        _ => unreachable!("collects fill the same slots"),
-                    });
+                && c1.iter().zip(&c2).all(|(x, y)| match (x, y) {
+                    (Some(x), Some(y)) => x.same_visible(y),
+                    (None, None) => true,
+                    _ => unreachable!("collects fill the same slots"),
+                });
             if stable {
                 let view: Vec<Slot<T>> = c2
                     .into_iter()

@@ -324,20 +324,18 @@ where
     /// is left in `self.view`.
     fn scan_slots(&mut self, ctx: &mut Ctx) -> Result<(), Halted> {
         let n = self.shared.n;
-        crate::collect::begin_scan(ctx);
+        let span = crate::collect::begin_scan(ctx);
         self.moved.fill(false);
         let mut attempt = crate::collect::AttemptTracker::default();
         loop {
             attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
             let mut reads =
                 crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c1)?;
-            reads +=
-                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c2)?;
+            reads += crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c2)?;
             crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
             // Movers: registers whose seq changed between the two collects —
             // i.e. processes whose write landed inside this attempt.
-            let any_mover =
-                (0..n).any(|j| j != self.me && self.c1[j].seq != self.c2[j].seq);
+            let any_mover = (0..n).any(|j| j != self.me && self.c1[j].seq != self.c2[j].seq);
             if !any_mover {
                 let me = self.me;
                 debug_assert_eq!(self.view.len(), n);
@@ -351,9 +349,13 @@ where
                     self.view[j].1 = seq;
                 }
                 let view = &self.view;
-                crate::collect::finish_scan(ctx, &self.shared.stats[me], || {
-                    view.iter().map(|(_, s)| *s).collect()
-                });
+                crate::collect::finish_scan(
+                    ctx,
+                    &self.shared.stats[me],
+                    span,
+                    attempt.tries(),
+                    || view.iter().map(|(_, s)| *s).collect(),
+                );
                 return Ok(());
             }
             for j in 0..n {
@@ -366,9 +368,14 @@ where
                     // scan entirely within this scan — borrow its view.
                     self.view.clone_from(&self.c2[j].view);
                     let view = &self.view;
-                    crate::collect::finish_scan(ctx, &self.shared.stats[self.me], || {
-                        view.iter().map(|(_, s)| *s).collect()
-                    });
+                    let tries = attempt.tries();
+                    crate::collect::finish_scan(
+                        ctx,
+                        &self.shared.stats[self.me],
+                        span,
+                        tries,
+                        || view.iter().map(|(_, s)| *s).collect(),
+                    );
                     return Ok(());
                 }
                 self.moved[j] = true;
@@ -429,11 +436,7 @@ mod tests {
                 .collect();
             let rep = world.run(bodies, Box::new(RandomStrategy::new(seed)));
             let check = check_history(rep.history.as_ref().unwrap(), &meta);
-            assert!(
-                check.ok(),
-                "seed {seed}: violations {:?}",
-                check.violations
-            );
+            assert!(check.ok(), "seed {seed}: violations {:?}", check.violations);
             assert!(check.scans > 0);
         }
     }

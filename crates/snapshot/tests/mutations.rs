@@ -185,11 +185,19 @@ mod no_toggle {
                 }
                 let mut c1 = Vec::new();
                 for (j, r) in self.values.iter().enumerate() {
-                    c1.push(if j == self.me { self.last } else { r.read(ctx)? });
+                    c1.push(if j == self.me {
+                        self.last
+                    } else {
+                        r.read(ctx)?
+                    });
                 }
                 let mut c2 = Vec::new();
                 for (j, r) in self.values.iter().enumerate() {
-                    c2.push(if j == self.me { self.last } else { r.read(ctx)? });
+                    c2.push(if j == self.me {
+                        self.last
+                    } else {
+                        r.read(ctx)?
+                    });
                 }
                 let mut raised = false;
                 for j in 0..n {
@@ -264,7 +272,9 @@ fn missing_arrows_and_toggle_caught_by_checker() {
         Decision::Grant(pick)
     });
     let report = world.run(bodies, Box::new(strategy));
-    let view = report.outputs[0].clone().expect("mutant returns the bad view");
+    let view = report.outputs[0]
+        .clone()
+        .expect("mutant returns the bad view");
     assert_eq!(view, vec![0, 0, 7]);
     let check = check_history(report.history.as_ref().unwrap(), &meta);
     assert!(
@@ -319,6 +329,10 @@ fn real_construction_survives_the_same_schedules() {
         });
         let report = world.run(bodies, Box::new(strategy));
         let check = check_history(report.history.as_ref().unwrap(), &meta);
-        assert!(check.ok(), "real construction flagged: {:?}", check.violations);
+        assert!(
+            check.ok(),
+            "real construction flagged: {:?}",
+            check.violations
+        );
     }
 }

@@ -137,7 +137,9 @@ fn whole_runs_match_legacy_under_solo_bursts() {
                 b
             })
             .collect();
-        world.run(bodies, Box::new(SoloBursts::new(100_000))).outputs
+        world
+            .run(bodies, Box::new(SoloBursts::new(100_000)))
+            .outputs
     };
     for seed in [0, 3, 17, 91] {
         assert_eq!(

@@ -154,7 +154,10 @@ impl EdgeCounters {
         if d <= self.k || d >= 2 * self.k {
             Ok(self.decode(i, j))
         } else {
-            Err(CounterDesyncError { pair: (i, j), diff: d })
+            Err(CounterDesyncError {
+                pair: (i, j),
+                diff: d,
+            })
         }
     }
 
@@ -250,12 +253,12 @@ mod tests {
     #[test]
     fn next_row_counted_reports_incs_and_wraps() {
         let mut e = EdgeCounters::new(2, 2); // modulus 6
-        // Put p0's counter against p1 at the top of the modulus: one more
-        // increment wraps it to 0.
+                                             // Put p0's counter against p1 at the top of the modulus: one more
+                                             // increment wraps it to 0.
         e.set_row(0, &[0, 5]);
         e.set_row(1, &[0, 0]); // δ(0,1) = (5 − 0) mod 6 = 5 -> desync? no: 5 > 2K=4 decodes negative
-        // δ(0,1) = 5 ≥ 2K+? decode maps (m−1) to −1, so p0 is *behind* and
-        // should advance against p1.
+                               // δ(0,1) = 5 ≥ 2K+? decode maps (m−1) to −1, so p0 is *behind* and
+                               // should advance against p1.
         let g = e.make_graph();
         let (row, incs, wraps) = e.next_row_counted(0, &g);
         if incs > 0 {
@@ -287,7 +290,8 @@ mod tests {
                 let from_counters = counters.make_graph();
                 let from_game = crate::graph::DistanceGraph::from_game(&game);
                 assert_eq!(
-                    from_counters, from_game,
+                    from_counters,
+                    from_game,
                     "trial {trial} step {step}: counters diverged at {:?}",
                     game.positions()
                 );

@@ -43,8 +43,7 @@ impl DistanceGraph {
         let mut g = DistanceGraph::new(n, k);
         for i in 0..n {
             for j in 0..n {
-                g.delta[i * n + j] =
-                    (positions[i] - positions[j]).clamp(-(k as i64), k as i64);
+                g.delta[i * n + j] = (positions[i] - positions[j]).clamp(-(k as i64), k as i64);
             }
         }
         g
@@ -251,7 +250,9 @@ impl DistanceGraph {
             for b in 0..n {
                 for d in 0..n {
                     if self.has_edge(a, b) && self.has_edge(b, d) && !self.has_edge(a, d) {
-                        return Err(format!("at-or-above not transitive: {a}≥{b}≥{d} but {a}<{d}"));
+                        return Err(format!(
+                            "at-or-above not transitive: {a}≥{b}≥{d} but {a}<{d}"
+                        ));
                     }
                 }
             }
@@ -314,15 +315,11 @@ mod tests {
     /// the shrunken game produces the same graph via `inc` as via
     /// `from_game`.
     fn claim_4_1_exhaustive(n: usize, k: u32, depth: usize) {
-        fn recurse(
-            n: usize,
-            game: &ShrunkenGame,
-            graph: &DistanceGraph,
-            depth: usize,
-        ) {
+        fn recurse(n: usize, game: &ShrunkenGame, graph: &DistanceGraph, depth: usize) {
             let derived = DistanceGraph::from_game(game);
             assert_eq!(
-                graph, &derived,
+                graph,
+                &derived,
                 "Claim 4.1 violated at positions {:?}",
                 game.positions()
             );
@@ -372,7 +369,8 @@ mod tests {
                 graph.inc(i);
                 let derived = DistanceGraph::from_game(&game);
                 assert_eq!(
-                    graph, derived,
+                    graph,
+                    derived,
                     "trial {trial} step {step}: inc diverged at {:?}",
                     game.positions()
                 );

@@ -64,7 +64,8 @@ fn counters_validate_after_long_adversarial_runs() {
                 counters.inc_graph(runner);
             }
             let g = counters.make_graph();
-            g.validate().unwrap_or_else(|e| panic!("k={k} phase={phase}: {e}"));
+            g.validate()
+                .unwrap_or_else(|e| panic!("k={k} phase={phase}: {e}"));
             assert_eq!(g, DistanceGraph::from_game(&game));
         }
     }

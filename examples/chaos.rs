@@ -13,8 +13,8 @@ use bprc::registers::DirectArrow;
 use bprc::sim::faults::{FaultPlan, FaultedStrategy};
 use bprc::sim::sched::RandomStrategy;
 use bprc::sim::trace::{render, render_unified, summary, TraceOptions};
-use bprc::sim::{Counter, Gauge};
 use bprc::sim::World;
+use bprc::sim::{Counter, Gauge};
 
 fn main() {
     // The injected panic below is expected and contained; keep its default
@@ -94,7 +94,9 @@ fn main() {
         report.telemetry.total(Counter::ScanAttempts),
         report.telemetry.total(Counter::ScanRetries),
         report.telemetry.total(Counter::ScanStarved),
-        (0..n).filter_map(|p| report.telemetry.gauge(p, Gauge::Round)).max(),
+        (0..n)
+            .filter_map(|p| report.telemetry.gauge(p, Gauge::Round))
+            .max(),
     );
 
     let survivors: Vec<bool> = report.outputs.iter().flatten().copied().collect();

@@ -46,7 +46,10 @@ fn trace_one(params: &CoinParams, seed: u64) {
                 let mut bar = vec![b'.'; width];
                 bar[width / 2] = b'|';
                 bar[pos] = b'*';
-                println!("step {step:>5} {} total={total}", String::from_utf8(bar).unwrap());
+                println!(
+                    "step {step:>5} {} total={total}",
+                    String::from_utf8(bar).unwrap()
+                );
             }
             if total.abs() > barrier {
                 break 'outer;
@@ -69,7 +72,9 @@ fn main() {
         theory::expected_exit_time(params.barrier(), 0)
     );
 
-    let stats = run_trials(&params, 200, 7, 10_000_000, |t| Box::new(WalkRandom::new(t)));
+    let stats = run_trials(&params, 200, 7, 10_000_000, |t| {
+        Box::new(WalkRandom::new(t))
+    });
     println!(
         "200 coins: mean walk steps {:.1}, disagreement rate {:.3}, heads rate {:.2}",
         stats.mean_walk_steps,

@@ -70,7 +70,10 @@ fn main() {
             println!("VALIDITY VIOLATION: decided {value}");
         }
     }
-    println!("\ncounterexample schedule ({} events):", violation.trace.len());
+    println!(
+        "\ncounterexample schedule ({} events):",
+        violation.trace.len()
+    );
     for (i, ev) in violation.trace.iter().enumerate() {
         let what = match ev.flip {
             None => "steps".to_string(),

@@ -84,7 +84,5 @@ fn main() {
         assert_eq!(logs[0], logs[r], "replica {r} diverged");
     }
     println!("\nall {n} replicas hold identical {slots}-entry logs ✓");
-    println!(
-        "(replicas ran fully asynchronously — one can be slots ahead of another mid-run)"
-    );
+    println!("(replicas ran fully asynchronously — one can be slots ahead of another mid-run)");
 }

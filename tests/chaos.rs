@@ -36,9 +36,7 @@ use bprc::core::ProcState;
 use bprc::registers::DirectArrow;
 use bprc::sim::faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 use bprc::sim::sched::RandomStrategy;
-use bprc::sim::turn::{
-    TurnAdversary, TurnBsp, TurnDriver, TurnRandom, TurnReport, TurnRoundRobin,
-};
+use bprc::sim::turn::{TurnAdversary, TurnBsp, TurnDriver, TurnRandom, TurnReport, TurnRoundRobin};
 use bprc::sim::{FaultKind, Halted, World};
 use bprc::snapshot::{SnapshotBackend, WaitFreeSnapshot};
 
@@ -165,13 +163,9 @@ fn multivalued_survives_seeded_chaos() {
             };
             let mut adv = FaultedTurnAdversary::new(inner, plan);
             let r = TurnDriver::new(procs).run(&mut adv, 5_000_000);
-            assert_contract(
-                &format!("mv kind={kind} seed={seed}"),
-                &r,
-                n,
-                kills,
-                |d| values.contains(d),
-            );
+            assert_contract(&format!("mv kind={kind} seed={seed}"), &r, n, kills, |d| {
+                values.contains(d)
+            });
         }
     }
 }
@@ -186,7 +180,11 @@ fn multishot_survives_seeded_chaos() {
         for seed in 0..8u64 {
             let params = ConsensusParams::quick(n);
             let proposals: Vec<Vec<u64>> = (0..n)
-                .map(|p| (0..n_slots).map(|s| (seed + p as u64 + s as u64) % 9).collect())
+                .map(|p| {
+                    (0..n_slots)
+                        .map(|s| (seed + p as u64 + s as u64) % 9)
+                        .collect()
+                })
                 .collect();
             let procs: Vec<LogCore<StaticProposals>> = (0..n)
                 .map(|p| {
@@ -303,7 +301,10 @@ fn full_stack_survives_seeded_chaos_waitfree() {
             n - kills
         );
         for out in rep.outputs.iter().flatten() {
-            assert!(inputs.contains(out), "wf stack seed={seed}: invalid decision");
+            assert!(
+                inputs.contains(out),
+                "wf stack seed={seed}: invalid decision"
+            );
         }
         assert_no_starvation(&memory, n, &format!("wf stack seed={seed}"));
         assert!(
@@ -366,7 +367,10 @@ fn multivalued_full_stack_waitfree_chaos() {
             "wf mv seed={seed}: survivors failed to decide"
         );
         for d in &decisions {
-            assert!(values.contains(d), "wf mv seed={seed}: invalid decision {d}");
+            assert!(
+                values.contains(d),
+                "wf mv seed={seed}: invalid decision {d}"
+            );
         }
         assert_no_starvation(&memory, n, &format!("wf mv seed={seed}"));
     }
@@ -383,7 +387,11 @@ fn multishot_full_stack_waitfree_chaos() {
     for seed in 0..6u64 {
         let params = ConsensusParams::quick(n);
         let proposals: Vec<Vec<u64>> = (0..n)
-            .map(|p| (0..n_slots).map(|s| (seed + p as u64 + s as u64) % 9).collect())
+            .map(|p| {
+                (0..n_slots)
+                    .map(|s| (seed + p as u64 + s as u64) % 9)
+                    .collect()
+            })
             .collect();
         let procs: Vec<LogCore<StaticProposals>> = (0..n)
             .map(|p| {
@@ -399,8 +407,7 @@ fn multishot_full_stack_waitfree_chaos() {
             .collect();
         let initial = LogMsg { slots: Vec::new() };
         let mut world = World::builder(n).seed(seed).step_limit(20_000_000).build();
-        let (memory, bodies) =
-            over_snapshot::<_, WaitFreeSnapshot<LogMsg>>(&world, procs, initial);
+        let (memory, bodies) = over_snapshot::<_, WaitFreeSnapshot<LogMsg>>(&world, procs, initial);
         let plan = FaultPlan::seeded(seed * 3 + 1, n, 350);
         let kills = plan.kill_count();
         let strategy = FaultedStrategy::new(RandomStrategy::new(seed), plan);
@@ -498,8 +505,8 @@ fn plan_driven_crash_sweep_covers_every_event_index() {
     let n = 3;
     let inputs = [true, false, true];
     let seed = 42;
-    let reference = TurnDriver::new(bounded_cores(n, &inputs, seed))
-        .run(&mut TurnRandom::new(seed), 5_000_000);
+    let reference =
+        TurnDriver::new(bounded_cores(n, &inputs, seed)).run(&mut TurnRandom::new(seed), 5_000_000);
     assert!(reference.completed);
     let horizon = reference.events.min(120);
 
@@ -544,7 +551,12 @@ fn composed_crash_stall_panic_plan_full_stack() {
     assert!(rep.panics[2].as_deref().unwrap().contains("chaos"));
     // The survivors (1 despite its stall, and 3) agree and decide validly.
     let survivors: Vec<bool> = [1, 3].iter().filter_map(|&p| rep.outputs[p]).collect();
-    assert_eq!(survivors.len(), 2, "survivors must decide: {:?}", rep.halted);
+    assert_eq!(
+        survivors.len(),
+        2,
+        "survivors must decide: {:?}",
+        rep.halted
+    );
     assert_eq!(survivors[0], survivors[1], "agreement");
     // The full fault timeline is in the history: crash, stall edges, panic.
     let h = rep.history.as_ref().unwrap();

@@ -29,7 +29,11 @@ fn full_stack_register_level_with_snapshot_checker() {
         assert!(inputs.contains(&decisions[0]), "seed {seed}: validity");
 
         let check = check_history(report.history.as_ref().unwrap(), &meta);
-        assert!(check.ok(), "seed {seed}: snapshot violations {:?}", check.violations);
+        assert!(
+            check.ok(),
+            "seed {seed}: snapshot violations {:?}",
+            check.violations
+        );
         assert!(check.scans > 0);
     }
 }

@@ -94,9 +94,7 @@ fn broken_scanner_factory() -> impl FnMut() -> (World, Vec<ProcBody<Vec<u64>>>) 
         let world = World::builder(3).seed(0).build();
         // Hand-rolled layout mirroring ScannableMemory: V_i per process,
         // value doubles as the ghost sequence number.
-        let v: Vec<_> = (0..3)
-            .map(|i| world.reg(format!("V{i}"), 0u64))
-            .collect();
+        let v: Vec<_> = (0..3).map(|i| world.reg(format!("V{i}"), 0u64)).collect();
         let mut bodies: Vec<ProcBody<Vec<u64>>> = Vec::new();
         for pid in 0..2 {
             let reg = v[pid].clone();
@@ -169,7 +167,11 @@ fn broken_scanner_yields_shrunk_replayable_counterexample() {
     let doc = min.to_json().render();
     let parsed = DecisionTrace::from_json(&bprc::sim::json::parse(&doc).unwrap()).unwrap();
     assert_eq!(parsed, min);
-    assert_eq!(parsed.to_json().render(), doc, "round-trip must be byte-identical");
+    assert_eq!(
+        parsed.to_json().render(),
+        doc,
+        "round-trip must be byte-identical"
+    );
     let (replayed, actual) = run_trace(&mut make, &parsed);
     let verdict = broken_check(&replayed).expect("replay must reproduce the violation");
     assert!(verdict.contains("NotInstantaneous"), "{verdict}");
@@ -317,5 +319,8 @@ fn manual_fn_strategy_replay_matches_run_trace() {
     });
     let (mut world, bodies) = broken_scanner_factory()();
     let manual = world.run(bodies, Box::new(strategy));
-    assert!(broken_check(&manual).is_some(), "manual replay must reproduce");
+    assert!(
+        broken_check(&manual).is_some(),
+        "manual replay must reproduce"
+    );
 }

@@ -49,9 +49,16 @@ fn stale_handshake(r: &RunReport<u32>) -> Option<String> {
 
 #[test]
 fn stale_handshake_is_unreachable_without_faults() {
-    let rep = explore(&ExploreConfig::default(), handshake_factory(), stale_handshake);
+    let rep = explore(
+        &ExploreConfig::default(),
+        handshake_factory(),
+        stale_handshake,
+    );
     assert!(rep.violation.is_none(), "{:?}", rep.violation);
-    assert!(rep.exhausted, "the fault-free space must be fully enumerated");
+    assert!(
+        rep.exhausted,
+        "the fault-free space must be fully enumerated"
+    );
     assert_eq!(rep.fault_budget, 0);
     assert_eq!(rep.faults_injected, 0);
 }

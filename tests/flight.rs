@@ -1,0 +1,203 @@
+//! Flight-recorder plane, end to end: the ring buffer captures real
+//! protocol events on real runs, phase events carry wall-clock stamps
+//! under free threads, the Chrome trace export is loadable Trace Event
+//! JSON, and leaving the recorder on does not distort the books the
+//! telemetry==history parity tests depend on.
+
+use std::time::Instant;
+
+use bprc::core::bounded::ConsensusParams;
+use bprc::core::threaded::{ThreadedConsensus, WaitFreeConsensus};
+use bprc::registers::DirectArrow;
+use bprc::sim::history::OpKind;
+use bprc::sim::sched::RandomStrategy;
+use bprc::sim::trace::to_chrome_trace;
+use bprc::sim::tracing::EventKind;
+use bprc::sim::{json, Counter, Mode, World};
+
+/// Under `Mode::Free` there is no world step counter worth reading, but
+/// phase events must still be orderable: every phase carries a nonzero
+/// monotonic nanosecond stamp, and per process the stamps never go
+/// backwards (satellite: free-thread phases used to be step-stamped with
+/// a meaningless shared counter).
+#[test]
+fn free_mode_phases_carry_monotonic_nanos() {
+    let n = 3;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n)
+        .mode(Mode::Free)
+        .step_limit(u64::MAX)
+        .build();
+    let inst = ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true], 11);
+    let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(11)));
+    assert!(rep.outputs.iter().all(|o| o.is_some()));
+    for pid in 0..n {
+        let phases = rep.telemetry.phases(pid);
+        assert!(!phases.is_empty(), "pid {pid}: no phases recorded");
+        let mut last = 0u64;
+        for ev in phases {
+            assert!(ev.nanos > 0, "pid {pid}: phase {:?} missing nanos", ev.kind);
+            assert!(
+                ev.nanos >= last,
+                "pid {pid}: phase nanos went backwards ({} < {last})",
+                ev.nanos
+            );
+            last = ev.nanos;
+        }
+    }
+}
+
+/// A real lockstep snapshot run fills the flight recorder: every process
+/// shows scan begin/end pairs, register writes, round advances and a
+/// decision, and each event is dual-stamped (step and nanos).
+#[test]
+fn run_report_flight_log_captures_protocol_events() {
+    let n = 3;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n).seed(23).step_limit(5_000_000).build();
+    let inst = WaitFreeConsensus::new(&world, &params, &[false, true, false], 23);
+    let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(23)));
+    assert!(rep.outputs.iter().all(|o| o.is_some()));
+    let flight = &rep.flight;
+    assert_eq!(flight.n(), n);
+    for pid in 0..n {
+        assert!(
+            flight.count(pid, EventKind::ScanBegin) > 0,
+            "pid {pid}: no scan_begin events"
+        );
+        assert!(
+            flight.count(pid, EventKind::RegWrite) > 0,
+            "pid {pid}: no reg_write events"
+        );
+        assert!(
+            flight.count(pid, EventKind::RoundAdvance) > 0,
+            "pid {pid}: no round_advance events"
+        );
+        assert_eq!(
+            flight.count(pid, EventKind::Decide),
+            1,
+            "pid {pid}: exactly one decision"
+        );
+        // Scans that began either ended or were cut off by the ring; with
+        // the default capacity nothing is dropped in a quick run.
+        assert_eq!(flight.overflow(pid), 0, "pid {pid}: ring overflowed");
+        for ev in flight.events(pid) {
+            assert!(ev.nanos > 0, "pid {pid}: event {:?} missing nanos", ev.kind);
+        }
+    }
+    // The merged view is step-ordered and covers every per-pid event.
+    let merged = flight.merged();
+    assert_eq!(merged.len(), flight.total_events());
+    assert!(merged.windows(2).all(|w| w[0].step <= w[1].step));
+}
+
+/// The Chrome trace exporter produces valid Trace Event JSON from a real
+/// run: a top-level `traceEvents` array where every event has the
+/// required keys, complete events carry durations, and the whole thing
+/// survives a render/parse round trip.
+#[test]
+fn chrome_trace_export_from_a_real_run_is_well_formed() {
+    let n = 4;
+    let params = ConsensusParams::quick(n);
+    let mut world = World::builder(n).seed(31).step_limit(5_000_000).build();
+    let inst =
+        ThreadedConsensus::<DirectArrow>::new(&world, &params, &[true, false, true, false], 31);
+    let rep = world.run(inst.bodies, Box::new(RandomStrategy::new(31)));
+    assert!(rep.outputs.iter().all(|o| o.is_some()));
+    let doc = to_chrome_trace(&rep.flight, &rep.telemetry, rep.history.as_ref(), n);
+
+    let reparsed = json::parse(&doc.render_pretty(2)).expect("chrome trace parses back");
+    let events = reparsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(events.len() > n, "expected a real timeline, got {events:?}");
+    let mut complete = 0;
+    let mut instants = 0;
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap();
+        match ph {
+            "M" => {}
+            "X" => {
+                complete += 1;
+                let dur = ev.get("dur").and_then(|v| v.as_num()).expect("X has dur");
+                assert!(dur >= 0.0);
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(ev.get("s").and_then(|v| v.as_str()), Some("t"));
+            }
+            other => panic!("unexpected phase type {other:?} in {ev:?}"),
+        }
+    }
+    assert!(complete > 0, "no complete (X) span events");
+    assert!(instants > 0, "no instant (i) events");
+    let mut errs = Vec::new();
+    json::check_finite(&reparsed, "$", &mut errs);
+    assert!(errs.is_empty(), "non-finite numbers in trace: {errs:?}");
+}
+
+/// Self-measurement: recording into the ring buffer must not distort the
+/// run. With the recorder on (default capacity) and off (capacity 0) the
+/// same seed produces the same outputs, the telemetry==history parity the
+/// throughput gate relies on holds in both, and the recorded run is not
+/// catastrophically slower (loose 4x bound on the better of three runs).
+#[test]
+fn recorder_overhead_leaves_the_run_intact() {
+    let n = 3;
+    let params = ConsensusParams::quick(n);
+    let run = |capacity: usize| {
+        let mut best = f64::INFINITY;
+        let mut rep = None;
+        for _ in 0..3 {
+            let mut world = World::builder(n)
+                .seed(47)
+                .step_limit(5_000_000)
+                .trace_capacity(capacity)
+                .build();
+            let inst = WaitFreeConsensus::new(&world, &params, &[true, true, false], 47);
+            let t0 = Instant::now();
+            let r = world.run(inst.bodies, Box::new(RandomStrategy::new(47)));
+            best = best.min(t0.elapsed().as_secs_f64());
+            rep = Some(r);
+        }
+        (rep.unwrap(), best)
+    };
+    let (on, t_on) = run(bprc::sim::DEFAULT_RING_CAPACITY);
+    let (off, t_off) = run(0);
+
+    assert!(on.flight.total_events() > 0, "recorder on but ring empty");
+    assert_eq!(off.flight.total_events(), 0, "capacity 0 must disable");
+    assert_eq!(on.outputs, off.outputs, "recording changed the outcome");
+
+    // Parity: metrics equal history counts event for event, recorder or not.
+    for rep in [&on, &off] {
+        let h = rep.history.as_ref().expect("lockstep records history");
+        let t = &rep.telemetry;
+        assert_eq!(
+            t.total(Counter::RegReads),
+            h.ops().filter(|&(_, _, k, _, _)| k == OpKind::Read).count() as u64
+        );
+        assert_eq!(
+            t.total(Counter::RegWrites),
+            h.ops()
+                .filter(|&(_, _, k, _, _)| k == OpKind::Write)
+                .count() as u64
+        );
+    }
+    assert_eq!(
+        on.telemetry.total(Counter::RegWrites),
+        off.telemetry.total(Counter::RegWrites),
+        "recording changed the op counts"
+    );
+
+    // Loose guard against pathological overhead; generous because CI
+    // machines are noisy and the runs are short.
+    assert!(
+        t_on <= t_off * 4.0 + 0.05,
+        "recorder overhead out of bounds: on {t_on:.4}s vs off {t_off:.4}s"
+    );
+}

@@ -15,9 +15,7 @@ use bprc::core::threaded::ThreadedConsensus;
 use bprc::core::ProcState;
 use bprc::registers::DirectArrow;
 use bprc::sim::sched::FnStrategy;
-use bprc::sim::turn::{
-    Phase, TurnAdversary, TurnDecision, TurnDriver, TurnRandom, TurnView,
-};
+use bprc::sim::turn::{Phase, TurnAdversary, TurnDecision, TurnDriver, TurnRandom, TurnView};
 use bprc::sim::{Decision, World};
 
 /// What one turn event was: which process, and whether it scanned or wrote.
@@ -72,8 +70,7 @@ fn turn_schedule_replays_exactly_on_registers() {
             log: &mut log,
         };
         let phantoms = vec![ProcState::phantom(n, params.k()); n];
-        let turn_report =
-            TurnDriver::with_initial_shared(procs, phantoms).run(&mut rec, 5_000_000);
+        let turn_report = TurnDriver::with_initial_shared(procs, phantoms).run(&mut rec, 5_000_000);
         assert!(turn_report.completed, "seed {seed}");
 
         // 2. Replay on the register level: each turn event becomes a solo

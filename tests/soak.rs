@@ -84,7 +84,11 @@ fn soak_multishot_sweep() {
             for seed in 0..1500u64 {
                 let params = ConsensusParams::quick(n);
                 let proposals: Vec<Vec<u64>> = (0..n)
-                    .map(|p| (0..slots).map(|s| (p * 37 + s * 11) as u64 & 0xFF).collect())
+                    .map(|p| {
+                        (0..slots)
+                            .map(|s| (p * 37 + s * 11) as u64 & 0xFF)
+                            .collect()
+                    })
                     .collect();
                 let procs: Vec<LogCore<StaticProposals>> = (0..n)
                     .map(|p| {

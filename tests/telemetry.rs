@@ -260,5 +260,8 @@ fn telemetry_jsonl_round_trips() {
         json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
         lines += 1;
     }
-    assert!(lines > h.len(), "telemetry lines ride along with the history");
+    assert!(
+        lines > h.len(),
+        "telemetry lines ride along with the history"
+    );
 }
