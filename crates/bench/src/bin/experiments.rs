@@ -92,10 +92,15 @@ fn run_throughput(scale: Scale, out: &str) {
         }
         std::process::exit(1);
     }
-    if let Some(c) = doc.get("comparison") {
+    for c in doc
+        .get("comparisons")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&[])
+    {
         let get = |k: &str| c.get(k).and_then(|v| v.as_num()).unwrap_or(0.0);
         println!(
-            "free-thread scan n=8: before {:.0} scans/sec, after {:.0} scans/sec (x{:.2})",
+            "free-thread scan n={:.0}: before {:.0} scans/sec, after {:.0} scans/sec (x{:.2})",
+            get("n"),
             get("baseline_ops_per_sec"),
             get("fast_ops_per_sec"),
             get("speedup"),
@@ -212,10 +217,11 @@ fn run_profile(scale: Scale, out: &str, trace_out: &str) {
                 .unwrap_or(0.0)
         };
         println!(
-            "{}: scan p50 {:.0}ns p99 {:.0}ns, decision p50 {:.0}ns p99 {:.0}ns",
+            "{}: scan p50 {:.0}ns p99 {:.0}ns, lazy p50 {:.0}ns, decision p50 {:.0}ns p99 {:.0}ns",
             entry.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
             lat("scan_latency_ns", "p50"),
             lat("scan_latency_ns", "p99"),
+            lat("lazy_scan_latency_ns", "p50"),
             lat("decision_latency_ns", "p50"),
             lat("decision_latency_ns", "p99"),
         );

@@ -2,15 +2,18 @@
 //! histograms.
 //!
 //! Where [`crate::throughput`] reports aggregate rates (ops/sec), this
-//! module reports *distributions*: the scan-latency and decision-latency
-//! histograms the tracing plane records (`Hist::ScanLatencyNs`,
+//! module reports *distributions*: the scan-latency, lazy-scan-latency,
+//! and decision-latency histograms the tracing plane records
+//! (`Hist::ScanLatencyNs`, `Hist::LazyScanLatencyNs`,
 //! `Hist::DecisionLatencyNs`) across the full measurement grid — both
 //! snapshot backends (`handshake` / `waitfree`) × both register planes
 //! (`seqlock` / `locked`) × n ∈ {2, 4, 8, 16} — on free-running OS
 //! threads, where nanosecond stamps measure real hardware behaviour. Each
 //! grid cell carries the power-of-two-bucketed histogram plus its
 //! p50/p90/p99/max ladder, exactly as [`bprc_sim::Histogram::to_json`]
-//! serializes it.
+//! serializes it. The lazy ladder comes from a separate scan-burst
+//! workload with view reuse enabled (`SnapshotPort::set_lazy`), so
+//! reused-view scans stay distinguishable from full double collects.
 //!
 //! `bprc-bench profile` writes the document (`BENCH_profile.json`) and a
 //! companion Chrome Trace Event file from one representative instrumented
@@ -34,7 +37,8 @@ use bprc_snapshot::{ScannableMemory, SnapshotBackend, SnapshotPort, WaitFreeSnap
 use crate::Scale;
 
 /// Schema identifier written into (and required from) every document.
-pub const SCHEMA: &str = "bprc.bench.profile/v1";
+/// v2 added the `lazy_scan_latency_ns` ladder to every grid cell.
+pub const SCHEMA: &str = "bprc.bench.profile/v2";
 
 /// Process counts profiled (the same grid as the throughput suite).
 pub const SIZES: [usize; 4] = [2, 4, 8, 16];
@@ -48,7 +52,9 @@ pub const SNAPSHOT_BACKENDS: [&str; 2] = ["handshake", "waitfree"];
 fn plane_of(name: &str) -> RegisterPlane {
     match name {
         "locked" => RegisterPlane::Locked,
-        _ => RegisterPlane::Fast,
+        // The "seqlock" cells measure the current default fast stack —
+        // packed bit/lane planes over seqlock payload cells.
+        _ => RegisterPlane::default(),
     }
 }
 
@@ -80,6 +86,41 @@ fn scan_latency<B: SnapshotBackend<u64>>(n: usize, iters: u64, plane: &str) -> H
         .collect();
     let rep = world.run(bodies, Box::new(RandomStrategy::new(7)));
     rep.telemetry.hist_merged(Hist::ScanLatencyNs)
+}
+
+/// Free-thread lazy-scan workload over backend `B`: one update each, then
+/// a burst of scans with view reuse enabled ([`SnapshotPort::set_lazy`]).
+/// Once the globally-last write lands, that writer's remaining probes all
+/// succeed, so the burst is guaranteed to fill `Hist::LazyScanLatencyNs`
+/// with reused-view samples while the full collects keep landing in
+/// `Hist::ScanLatencyNs` as usual. Returns the merged lazy histogram.
+fn lazy_scan_latency<B: SnapshotBackend<u64>>(n: usize, iters: u64, plane: &str) -> Histogram {
+    let mut world = World::builder(n)
+        .mode(Mode::Free)
+        .step_limit(u64::MAX)
+        .record_history(false)
+        .register_plane(plane_of(plane))
+        .build();
+    let mem = B::alloc_fast(&world, n, 0u64);
+    let bodies: Vec<ProcBody<u64>> = (0..n)
+        .map(|pid| {
+            let mut port = mem.port(pid);
+            let b: ProcBody<u64> = Box::new(move |ctx| {
+                port.set_lazy(true);
+                let mut view: Vec<u64> = Vec::new();
+                let mut acc = 0u64;
+                port.update(ctx, pid as u64 + 1)?;
+                for _ in 0..iters {
+                    port.scan_into(ctx, &mut view)?;
+                    acc = acc.wrapping_add(view.iter().sum::<u64>());
+                }
+                Ok(acc)
+            });
+            b
+        })
+        .collect();
+    let rep = world.run(bodies, Box::new(RandomStrategy::new(7)));
+    rep.telemetry.hist_merged(Hist::LazyScanLatencyNs)
 }
 
 /// Full consensus instances back to back on free threads over snapshot
@@ -127,13 +168,21 @@ pub fn chrome_trace_demo(seed: u64) -> Value {
     to_chrome_trace(&rep.flight, &rep.telemetry, rep.history.as_ref(), n)
 }
 
-fn entry(snap: &str, plane: &str, n: usize, scan: &Histogram, decision: &Histogram) -> Value {
+fn entry(
+    snap: &str,
+    plane: &str,
+    n: usize,
+    scan: &Histogram,
+    lazy: &Histogram,
+    decision: &Histogram,
+) -> Value {
     Value::obj(vec![
         ("name", format!("profile_n{n}_{snap}_{plane}").into()),
         ("snapshot_backend", snap.into()),
         ("register_plane", plane.into()),
         ("n", n.into()),
         ("scan_latency_ns", scan.to_json()),
+        ("lazy_scan_latency_ns", lazy.to_json()),
         ("decision_latency_ns", decision.to_json()),
     ])
 }
@@ -152,9 +201,13 @@ pub fn run(scale: Scale, seed: u64) -> Value {
                     "waitfree" => scan_latency::<WaitFreeSnapshot<u64>>(n, iters, plane),
                     _ => scan_latency::<ScannableMemory<u64, DirectArrow>>(n, iters, plane),
                 };
+                let lazy = match snap {
+                    "waitfree" => lazy_scan_latency::<WaitFreeSnapshot<u64>>(n, iters, plane),
+                    _ => lazy_scan_latency::<ScannableMemory<u64, DirectArrow>>(n, iters, plane),
+                };
                 let decision =
                     decision_latency(snap, n, trials, derive_seed(seed, n as u64), plane);
-                entries.push(entry(snap, plane, n, &scan, &decision));
+                entries.push(entry(snap, plane, n, &scan, &lazy, &decision));
             }
         }
     }
@@ -276,6 +329,11 @@ pub fn validate(doc: &Value) -> Vec<String> {
             &mut errs,
         );
         check_hist(
+            e.get("lazy_scan_latency_ns"),
+            &format!("{name}.lazy_scan_latency_ns"),
+            &mut errs,
+        );
+        check_hist(
             e.get("decision_latency_ns"),
             &format!("{name}.decision_latency_ns"),
             &mut errs,
@@ -312,6 +370,10 @@ mod tests {
         assert!(scan.count() >= 10, "2 procs x 5 scans");
         let scan_locked = scan_latency::<WaitFreeSnapshot<u64>>(2, 5, "locked");
         assert!(scan_locked.count() >= 10);
+        let lazy = lazy_scan_latency::<ScannableMemory<u64, DirectArrow>>(2, 8, "seqlock");
+        assert!(lazy.count() >= 1, "the last writer's burst reuses its view");
+        let lazy_wf = lazy_scan_latency::<WaitFreeSnapshot<u64>>(2, 8, "locked");
+        assert!(lazy_wf.count() >= 1);
         let dec = decision_latency("handshake", 2, 1, 3, "seqlock");
         assert!(dec.count() >= 1, "someone decided");
         let doc = Value::obj(vec![
@@ -324,7 +386,7 @@ mod tests {
                 for &n in &SIZES {
                     for snap in SNAPSHOT_BACKENDS {
                         for plane in PLANES {
-                            entries.push(entry(snap, plane, n, &scan, &dec));
+                            entries.push(entry(snap, plane, n, &scan, &lazy, &dec));
                         }
                     }
                 }
@@ -355,6 +417,7 @@ mod tests {
                     "handshake",
                     "seqlock",
                     2,
+                    &Histogram::default(),
                     &Histogram::default(),
                     &Histogram::default(),
                 )]),

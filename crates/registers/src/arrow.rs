@@ -53,21 +53,6 @@ pub trait ArrowCell: Clone + Send + Sync + 'static {
 
     /// Worst-case number of register accesses one `raise` performs.
     fn raise_cost() -> u64;
-
-    /// Pre-optimization `lower` for the throughput bench's baseline; same
-    /// semantics, but accessing the register the way the seed code did.
-    /// Defaults to the current path for implementations that never changed.
-    #[doc(hidden)]
-    fn lower_prechange(&self, ctx: &mut Ctx) -> Result<(), Halted> {
-        self.lower(ctx)
-    }
-
-    /// Pre-optimization `is_raised`; see
-    /// [`lower_prechange`](ArrowCell::lower_prechange).
-    #[doc(hidden)]
-    fn is_raised_prechange(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
-        self.is_raised(ctx)
-    }
 }
 
 /// An atomic two-writer two-reader boolean register, as the paper assumes.
@@ -82,13 +67,17 @@ pub struct DirectArrow {
 impl DirectArrow {
     /// Allocates a lowered arrow.
     ///
-    /// Rides the world's fast register plane: the boolean cell is a seqlock
-    /// whose writer side is CAS-serialized, so the *two*-writer discipline
-    /// of an arrow (writer raises, scanner lowers) stays atomic. Scheduling
-    /// and telemetry are identical to a locked cell.
+    /// Rides the world's packed bit-plane when available: the boolean
+    /// lands in a shared cache-line chunk whose mutations are
+    /// `fetch_or`/`fetch_and` RMWs, so the *two*-writer discipline of an
+    /// arrow (writer raises, scanner lowers) stays atomic and n² arrows
+    /// occupy ⌈n²/512⌉ cache lines instead of n² scattered cells. On the
+    /// `Fast` plane the cell is an individual seqlock (writer side
+    /// CAS-serialized — same atomicity argument). Scheduling and telemetry
+    /// are identical to a locked cell.
     pub fn new(world: &World, name: impl Into<String>) -> Self {
         DirectArrow {
-            cell: world.fast_reg(name, false),
+            cell: world.bit_reg(name, false),
         }
     }
 }
@@ -98,29 +87,22 @@ impl ArrowCell for DirectArrow {
         DirectArrow::new(world, name)
     }
 
+    #[inline]
     fn raise(&self, ctx: &mut Ctx) -> Result<(), Halted> {
         ctx.count(Counter::ArrowRaises, 1);
         self.cell.write(ctx, true)
     }
 
+    #[inline]
     fn lower(&self, ctx: &mut Ctx) -> Result<(), Halted> {
         ctx.count(Counter::ArrowLowers, 1);
         self.cell.write(ctx, false)
     }
 
+    #[inline]
     fn is_raised(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
         ctx.count(Counter::ArrowChecks, 1);
         self.cell.read(ctx)
-    }
-
-    fn lower_prechange(&self, ctx: &mut Ctx) -> Result<(), Halted> {
-        ctx.count(Counter::ArrowLowers, 1);
-        self.cell.write_prechange(ctx, false)
-    }
-
-    fn is_raised_prechange(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
-        ctx.count(Counter::ArrowChecks, 1);
-        self.cell.read_prechange(ctx)
     }
 
     fn peek_raised(&self) -> bool {
@@ -155,12 +137,13 @@ pub struct HandshakeArrow {
 impl HandshakeArrow {
     /// Allocates a lowered handshake arrow between `writer` and `scanner`.
     ///
-    /// Each bit is single-writer, so both ride the fast plane without even
-    /// needing the seqlock's writer CAS to arbitrate.
+    /// Each bit is single-writer, so both ride the packed bit-plane (or an
+    /// individual seqlock on the `Fast` plane) without even needing RMW
+    /// arbitration between the endpoints.
     pub fn new(world: &World, name: &str, writer: usize, scanner: usize) -> Self {
         HandshakeArrow {
-            flag: Swmr::new_fast(world, format!("{name}.flag"), writer, false),
-            ack: Swmr::new_fast(world, format!("{name}.ack"), scanner, false),
+            flag: Swmr::new_bit(world, format!("{name}.flag"), writer, false),
+            ack: Swmr::new_bit(world, format!("{name}.ack"), scanner, false),
         }
     }
 }
@@ -170,18 +153,21 @@ impl ArrowCell for HandshakeArrow {
         HandshakeArrow::new(world, name, writer, scanner)
     }
 
+    #[inline]
     fn raise(&self, ctx: &mut Ctx) -> Result<(), Halted> {
         ctx.count(Counter::ArrowRaises, 1);
         let a = self.ack.read(ctx)?;
         self.flag.write(ctx, !a)
     }
 
+    #[inline]
     fn lower(&self, ctx: &mut Ctx) -> Result<(), Halted> {
         ctx.count(Counter::ArrowLowers, 1);
         let f = self.flag.read(ctx)?;
         self.ack.write(ctx, f)
     }
 
+    #[inline]
     fn is_raised(&self, ctx: &mut Ctx) -> Result<bool, Halted> {
         ctx.count(Counter::ArrowChecks, 1);
         // Read order matters: read the writer's bit first, then our own ack.

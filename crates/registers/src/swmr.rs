@@ -82,13 +82,6 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
         self.reg.read(ctx)
     }
 
-    /// Pre-optimization read path for the throughput bench's baseline — see
-    /// [`Reg::read_prechange`](bprc_sim::Reg).
-    #[doc(hidden)]
-    pub fn read_prechange(&self, ctx: &mut Ctx) -> Result<T, Halted> {
-        self.reg.read_prechange(ctx)
-    }
-
     /// Atomically reads the register and maps the value in place — one
     /// scheduled step, no forced clone (see
     /// [`Reg::read_with`](bprc_sim::Reg::read_with)).
@@ -101,6 +94,25 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
         self.reg.read_with(ctx, f)
     }
 
+    /// Version-token read — one scheduled step that skips `f` entirely when
+    /// the register provably hasn't been written since the read that
+    /// produced `cached` (see
+    /// [`Reg::read_changed`](bprc_sim::Reg::read_changed)). The snapshot
+    /// layer's batched collect validation rides on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    #[inline]
+    pub fn read_changed(
+        &self,
+        ctx: &mut Ctx,
+        cached: u64,
+        f: impl FnOnce(&T),
+    ) -> Result<u64, Halted> {
+        self.reg.read_changed(ctx, cached, f)
+    }
+
     /// Atomically writes the register.
     ///
     /// # Errors
@@ -110,6 +122,7 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
     /// # Panics
     ///
     /// Panics if called by a process other than the designated writer.
+    #[inline]
     pub fn write(&self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
         assert_eq!(
             ctx.pid(),
@@ -131,6 +144,7 @@ impl<T: Clone + Send + Sync + 'static> Swmr<T> {
     /// # Panics
     ///
     /// Panics if called by a process other than the designated writer.
+    #[inline]
     pub fn write_tagged(&self, ctx: &mut Ctx, value: T, tag: u64) -> Result<(), Halted> {
         assert_eq!(
             ctx.pid(),
@@ -163,6 +177,39 @@ impl<T: FastPod> Swmr<T> {
             writer,
         }
     }
+
+    /// Like [`Swmr::new_fast`] but allocates lane `lane` of a shared
+    /// [`ValueSlab`](bprc_sim::ValueSlab) (see
+    /// [`World::lane_reg`](bprc_sim::World::lane_reg)): under the packed
+    /// register plane, all the slab's version words are contiguous, which
+    /// is what makes the snapshot layer's batched seq validation touch
+    /// ⌈n/8⌉ cache lines. The SWMR discipline is unchanged.
+    pub fn new_lane(
+        world: &World,
+        slab: &bprc_sim::ValueSlab,
+        lane: usize,
+        name: impl Into<String>,
+        writer: usize,
+        init: T,
+    ) -> Self {
+        Swmr {
+            reg: world.lane_reg(slab, lane, name, init),
+            writer,
+        }
+    }
+}
+
+impl Swmr<bool> {
+    /// Like [`Swmr::new_fast`] for a single bit, riding the packed
+    /// bit-plane when the world's register plane is `Packed` (see
+    /// [`World::bit_reg`](bprc_sim::World::bit_reg)). The SWMR discipline
+    /// is unchanged.
+    pub fn new_bit(world: &World, name: impl Into<String>, writer: usize, init: bool) -> Self {
+        Swmr {
+            reg: world.bit_reg(name, init),
+            writer,
+        }
+    }
 }
 
 impl<T: FastDyn> Swmr<T> {
@@ -173,6 +220,23 @@ impl<T: FastDyn> Swmr<T> {
     pub fn new_fast_dyn(world: &World, name: impl Into<String>, writer: usize, init: T) -> Self {
         Swmr {
             reg: world.fast_reg_dyn(name, init),
+            writer,
+        }
+    }
+
+    /// The runtime-width counterpart of [`Swmr::new_lane`] (see
+    /// [`World::lane_reg_dyn`](bprc_sim::World::lane_reg_dyn)). The SWMR
+    /// discipline is unchanged.
+    pub fn new_lane_dyn(
+        world: &World,
+        slab: &bprc_sim::ValueSlab,
+        lane: usize,
+        name: impl Into<String>,
+        writer: usize,
+        init: T,
+    ) -> Self {
+        Swmr {
+            reg: world.lane_reg_dyn(slab, lane, name, init),
             writer,
         }
     }

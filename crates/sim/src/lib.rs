@@ -79,10 +79,12 @@ pub use explore::{
 pub use faults::{FaultPlan, FaultedStrategy, FaultedTurnAdversary};
 pub use history::FaultKind;
 pub use metrics::{Counter, Gauge, MetricsRegistry, PhaseEvent, PhaseKind, ProcMetrics, Telemetry};
-pub use reg::{FastDyn, FastPod, Reg, MAX_FAST_WORDS, MAX_FAST_WORDS_DYN};
+pub use reg::{
+    FastDyn, FastPod, Reg, BIT_CHUNK_BITS, MAX_FAST_WORDS, MAX_FAST_WORDS_DYN, NO_VERSION,
+};
 pub use sched::{Decision, ScheduleView, Strategy};
 pub use tracing::{
     now_nanos, EventKind, FlightLog, FlightRecorder, Heartbeat, Hist, Histogram, TraceEvent,
     DEFAULT_RING_CAPACITY,
 };
-pub use world::{Ctx, Mode, RegisterPlane, RunReport, World, WorldBuilder};
+pub use world::{Ctx, Mode, RegisterPlane, RunReport, ValueSlab, World, WorldBuilder};

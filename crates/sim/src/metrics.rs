@@ -116,6 +116,9 @@ counters! {
     ShrinkRuns => "shrink_runs",
     /// Crash decisions injected by the explorer's fault branches.
     FaultsInjected => "faults_injected",
+    /// Lazy-mode scans answered by revalidating and reusing the previous
+    /// view instead of a full double collect.
+    LazyScanHits => "lazy_scan_hits",
 }
 
 macro_rules! gauges {

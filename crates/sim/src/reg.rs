@@ -6,14 +6,14 @@
 //! only support reads and writes, and the algorithms here must live within
 //! that interface.
 //!
-//! # The two register planes
+//! # The register planes
 //!
-//! A register handle hides one of two backings:
+//! A register handle hides one of four backings:
 //!
 //! * **Locked** — the original `parking_lot::RwLock<T>` cell. Works for any
 //!   `T: Clone`, and is what [`World::reg`](crate::world::World::reg)
 //!   allocates.
-//! * **Fast** — a *seqlock*: the payload packed into a small array of
+//! * **Seq** — a *seqlock*: the payload packed into a small array of
 //!   `AtomicU64` words guarded by an even/odd version word. Readers are
 //!   lock-free (optimistic read, retry if the version moved); writers
 //!   acquire the odd state with a CAS, so even the paper's two-writer arrow
@@ -21,6 +21,18 @@
 //!   [`World::fast_reg`](crate::world::World::fast_reg) for payloads that
 //!   implement [`FastPod`]; payloads wider than [`MAX_FAST_WORDS`] words
 //!   fall back to the locked backing transparently.
+//! * **Bit** — a single boolean packed into one bit of a shared cache-line
+//!   chunk of atomic words ([`BIT_CHUNK_BITS`] = 512 booleans per line).
+//!   Raise/lower are `fetch_or`/`fetch_and` RMWs, so two writers on the
+//!   same bit — the paper's arrow registers — stay atomic, and neighbours
+//!   packed into the same word can never tear each other. Allocated by
+//!   [`World::bit_reg`](crate::world::World::bit_reg) under
+//!   `RegisterPlane::Packed`.
+//! * **Lane** — a seqlock lane inside a shared [`World::value_slab`]: all
+//!   `n` version words live in one contiguous array (and all payload words
+//!   in another), so a collect pass that only has to *check* versions walks
+//!   ⌈n/8⌉ cache lines instead of `n` scattered cells. Same even/odd
+//!   protocol as **Seq**, per lane.
 //!
 //! Both planes sit *behind* the world's access gate, so scheduling,
 //! telemetry counters and history recording are identical regardless of
@@ -55,6 +67,19 @@ pub const MAX_FAST_WORDS: usize = 4;
 /// precisely for payloads whose width depends on run parameters (the
 /// wait-free snapshot's embedded views grow with the process count `n`).
 pub const MAX_FAST_WORDS_DYN: usize = 64;
+
+/// Version token returned by [`Reg::read_changed`] when the backing has no
+/// seqlock version word (locked and bit cells). It is odd, so it can never
+/// equal a published (even) seqlock version: passing it back as the cached
+/// token always re-runs the closure, which is exactly the fail-safe
+/// behaviour those backings need.
+pub const NO_VERSION: u64 = u64::MAX;
+
+/// Atomic words per bit chunk — one 64-byte cache line.
+const BIT_CHUNK_WORDS: usize = 8;
+
+/// Single-bit registers packed per [`BitChunk`]: 8 words × 64 bits.
+pub const BIT_CHUNK_BITS: usize = BIT_CHUNK_WORDS * 64;
 
 /// Plain-old-data payloads that can ride the seqlock fast plane.
 ///
@@ -212,65 +237,248 @@ impl<T: FastDyn> SeqCell<T> {
     }
 }
 
-impl<T> SeqCell<T> {
-    /// Optimistic lock-free read: snapshot the version (must be even), read
-    /// the payload words, fence, re-check the version. A concurrent writer
-    /// moves the version, so a stable even version brackets a quiescent
-    /// window and the words form one consistent write.
-    fn load(&self) -> T {
-        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
-        loop {
-            let v1 = self.version.load(Ordering::Acquire);
-            if v1 & 1 == 1 {
-                std::hint::spin_loop();
-                continue;
-            }
-            for (b, w) in buf.iter_mut().zip(self.words.iter()) {
-                *b = w.load(Ordering::Relaxed);
-            }
-            // Orders the word loads before the version re-read; pairs with
-            // the writer's Release store of the even version.
-            fence(Ordering::Acquire);
-            if self.version.load(Ordering::Relaxed) == v1 {
-                return (self.unpack)(&buf[..self.words.len()]);
-            }
+/// The seqlock read protocol over any (version word, payload words) pair —
+/// shared by [`SeqCell`] (own words) and [`LaneCell`] (a lane of a shared
+/// slab). Optimistic lock-free read: snapshot the version (must be even),
+/// read the payload words, fence, re-check the version. A concurrent writer
+/// moves the version, so a stable even version brackets a quiescent window
+/// and the words form one consistent write. Returns the validated version.
+#[inline]
+fn seq_load_words(version: &AtomicU64, words: &[AtomicU64], buf: &mut [u64]) -> u64 {
+    loop {
+        let v1 = version.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
             std::hint::spin_loop();
+            continue;
         }
-    }
-
-    /// Writer: CAS the version even→odd (serializes concurrent writers —
-    /// the paper's arrow registers have two), store the words, publish the
-    /// next even version with Release.
-    fn store(&self, value: &T) {
-        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
-        (self.pack)(value, &mut buf[..self.words.len()]);
-        let mut v = self.version.load(Ordering::Relaxed);
-        loop {
-            if v & 1 == 1 {
-                std::hint::spin_loop();
-                v = self.version.load(Ordering::Relaxed);
-                continue;
-            }
-            match self
-                .version
-                .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
-            {
-                Ok(_) => break,
-                Err(cur) => v = cur,
-            }
+        for (b, w) in buf.iter_mut().zip(words.iter()) {
+            *b = w.load(Ordering::Relaxed);
         }
-        for (b, w) in buf.iter().zip(self.words.iter()) {
-            w.store(*b, Ordering::Relaxed);
+        // Orders the word loads before the version re-read; pairs with
+        // the writer's Release store of the even version.
+        fence(Ordering::Acquire);
+        if version.load(Ordering::Relaxed) == v1 {
+            return v1;
         }
-        self.version.store(v + 2, Ordering::Release);
+        std::hint::spin_loop();
     }
 }
 
-/// A register's storage: the locked plane (any `T`) or the seqlock fast
-/// plane (small [`FastPod`] payloads).
+/// The seqlock write protocol (shared like [`seq_load_words`]): CAS the
+/// version even→odd (serializes concurrent writers — the paper's arrow
+/// registers have two), store the words, publish the next even version with
+/// Release.
+#[inline]
+fn seq_store_words(version: &AtomicU64, words: &[AtomicU64], buf: &[u64]) {
+    let mut v = version.load(Ordering::Relaxed);
+    loop {
+        if v & 1 == 1 {
+            std::hint::spin_loop();
+            v = version.load(Ordering::Relaxed);
+            continue;
+        }
+        match version.compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(cur) => v = cur,
+        }
+    }
+    for (b, w) in buf.iter().zip(words.iter()) {
+        w.store(*b, Ordering::Relaxed);
+    }
+    version.store(v + 2, Ordering::Release);
+}
+
+/// Version-token read: if the current version still equals `cached`, no
+/// write has been published since the read that produced `cached` (the
+/// writer's even→odd CAS is a globally visible RMW, so "version unchanged"
+/// proves no write even *began* publishing) — the payload words are
+/// provably identical to what that read returned and are not touched at
+/// all. Otherwise this is [`seq_load_words`]. Returns `(version, loaded)`;
+/// `loaded == false` means `buf` was left alone.
+#[inline]
+fn seq_load_words_changed(
+    version: &AtomicU64,
+    words: &[AtomicU64],
+    cached: u64,
+    buf: &mut [u64],
+) -> (u64, bool) {
+    let v = version.load(Ordering::Acquire);
+    if v == cached && v & 1 == 0 {
+        return (v, false);
+    }
+    (seq_load_words(version, words, buf), true)
+}
+
+impl<T> SeqCell<T> {
+    fn load(&self) -> T {
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        seq_load_words(&self.version, &self.words, &mut buf[..self.words.len()]);
+        (self.unpack)(&buf[..self.words.len()])
+    }
+
+    fn store(&self, value: &T) {
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        (self.pack)(value, &mut buf[..self.words.len()]);
+        seq_store_words(&self.version, &self.words, &buf[..self.words.len()]);
+    }
+
+    /// See [`seq_load_words_changed`]: skips unpacking (and `f`) entirely
+    /// when the version token proves the register unchanged.
+    fn load_if_changed(&self, cached: u64, f: impl FnOnce(&T)) -> u64 {
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        let (v, loaded) = seq_load_words_changed(
+            &self.version,
+            &self.words,
+            cached,
+            &mut buf[..self.words.len()],
+        );
+        if loaded {
+            f(&(self.unpack)(&buf[..self.words.len()]));
+        }
+        v
+    }
+}
+
+/// One cache line of packed single-bit registers: 8 atomic words = 512
+/// booleans. All mutation is RMW (`fetch_or` to set, `fetch_and` to clear),
+/// so bits sharing a word never tear each other and even a *two-writer* bit
+/// (the paper's arrow registers: writer raises, scanner lowers) stays
+/// atomic without a version word.
+#[repr(align(64))]
+pub(crate) struct BitChunk {
+    words: [AtomicU64; BIT_CHUNK_WORDS],
+}
+
+impl BitChunk {
+    pub(crate) fn new() -> Self {
+        BitChunk {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// One bit of a shared [`BitChunk`]. The `to_bit`/`from_bit` function
+/// pointers exist only so the type-erased [`Backing`] enum stays generic;
+/// in practice `T = bool` and both are the identity.
+struct BitCell<T> {
+    chunk: Arc<BitChunk>,
+    word: usize,
+    mask: u64,
+    to_bit: fn(&T) -> bool,
+    from_bit: fn(bool) -> T,
+}
+
+impl BitCell<bool> {
+    fn new(chunk: Arc<BitChunk>, bit: usize, init: bool) -> Self {
+        let cell = BitCell {
+            chunk,
+            word: bit / 64,
+            mask: 1u64 << (bit % 64),
+            to_bit: |b: &bool| *b,
+            from_bit: |b| b,
+        };
+        cell.set(init);
+        cell
+    }
+}
+
+impl<T> BitCell<T> {
+    #[inline]
+    fn get(&self) -> bool {
+        self.chunk.words[self.word].load(Ordering::SeqCst) & self.mask != 0
+    }
+
+    #[inline]
+    fn set(&self, bit: bool) {
+        let w = &self.chunk.words[self.word];
+        if bit {
+            w.fetch_or(self.mask, Ordering::SeqCst);
+        } else {
+            w.fetch_and(!self.mask, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A contiguous slab of seqlock lanes: every lane's version word lives in
+/// one shared array (`versions`), every lane's payload words in another
+/// (`words`, stride `lane_words`). A collect pass whose buffered copies are
+/// still valid therefore touches only ⌈lanes/8⌉ version cache lines — the
+/// payload arrays stay cold. Allocated by
+/// [`World::value_slab`](crate::world::World::value_slab).
+pub(crate) struct LaneSlab {
+    lane_words: usize,
+    versions: Box<[AtomicU64]>,
+    words: Box<[AtomicU64]>,
+}
+
+impl LaneSlab {
+    pub(crate) fn new(lanes: usize, lane_words: usize) -> Self {
+        assert!(lanes >= 1 && lane_words >= 1);
+        LaneSlab {
+            lane_words,
+            versions: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..lanes * lane_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    pub(crate) fn lanes(&self) -> usize {
+        self.versions.len()
+    }
+
+    #[inline]
+    fn parts(&self, lane: usize) -> (&AtomicU64, &[AtomicU64]) {
+        let lo = lane * self.lane_words;
+        (&self.versions[lane], &self.words[lo..lo + self.lane_words])
+    }
+}
+
+/// One lane of a [`LaneSlab`] — the seqlock protocol of [`SeqCell`], with
+/// the version and payload words held in the slab's shared arrays.
+struct LaneCell<T> {
+    slab: Arc<LaneSlab>,
+    lane: usize,
+    pack: fn(&T, &mut [u64]),
+    unpack: fn(&[u64]) -> T,
+}
+
+impl<T> LaneCell<T> {
+    fn load(&self) -> T {
+        let (version, words) = self.slab.parts(self.lane);
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        seq_load_words(version, words, &mut buf[..words.len()]);
+        (self.unpack)(&buf[..words.len()])
+    }
+
+    fn store(&self, value: &T) {
+        let (version, words) = self.slab.parts(self.lane);
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        (self.pack)(value, &mut buf[..words.len()]);
+        seq_store_words(version, words, &buf[..words.len()]);
+    }
+
+    fn load_if_changed(&self, cached: u64, f: impl FnOnce(&T)) -> u64 {
+        let (version, words) = self.slab.parts(self.lane);
+        let mut buf = [0u64; MAX_FAST_WORDS_DYN];
+        let (v, loaded) = seq_load_words_changed(version, words, cached, &mut buf[..words.len()]);
+        if loaded {
+            f(&(self.unpack)(&buf[..words.len()]));
+        }
+        v
+    }
+}
+
+/// A register's storage: the locked plane (any `T`), the seqlock fast
+/// plane (small [`FastPod`] payloads), one bit of a shared [`BitChunk`], or
+/// a lane of a shared [`LaneSlab`].
 enum Backing<T> {
     Lock(RwLock<T>),
     Seq(SeqCell<T>),
+    Bit(BitCell<T>),
+    Lane(LaneCell<T>),
 }
 
 impl<T: Clone> Backing<T> {
@@ -279,6 +487,8 @@ impl<T: Clone> Backing<T> {
         match self {
             Backing::Lock(l) => l.read().clone(),
             Backing::Seq(s) => s.load(),
+            Backing::Bit(b) => (b.from_bit)(b.get()),
+            Backing::Lane(c) => c.load(),
         }
     }
 
@@ -287,6 +497,8 @@ impl<T: Clone> Backing<T> {
         match self {
             Backing::Lock(l) => *l.write() = value,
             Backing::Seq(s) => s.store(&value),
+            Backing::Bit(b) => b.set((b.to_bit)(&value)),
+            Backing::Lane(c) => c.store(&value),
         }
     }
 
@@ -298,6 +510,28 @@ impl<T: Clone> Backing<T> {
         match self {
             Backing::Lock(l) => f(&l.read()),
             Backing::Seq(s) => f(&s.load()),
+            Backing::Bit(b) => f(&(b.from_bit)(b.get())),
+            Backing::Lane(c) => f(&c.load()),
+        }
+    }
+
+    /// Version-token read (see [`Reg::read_changed`]): seqlock backings skip
+    /// `f` — without even touching the payload words — when the version
+    /// still equals `cached`; the locked and bit backings have no version
+    /// word, always run `f`, and return [`NO_VERSION`].
+    #[inline]
+    fn with_changed(&self, cached: u64, f: impl FnOnce(&T)) -> u64 {
+        match self {
+            Backing::Lock(l) => {
+                f(&l.read());
+                NO_VERSION
+            }
+            Backing::Seq(s) => s.load_if_changed(cached, f),
+            Backing::Bit(b) => {
+                f(&(b.from_bit)(b.get()));
+                NO_VERSION
+            }
+            Backing::Lane(c) => c.load_if_changed(cached, f),
         }
     }
 }
@@ -347,9 +581,23 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
         self.id
     }
 
-    /// Whether this register rides the seqlock fast plane.
+    /// Whether this register rides a lock-free backing (seqlock cell,
+    /// packed bit, or slab lane) rather than the `RwLock` cell.
     pub fn is_fast(&self) -> bool {
-        matches!(*self.cell, Backing::Seq(_))
+        !matches!(*self.cell, Backing::Lock(_))
+    }
+
+    /// Whether this register is one bit of a packed [`BitChunk`].
+    pub fn is_bit(&self) -> bool {
+        matches!(*self.cell, Backing::Bit(_))
+    }
+
+    /// Whether this register is a lane of a shared [`World::value_slab`]
+    /// (contiguous version words).
+    ///
+    /// [`World::value_slab`]: crate::world::World::value_slab
+    pub fn is_lane(&self) -> bool {
+        matches!(*self.cell, Backing::Lane(_))
     }
 
     /// Atomically reads the register (one scheduled step).
@@ -381,6 +629,43 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
             .access(ctx.pid(), OpKind::Read, self.id, 0, || cell.with(f))
     }
 
+    /// Atomically reads the register with a *version token*: one scheduled
+    /// step, identical history/telemetry footprint to
+    /// [`read_with`](Reg::read_with), but when the caller already holds a
+    /// copy validated at token `cached` and the register provably has not
+    /// been written since, `f` is **skipped entirely** — the payload words
+    /// are not even loaded. Returns the new token to cache.
+    ///
+    /// Soundness: on the seqlock backings the token is the cell's even/odd
+    /// version word. A writer's first publishing act is an atomic even→odd
+    /// CAS on that word, so observing `version == cached` (Acquire) proves
+    /// no write began publishing after the read that produced `cached` —
+    /// the skip linearizes as an ordinary optimistic read that won the
+    /// race. Backings without a version word (locked, bit) always run `f`
+    /// and return [`NO_VERSION`], which never matches.
+    ///
+    /// The snapshot layer's batched collect validation is built on this:
+    /// with the value registers on a [`World::value_slab`], a steady
+    /// collect walks only the slab's contiguous version array.
+    ///
+    /// [`World::value_slab`]: crate::world::World::value_slab
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    #[inline]
+    pub fn read_changed(
+        &self,
+        ctx: &mut Ctx,
+        cached: u64,
+        f: impl FnOnce(&T),
+    ) -> Result<u64, Halted> {
+        let cell = &*self.cell;
+        ctx.inner().access(ctx.pid(), OpKind::Read, self.id, 0, || {
+            cell.with_changed(cached, f)
+        })
+    }
+
     /// Atomically writes the register (one scheduled step).
     ///
     /// # Errors
@@ -404,28 +689,6 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
         let cell = &*self.cell;
         ctx.inner()
             .access(ctx.pid(), OpKind::Write, self.id, tag, || cell.store(value))
-    }
-
-    /// Pre-optimization read path, kept only so the throughput bench's
-    /// before/after comparison can reconstruct the original hot path
-    /// faithfully: the world handle is cloned per access and the wrapper is
-    /// never inlined, exactly as the seed code behaved. Semantics are
-    /// identical to [`read`](Reg::read).
-    #[doc(hidden)]
-    #[inline(never)]
-    pub fn read_prechange(&self, ctx: &mut Ctx) -> Result<T, Halted> {
-        let world = Arc::clone(&self.world);
-        let cell = &*self.cell;
-        world.access(ctx.pid(), OpKind::Read, self.id, 0, || cell.load())
-    }
-
-    /// Pre-optimization write path; see [`read_prechange`](Reg::read_prechange).
-    #[doc(hidden)]
-    #[inline(never)]
-    pub fn write_prechange(&self, ctx: &mut Ctx, value: T) -> Result<(), Halted> {
-        let world = Arc::clone(&self.world);
-        let cell = &*self.cell;
-        world.access(ctx.pid(), OpKind::Write, self.id, 0, || cell.store(value))
     }
 
     /// Reads the register **without scheduling** — for adversary strategies,
@@ -459,7 +722,79 @@ impl<T: FastPod + Clone + Send + Sync + 'static> Reg<T> {
     }
 }
 
+impl Reg<bool> {
+    /// Allocates one bit of `chunk` (bit index `bit`, chunk-relative).
+    /// Called via [`World::bit_reg`](crate::world::World::bit_reg) under
+    /// `RegisterPlane::Packed`.
+    pub(crate) fn new_bit(
+        id: RegId,
+        init: bool,
+        world: Arc<WorldInner>,
+        chunk: Arc<BitChunk>,
+        bit: usize,
+    ) -> Self {
+        debug_assert!(bit < BIT_CHUNK_BITS);
+        Reg {
+            id,
+            cell: Arc::new(Backing::Bit(BitCell::new(chunk, bit, init))),
+            world,
+        }
+    }
+}
+
+impl<T: FastPod + Clone + Send + Sync + 'static> Reg<T> {
+    /// Allocates lane `lane` of `slab` (whose stride must equal
+    /// `T::WORDS`). Called via
+    /// [`World::lane_reg`](crate::world::World::lane_reg).
+    pub(crate) fn new_lane(
+        id: RegId,
+        init: T,
+        world: Arc<WorldInner>,
+        slab: Arc<LaneSlab>,
+        lane: usize,
+    ) -> Self {
+        debug_assert_eq!(slab.lane_words(), T::WORDS);
+        let cell = LaneCell {
+            slab,
+            lane,
+            pack: T::pack,
+            unpack: T::unpack,
+        };
+        cell.store(&init);
+        Reg {
+            id,
+            cell: Arc::new(Backing::Lane(cell)),
+            world,
+        }
+    }
+}
+
 impl<T: FastDyn> Reg<T> {
+    /// The runtime-width counterpart of [`new_lane`](Reg::new_lane): the
+    /// slab stride must equal the initial value's [`FastDyn::dyn_words`].
+    /// Called via [`World::lane_reg_dyn`](crate::world::World::lane_reg_dyn).
+    pub(crate) fn new_lane_dyn(
+        id: RegId,
+        init: T,
+        world: Arc<WorldInner>,
+        slab: Arc<LaneSlab>,
+        lane: usize,
+    ) -> Self {
+        debug_assert_eq!(slab.lane_words(), init.dyn_words());
+        let cell = LaneCell {
+            slab,
+            lane,
+            pack: T::pack_dyn,
+            unpack: T::unpack_dyn,
+        };
+        cell.store(&init);
+        Reg {
+            id,
+            cell: Arc::new(Backing::Lane(cell)),
+            world,
+        }
+    }
+
     /// The runtime-width counterpart of [`new_fast`](Reg::new_fast): takes
     /// the seqlock backing when the initial value's [`FastDyn::dyn_words`]
     /// fits [`MAX_FAST_WORDS_DYN`] (and the world's plane allows it), the

@@ -89,6 +89,11 @@ events! {
     Steal => "steal",
     /// An explorer worker started executing a job (arg: job index).
     Execute => "execute",
+    /// A lazy-mode scan revalidated and reused its previous view instead
+    /// of running a full double collect (arg: probe reads performed).
+    /// Appended after the original kinds so existing ring-event codes are
+    /// stable.
+    ScanReuse => "scan_reuse",
 }
 
 impl std::fmt::Display for EventKind {
@@ -407,6 +412,10 @@ hists! {
     /// Wall-clock nanoseconds from a process's first step to its
     /// decision.
     DecisionLatencyNs => "decision_latency_ns",
+    /// Wall-clock nanoseconds per *reused-view* lazy scan (the validity
+    /// probe pass only) — kept separate from [`Hist::ScanLatencyNs`] so
+    /// profile documents can tell amortized scans from full collects.
+    LazyScanLatencyNs => "lazy_scan_latency_ns",
 }
 
 /// Number of power-of-two buckets: bucket `b` holds values whose bit

@@ -33,17 +33,27 @@ pub enum Mode {
     Free,
 }
 
-/// Which storage plane [`World::fast_reg`] allocates registers on.
+/// Which storage plane [`World::fast_reg`] (and the packed allocators
+/// [`World::bit_reg`] / [`World::value_slab`]) put registers on.
 ///
-/// Scheduling, telemetry and history are identical on both planes — the
+/// Scheduling, telemetry and history are identical on every plane — the
 /// plane only decides how a *granted* access touches memory. The `Locked`
 /// setting exists so benchmarks can measure the pre-seqlock register stack
-/// in the same binary.
+/// in the same binary; `Fast` keeps the pre-packing seqlock layout
+/// (individual cells, no sharing) for the same reason.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RegisterPlane {
-    /// Small POD payloads get a lock-free seqlock cell; larger payloads
-    /// fall back to the locked cell. The default.
+    /// Cache-packed: single-bit registers share [`BIT_CHUNK_BITS`]-bit
+    /// cache-line chunks ([`World::bit_reg`]), and value slots allocated
+    /// through a [`World::value_slab`] become seqlock lanes with all
+    /// version words contiguous. Everything else behaves as `Fast`. The
+    /// default.
+    ///
+    /// [`BIT_CHUNK_BITS`]: crate::reg::BIT_CHUNK_BITS
     #[default]
+    Packed,
+    /// Small POD payloads get an individually allocated lock-free seqlock
+    /// cell; larger payloads fall back to the locked cell. No packing.
     Fast,
     /// Every register uses the original `RwLock` cell, even when the
     /// payload would fit the seqlock.
@@ -52,6 +62,33 @@ pub enum RegisterPlane {
 
 /// A process body run by [`World::run`].
 pub type ProcBody<T> = Box<dyn FnOnce(&mut Ctx) -> Result<T, Halted> + Send + 'static>;
+
+/// A handle on a contiguous slab of seqlock value lanes, allocated by
+/// [`World::value_slab`] and consumed by [`World::lane_reg`] /
+/// [`World::lane_reg_dyn`]. On planes other than
+/// [`RegisterPlane::Packed`] the handle is inert and lane allocation falls
+/// back to individual cells.
+pub struct ValueSlab {
+    lane_words: usize,
+    slab: Option<Arc<crate::reg::LaneSlab>>,
+}
+
+impl ValueSlab {
+    /// Whether lanes allocated from this slab actually share the packed
+    /// layout (false on non-`Packed` planes or oversized strides).
+    pub fn is_packed(&self) -> bool {
+        self.slab.is_some()
+    }
+}
+
+impl std::fmt::Debug for ValueSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueSlab")
+            .field("lane_words", &self.lane_words)
+            .field("packed", &self.is_packed())
+            .finish()
+    }
+}
 
 /// What one run produced.
 #[derive(Debug)]
@@ -142,6 +179,15 @@ pub(crate) struct WorldInner {
     reg_names: Mutex<Vec<String>>,
     metrics: MetricsRegistry,
     recorder: FlightRecorder,
+    /// Bump allocator for [`World::bit_reg`] bits: the current bit chunk
+    /// and how many of its bits are handed out.
+    bit_alloc: Mutex<BitAlloc>,
+}
+
+#[derive(Default)]
+struct BitAlloc {
+    chunk: Option<Arc<crate::reg::BitChunk>>,
+    used: usize,
 }
 
 impl WorldInner {
@@ -538,8 +584,9 @@ impl WorldBuilder {
         self
     }
 
-    /// Selects the storage plane for [`World::fast_reg`] allocations
-    /// (default [`RegisterPlane::Fast`]).
+    /// Selects the storage plane for [`World::fast_reg`] /
+    /// [`World::bit_reg`] / [`World::value_slab`] allocations
+    /// (default [`RegisterPlane::Packed`]).
     pub fn register_plane(mut self, plane: RegisterPlane) -> Self {
         self.plane = plane;
         self
@@ -582,6 +629,7 @@ impl WorldBuilder {
                 reg_names: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(self.n),
                 recorder: FlightRecorder::new(self.n, self.trace_capacity),
+                bit_alloc: Mutex::new(BitAlloc::default()),
             }),
             used: false,
         }
@@ -682,8 +730,115 @@ impl World {
             id,
             init,
             Arc::clone(&self.inner),
-            self.inner.plane == RegisterPlane::Fast,
+            self.inner.plane != RegisterPlane::Locked,
         )
+    }
+
+    /// Allocates a single-bit register. Under [`RegisterPlane::Packed`]
+    /// the bit lands in a shared cache-line chunk
+    /// ([`BIT_CHUNK_BITS`](crate::reg::BIT_CHUNK_BITS) booleans per line;
+    /// mutation is `fetch_or`/`fetch_and`, so even two-writer bits — the
+    /// paper's arrows — stay atomic and neighbours cannot tear each
+    /// other). On the other planes this is identical to
+    /// [`World::fast_reg`] / [`World::reg`].
+    ///
+    /// Access semantics — scheduling, counters, recorded history — do not
+    /// depend on which plane the register lands on.
+    pub fn bit_reg(&self, name: impl Into<String>, init: bool) -> crate::reg::Reg<bool> {
+        if self.inner.plane != RegisterPlane::Packed {
+            return self.fast_reg(name, init);
+        }
+        let mut names = self.inner.reg_names.lock();
+        let id = names.len();
+        names.push(name.into());
+        drop(names);
+        let mut alloc = self.inner.bit_alloc.lock();
+        let chunk = match &alloc.chunk {
+            Some(c) if alloc.used < crate::reg::BIT_CHUNK_BITS => Arc::clone(c),
+            _ => {
+                let c = Arc::new(crate::reg::BitChunk::new());
+                alloc.chunk = Some(Arc::clone(&c));
+                alloc.used = 0;
+                c
+            }
+        };
+        let bit = alloc.used;
+        alloc.used += 1;
+        drop(alloc);
+        crate::reg::Reg::new_bit(id, init, Arc::clone(&self.inner), chunk, bit)
+    }
+
+    /// Allocates a shared slab of `lanes` seqlock lanes, `lane_words`
+    /// payload words each, for use with [`World::lane_reg`] /
+    /// [`World::lane_reg_dyn`]. All version words are contiguous, so a
+    /// collect pass validating `lanes` buffered copies through
+    /// [`Reg::read_changed`](crate::reg::Reg::read_changed) touches
+    /// ⌈lanes/8⌉ cache lines instead of `lanes` scattered cells.
+    ///
+    /// On planes other than [`RegisterPlane::Packed`] (or when
+    /// `lane_words` exceeds
+    /// [`MAX_FAST_WORDS_DYN`](crate::reg::MAX_FAST_WORDS_DYN)) the slab is
+    /// inert and the lane allocators fall back to [`World::fast_reg`]-style
+    /// individual cells — a representation knob, never a semantics change.
+    pub fn value_slab(&self, lanes: usize, lane_words: usize) -> ValueSlab {
+        let packed = self.inner.plane == RegisterPlane::Packed
+            && lane_words >= 1
+            && lane_words <= crate::reg::MAX_FAST_WORDS_DYN;
+        ValueSlab {
+            lane_words,
+            slab: packed.then(|| Arc::new(crate::reg::LaneSlab::new(lanes, lane_words))),
+        }
+    }
+
+    /// Allocates lane `lane` of `slab` as a register (packed width
+    /// `T::WORDS` must match the slab's stride); falls back to
+    /// [`World::fast_reg`] when the slab is inert or the width differs.
+    pub fn lane_reg<T: crate::reg::FastPod>(
+        &self,
+        slab: &ValueSlab,
+        lane: usize,
+        name: impl Into<String>,
+        init: T,
+    ) -> crate::reg::Reg<T> {
+        match &slab.slab {
+            Some(s) if T::WORDS == slab.lane_words && lane < s.lanes() => {
+                let mut names = self.inner.reg_names.lock();
+                let id = names.len();
+                names.push(name.into());
+                drop(names);
+                crate::reg::Reg::new_lane(id, init, Arc::clone(&self.inner), Arc::clone(s), lane)
+            }
+            _ => self.fast_reg(name, init),
+        }
+    }
+
+    /// The runtime-width counterpart of [`World::lane_reg`]: the initial
+    /// value's [`FastDyn::dyn_words`](crate::reg::FastDyn::dyn_words) must
+    /// match the slab's stride (every later write must pack to the same
+    /// width, as with [`World::fast_reg_dyn`]).
+    pub fn lane_reg_dyn<T: crate::reg::FastDyn>(
+        &self,
+        slab: &ValueSlab,
+        lane: usize,
+        name: impl Into<String>,
+        init: T,
+    ) -> crate::reg::Reg<T> {
+        match &slab.slab {
+            Some(s) if init.dyn_words() == slab.lane_words && lane < s.lanes() => {
+                let mut names = self.inner.reg_names.lock();
+                let id = names.len();
+                names.push(name.into());
+                drop(names);
+                crate::reg::Reg::new_lane_dyn(
+                    id,
+                    init,
+                    Arc::clone(&self.inner),
+                    Arc::clone(s),
+                    lane,
+                )
+            }
+            _ => self.fast_reg_dyn(name, init),
+        }
     }
 
     /// Allocates a register on the seqlock fast plane when the payload's
@@ -707,7 +862,7 @@ impl World {
             id,
             init,
             Arc::clone(&self.inner),
-            self.inner.plane == RegisterPlane::Fast,
+            self.inner.plane != RegisterPlane::Locked,
         )
     }
 

@@ -59,6 +59,15 @@ pub trait SnapshotPort<T>: Send + 'static {
     ///
     /// As for [`scan`](SnapshotPort::scan).
     fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted>;
+
+    /// Switches the port's amortized *lazy-scan* mode, where a scan whose
+    /// previous view is provably still intact revalidates it with one probe
+    /// pass and reuses it (see
+    /// [`Port::set_lazy`](crate::memory::Port::set_lazy)). Off by default;
+    /// the default impl is a no-op for ports without an amortized path.
+    fn set_lazy(&mut self, lazy: bool) {
+        let _ = lazy;
+    }
 }
 
 /// A snapshot object: allocates in a [`World`], hands each process its
@@ -186,6 +195,10 @@ where
     fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
         Port::scan_into(self, ctx, out)
     }
+
+    fn set_lazy(&mut self, lazy: bool) {
+        Port::set_lazy(self, lazy);
+    }
 }
 
 impl<T> SnapshotBackend<T> for WaitFreeSnapshot<T>
@@ -242,6 +255,10 @@ where
 
     fn scan_into(&mut self, ctx: &mut Ctx, out: &mut Vec<T>) -> Result<(), Halted> {
         WfPort::scan_into(self, ctx, out)
+    }
+
+    fn set_lazy(&mut self, lazy: bool) {
+        WfPort::set_lazy(self, lazy);
     }
 }
 

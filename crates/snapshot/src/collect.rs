@@ -42,10 +42,21 @@ pub(crate) fn claim_port(taken: &[AtomicBool], pid: usize) {
 }
 
 /// One collect pass over everyone else's register, into the persistent
-/// buffer `buf`: slots whose ghost seq is unchanged since the buffered copy
-/// are provably identical and are not re-cloned. Returns the number of
-/// register reads performed (the caller flushes them into stats once the
-/// attempt's accounting point is reached).
+/// buffer `buf`, with **batched validation** through the per-slot version
+/// tokens `vers` (see [`bprc_sim::Reg::read_changed`]): a slot whose
+/// register's seqlock version word still equals the cached token is
+/// provably untouched — the payload words are never loaded, the slot is
+/// not unpacked, nothing is cloned. With the value registers on a
+/// [`bprc_sim::World::value_slab`], the version words of all `n` slots are
+/// contiguous, so a steady pass sweeps ⌈n/8⌉ cache lines and deep-copies
+/// only the (usually few) changed slots. On backings without version words
+/// (`NO_VERSION` tokens) the pass degrades to the previous behaviour:
+/// every slot is read, and the ghost-seq comparison still skips the clone.
+///
+/// Returns the number of register reads performed (the caller flushes them
+/// into stats once the attempt's accounting point is reached). Each read is
+/// still one scheduled step — the packing changes how a granted access
+/// touches memory, never how many accesses happen.
 ///
 /// # Errors
 ///
@@ -55,6 +66,7 @@ pub(crate) fn collect_pass<S: SeqSlot>(
     values: &[Swmr<S>],
     me: usize,
     buf: &mut [S],
+    vers: &mut [u64],
 ) -> Result<u64, Halted> {
     let mut reads = 0;
     for (j, reg) in values.iter().enumerate() {
@@ -63,7 +75,7 @@ pub(crate) fn collect_pass<S: SeqSlot>(
         }
         let slot = &mut buf[j];
         reads += 1;
-        reg.read_with(ctx, |s| {
+        vers[j] = reg.read_changed(ctx, vers[j], |s| {
             if slot.ghost_seq() != s.ghost_seq() {
                 slot.clone_from(s);
             }
@@ -144,6 +156,37 @@ pub(crate) fn finish_scan(
     ctx.trace_event(EventKind::ScanEnd, attempts);
     ctx.hist_record(
         Hist::ScanLatencyNs,
+        now_nanos().saturating_sub(span.start_nanos),
+    );
+}
+
+/// Closes a *lazy* scan that revalidated and reused its previous view
+/// instead of running a full double collect. Same success footprint as
+/// [`finish_scan`] — a reused view IS a completed scan: `SCAN_END`
+/// annotation, `scans`/[`Counter::Scans`], the [`EventKind::ScanEnd`] ring
+/// event — plus the reuse-specific telemetry that keeps amortized scans
+/// distinguishable from full collects: [`Counter::LazyScanHits`], an
+/// [`EventKind::ScanReuse`] ring event (arg: probe reads performed), and
+/// the probe latency into [`Hist::LazyScanLatencyNs`] rather than the
+/// full-collect histogram.
+pub(crate) fn finish_reuse(
+    ctx: &mut Ctx,
+    stats: &ScanStats,
+    span: ScanSpan,
+    attempts: u64,
+    probe_reads: u64,
+    seqs: impl FnOnce() -> Vec<u64>,
+) {
+    if ctx.recording() {
+        ctx.annotate(labels::SCAN_END, seqs());
+    }
+    stats.scans.fetch_add(1, Ordering::Relaxed);
+    ctx.count(Counter::Scans, 1);
+    ctx.count(Counter::LazyScanHits, 1);
+    ctx.trace_event(EventKind::ScanReuse, probe_reads);
+    ctx.trace_event(EventKind::ScanEnd, attempts);
+    ctx.hist_record(
+        Hist::LazyScanLatencyNs,
         now_nanos().saturating_sub(span.start_nanos),
     );
 }

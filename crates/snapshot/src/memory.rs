@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::{ArrowCell, Swmr};
-use bprc_sim::{Counter, Ctx, FastPod, Halted, PhaseKind, World};
+use bprc_sim::{Counter, Ctx, FastPod, Halted, PhaseKind, World, NO_VERSION};
 
 /// History annotation labels used by this construction (consumed by
 /// [`crate::checker`]).
@@ -142,15 +142,22 @@ where
     }
 
     /// Like [`ScannableMemory::new`], but allocates the value registers on
-    /// the world's seqlock fast plane. Payloads whose packed slot exceeds
-    /// the plane's width — and worlds built with
-    /// `RegisterPlane::Locked` — transparently keep the locked cells, so
-    /// this only ever changes the memory representation, never semantics.
+    /// the world's fast register plane — as lanes of one shared
+    /// [`value slab`](World::value_slab), so under the packed plane the `n`
+    /// seqlock version words sit contiguously and a steady collect's
+    /// batched validation sweeps ⌈n/8⌉ cache lines instead of `n`.
+    /// Payloads whose packed slot exceeds the plane's width — and worlds
+    /// built with `RegisterPlane::Locked` — transparently keep the locked
+    /// cells, so this only ever changes the memory representation, never
+    /// semantics.
     pub fn new_fast(world: &World, n: usize, init: T) -> Self
     where
         T: FastPod,
     {
-        Self::build(world, n, init, Swmr::new_fast)
+        let slab = world.value_slab(n, Slot::<T>::WORDS);
+        Self::build(world, n, init, move |w, name, i, slot| {
+            Swmr::new_lane(w, &slab, i, name, i, slot)
+        })
     }
 
     fn build(
@@ -213,6 +220,7 @@ where
     pub fn port(&self, pid: usize) -> Port<T, A> {
         crate::collect::claim_port(&self.shared.port_taken, pid);
         let snap: Vec<Slot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
+        let n = self.shared.n;
         Port {
             shared: Arc::clone(&self.shared),
             me: pid,
@@ -220,6 +228,10 @@ where
             seq: 0,
             c1: snap.clone(),
             c2: snap,
+            v1: vec![NO_VERSION; n],
+            v2: vec![NO_VERSION; n],
+            lazy: false,
+            view_valid: false,
         }
     }
 
@@ -285,6 +297,19 @@ pub struct Port<T, A> {
     /// and the checker, never the algorithm's stability decision.
     c1: Vec<Slot<T>>,
     c2: Vec<Slot<T>>,
+    /// Per-slot seqlock version tokens keyed to `c1`/`c2` (see
+    /// [`bprc_sim::Reg::read_changed`]): when a register's version word
+    /// still equals the token, the payload is provably untouched and the
+    /// collect skips loading/unpacking it entirely. `NO_VERSION` on
+    /// backings without version words — those always read.
+    v1: Vec<u64>,
+    v2: Vec<u64>,
+    /// Amortized-scan mode (opt-in, see [`Port::set_lazy`]).
+    lazy: bool,
+    /// Whether `c2` still holds the view certified by the last successful
+    /// scan, with no local update since — the precondition for a lazy
+    /// scan's revalidate-and-reuse fast path.
+    view_valid: bool,
 }
 
 impl<T, A> std::fmt::Debug for Port<T, A> {
@@ -309,6 +334,31 @@ where
     /// The value this process last wrote (initially the memory's `init`).
     pub fn last_written(&self) -> &T {
         &self.last.value
+    }
+
+    /// Switches the port's amortized *lazy-scan* mode (off by default).
+    ///
+    /// A lazy scan whose previous view is still intact first runs a single
+    /// **probe pass**: one version-token read per other slot, no arrow
+    /// writes. If every probe certifies its register unwritten since the
+    /// view was taken, the old view is returned as-is — it linearizes at
+    /// the first probe read (each probe proves no write completed between
+    /// the old scan and itself, so at the first probe's instant every
+    /// register still holds its viewed value). Any change falls back into
+    /// the normal double-collect loop, with the probe's reads retained as a
+    /// warm cache. The probe counts as a scan attempt, so the
+    /// `ScanAttempts == Scans + ScanRetries` telemetry identity holds
+    /// either way; a reuse is reported via [`Counter::LazyScanHits`]
+    /// (`bprc_sim::Counter`), an `EventKind::ScanReuse` ring event, and the
+    /// `Hist::LazyScanLatencyNs` histogram, keeping it distinguishable
+    /// from full collects in profiles.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+    }
+
+    /// Whether amortized lazy-scan mode is on.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// Publishes `value` (the paper's `write` procedure): raise every arrow
@@ -336,6 +386,9 @@ where
         self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
         self.last = slot;
         self.seq = seq;
+        // The cached view no longer includes this process's latest write —
+        // a lazy scan must not reuse it.
+        self.view_valid = false;
         ctx.annotate(labels::UPD_END, vec![seq]);
         self.shared.stats[self.me]
             .updates
@@ -403,6 +456,58 @@ where
         let budget = self.shared.scan_retry_budget.load(Ordering::Relaxed);
         let mut attempt = crate::collect::AttemptTracker::default();
         let span = crate::collect::begin_scan(ctx);
+        // Lazy fast path: revalidate the previous view with one probe pass
+        // and reuse it if nothing moved (see [`Port::set_lazy`]). A failed
+        // probe falls through into the normal loop below — the probe's
+        // buffers are kept as a warm cache, but they are NOT the attempt's
+        // protocol collect (arrows must be lowered before that one starts).
+        if self.lazy && self.view_valid {
+            attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
+            let mut reads = 0;
+            let mut changed = false;
+            {
+                let (c2, v2) = (&mut self.c2, &mut self.v2);
+                for j in 0..n {
+                    if j == self.me {
+                        continue;
+                    }
+                    reads += 1;
+                    let slot = &mut c2[j];
+                    let mut delta = false;
+                    v2[j] = self.shared.values[j].read_changed(ctx, v2[j], |s| {
+                        if slot.seq != s.seq {
+                            slot.clone_from(s);
+                            delta = true;
+                        }
+                    })?;
+                    if delta {
+                        // Doomed reuse — stop probing (failure path only).
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
+            if !changed {
+                let c2 = &self.c2;
+                crate::collect::finish_reuse(
+                    ctx,
+                    &self.shared.stats[self.me],
+                    span,
+                    attempt.tries(),
+                    reads,
+                    || c2.iter().map(|s| s.seq).collect(),
+                );
+                return Ok(());
+            }
+            self.view_valid = false;
+            if budget != 0 && attempt.tries() >= budget {
+                return Err(crate::collect::starve_scan(
+                    ctx,
+                    &self.shared.stats[self.me],
+                ));
+            }
+        }
         loop {
             attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
             // Lower all arrows aimed at me.
@@ -412,29 +517,41 @@ where
                 }
             }
             // First collect, into the persistent buffer (the shared pass
-            // skips re-cloning slots whose ghost seq is unchanged).
-            let mut reads =
-                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c1)?;
+            // batch-validates through the version tokens and skips
+            // re-cloning slots whose ghost seq is unchanged).
+            let mut reads = crate::collect::collect_pass(
+                ctx,
+                &self.shared.values,
+                self.me,
+                &mut self.c1,
+                &mut self.v1,
+            )?;
             // Second collect, compared against the first as it goes: the
             // attempt is doomed at the first visible mismatch, so stop
-            // collecting there (failure path only).
+            // collecting there (failure path only). The comparison runs on
+            // the buffer *after* the access — the access leaves the buffer
+            // equal to the register's visible content (token unchanged ⟹
+            // register unwritten ⟹ buffer still current; otherwise the
+            // ghost-seq check re-cloned it), so this is the same predicate
+            // the register-side comparison computed.
             let mut mismatch = false;
-            for j in 0..n {
-                if j == self.me {
-                    continue;
-                }
-                let c1j = &self.c1[j];
-                let c2 = &mut self.c2;
-                reads += 1;
-                let same = self.shared.values[j].read_with(ctx, |s| {
-                    if c2[j].seq != s.seq {
-                        c2[j].clone_from(s);
+            {
+                let (c2, v2) = (&mut self.c2, &mut self.v2);
+                for j in 0..n {
+                    if j == self.me {
+                        continue;
                     }
-                    s.same_visible(c1j)
-                })?;
-                if !same {
-                    mismatch = true;
-                    break;
+                    reads += 1;
+                    let slot = &mut c2[j];
+                    v2[j] = self.shared.values[j].read_changed(ctx, v2[j], |s| {
+                        if slot.seq != s.seq {
+                            slot.clone_from(s);
+                        }
+                    })?;
+                    if !c2[j].same_visible(&self.c1[j]) {
+                        mismatch = true;
+                        break;
+                    }
                 }
             }
             // Re-read arrows — skipped entirely after a mismatch, and a
@@ -459,6 +576,7 @@ where
                 if self.c2[me].seq != self.last.seq {
                     self.c2[me].clone_from(&self.last);
                 }
+                self.view_valid = true;
                 let c2 = &self.c2;
                 crate::collect::finish_scan(
                     ctx,
@@ -480,12 +598,13 @@ where
         }
     }
 
-    /// The original allocating scan, kept verbatim (fresh collect vectors
-    /// every attempt, full second collect, full arrow re-read, register
-    /// accesses through the pre-optimization `*_prechange` wrappers that
-    /// clone the world handle per op) as the reference implementation: the
-    /// equivalence tests check the buffer-reuse scan against it, and the
-    /// throughput bench's "before" configuration measures it. Not part of
+    /// The original allocating scan, kept as the reference implementation:
+    /// fresh collect vectors every attempt, full second collect, full arrow
+    /// re-read, every register access a plain one-shot `read` that clones
+    /// the whole slot — no version tokens, no buffer reuse, no early exits.
+    /// The equivalence tests check the optimized scans against it, and the
+    /// throughput bench's "before" configuration measures it (on the locked
+    /// register plane) for an honest before/after comparison. Not part of
     /// the supported API.
     ///
     /// # Errors
@@ -509,25 +628,25 @@ where
             }
             for j in 0..n {
                 if let Some(a) = &self.shared.arrows[j][self.me] {
-                    a.lower_prechange(ctx)?;
+                    a.lower(ctx)?;
                 }
             }
             let mut c1: Vec<Option<Slot<T>>> = vec![None; n];
             for (j, slot) in c1.iter_mut().enumerate() {
                 if j != self.me {
-                    *slot = Some(self.shared.values[j].read_prechange(ctx)?);
+                    *slot = Some(self.shared.values[j].read(ctx)?);
                 }
             }
             let mut c2: Vec<Option<Slot<T>>> = vec![None; n];
             for (j, slot) in c2.iter_mut().enumerate() {
                 if j != self.me {
-                    *slot = Some(self.shared.values[j].read_prechange(ctx)?);
+                    *slot = Some(self.shared.values[j].read(ctx)?);
                 }
             }
             let mut raised = false;
             for j in 0..n {
                 if let Some(a) = &self.shared.arrows[j][self.me] {
-                    if a.is_raised_prechange(ctx)? {
+                    if a.is_raised(ctx)? {
                         raised = true;
                     }
                 }

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bprc_registers::Swmr;
-use bprc_sim::{Counter, Ctx, FastDyn, FastPod, Halted, PhaseKind, World};
+use bprc_sim::{Counter, Ctx, FastDyn, FastPod, Halted, PhaseKind, World, NO_VERSION};
 
 use crate::memory::{labels, ScanStats, SnapshotMeta};
 
@@ -173,18 +173,23 @@ where
     }
 
     /// Like [`new`](WaitFreeSnapshot::new) but puts the registers on the
-    /// world's seqlock fast plane when the packed slot — payload, seq, and
+    /// world's fast register plane when the packed slot — payload, seq, and
     /// the `n`-entry embedded view — fits in
     /// [`bprc_sim::MAX_FAST_WORDS_DYN`] words; wider slots transparently
-    /// keep the locked backing. A representation knob, never a semantics
-    /// change: the `fast_and_locked_planes_agree` test pins observational
-    /// identity across planes.
+    /// keep the locked backing. The registers are lanes of one shared
+    /// [`value slab`](World::value_slab), so under the packed plane the
+    /// version words the batched collect validation sweeps are contiguous.
+    /// A representation knob, never a semantics change: the
+    /// `fast_and_locked_planes_are_observationally_identical` test pins
+    /// observational identity across planes.
     pub fn new_fast(world: &World, n: usize, init: T) -> Self
     where
         T: FastPod,
     {
-        Self::build(world, n, &init, |world, name, writer, slot| {
-            Swmr::new_fast_dyn(world, name, writer, slot)
+        let lane_words = T::WORDS + 2 + n * (T::WORDS + 1);
+        let slab = world.value_slab(n, lane_words);
+        Self::build(world, n, &init, move |world, name, writer, slot| {
+            Swmr::new_lane_dyn(world, &slab, writer, name, writer, slot)
         })
     }
 
@@ -202,14 +207,19 @@ where
         crate::collect::claim_port(&self.shared.port_taken, pid);
         let snap: Vec<WfSlot<T>> = self.shared.values.iter().map(|v| v.peek()).collect();
         let view = snap[pid].view.clone();
+        let n = self.shared.n;
         WfPort {
             shared: Arc::clone(&self.shared),
             me: pid,
             last: snap[pid].clone(),
             c1: snap.clone(),
             c2: snap,
-            moved: vec![false; self.shared.n],
+            v1: vec![NO_VERSION; n],
+            v2: vec![NO_VERSION; n],
+            moved: vec![false; n],
             view,
+            lazy: false,
+            view_valid: false,
         }
     }
 
@@ -238,11 +248,25 @@ pub struct WfPort<T> {
     /// because every `WfSlot` clone deep-copies an `n`-entry view.
     c1: Vec<WfSlot<T>>,
     c2: Vec<WfSlot<T>>,
+    /// Per-slot seqlock version tokens keyed to `c1`/`c2` (see
+    /// [`bprc_sim::Reg::read_changed`]): a register whose version word still
+    /// equals the token is provably unwritten, so the collect skips the
+    /// load *and* the `n`-entry embedded-view unpack — the expensive part
+    /// of a `WfSlot` read.
+    v1: Vec<u64>,
+    v2: Vec<u64>,
     /// Mover bookkeeping, reset per scan.
     moved: Vec<bool>,
     /// Persistent result buffer: [`scan_slots`](WfPort::scan_slots) leaves
     /// the completed view here, so a steady-state scan allocates nothing.
     view: Vec<(T, u64)>,
+    /// Amortized-scan mode (opt-in, see [`WfPort::set_lazy`]).
+    lazy: bool,
+    /// Whether `view` still equals the memory state certified by the last
+    /// successful scan. Only a *no-mover* success sets this: a **borrowed**
+    /// view is legal for the scan that borrowed it but need not equal the
+    /// memory state at any later instant, so it is never reused.
+    view_valid: bool,
 }
 
 impl<T> std::fmt::Debug for WfPort<T> {
@@ -258,6 +282,25 @@ where
     /// This port's pid.
     pub fn pid(&self) -> usize {
         self.me
+    }
+
+    /// Switches the port's amortized *lazy-scan* mode (off by default) —
+    /// the same revalidate-and-reuse fast path as
+    /// [`Port::set_lazy`](crate::memory::Port::set_lazy): a scan whose
+    /// previous (non-borrowed) view is still intact probes every other
+    /// register once through the version tokens and, if nothing moved,
+    /// returns the old view — it linearizes at the first probe read. One
+    /// caveat specific to this construction: the probe counts as a scan
+    /// attempt, so with lazy mode on, a scan completes within `n + 2`
+    /// attempts instead of `n + 1` (a failed probe costs one attempt before
+    /// the normal wait-free argument takes over).
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+    }
+
+    /// Whether amortized lazy-scan mode is on.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// Publishes `value`: embedded scan, then write `(value, seq+1, view)`.
@@ -278,6 +321,9 @@ where
         };
         self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
         self.last = slot;
+        // The cached view no longer includes this process's latest write —
+        // a lazy scan must not reuse it.
+        self.view_valid = false;
         ctx.annotate(labels::UPD_END, vec![seq]);
         self.shared.stats[self.me]
             .updates
@@ -327,11 +373,67 @@ where
         let span = crate::collect::begin_scan(ctx);
         self.moved.fill(false);
         let mut attempt = crate::collect::AttemptTracker::default();
+        // Lazy fast path (see [`WfPort::set_lazy`]): revalidate the previous
+        // no-mover view with one probe pass and reuse it if nothing moved.
+        // A failed probe falls through into the wait-free loop below with
+        // the probe's reads kept as a warm cache.
+        if self.lazy && self.view_valid {
+            attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
+            let mut reads = 0;
+            let mut changed = false;
+            {
+                let (c2, v2) = (&mut self.c2, &mut self.v2);
+                for j in 0..n {
+                    if j == self.me {
+                        continue;
+                    }
+                    reads += 1;
+                    let slot = &mut c2[j];
+                    let mut delta = false;
+                    v2[j] = self.shared.values[j].read_changed(ctx, v2[j], |s| {
+                        if slot.seq != s.seq {
+                            slot.clone_from(s);
+                            delta = true;
+                        }
+                    })?;
+                    if delta {
+                        // Doomed reuse — stop probing (failure path only).
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
+            if !changed {
+                let view = &self.view;
+                crate::collect::finish_reuse(
+                    ctx,
+                    &self.shared.stats[self.me],
+                    span,
+                    attempt.tries(),
+                    reads,
+                    || view.iter().map(|(_, s)| *s).collect(),
+                );
+                return Ok(());
+            }
+            self.view_valid = false;
+        }
         loop {
             attempt.begin_attempt(ctx, &self.shared.stats[self.me]);
-            let mut reads =
-                crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c1)?;
-            reads += crate::collect::collect_pass(ctx, &self.shared.values, self.me, &mut self.c2)?;
+            let mut reads = crate::collect::collect_pass(
+                ctx,
+                &self.shared.values,
+                self.me,
+                &mut self.c1,
+                &mut self.v1,
+            )?;
+            reads += crate::collect::collect_pass(
+                ctx,
+                &self.shared.values,
+                self.me,
+                &mut self.c2,
+                &mut self.v2,
+            )?;
             crate::collect::flush_collect_reads(ctx, &self.shared.stats[self.me], reads);
             // Movers: registers whose seq changed between the two collects —
             // i.e. processes whose write landed inside this attempt.
@@ -348,6 +450,7 @@ where
                     self.view[j].0.clone_from(src);
                     self.view[j].1 = seq;
                 }
+                self.view_valid = true;
                 let view = &self.view;
                 crate::collect::finish_scan(
                     ctx,
@@ -365,7 +468,11 @@ where
                 if self.moved[j] {
                     // j's register changed inside two different attempts:
                     // the update behind the second change ran its embedded
-                    // scan entirely within this scan — borrow its view.
+                    // scan entirely within this scan — borrow its view. A
+                    // borrowed view is legal *for this scan* but need not
+                    // equal the memory state at any later instant, so it is
+                    // never eligible for lazy reuse.
+                    self.view_valid = false;
                     self.view.clone_from(&self.c2[j].view);
                     let view = &self.view;
                     let tries = attempt.tries();
