@@ -13,7 +13,8 @@
 //!             [--trace-out=PATH]                  #   Chrome trace companion
 //! experiments validate-profile PATH               # schema-check it
 //! experiments verify-gate [--quick] [--serial]    # fail-closed gate (exit 1
-//!             [--fixture=NAME] [--out-trace=PATH] #   on any violation)
+//!             [--weakmem] [--fixture=NAME]        #   on any violation)
+//!             [--out-trace=PATH]
 //! ```
 //!
 //! Prints markdown tables (the same ones recorded in EXPERIMENTS.md); the
@@ -27,8 +28,11 @@
 //! exploration of the real stack; see `bprc_bench::verify_gate`) and exits
 //! non-zero on any violation, writing the shrunk replayable trace to
 //! `--out-trace` (default `verify_gate_counterexample.json`);
-//! `--fixture=torn-scan|crash-publish` runs a seeded broken implementation
-//! the gate must catch — CI asserts the non-zero exit and the artifact.
+//! `--fixture=torn-scan|crash-publish|missing-fence` runs a seeded broken
+//! implementation the gate must catch — CI asserts the non-zero exit and
+//! the artifact. `--weakmem` runs the weak-memory plane instead: the
+//! litmus matrix plus exhaustive TSO/PSO store-buffer exploration of the
+//! real n = 2 snapshot stack.
 
 use bprc_bench::{
     consensus_bench, experiments, explore, profile, throughput, verify_gate, Scale, Table,
@@ -347,13 +351,17 @@ fn main() {
             .find_map(|a| a.strip_prefix("--fixture="))
             .map(|name| {
                 verify_gate::Fixture::parse(name).unwrap_or_else(|| {
-                    eprintln!("unknown fixture '{name}' (expected torn-scan or crash-publish)");
+                    eprintln!(
+                        "unknown fixture '{name}' (expected torn-scan, crash-publish, \
+                         or missing-fence)"
+                    );
                     std::process::exit(2);
                 })
             });
         let opts = verify_gate::GateOptions {
             quick: scale == Scale::Quick,
             serial: args.iter().any(|a| a == "--serial"),
+            weakmem: args.iter().any(|a| a == "--weakmem"),
             fixture,
             out_trace: args
                 .iter()

@@ -21,6 +21,15 @@
 //! rejects any non-finite number anywhere in the document — a rate or
 //! speedup that divided through to `inf`/`NaN` would render as JSON no
 //! parser accepts, so it must be caught before the file is written.
+//!
+//! Schema v3 adds the weak-memory `litmus` section: the whole corpus
+//! (`bprc_sim::litmus`) is explored under SC, TSO, and PSO on both
+//! register planes. Rows where the matrix expects the forbidden outcome
+//! must record it found, shrunk, round-tripped byte-identically, and
+//! replayed; rows where the model's physics forbid it must record an
+//! exhaustive clean enumeration. [`validate`] fails on any row whose
+//! `outcome_ok` is false, and requires the matrix to exercise both kinds
+//! of cell.
 
 use bprc_registers::DirectArrow;
 use bprc_sim::explore::{
@@ -28,16 +37,17 @@ use bprc_sim::explore::{
     ExploreReport, Independence, ParallelConfig, TRACE_SCHEMA,
 };
 use bprc_sim::json::{check_finite, Value};
+use bprc_sim::litmus::{corpus, LitmusProgram};
 use bprc_sim::sched::PctStrategy;
-use bprc_sim::world::{ProcBody, RunReport, World};
-use bprc_sim::{Counter, MetricsRegistry};
+use bprc_sim::world::{ProcBody, RegisterPlane, RunReport, World};
+use bprc_sim::{Counter, MetricsRegistry, WeakMode};
 use bprc_snapshot::memory::labels;
 use bprc_snapshot::{check_history, ScannableMemory, SnapshotMeta};
 
 use crate::Scale;
 
 /// Schema identifier written into (and required from) every document.
-pub const SCHEMA: &str = "bprc.bench.explore/v2";
+pub const SCHEMA: &str = "bprc.bench.explore/v3";
 
 /// PCT schedules sampled at n = 4 (both scales — the CI smoke requires the
 /// full thousand).
@@ -127,6 +137,121 @@ pub(crate) fn raw_meta() -> SnapshotMeta {
     SnapshotMeta {
         value_regs: vec![0, 1, 2],
     }
+}
+
+/// Both register planes, as the litmus matrix enumerates them.
+pub(crate) const LITMUS_PLANES: [RegisterPlane; 2] = [RegisterPlane::Packed, RegisterPlane::Locked];
+
+/// All memory modes the litmus matrix enumerates.
+pub(crate) const LITMUS_MODES: [WeakMode; 3] = [WeakMode::Sc, WeakMode::Tso, WeakMode::Pso];
+
+/// One fully-verified cell of the litmus matrix.
+pub(crate) struct LitmusOutcome {
+    /// Corpus program name.
+    pub name: &'static str,
+    /// Register plane the cell ran on.
+    pub plane: RegisterPlane,
+    /// Memory mode the cell ran under.
+    pub mode: WeakMode,
+    /// Whether the matrix expects the forbidden outcome reachable here.
+    pub expected_found: bool,
+    /// The cell's verdict: expected-unreachable cells must exhaust clean;
+    /// expected-found cells must be found, shrunk, round-tripped
+    /// byte-identically, and replayed to the same violation.
+    pub ok: bool,
+    /// Schedules the exploration executed.
+    pub schedules: u64,
+    /// Shrunk counterexample length (expected-found cells only).
+    pub shrunk_len: Option<usize>,
+    /// Human-readable failure reason when `ok` is false.
+    pub detail: String,
+}
+
+/// Drives one cell of the litmus matrix end to end: explore, then (when the
+/// forbidden outcome is expected) shrink, serialize, parse back, and replay.
+pub(crate) fn litmus_cell(
+    prog: &LitmusProgram,
+    plane: RegisterPlane,
+    mode: WeakMode,
+) -> LitmusOutcome {
+    let build = prog.build;
+    let check = prog.check;
+    let mut make = move || build(plane, mode);
+    let rep = explore(&ExploreConfig::default(), &mut make, |r| check(r));
+    let expected_found = prog.expected_found(mode);
+    let mut out = LitmusOutcome {
+        name: prog.name,
+        plane,
+        mode,
+        expected_found,
+        ok: false,
+        schedules: rep.schedules,
+        shrunk_len: None,
+        detail: String::new(),
+    };
+    if !expected_found {
+        match (&rep.violation, rep.exhausted) {
+            (Some(cex), _) => {
+                out.detail = format!("forbidden outcome reached: {}", cex.description)
+            }
+            (None, false) => out.detail = "unreachability claim truncated by budget".to_string(),
+            (None, true) => out.ok = true,
+        }
+        return out;
+    }
+    let Some(cex) = &rep.violation else {
+        out.detail = format!("forbidden outcome not found in {} schedules", rep.schedules);
+        return out;
+    };
+    let (min, _) = shrink_trace(&mut make, &mut |r| check(r), cex.trace.clone());
+    out.shrunk_len = Some(min.decisions.len());
+    let json = min.to_json();
+    let round_trip = DecisionTrace::from_json(&json)
+        .map(|t| t.to_json() == json)
+        .unwrap_or(false);
+    let (replayed, _) = run_trace(&mut make, &min);
+    let reproduces = check(&replayed).is_some();
+    if !round_trip {
+        out.detail = "shrunk trace did not round-trip byte-identically".to_string();
+    } else if !reproduces {
+        out.detail = "shrunk trace did not replay to the violation".to_string();
+    } else {
+        out.ok = true;
+    }
+    out
+}
+
+/// The full weak-memory litmus matrix (schema v3): corpus × planes × modes.
+fn litmus_section() -> Value {
+    let mut rows = Vec::new();
+    for plane in LITMUS_PLANES {
+        for prog in corpus() {
+            for mode in LITMUS_MODES {
+                let cell = litmus_cell(&prog, plane, mode);
+                rows.push(Value::obj(vec![
+                    ("program", cell.name.into()),
+                    ("plane", format!("{plane:?}").to_lowercase().as_str().into()),
+                    ("mode", cell.mode.name().into()),
+                    ("expected_found", cell.expected_found.into()),
+                    ("outcome_ok", cell.ok.into()),
+                    ("schedules", cell.schedules.into()),
+                    (
+                        "shrunk_len",
+                        cell.shrunk_len.map(Value::from).unwrap_or(Value::Null),
+                    ),
+                    (
+                        "detail",
+                        if cell.detail.is_empty() {
+                            Value::Null
+                        } else {
+                            cell.detail.as_str().into()
+                        },
+                    ),
+                ]));
+            }
+        }
+    }
+    Value::Arr(rows)
 }
 
 /// The intentionally broken fixture for the counterexample demo: honest
@@ -470,6 +595,7 @@ pub fn run(scale: Scale, seed: u64) -> Value {
     }
     let pct = pct_sweep(PCT_SCHEDULES);
     let frontier = frontier_section(scale);
+    let litmus = litmus_section();
     let (demo, demo_telemetry) = counterexample_demo();
     Value::obj(vec![
         ("schema", SCHEMA.into()),
@@ -487,6 +613,7 @@ pub fn run(scale: Scale, seed: u64) -> Value {
         ("exhaustive", Value::Arr(exhaustive)),
         ("pct", pct),
         ("frontier", frontier),
+        ("litmus", litmus),
         ("counterexample", demo),
         (
             "telemetry",
@@ -684,6 +811,53 @@ pub fn validate(doc: &Value) -> Vec<String> {
         }
     }
 
+    // The litmus matrix (schema v3): every cell must hold its verdict, and
+    // the matrix must exercise both reachable and unreachable cells —
+    // a corpus that only ever proves unreachability would also "pass" on a
+    // model whose store buffers never reorder anything.
+    match doc.get("litmus").and_then(|v| v.as_arr()) {
+        None => errs.push("missing litmus array".into()),
+        Some(rows) if rows.is_empty() => errs.push("litmus array is empty".into()),
+        Some(rows) => {
+            let (mut found_cells, mut unreachable_cells) = (0u64, 0u64);
+            for (i, row) in rows.iter().enumerate() {
+                let label = format!(
+                    "litmus[{i}] {} {}/{}",
+                    row.get("program").and_then(|v| v.as_str()).unwrap_or("?"),
+                    row.get("plane").and_then(|v| v.as_str()).unwrap_or("?"),
+                    row.get("mode").and_then(|v| v.as_str()).unwrap_or("?"),
+                );
+                if row.get("outcome_ok") != Some(&Value::Bool(true)) {
+                    errs.push(format!(
+                        "{label}: cell failed ({})",
+                        row.get("detail").and_then(|v| v.as_str()).unwrap_or("?")
+                    ));
+                }
+                match row.get("expected_found") {
+                    Some(&Value::Bool(true)) => {
+                        found_cells += 1;
+                        // Length 0 is legal: some cells (SB-shaped) violate on
+                        // the default completion — the end-of-run buffer drain
+                        // alone delays the stores past the reads — so every
+                        // explicit decision shrinks away. Null means the cell
+                        // never got as far as shrinking.
+                        if num(row, &["shrunk_len"]).is_none() {
+                            errs.push(format!("{label}: found cell carries no shrunk trace"));
+                        }
+                    }
+                    Some(&Value::Bool(false)) => unreachable_cells += 1,
+                    _ => errs.push(format!("{label}: missing expected_found")),
+                }
+                if num(row, &["schedules"]).unwrap_or(0.0) < 1.0 {
+                    errs.push(format!("{label}: no schedules executed"));
+                }
+            }
+            if found_cells == 0 || unreachable_cells == 0 {
+                errs.push("litmus matrix must cover both reachable and unreachable cells".into());
+            }
+        }
+    }
+
     check_finite(doc, "$", &mut errs);
 
     let demo = doc.get("counterexample");
@@ -786,6 +960,23 @@ mod tests {
         assert_eq!(buckets.len(), 2);
         let sum: f64 = buckets.iter().map(|v| v.as_num().unwrap()).sum();
         assert_eq!(sum, rep.schedules as f64);
+    }
+
+    /// One reachable and one model-soundness cell of the litmus matrix,
+    /// driven through the full find→shrink→replay (resp. exhaust) pipeline.
+    #[test]
+    fn litmus_cells_hold_the_matrix_both_ways() {
+        let sb = corpus().into_iter().find(|p| p.name == "sb").unwrap();
+        let cell = litmus_cell(&sb, RegisterPlane::Packed, WeakMode::Tso);
+        assert!(cell.expected_found);
+        assert!(cell.ok, "{}", cell.detail);
+        // SB can shrink to the empty trace (the end-of-run drain alone
+        // reorders the stores past the reads), so only presence is pinned.
+        assert!(cell.shrunk_len.is_some());
+        let lb = corpus().into_iter().find(|p| p.name == "lb").unwrap();
+        let cell = litmus_cell(&lb, RegisterPlane::Locked, WeakMode::Pso);
+        assert!(!cell.expected_found);
+        assert!(cell.ok, "{}", cell.detail);
     }
 
     #[test]

@@ -28,10 +28,21 @@
 //! * **wait-freedom** — the writer-pressure adversary against the
 //!   wait-free scan, which must finish within n + 1 attempts.
 //!
+//! The `--weakmem` mode runs the weak-memory plane instead: the whole
+//! litmus matrix (`bprc_sim::litmus`, corpus × planes × SC/TSO/PSO), then
+//! bounded-exhaustive store-buffer exploration of the real n = 2 snapshot
+//! stack (a double-updating writer racing a scanner) under TSO and PSO —
+//! every schedule×flush placement checked
+//! against P1–P3 through the flush-timed checker
+//! ([`bprc_snapshot::check_history_weak`]), with the critical cycle
+//! printed alongside any counterexample.
+//!
 //! The `--fixture` mode inverts the gate to prove it fails closed: a
 //! seeded broken implementation (`torn-scan`, grant-only) or a seeded
 //! fault-dependent bug (`crash-publish`, reachable only through a crash
-//! branch) must be *found*, shrunk, round-tripped, and replayed — the
+//! branch) or a seeded ordering bug (`missing-fence`, a publish whose
+//! release fence was dropped, reachable only through a store-buffer
+//! reordering) must be *found*, shrunk, round-tripped, and replayed — the
 //! command still exits non-zero (a violation was found), and CI asserts
 //! exactly that plus the presence of the trace artifact.
 
@@ -44,12 +55,18 @@ use bprc_sim::explore::{
 };
 use bprc_sim::sched::{FnStrategy, PctStrategy};
 use bprc_sim::world::{ProcBody, RunReport, World};
-use bprc_sim::{Decision, FaultPlan, FaultedStrategy, ScheduleView, Strategy};
+use bprc_sim::{
+    critical_cycle, Decision, FaultPlan, FaultedStrategy, ScheduleView, Strategy, WeakMode,
+};
 use bprc_snapshot::{
-    check_history, ScannableMemory, SnapshotBackend, SnapshotMeta, SnapshotPort, WaitFreeSnapshot,
+    check_history, check_history_weak, ScannableMemory, SnapshotBackend, SnapshotMeta,
+    SnapshotPort, WaitFreeSnapshot,
 };
 
-use crate::explore::{broken_check, broken_scanner_factory, n3_writers_scanner_factory, raw_meta};
+use crate::explore::{
+    broken_check, broken_scanner_factory, litmus_cell, n3_writers_scanner_factory, raw_meta,
+    LITMUS_MODES, LITMUS_PLANES,
+};
 
 /// The pinned property list every gate run checks. Printed verbatim at
 /// startup so a log always states what "PASS" covered.
@@ -74,6 +91,11 @@ pub const PROPERTIES: &[(&str, &str)] = &[
         "WFREE",
         "wait-free scans complete within n+1 attempts under writer pressure",
     ),
+    (
+        "WEAKMEM",
+        "litmus matrix holds and P1-P3 survive store-buffer (TSO/PSO) exploration, \
+         via the flush-timed checker",
+    ),
 ];
 
 /// A seeded broken fixture the gate must catch (fail-closed demonstration).
@@ -86,6 +108,11 @@ pub enum Fixture {
     /// writer crashes between its writes — invisible to any grant-only
     /// exploration.
     CrashPublish,
+    /// A data/flag publish whose release fence was dropped: the stale read
+    /// is reachable *only* when the data store lingers in the writer's
+    /// store buffer past the flag store — invisible to any sequentially
+    /// consistent exploration, however exhaustive.
+    MissingFence,
 }
 
 impl Fixture {
@@ -94,6 +121,7 @@ impl Fixture {
         match name {
             "torn-scan" => Some(Fixture::TornScan),
             "crash-publish" => Some(Fixture::CrashPublish),
+            "missing-fence" => Some(Fixture::MissingFence),
             _ => None,
         }
     }
@@ -103,6 +131,7 @@ impl Fixture {
         match self {
             Fixture::TornScan => "torn-scan",
             Fixture::CrashPublish => "crash-publish",
+            Fixture::MissingFence => "missing-fence",
         }
     }
 }
@@ -115,6 +144,9 @@ pub struct GateOptions {
     pub quick: bool,
     /// Skip the parallel-frontier comparison (single-core environments).
     pub serial: bool,
+    /// Run the weak-memory plane (litmus matrix + store-buffer exploration
+    /// of the real stack) instead of the SC schedule×fault gate.
+    pub weakmem: bool,
     /// Run a seeded broken fixture instead of the real stack.
     pub fixture: Option<Fixture>,
     /// Where the shrunk counterexample trace is written when a violation is
@@ -127,6 +159,7 @@ impl Default for GateOptions {
         GateOptions {
             quick: false,
             serial: false,
+            weakmem: false,
             fixture: None,
             out_trace: "verify_gate_counterexample.json".to_string(),
         }
@@ -525,6 +558,204 @@ fn crash_publish_check(r: &RunReport<Vec<u64>>) -> Option<String> {
     stale.then(|| "survivor holds a value whose publish bit can never arrive".to_string())
 }
 
+/// The n = 2 missing-fence fixture under PSO: the writer publishes `data`
+/// then raises `flag`; with the release fence (`fenced = true`) the flag
+/// can never overtake the data, without it the PSO store buffer can land
+/// the flag first and the reader observes the publish signal guarding
+/// nothing.
+fn missing_fence_factory(fenced: bool) -> impl Fn() -> (World, Vec<ProcBody<Vec<u64>>>) + Sync {
+    move || {
+        let world = World::builder(2).weak_memory(WeakMode::Pso).build();
+        let data = world.reg("data", 0u64);
+        let flag = world.reg("flag", 0u64);
+        let (d0, f0) = (data.clone(), flag.clone());
+        let bodies: Vec<ProcBody<Vec<u64>>> = vec![
+            Box::new(move |ctx| {
+                d0.write(ctx, 1)?;
+                if fenced {
+                    ctx.fence()?;
+                }
+                f0.write(ctx, 1)?;
+                Ok(vec![])
+            }),
+            Box::new(move |ctx| {
+                let f = flag.read(ctx)?;
+                let d = data.read(ctx)?;
+                Ok(vec![f, d])
+            }),
+        ];
+        (world, bodies)
+    }
+}
+
+fn missing_fence_check(r: &RunReport<Vec<u64>>) -> Option<String> {
+    (r.outputs[1].as_deref() == Some(&[1, 0][..]))
+        .then(|| "reader saw the publish flag before the data it guards".to_string())
+}
+
+/// The whole litmus matrix as one gate check: every corpus program on both
+/// register planes under SC, TSO, and PSO, each cell driven through the
+/// full explore→shrink→round-trip→replay pipeline by
+/// [`litmus_cell`](crate::explore::litmus_cell).
+fn litmus_matrix_check(out: &mut GateReport) {
+    let mut cells = 0u64;
+    let mut found = 0u64;
+    let mut failure: Option<String> = None;
+    for plane in LITMUS_PLANES {
+        for prog in bprc_sim::litmus::corpus() {
+            for mode in LITMUS_MODES {
+                let cell = litmus_cell(&prog, plane, mode);
+                cells += 1;
+                if cell.expected_found {
+                    found += 1;
+                }
+                if !cell.ok && failure.is_none() {
+                    failure = Some(format!(
+                        "{} on {:?} under {}: {}",
+                        cell.name, cell.plane, cell.mode, cell.detail
+                    ));
+                }
+            }
+        }
+    }
+    let outcome = CheckOutcome {
+        name: "litmus matrix (corpus x planes x SC/TSO/PSO)".to_string(),
+        passed: failure.is_none(),
+        detail: failure.unwrap_or_else(|| {
+            format!("{cells} cells clean ({found} forbidden outcomes found, shrunk, replayed)")
+        }),
+    };
+    println!(
+        "  [{}] {}: {}",
+        if outcome.passed { "ok" } else { "FAIL" },
+        outcome.name,
+        outcome.detail
+    );
+    out.checks.push(outcome);
+}
+
+/// Bounded-exhaustive store-buffer exploration of the real n = 2 snapshot
+/// stack under `mode`: every schedule×flush placement, P1–P3 checked
+/// through the flush-timed checker ([`check_history_weak`] — a store
+/// linearizes at its flush, not its issue). The workload is the shape
+/// weak memory actually threatens: a writer's update (a raise + value
+/// store, each of which may linger in the buffer) racing a full scan —
+/// which exercises every fence the memory carries. Flush branching
+/// resets sleep sets (a flush is dependent with everything), so the
+/// usual reduction gets no purchase and the space grows brutally with
+/// each buffered store: both-sides-do-everything blows past 10^6
+/// schedules, while this split stays exhaustive in seconds without
+/// giving up the real code path. On a violation the shrunk trace is
+/// written and the critical cycle from the counterexample's history is
+/// printed alongside.
+fn weakmem_exhaustive_check(mode: WeakMode, out: &mut GateReport, out_trace: &str) {
+    let meta = backend_meta::<ScannableMemory<u64, DirectArrow>>(2);
+    let factory = move || {
+        let world = World::builder(2).seed(0).weak_memory(mode).build();
+        let mem = ScannableMemory::<u64, DirectArrow>::alloc(&world, 2, 0u64);
+        let bodies: Vec<ProcBody<Vec<u64>>> = (0..2)
+            .map(|pid| {
+                let mut port = mem.port(pid);
+                let b: ProcBody<Vec<u64>> = Box::new(move |ctx| {
+                    if pid == 0 {
+                        port.update(ctx, 10)?;
+                        Ok(Vec::new())
+                    } else {
+                        port.scan(ctx)
+                    }
+                });
+                b
+            })
+            .collect();
+        (world, bodies)
+    };
+    let cfg = ExploreConfig {
+        max_steps: 40,
+        max_schedules: 2_000_000,
+        independence: Independence::ReadsOnly,
+        progress: true,
+        ..ExploreConfig::default()
+    };
+    // Explorer telemetry carries only the explorer's own counters; the
+    // per-run world counters (where `StoresBuffered` lives) arrive on each
+    // `RunReport`, so the vacuity evidence is accumulated run by run.
+    let buffered_seen = std::cell::Cell::new(0u64);
+    let check = |r: &RunReport<Vec<u64>>| {
+        buffered_seen
+            .set(buffered_seen.get() + r.telemetry.total(bprc_sim::Counter::StoresBuffered));
+        let history = r.history.as_ref().expect("lockstep records history");
+        check_history_weak(history, &meta)
+            .violations
+            .first()
+            .map(|v| format!("snapshot property violated under {mode}: {v:?}"))
+    };
+    let name = format!("exhaustive n=2 writer/scanner under {mode} store buffering");
+    let rep = explore(&cfg, &factory, check);
+    let buffered = buffered_seen.get();
+    let outcome = match &rep.violation {
+        Some(cex) => {
+            // Explain the reordering before shrinking consumes the trace.
+            let cycle_line = {
+                let mut make = factory;
+                let (replayed, _) = run_trace(&mut make, &cex.trace);
+                let names = {
+                    let (w, _) = make();
+                    w.reg_names()
+                };
+                replayed
+                    .history
+                    .as_ref()
+                    .and_then(|h| critical_cycle(h, &names))
+                    .map(|c| format!("\n  critical cycle: {c}"))
+                    .unwrap_or_default()
+            };
+            let (detail, artifact_ok) = write_shrunk_trace(
+                factory,
+                check,
+                cex.trace.clone(),
+                &cex.description,
+                out_trace,
+            );
+            if artifact_ok {
+                out.trace_path = Some(out_trace.to_string());
+            }
+            CheckOutcome {
+                name,
+                passed: false,
+                detail: format!("{detail}{cycle_line}"),
+            }
+        }
+        None if !rep.exhausted => CheckOutcome {
+            name,
+            passed: false,
+            detail: format!(
+                "space not exhausted ({} schedules, {} truncated) — the claim is vacuous",
+                rep.schedules, rep.truncated
+            ),
+        },
+        None if buffered == 0 => CheckOutcome {
+            name,
+            passed: false,
+            detail: "weak mode requested but no store was ever buffered".to_string(),
+        },
+        None => CheckOutcome {
+            name,
+            passed: true,
+            detail: format!(
+                "{} schedules exhausted, {} stores buffered across the space",
+                rep.schedules, buffered
+            ),
+        },
+    };
+    println!(
+        "  [{}] {}: {}",
+        if outcome.passed { "ok" } else { "FAIL" },
+        outcome.name,
+        outcome.detail
+    );
+    out.checks.push(outcome);
+}
+
 /// Runs a seeded broken fixture: the gate must find the bug, shrink it,
 /// and write the replayable trace. The check "passes" in the inverted
 /// sense — it reports `passed = false` (a violation exists, so the command
@@ -545,6 +776,10 @@ fn fixture_check(fixture: Fixture, out: &mut GateReport, out_trace: &str) {
                 ..ExploreConfig::default()
             },
             "fixture crash-publish (fault-dependent bug)",
+        ),
+        Fixture::MissingFence => (
+            ExploreConfig::default(),
+            "fixture missing-fence (ordering-dependent bug)",
         ),
     };
     let outcome = match fixture {
@@ -622,6 +857,61 @@ fn fixture_check(fixture: Fixture, out: &mut GateReport, out_trace: &str) {
                 },
             }
         }
+        Fixture::MissingFence => {
+            // The ordering-dependence claim: with the release fence in
+            // place the whole schedule×flush space must exhaust clean.
+            let fenced = explore(&cfg, missing_fence_factory(true), missing_fence_check);
+            let rep = explore(&cfg, missing_fence_factory(false), missing_fence_check);
+            match rep.violation {
+                Some(cex) if fenced.violation.is_none() && fenced.exhausted => {
+                    let flush_kept = cex.trace.decisions.iter().any(|s| s.is_flush());
+                    let cycle_line = {
+                        let mut make = missing_fence_factory(false);
+                        let (replayed, _) = run_trace(&mut make, &cex.trace);
+                        let names = {
+                            let (w, _) = make();
+                            w.reg_names()
+                        };
+                        replayed
+                            .history
+                            .as_ref()
+                            .and_then(|h| critical_cycle(h, &names))
+                            .map(|c| format!("; critical cycle: {c}"))
+                            .unwrap_or_default()
+                    };
+                    let (detail, artifact_ok) = write_shrunk_trace(
+                        missing_fence_factory(false),
+                        missing_fence_check,
+                        cex.trace,
+                        &cex.description,
+                        out_trace,
+                    );
+                    if artifact_ok {
+                        out.trace_path = Some(out_trace.to_string());
+                    }
+                    CheckOutcome {
+                        name: name.to_string(),
+                        passed: false,
+                        detail: format!(
+                            "{detail} (fenced variant clean: bug is ordering-dependent; \
+                             flush decision in counterexample: {flush_kept}{cycle_line})"
+                        ),
+                    }
+                }
+                Some(_) => CheckOutcome {
+                    name: name.to_string(),
+                    passed: true,
+                    detail: "fenced variant was not clean — fixture is not \
+                             ordering-dependent"
+                        .to_string(),
+                },
+                None => CheckOutcome {
+                    name: name.to_string(),
+                    passed: true,
+                    detail: "gate FAILED to find the seeded ordering bug".to_string(),
+                },
+            }
+        }
     };
     println!(
         "  [{}] {}: {}",
@@ -646,6 +936,15 @@ pub fn run(opts: &GateOptions) -> GateReport {
     if let Some(fixture) = opts.fixture {
         println!("  running seeded fixture '{}':", fixture.name());
         fixture_check(fixture, &mut report, &opts.out_trace);
+        return report;
+    }
+
+    if opts.weakmem {
+        println!("  weak-memory plane (store buffers as explorable decisions):");
+        litmus_matrix_check(&mut report);
+        for mode in [WeakMode::Tso, WeakMode::Pso] {
+            weakmem_exhaustive_check(mode, &mut report, &opts.out_trace);
+        }
         return report;
     }
 
@@ -717,11 +1016,29 @@ mod tests {
         assert!(report.passed(), "{:?}", report.checks);
     }
 
-    /// Both fixtures are caught, shrunk, and serialized; the crash-publish
-    /// one is certified fault-dependent (grant-only space clean).
+    /// The weak-memory plane of the gate: litmus matrix clean both ways,
+    /// and the real n = 2 stack survives exhaustive TSO and PSO
+    /// store-buffer exploration through the flush-timed checker.
+    #[test]
+    fn weakmem_plane_passes_on_the_real_stack() {
+        let mut report = GateReport::default();
+        litmus_matrix_check(&mut report);
+        weakmem_exhaustive_check(WeakMode::Tso, &mut report, "/dev/null");
+        weakmem_exhaustive_check(WeakMode::Pso, &mut report, "/dev/null");
+        assert!(report.passed(), "{:?}", report.checks);
+        assert!(report.trace_path.is_none());
+    }
+
+    /// All fixtures are caught, shrunk, and serialized; the crash-publish
+    /// one is certified fault-dependent (grant-only space clean) and the
+    /// missing-fence one ordering-dependent (fenced space clean).
     #[test]
     fn fixtures_are_caught_and_traces_written() {
-        for fixture in [Fixture::TornScan, Fixture::CrashPublish] {
+        for fixture in [
+            Fixture::TornScan,
+            Fixture::CrashPublish,
+            Fixture::MissingFence,
+        ] {
             let path = format!(
                 "{}/gate_fixture_{}.json",
                 std::env::temp_dir().display(),
@@ -744,7 +1061,11 @@ mod tests {
 
     #[test]
     fn fixture_names_round_trip() {
-        for f in [Fixture::TornScan, Fixture::CrashPublish] {
+        for f in [
+            Fixture::TornScan,
+            Fixture::CrashPublish,
+            Fixture::MissingFence,
+        ] {
             assert_eq!(Fixture::parse(f.name()), Some(f));
         }
         assert_eq!(Fixture::parse("nope"), None);

@@ -50,6 +50,8 @@ pub fn check_telemetry_parity<T>(report: &RunReport<T>) -> Option<String> {
         match kind {
             OpKind::Read => reads[pid] += 1,
             OpKind::Write => writes[pid] += 1,
+            // Fences are their own counter; reads/writes parity ignores them.
+            OpKind::Fence => {}
         }
     }
     for pid in 0..n {

@@ -79,7 +79,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::history::OpKind;
+use crate::history::{OpKind, RegId};
 use crate::json::Value;
 use crate::metrics::{Counter, MetricsRegistry, Telemetry};
 use crate::sched::{Decision, FnStrategy, PendingOp, ScheduleView, Strategy};
@@ -208,30 +208,64 @@ impl ExploreReport {
 }
 
 /// One decision of a serialized schedule: grant a process its pending
-/// access, or crash it.
+/// access, crash it, or land one of its buffered stores (weak-memory
+/// modes).
 ///
 /// In the JSON form a grant renders as a bare pid number — so every
 /// pre-fault `bprc-trace-v1` document still parses, as an all-grant trace —
-/// and a crash renders as the object `{"crash": pid}`.
+/// a crash renders as the object `{"crash": pid}`, and a flush as
+/// `{"flush": pid, "reg": reg}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceStep {
     /// Grant this pid its pending operation.
     Grant(usize),
     /// Crash this pid (it never takes another step).
     Crash(usize),
+    /// Make this pid's oldest buffered store to `reg` globally visible.
+    /// Nobody advances — flushes interleave *between* scheduled steps.
+    Flush {
+        /// The process whose store buffer is drained by one entry.
+        pid: usize,
+        /// The register the landing store targets.
+        reg: RegId,
+    },
 }
 
 impl TraceStep {
     /// The pid this step targets.
     pub fn pid(self) -> usize {
         match self {
-            TraceStep::Grant(p) | TraceStep::Crash(p) => p,
+            TraceStep::Grant(p) | TraceStep::Crash(p) | TraceStep::Flush { pid: p, .. } => p,
         }
     }
 
     /// True for crash decisions.
     pub fn is_crash(self) -> bool {
         matches!(self, TraceStep::Crash(_))
+    }
+
+    /// True for store-buffer flush decisions.
+    pub fn is_flush(self) -> bool {
+        matches!(self, TraceStep::Flush { .. })
+    }
+
+    /// Whether this step may legally be issued against `view`: grants and
+    /// crashes need their pid runnable, flushes need their (pid, reg) entry
+    /// currently flushable under the world's buffer discipline.
+    fn legal(self, view: &ScheduleView<'_>) -> bool {
+        match self {
+            TraceStep::Grant(p) | TraceStep::Crash(p) => view.runnable.contains(&p),
+            TraceStep::Flush { pid, reg } => view.flushable.contains(&(pid, reg)),
+        }
+    }
+
+    /// The [`Decision`] this step issues.
+    fn decision(self) -> Decision {
+        match self {
+            TraceStep::Grant(pid) => Decision::Grant(pid),
+            TraceStep::Crash(pid) => Decision::Crash(pid),
+            TraceStep::Flush { pid, reg } => Decision::Flush { pid, reg },
+        }
     }
 }
 
@@ -265,6 +299,10 @@ impl DecisionTrace {
                         .map(|&d| match d {
                             TraceStep::Grant(p) => Value::from(p),
                             TraceStep::Crash(p) => Value::obj(vec![("crash", Value::from(p))]),
+                            TraceStep::Flush { pid, reg } => Value::obj(vec![
+                                ("flush", Value::from(pid)),
+                                ("reg", Value::from(reg)),
+                            ]),
                         })
                         .collect(),
                 ),
@@ -298,9 +336,19 @@ impl DecisionTrace {
                 TraceStep::Grant(pid as usize)
             } else if let Some(pid) = d.get("crash").and_then(|x| x.as_num()) {
                 TraceStep::Crash(pid as usize)
+            } else if let Some(pid) = d.get("flush").and_then(|x| x.as_num()) {
+                let reg = d
+                    .get("reg")
+                    .and_then(|x| x.as_num())
+                    .ok_or(format!("decisions[{i}] is a flush without a numeric 'reg'"))?;
+                TraceStep::Flush {
+                    pid: pid as usize,
+                    reg: reg as RegId,
+                }
             } else {
                 return Err(format!(
-                    "decisions[{i}] is neither a pid number nor a {{\"crash\": pid}} object"
+                    "decisions[{i}] is neither a pid number, a {{\"crash\": pid}} object, \
+                     nor a {{\"flush\": pid, \"reg\": reg}} object"
                 ));
             };
             if step.pid() >= n {
@@ -340,20 +388,18 @@ impl DecisionTrace {
             while idx < decisions.len() {
                 let step = decisions[idx];
                 idx += 1;
-                if view.runnable.contains(&step.pid()) {
+                if step.legal(view) {
                     pick = Some(step);
                     break;
                 }
-                // Pid not runnable (finished/crashed/hidden): skip the entry.
+                // Pid not runnable (finished/crashed/hidden) or flush entry
+                // not buffered (already landed/deleted): skip the entry.
             }
             let step = pick.unwrap_or(TraceStep::Grant(view.runnable[0]));
             if let Some(log) = &log {
                 log.borrow_mut().push(step);
             }
-            match step {
-                TraceStep::Grant(pid) => Decision::Grant(pid),
-                TraceStep::Crash(pid) => Decision::Crash(pid),
-            }
+            step.decision()
         })
     }
 }
@@ -382,6 +428,11 @@ struct Node {
     crash_cands: Vec<usize>,
     /// Pids whose crash subtrees are fully explored.
     crash_explored: Vec<usize>,
+    /// Flush branches this node may take: the world's flushable set when
+    /// the node was opened (always empty under sequential consistency).
+    flush_cands: Vec<(usize, RegId)>,
+    /// Flush entries whose subtrees are fully explored.
+    flush_explored: Vec<(usize, RegId)>,
     /// The decision the current run takes at this node.
     chosen: TraceStep,
 }
@@ -430,12 +481,15 @@ impl Dfs {
     /// crash placement): a crash has no memory effect, so crashing `p` at
     /// any point after `p`'s last step is Mazurkiewicz-equivalent to
     /// crashing it immediately after that step (or before any step at all).
-    /// We therefore only branch `Crash(p)` right after a `Grant(p)`, plus
-    /// every enabled pid while no grant has happened yet (pure-crash
-    /// prefixes, which canonicalize multi-crash-at-start schedules). Sound
-    /// for checkers that do not read crash-event *timestamps* — they
-    /// observe crashes only through the steps the victim no longer takes —
-    /// which holds for every checker in this workspace.
+    /// We therefore only branch `Crash(p)` right after a step *by* `p` — a
+    /// `Grant(p)`, or under weak memory a `Flush` of `p`'s buffer (a crash
+    /// drops the victim's unflushed stores, so crash-after-flush and
+    /// crash-before-flush genuinely differ) — plus every enabled pid while
+    /// no such step has happened yet (pure-crash prefixes, which
+    /// canonicalize multi-crash-at-start schedules). Sound for checkers
+    /// that do not read crash-event *timestamps* — they observe crashes
+    /// only through the steps the victim no longer takes — which holds for
+    /// every checker in this workspace.
     fn crash_candidates(&self, enabled: &[(usize, PendingOp)]) -> Vec<usize> {
         for step in self
             .stack
@@ -444,12 +498,15 @@ impl Dfs {
             .rev()
             .chain(self.fixed.iter().copied().rev())
         {
-            if let TraceStep::Grant(p) = step {
-                return enabled
-                    .iter()
-                    .map(|&(q, _)| q)
-                    .filter(|&q| q == p)
-                    .collect();
+            match step {
+                TraceStep::Grant(p) | TraceStep::Flush { pid: p, .. } => {
+                    return enabled
+                        .iter()
+                        .map(|&(q, _)| q)
+                        .filter(|&q| q == p)
+                        .collect();
+                }
+                TraceStep::Crash(_) => {}
             }
         }
         enabled.iter().map(|&(q, _)| q).collect()
@@ -472,18 +529,15 @@ impl Strategy for Controller {
             // prefix decision verbatim.
             let step = st.fixed[st.depth];
             assert!(
-                view.runnable.contains(&step.pid()),
-                "nondeterministic workload: fixed prefix step {} targets pid {} \
-                 but runnable is {:?}",
+                step.legal(view),
+                "nondeterministic workload: fixed prefix step {} ({step:?}) is \
+                 not legal against runnable {:?} / flushable {:?}",
                 st.depth,
-                step.pid(),
                 view.runnable,
+                view.flushable,
             );
             st.depth += 1;
-            return match step {
-                TraceStep::Grant(pid) => Decision::Grant(pid),
-                TraceStep::Crash(pid) => Decision::Crash(pid),
-            };
+            return step.decision();
         }
         if st.depth - st.fixed.len() < st.stack.len() {
             // Replay segment: take the recorded choice and check the world
@@ -505,10 +559,7 @@ impl Strategy for Controller {
             );
             let chosen = node.chosen;
             st.depth += 1;
-            return match chosen {
-                TraceStep::Grant(pid) => Decision::Grant(pid),
-                TraceStep::Crash(pid) => Decision::Crash(pid),
-            };
+            return chosen.decision();
         }
         if st.depth as u64 >= st.max_steps {
             st.dead = true;
@@ -528,8 +579,11 @@ impl Strategy for Controller {
             match parent.chosen {
                 // A crash is dependent with every process: survivors'
                 // subsequent behavior may hinge on the victim's absence, so
-                // nothing stays asleep across a crash edge.
-                TraceStep::Crash(_) => Vec::new(),
+                // nothing stays asleep across a crash edge. A flush is a
+                // write landing in shared memory — dependent with every
+                // reader of that register, and cheap enough to treat as
+                // dependent with everything.
+                TraceStep::Crash(_) | TraceStep::Flush { .. } => Vec::new(),
                 TraceStep::Grant(chosen_pid) => {
                     // Inherit the parent's sleepers (and its already-explored
                     // choices) that are independent of the op the parent
@@ -554,6 +608,9 @@ impl Strategy for Controller {
         } else {
             Vec::new()
         };
+        // Flush branches come straight from the world's flushable set
+        // (empty under SC, so SC exploration is bit-identical to before).
+        let flush_cands: Vec<(usize, RegId)> = view.flushable.to_vec();
         let pick = enabled
             .iter()
             .map(|&(p, _)| p)
@@ -566,29 +623,36 @@ impl Strategy for Controller {
                     explored: Vec::new(),
                     crash_cands,
                     crash_explored: Vec::new(),
+                    flush_cands,
+                    flush_explored: Vec::new(),
                     chosen: TraceStep::Grant(pid),
                 });
                 st.depth += 1;
                 Decision::Grant(pid)
             }
-            None if !crash_cands.is_empty() => {
-                // Every grant is asleep, but crash branches remain — they
-                // are dependent with everything, so sleeping grants cannot
-                // cover them. Take the first crash; the grants here were
-                // proven redundant.
+            None if !flush_cands.is_empty() || !crash_cands.is_empty() => {
+                // Every grant is asleep, but flush/crash branches remain —
+                // they are dependent with everything, so sleeping grants
+                // cannot cover them. Take the first such branch; the grants
+                // here were proven redundant.
                 st.pruned_now += enabled.len() as u64;
-                let victim = crash_cands[0];
                 let explored = enabled.iter().map(|&(p, _)| p).collect();
+                let chosen = match flush_cands.first() {
+                    Some(&(pid, reg)) => TraceStep::Flush { pid, reg },
+                    None => TraceStep::Crash(crash_cands[0]),
+                };
                 st.stack.push(Node {
                     enabled,
                     sleep,
                     explored,
                     crash_cands,
                     crash_explored: Vec::new(),
-                    chosen: TraceStep::Crash(victim),
+                    flush_cands,
+                    flush_explored: Vec::new(),
+                    chosen,
                 });
                 st.depth += 1;
-                Decision::Crash(victim)
+                chosen.decision()
             }
             None => {
                 // Everything enabled is asleep: this whole continuation is
@@ -612,10 +676,12 @@ fn backtrack(s: &mut Dfs, report: &mut ExploreReport, metrics: &MetricsRegistry)
         match node.chosen {
             // Sleep-set rule: after exploring a grant, it sleeps for the
             // node's remaining branches (it is in `explored`, which the
-            // child-sleep computation treats as sleeping). Crash choices
-            // never enter sleep sets — they are dependent with everything.
+            // child-sleep computation treats as sleeping). Crash and flush
+            // choices never enter sleep sets — they are dependent with
+            // everything.
             TraceStep::Grant(p) => node.explored.push(p),
             TraceStep::Crash(p) => node.crash_explored.push(p),
+            TraceStep::Flush { pid, reg } => node.flush_explored.push((pid, reg)),
         }
         let next = node
             .enabled
@@ -626,8 +692,17 @@ fn backtrack(s: &mut Dfs, report: &mut ExploreReport, metrics: &MetricsRegistry)
             node.chosen = TraceStep::Grant(p);
             return false;
         }
-        // Grants exhausted: take the next unexplored crash branch, if the
-        // fault budget allowed any at this node.
+        // Grants exhausted: take the next unexplored flush branch, then the
+        // next crash branch (if the fault budget allowed any at this node).
+        let next_flush = node
+            .flush_cands
+            .iter()
+            .copied()
+            .find(|e| !node.flush_explored.contains(e));
+        if let Some((pid, reg)) = next_flush {
+            node.chosen = TraceStep::Flush { pid, reg };
+            return false;
+        }
         let next_crash = node
             .crash_cands
             .iter()
@@ -893,17 +968,22 @@ where
 /// a live decision point with this enabled set.
 enum Probe<T> {
     Complete(RunReport<T>),
-    Branch(Vec<usize>),
+    Branch {
+        enabled: Vec<usize>,
+        flushable: Vec<(usize, RegId)>,
+    },
 }
 
-/// Replays `prefix` verbatim and captures the runnable set at the first
-/// decision point past it (granting lowest-runnable from there on).
+/// Replays `prefix` verbatim and captures the runnable + flushable sets at
+/// the first decision point past it (granting lowest-runnable from there
+/// on).
 fn probe_prefix<T, F>(make: &mut F, prefix: &[TraceStep]) -> Probe<T>
 where
     T: Send + 'static,
     F: FnMut() -> (World, Vec<ProcBody<T>>),
 {
-    let captured: Rc<RefCell<Option<Vec<usize>>>> = Rc::new(RefCell::new(None));
+    type Captured = (Vec<usize>, Vec<(usize, RegId)>);
+    let captured: Rc<RefCell<Option<Captured>>> = Rc::new(RefCell::new(None));
     let cap = Rc::clone(&captured);
     let steps = prefix.to_vec();
     let mut idx = 0usize;
@@ -912,17 +992,14 @@ where
             let step = steps[idx];
             idx += 1;
             assert!(
-                view.runnable.contains(&step.pid()),
-                "frontier prefixes are built from observed enabled sets"
+                step.legal(view),
+                "frontier prefixes are built from observed enabled/flushable sets"
             );
-            return match step {
-                TraceStep::Grant(pid) => Decision::Grant(pid),
-                TraceStep::Crash(pid) => Decision::Crash(pid),
-            };
+            return step.decision();
         }
         if idx == steps.len() {
             idx += 1;
-            *cap.borrow_mut() = Some(view.runnable.to_vec());
+            *cap.borrow_mut() = Some((view.runnable.to_vec(), view.flushable.to_vec()));
         }
         Decision::Grant(view.runnable[0])
     });
@@ -933,9 +1010,9 @@ where
         "exploration needs the deterministic lockstep backend"
     );
     let report = world.run(bodies, Box::new(strategy));
-    let enabled = captured.borrow_mut().take();
-    match enabled {
-        Some(e) => Probe::Branch(e),
+    let at_branch = captured.borrow_mut().take();
+    match at_branch {
+        Some((enabled, flushable)) => Probe::Branch { enabled, flushable },
         None => Probe::Complete(report),
     }
 }
@@ -1077,22 +1154,28 @@ where
                         }
                     }
                 }
-                Probe::Branch(enabled) => {
+                Probe::Branch { enabled, flushable } => {
                     let crashes = prefix.iter().filter(|s| s.is_crash()).count() as u64;
                     for &p in &enabled {
                         let mut child = prefix.clone();
                         child.push(TraceStep::Grant(p));
                         next.push(child);
                     }
+                    for &(pid, reg) in &flushable {
+                        let mut child = prefix.clone();
+                        child.push(TraceStep::Flush { pid, reg });
+                        next.push(child);
+                    }
                     if crashes < cfg.fault_budget {
                         // Canonical crash placement at frontier level: the
-                        // last granted pid, or every enabled pid while the
-                        // prefix is all-crash/empty.
-                        let last_grant = prefix.iter().rev().find_map(|s| match s {
+                        // actor of the last grant/flush, or every enabled
+                        // pid while the prefix is all-crash/empty.
+                        let last_actor = prefix.iter().rev().find_map(|s| match s {
                             TraceStep::Grant(p) => Some(*p),
+                            TraceStep::Flush { pid, .. } => Some(*pid),
                             TraceStep::Crash(_) => None,
                         });
-                        let cands: Vec<usize> = match last_grant {
+                        let cands: Vec<usize> = match last_actor {
                             Some(p) => enabled.iter().copied().filter(|&q| q == p).collect(),
                             None => enabled.clone(),
                         };
@@ -1440,6 +1523,127 @@ mod tests {
             let v = crate::json::parse(doc).unwrap();
             assert!(DecisionTrace::from_json(&v).is_err(), "accepted {doc}");
         }
+    }
+
+    #[test]
+    fn flush_steps_round_trip_and_malformed_flushes_reject() {
+        let t = DecisionTrace {
+            n: 2,
+            decisions: vec![
+                TraceStep::Grant(0),
+                TraceStep::Flush { pid: 0, reg: 1 },
+                TraceStep::Crash(0),
+                TraceStep::Grant(1),
+            ],
+        };
+        let rendered = t.to_json().render();
+        let parsed = crate::json::parse(&rendered).unwrap();
+        let back = DecisionTrace::from_json(&parsed).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.to_json().render(),
+            rendered,
+            "round-trip is byte-identical"
+        );
+
+        let bad = [
+            // A flush without its register is not a decision.
+            r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [{"flush": 0}]}"#,
+            // Flush pids obey the same range check as grants and crashes.
+            r#"{"schema": "bprc-trace-v1", "n": 2, "decisions": [{"flush": 5, "reg": 0}]}"#,
+        ];
+        for doc in bad {
+            let v = crate::json::parse(doc).unwrap();
+            assert!(DecisionTrace::from_json(&v).is_err(), "accepted {doc}");
+        }
+    }
+
+    /// Message-passing under PSO: the violation *requires* a mid-run flush
+    /// decision (the flag store must land while the data store stays
+    /// buffered), so the counterexample carries a [`TraceStep::Flush`]
+    /// through find → shrink → replay.
+    fn mp_pso_factory() -> impl Fn() -> (World, Vec<ProcBody<u64>>) + Sync {
+        || {
+            let w = World::builder(2)
+                .weak_memory(crate::weakmem::WeakMode::Pso)
+                .build();
+            let data = w.reg("data", 0u64);
+            let flag = w.reg("flag", 0u64);
+            let (d1, f1) = (data.clone(), flag.clone());
+            let bodies: Vec<ProcBody<u64>> = vec![
+                Box::new(move |ctx| {
+                    data.write(ctx, 1)?;
+                    flag.write(ctx, 1)?;
+                    Ok(0)
+                }),
+                Box::new(move |ctx| {
+                    let rf = f1.read(ctx)?;
+                    let rd = d1.read(ctx)?;
+                    Ok(rf * 10 + rd)
+                }),
+            ];
+            (w, bodies)
+        }
+    }
+
+    fn stale_publish(r: &RunReport<u64>) -> Option<String> {
+        (r.outputs[1] == Some(10)).then(|| "flag visible before its data".to_string())
+    }
+
+    #[test]
+    fn flush_dependent_violation_found_shrunk_and_replayed() {
+        let rep = explore(&ExploreConfig::default(), mp_pso_factory(), stale_publish);
+        let cex = rep.violation.expect("PSO reorders the two stores");
+        assert!(
+            cex.trace.decisions.iter().any(|s| s.is_flush()),
+            "the counterexample must carry the forcing flush: {:?}",
+            cex.trace.decisions
+        );
+
+        let mut make = mp_pso_factory();
+        let (min, shrink_runs) = shrink_trace(&mut make, &mut |r| stale_publish(r), cex.trace);
+        assert!(shrink_runs > 0);
+        let flushes: Vec<&TraceStep> = min.decisions.iter().filter(|s| s.is_flush()).collect();
+        assert_eq!(
+            flushes.len(),
+            1,
+            "shrinking must keep exactly the forcing flush: {:?}",
+            min.decisions
+        );
+        let (replayed, actual) = run_trace(&mut make, &min);
+        assert!(stale_publish(&replayed).is_some());
+        assert_eq!(
+            &actual.decisions[..min.decisions.len()],
+            &min.decisions[..],
+            "the canonical log replays the shrunk prefix verbatim (then \
+             completes with fallback grants)"
+        );
+    }
+
+    /// Interior deletion of a flush step re-canonicalizes instead of
+    /// wedging: the tolerant replayer skips now-illegal entries and the
+    /// violation (which hinged on that flush) disappears.
+    #[test]
+    fn deleting_the_forcing_flush_recanonicalizes_the_replay() {
+        let rep = explore(&ExploreConfig::default(), mp_pso_factory(), stale_publish);
+        let mut make = mp_pso_factory();
+        let (min, _) = shrink_trace(
+            &mut make,
+            &mut |r| stale_publish(r),
+            rep.violation.unwrap().trace,
+        );
+        let mut without_flush = min.clone();
+        without_flush.decisions.retain(|s| !s.is_flush());
+        let (replayed, actual) = run_trace(&mut make, &without_flush);
+        assert!(
+            stale_publish(&replayed).is_none(),
+            "without the flush the flag cannot outrun its data: {:?}",
+            replayed.outputs
+        );
+        assert!(
+            actual.decisions.iter().all(|s| !s.is_flush()),
+            "the canonical log of a flush-free replay stays flush-free"
+        );
     }
 
     #[test]

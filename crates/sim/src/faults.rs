@@ -400,6 +400,7 @@ impl<S: Strategy> Strategy for FaultedStrategy<S> {
                     step: view.step,
                     runnable: &runnable,
                     pending: &pending,
+                    flushable: view.flushable,
                 };
                 self.inner.decide(&filtered)
             }

@@ -19,6 +19,11 @@ pub enum OpKind {
     Read,
     /// An atomic write of a register.
     Write,
+    /// A store-buffer fence ([`Ctx::fence`](crate::world::Ctx::fence)):
+    /// drains the caller's own buffer as one scheduled gate. Only recorded
+    /// under a weak [`WeakMode`](crate::weakmem::WeakMode); the register id
+    /// it carries is the [`FENCE_REG`](crate::weakmem::FENCE_REG) sentinel.
+    Fence,
 }
 
 impl fmt::Display for OpKind {
@@ -26,6 +31,7 @@ impl fmt::Display for OpKind {
         match self {
             OpKind::Read => write!(f, "read"),
             OpKind::Write => write!(f, "write"),
+            OpKind::Fence => write!(f, "fence"),
         }
     }
 }
@@ -122,6 +128,18 @@ pub enum Event {
         /// What kind of fault it was.
         kind: FaultKind,
     },
+    /// A buffered store reached shared memory (weak-memory modes only):
+    /// either an explicit [`Decision::Flush`](crate::sched::Decision), a
+    /// fence drain, or the deterministic end-of-run drain. Like crashes,
+    /// flushes do not consume a step.
+    Flush {
+        /// Value of the global step counter at the flush.
+        step: u64,
+        /// The process whose buffer drained the store.
+        pid: usize,
+        /// The register the store landed in.
+        reg: RegId,
+    },
 }
 
 impl Event {
@@ -131,7 +149,8 @@ impl Event {
             Event::Op { step, .. }
             | Event::Note { step, .. }
             | Event::Crash { step, .. }
-            | Event::Fault { step, .. } => *step,
+            | Event::Fault { step, .. }
+            | Event::Flush { step, .. } => *step,
         }
     }
 
@@ -141,7 +160,8 @@ impl Event {
             Event::Op { pid, .. }
             | Event::Note { pid, .. }
             | Event::Crash { pid, .. }
-            | Event::Fault { pid, .. } => *pid,
+            | Event::Fault { pid, .. }
+            | Event::Flush { pid, .. } => *pid,
         }
     }
 }
@@ -230,6 +250,14 @@ impl History {
         })
     }
 
+    /// Iterates over store-buffer flush events, in order (empty under SC).
+    pub fn flushes(&self) -> impl Iterator<Item = (u64, usize, RegId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Flush { step, pid, reg } => Some((*step, *pid, *reg)),
+            _ => None,
+        })
+    }
+
     /// Serializes the history as JSONL: one JSON object per event, in
     /// execution order, discriminated by a `"type"` key (`"op"`,
     /// `"note"`, `"crash"`, `"fault"`). Pairs with
@@ -274,6 +302,12 @@ impl History {
                     ("step", (*step).into()),
                     ("pid", (*pid).into()),
                     ("kind", kind.to_string().into()),
+                ]),
+                Event::Flush { step, pid, reg } => Value::obj(vec![
+                    ("type", "flush".into()),
+                    ("step", (*step).into()),
+                    ("pid", (*pid).into()),
+                    ("reg", (*reg).into()),
                 ]),
             };
             out.push_str(&v.render());

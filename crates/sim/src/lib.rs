@@ -61,6 +61,7 @@ pub mod explore;
 pub mod faults;
 pub mod history;
 pub mod json;
+pub mod litmus;
 pub mod metrics;
 pub mod reg;
 pub mod rng;
@@ -69,6 +70,7 @@ pub mod stealing;
 pub mod trace;
 pub mod tracing;
 pub mod turn;
+pub mod weakmem;
 pub mod world;
 
 pub use error::Halted;
@@ -86,5 +88,8 @@ pub use sched::{Decision, ScheduleView, Strategy};
 pub use tracing::{
     now_nanos, EventKind, FlightLog, FlightRecorder, Heartbeat, Hist, Histogram, TraceEvent,
     DEFAULT_RING_CAPACITY,
+};
+pub use weakmem::{
+    critical_cycle, CriticalCycle, CycleNode, EdgeKind, RandomFlushes, WeakMode, FENCE_REG,
 };
 pub use world::{Ctx, Mode, RegisterPlane, RunReport, ValueSlab, World, WorldBuilder};

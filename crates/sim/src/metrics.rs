@@ -119,6 +119,15 @@ counters! {
     /// Lazy-mode scans answered by revalidating and reusing the previous
     /// view instead of a full double collect.
     LazyScanHits => "lazy_scan_hits",
+    /// Writes parked in a per-process store buffer instead of landing in
+    /// shared memory (weak-memory modes only).
+    StoresBuffered => "stores_buffered",
+    /// Buffered writes that became globally visible — via an explicit
+    /// flush decision, a fence drain, or the end-of-run drain.
+    StoresFlushed => "stores_flushed",
+    /// Memory fences that actually drained a buffer (free no-ops under
+    /// sequential consistency are not counted).
+    Fences => "fences",
 }
 
 macro_rules! gauges {

@@ -55,6 +55,8 @@ use parking_lot::RwLock;
 
 use crate::error::Halted;
 use crate::history::{OpKind, RegId};
+use crate::metrics::Counter;
+use crate::weakmem::BufferedStore;
 use crate::world::{Ctx, WorldInner};
 
 /// Widest payload (in 64-bit words) the seqlock plane accepts; wider
@@ -608,6 +610,17 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
     #[inline]
     pub fn read(&self, ctx: &mut Ctx) -> Result<T, Halted> {
         let cell = &*self.cell;
+        if ctx.inner().weak_buffering() {
+            let (pid, id) = (ctx.pid(), self.id);
+            // Store-to-load forwarding: this process's newest buffered
+            // write to the register wins over shared memory.
+            return ctx.inner().access_central(pid, OpKind::Read, id, 0, |c| {
+                match c.forwarded::<T>(pid, id) {
+                    Some(v) => v.clone(),
+                    None => cell.load(),
+                }
+            });
+        }
         ctx.inner()
             .access(ctx.pid(), OpKind::Read, self.id, 0, || cell.load())
     }
@@ -625,6 +638,15 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
     #[inline]
     pub fn read_with<R>(&self, ctx: &mut Ctx, f: impl FnOnce(&T) -> R) -> Result<R, Halted> {
         let cell = &*self.cell;
+        if ctx.inner().weak_buffering() {
+            let (pid, id) = (ctx.pid(), self.id);
+            return ctx.inner().access_central(pid, OpKind::Read, id, 0, |c| {
+                match c.forwarded::<T>(pid, id) {
+                    Some(v) => f(v),
+                    None => cell.with(f),
+                }
+            });
+        }
         ctx.inner()
             .access(ctx.pid(), OpKind::Read, self.id, 0, || cell.with(f))
     }
@@ -661,6 +683,21 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
         f: impl FnOnce(&T),
     ) -> Result<u64, Halted> {
         let cell = &*self.cell;
+        if ctx.inner().weak_buffering() {
+            let (pid, id) = (ctx.pid(), self.id);
+            // A forwarded value has no backing version yet (the write is
+            // still buffered), so the caller can never cache it: run `f`
+            // unconditionally and hand back NO_VERSION.
+            return ctx.inner().access_central(pid, OpKind::Read, id, 0, |c| {
+                match c.forwarded::<T>(pid, id) {
+                    Some(v) => {
+                        f(v);
+                        NO_VERSION
+                    }
+                    None => cell.with_changed(cached, f),
+                }
+            });
+        }
         ctx.inner().access(ctx.pid(), OpKind::Read, self.id, 0, || {
             cell.with_changed(cached, f)
         })
@@ -687,6 +724,33 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
     #[inline]
     pub fn write_tagged(&self, ctx: &mut Ctx, value: T, tag: u64) -> Result<(), Halted> {
         let cell = &*self.cell;
+        if ctx.inner().weak_buffering() {
+            let (pid, id) = (ctx.pid(), self.id);
+            // The write parks in the process's store buffer: globally
+            // invisible until a Flush decision, a fence, or the end-of-run
+            // drain lands it. `value` is kept twice — a forwarding copy
+            // for this process's own later reads, and the move captured by
+            // the deferred `apply` closure that hits the backing.
+            let fwd = value.clone();
+            let backing = Arc::clone(&self.cell);
+            let res = ctx
+                .inner()
+                .access_central(pid, OpKind::Write, id, tag, move |c| {
+                    c.buffer_store(
+                        pid,
+                        BufferedStore {
+                            reg: id,
+                            tag,
+                            value: Box::new(fwd),
+                            apply: Box::new(move || backing.store(value)),
+                        },
+                    );
+                });
+            if res.is_ok() {
+                ctx.count(Counter::StoresBuffered, 1);
+            }
+            return res;
+        }
         ctx.inner()
             .access(ctx.pid(), OpKind::Write, self.id, tag, || cell.store(value))
     }

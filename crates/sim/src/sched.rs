@@ -39,6 +39,13 @@ pub struct ScheduleView<'a> {
     /// The pending operation of each runnable process (parallel to
     /// [`runnable`](ScheduleView::runnable)).
     pub pending: &'a [PendingOp],
+    /// Buffered stores eligible to flush right now, as `(pid, reg)` pairs
+    /// in ascending pid order (for each pid: TSO exposes the buffer head,
+    /// PSO the oldest entry per register). Always empty under
+    /// [`WeakMode::Sc`](crate::weakmem::WeakMode) — strategies written
+    /// before the weak-memory plane never see a flushable entry and keep
+    /// their exact decision streams.
+    pub flushable: &'a [(usize, RegId)],
 }
 
 impl ScheduleView<'_> {
@@ -64,6 +71,17 @@ pub enum Decision {
     /// as [`Halted::Panicked`](crate::error::Halted). The scheduler is then
     /// consulted again for the same step.
     Panic(usize),
+    /// Land one buffered store of `pid` targeting `reg` in shared memory
+    /// (weak-memory modes only; the pair must appear in
+    /// [`ScheduleView::flushable`]). Like a crash, a flush does not consume
+    /// a step — the scheduler is consulted again for the same step.
+    Flush {
+        /// The process whose store buffer drains one entry.
+        pid: usize,
+        /// The register of the entry to flush (disambiguates under PSO;
+        /// under TSO it must match the buffer head).
+        reg: RegId,
+    },
 }
 
 /// The adversary interface.
@@ -391,6 +409,7 @@ mod tests {
             step,
             runnable,
             pending,
+            flushable: &[],
         }
     }
 

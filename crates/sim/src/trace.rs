@@ -82,16 +82,23 @@ pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
                 tag,
                 ..
             } => {
-                let k = match kind {
-                    OpKind::Read => "R",
-                    OpKind::Write => "W",
-                };
-                let t = if *tag != 0 {
-                    format!(" #{tag}")
+                if *kind == OpKind::Fence {
+                    // Fences target the FENCE_REG sentinel, not a real
+                    // register — never index it into the name table.
+                    (*pid, "F fence".to_string(), true)
                 } else {
-                    String::new()
-                };
-                (*pid, format!("{k} {}{t}", opts.reg(*reg)), true)
+                    let k = match kind {
+                        OpKind::Read => "R",
+                        OpKind::Write => "W",
+                        OpKind::Fence => unreachable!(),
+                    };
+                    let t = if *tag != 0 {
+                        format!(" #{tag}")
+                    } else {
+                        String::new()
+                    };
+                    (*pid, format!("{k} {}{t}", opts.reg(*reg)), true)
+                }
             }
             Event::Note { pid, note, .. } => {
                 if !opts.notes {
@@ -112,6 +119,7 @@ pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
             }
             Event::Crash { pid, .. } => (*pid, "☠ CRASHED".to_string(), true),
             Event::Fault { pid, kind, .. } => (*pid, format!("⚡ {kind}"), true),
+            Event::Flush { pid, reg, .. } => (*pid, format!("⇣ {}", opts.reg(*reg)), true),
         };
         push_row(&mut out, step, show_step, pid, &cell, n, w);
     }
@@ -387,6 +395,7 @@ pub fn summary(history: &History, n: usize) -> String {
                 match kind {
                     OpKind::Read => reads += 1,
                     OpKind::Write => writes += 1,
+                    OpKind::Fence => {}
                 }
                 if *pid < n {
                     per_proc[*pid] += 1;
@@ -394,7 +403,7 @@ pub fn summary(history: &History, n: usize) -> String {
             }
             Event::Crash { .. } => crashes += 1,
             Event::Fault { .. } => faults += 1,
-            Event::Note { .. } => {}
+            Event::Note { .. } | Event::Flush { .. } => {}
         }
     }
     format!(

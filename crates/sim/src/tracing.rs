@@ -94,6 +94,8 @@ events! {
     /// Appended after the original kinds so existing ring-event codes are
     /// stable.
     ScanReuse => "scan_reuse",
+    /// A buffered store became globally visible (arg: register id).
+    Flush => "flush",
 }
 
 impl std::fmt::Display for EventKind {

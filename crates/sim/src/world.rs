@@ -4,6 +4,7 @@
 //! allocated with [`World::reg`], and then [`World::run`] executes `n`
 //! process bodies to completion under a [`Strategy`].
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -18,6 +19,7 @@ use crate::sched::{Decision, PendingOp, ScheduleView, Strategy};
 use crate::tracing::{
     fault_arg, EventKind, FlightLog, FlightRecorder, Hist, DEFAULT_RING_CAPACITY,
 };
+use crate::weakmem::{flushable_of, BufferedStore, WeakMode, FENCE_REG};
 
 /// How shared-memory accesses are interleaved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -161,6 +163,37 @@ pub(crate) struct Central {
     steps: u64,
     per_proc_steps: Vec<u64>,
     history: History,
+    /// Per-process store buffers (weak-memory modes; always empty under
+    /// [`WeakMode::Sc`]).
+    buffers: Vec<VecDeque<BufferedStore>>,
+}
+
+impl Central {
+    /// The newest buffered value `pid` holds for `reg` — store-to-load
+    /// forwarding. `None` when nothing is buffered for the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffered value is not a `T`: one register id always
+    /// carries one payload type, so a mismatch is a plumbing bug, and
+    /// silently falling back to the (stale) memory cell would corrupt the
+    /// simulated semantics.
+    pub(crate) fn forwarded<T: 'static>(&self, pid: usize, reg: RegId) -> Option<&T> {
+        self.buffers[pid]
+            .iter()
+            .rev()
+            .find(|e| e.reg == reg)
+            .map(|e| {
+                e.value
+                    .downcast_ref::<T>()
+                    .expect("buffered value type matches the register's payload type")
+            })
+    }
+
+    /// Appends a store to `pid`'s buffer (FIFO tail).
+    pub(crate) fn buffer_store(&mut self, pid: usize, entry: BufferedStore) {
+        self.buffers[pid].push_back(entry);
+    }
 }
 
 pub(crate) struct WorldInner {
@@ -170,6 +203,9 @@ pub(crate) struct WorldInner {
     record: bool,
     seed: u64,
     plane: RegisterPlane,
+    /// The simulated memory model (store buffers when not
+    /// [`WeakMode::Sc`]; lockstep only).
+    weak: WeakMode,
     central: Mutex<Central>,
     proc_cv: Condvar,
     sched_cv: Condvar,
@@ -224,84 +260,148 @@ impl WorldInner {
                 }
                 Ok(f())
             }
-            Mode::Lockstep => {
-                let mut c = self.central.lock();
-                // A crash always reports as Crashed, even if the world also
-                // shut down before this process reached its next gate.
-                if c.crashed[pid] {
-                    return Err(Halted::Crashed);
-                }
-                if let Some(h) = c.shutdown {
-                    return Err(h);
-                }
-                c.waiting[pid] = Some(PendingOp { kind, reg, tag });
-                self.sched_cv.notify_one();
-                loop {
-                    if c.crashed[pid] {
-                        c.waiting[pid] = None;
-                        self.sched_cv.notify_one();
-                        return Err(Halted::Crashed);
-                    }
-                    if c.poisoned[pid] {
-                        // An injected panic: unwind on the process thread so
-                        // panic containment is exercised for real. The
-                        // central lock is released by the unwind; the
-                        // FinishGuard then marks the process finished.
-                        c.poisoned[pid] = false;
-                        c.waiting[pid] = None;
-                        if self.record {
-                            let step = c.steps;
-                            c.history.push(Event::Fault {
-                                step,
-                                pid,
-                                kind: FaultKind::PanicInjected,
-                            });
-                        }
-                        let step = c.steps;
-                        self.recorder.record(
-                            pid,
-                            step,
-                            EventKind::Fault,
-                            fault_arg(FaultKind::PanicInjected),
-                        );
-                        self.sched_cv.notify_one();
-                        drop(c);
-                        panic!("chaos: injected panic (pid {pid})");
-                    }
-                    if let Some(h) = c.shutdown {
-                        c.waiting[pid] = None;
-                        self.sched_cv.notify_one();
-                        return Err(h);
-                    }
-                    if c.granted == Some(pid) {
-                        break;
-                    }
-                    self.proc_cv.wait(&mut c);
-                }
+            Mode::Lockstep => self.access_central(pid, kind, reg, tag, |_c| f()),
+        }
+    }
+
+    /// The lockstep access gate with the central state borrowed into the
+    /// body — the store-buffer paths use it to push and read buffered
+    /// stores while holding the grant. [`WorldInner::access`] is the thin
+    /// wrapper that ignores the borrow.
+    pub(crate) fn access_central<R>(
+        &self,
+        pid: usize,
+        kind: OpKind,
+        reg: RegId,
+        tag: u64,
+        f: impl FnOnce(&mut Central) -> R,
+    ) -> Result<R, Halted> {
+        debug_assert_eq!(self.mode, Mode::Lockstep, "access_central is lockstep-only");
+        let mut c = self.central.lock();
+        // A crash always reports as Crashed, even if the world also
+        // shut down before this process reached its next gate.
+        if c.crashed[pid] {
+            return Err(Halted::Crashed);
+        }
+        if let Some(h) = c.shutdown {
+            return Err(h);
+        }
+        c.waiting[pid] = Some(PendingOp { kind, reg, tag });
+        self.sched_cv.notify_one();
+        loop {
+            if c.crashed[pid] {
                 c.waiting[pid] = None;
-                let r = f();
-                let step = c.steps;
-                c.steps += 1;
-                c.per_proc_steps[pid] += 1;
-                // Counted at the same point the history records the op, so
-                // lockstep telemetry and `History` agree event-for-event.
-                self.metrics.proc(pid).incr(op_counter(kind), 1);
-                if kind == OpKind::Write {
-                    self.recorder
-                        .record(pid, step, EventKind::RegWrite, reg as u64);
-                }
+                self.sched_cv.notify_one();
+                return Err(Halted::Crashed);
+            }
+            if c.poisoned[pid] {
+                // An injected panic: unwind on the process thread so
+                // panic containment is exercised for real. The
+                // central lock is released by the unwind; the
+                // FinishGuard then marks the process finished.
+                c.poisoned[pid] = false;
+                c.waiting[pid] = None;
                 if self.record {
-                    c.history.push(Event::Op {
+                    let step = c.steps;
+                    c.history.push(Event::Fault {
                         step,
                         pid,
-                        kind,
-                        reg,
-                        tag,
+                        kind: FaultKind::PanicInjected,
                     });
                 }
-                c.granted = None;
+                let step = c.steps;
+                self.recorder.record(
+                    pid,
+                    step,
+                    EventKind::Fault,
+                    fault_arg(FaultKind::PanicInjected),
+                );
                 self.sched_cv.notify_one();
-                Ok(r)
+                drop(c);
+                panic!("chaos: injected panic (pid {pid})");
+            }
+            if let Some(h) = c.shutdown {
+                c.waiting[pid] = None;
+                self.sched_cv.notify_one();
+                return Err(h);
+            }
+            if c.granted == Some(pid) {
+                break;
+            }
+            self.proc_cv.wait(&mut c);
+        }
+        c.waiting[pid] = None;
+        let r = f(&mut c);
+        let step = c.steps;
+        c.steps += 1;
+        c.per_proc_steps[pid] += 1;
+        // Counted at the same point the history records the op, so
+        // lockstep telemetry and `History` agree event-for-event.
+        self.metrics.proc(pid).incr(op_counter(kind), 1);
+        if kind == OpKind::Write {
+            self.recorder
+                .record(pid, step, EventKind::RegWrite, reg as u64);
+        }
+        if self.record {
+            c.history.push(Event::Op {
+                step,
+                pid,
+                kind,
+                reg,
+                tag,
+            });
+        }
+        c.granted = None;
+        self.sched_cv.notify_one();
+        Ok(r)
+    }
+
+    /// Whether granted writes go through store buffers: a weak memory
+    /// model on the lockstep backend. Free mode always runs the real
+    /// hardware model, so the simulated buffers stay off there.
+    pub(crate) fn weak_buffering(&self) -> bool {
+        self.mode == Mode::Lockstep && self.weak != WeakMode::Sc
+    }
+
+    /// Lands one buffered store in shared memory and records the flush in
+    /// history, metrics, and the flight recorder. Caller removed `entry`
+    /// from the buffer already.
+    fn land_store(&self, c: &mut Central, pid: usize, entry: BufferedStore) {
+        let reg = entry.reg;
+        (entry.apply)();
+        let step = c.steps;
+        if self.record {
+            c.history.push(Event::Flush { step, pid, reg });
+        }
+        self.metrics.proc(pid).incr(Counter::StoresFlushed, 1);
+        self.recorder
+            .record(pid, step, EventKind::Flush, reg as u64);
+    }
+
+    /// Store-buffer fence on behalf of `pid`: a scheduled gate
+    /// ([`OpKind::Fence`] on the [`FENCE_REG`] sentinel) that drains the
+    /// caller's own buffer, oldest first, when granted. Free of charge
+    /// under SC (no gate, no step) so protocol code can fence
+    /// unconditionally.
+    pub(crate) fn fence(&self, pid: usize) -> Result<(), Halted> {
+        if !self.weak_buffering() {
+            return Ok(());
+        }
+        self.access_central(pid, OpKind::Fence, FENCE_REG, 0, |c| {
+            while let Some(entry) = c.buffers[pid].pop_front() {
+                self.land_store(c, pid, entry);
+            }
+        })
+    }
+
+    /// Deterministic end-of-run drain (ascending pid, FIFO): every process
+    /// is finished or crashed, so no one can observe the drain order and
+    /// it costs no exploration branches. Crashed buffers were already
+    /// dropped at their crash.
+    fn drain_all_buffers(&self, c: &mut Central) {
+        for pid in 0..self.n {
+            while let Some(entry) = c.buffers[pid].pop_front() {
+                self.land_store(c, pid, entry);
             }
         }
     }
@@ -367,7 +467,12 @@ impl WorldInner {
                 .filter(|&p| !c.finished[p] && !c.crashed[p] && c.waiting[p].is_some())
                 .collect();
             if runnable.is_empty() {
-                // Everyone finished, or only crashed processes remain parked.
+                // Everyone finished, or only crashed processes remain
+                // parked. Buffered stores of finished processes land now,
+                // deterministically — unobservable, hence decision-free.
+                if self.weak_buffering() {
+                    self.drain_all_buffers(&mut c);
+                }
                 c.shutdown = Some(Halted::Shutdown);
                 self.proc_cv.notify_all();
                 return;
@@ -381,11 +486,20 @@ impl WorldInner {
                 .iter()
                 .map(|&p| c.waiting[p].expect("runnable process has a pending op"))
                 .collect();
+            let mut flushable: Vec<(usize, RegId)> = Vec::new();
+            if self.weak_buffering() {
+                for p in 0..self.n {
+                    for r in flushable_of(self.weak, &c.buffers[p]) {
+                        flushable.push((p, r));
+                    }
+                }
+            }
             let decision = {
                 let view = ScheduleView {
                     step: c.steps,
                     runnable: &runnable,
                     pending: &pending,
+                    flushable: &flushable,
                 };
                 strategy.decide(&view)
             };
@@ -421,6 +535,10 @@ impl WorldInner {
                         c.steps
                     );
                     c.crashed[pid] = true;
+                    // The store buffer dies with the process: its unflushed
+                    // writes are lost. The explorer separately branches
+                    // flush-before-crash to cover the published variants.
+                    c.buffers[pid].clear();
                     let step = c.steps;
                     if self.record {
                         c.history.push(Event::Crash { step, pid });
@@ -439,6 +557,22 @@ impl WorldInner {
                     );
                     c.poisoned[pid] = true;
                     self.proc_cv.notify_all();
+                }
+                Decision::Flush { pid, reg } => {
+                    assert!(
+                        flushable.contains(&(pid, reg)),
+                        "illegal strategy decision Flush{{pid: {pid}, reg: {reg}}} at \
+                         step {}: not flushable (flushable = {flushable:?})",
+                        c.steps
+                    );
+                    let pos = c.buffers[pid]
+                        .iter()
+                        .position(|e| e.reg == reg)
+                        .expect("flushable entry exists in the buffer");
+                    let entry = c.buffers[pid].remove(pos).expect("position is in range");
+                    self.land_store(&mut c, pid, entry);
+                    // Nobody advanced: the strategy is consulted again at
+                    // the same step, exactly like after a crash.
                 }
             }
             {
@@ -542,6 +676,17 @@ impl Ctx {
         self.inner.metrics.proc(self.pid).hist_record(h, v);
     }
 
+    /// Store-buffer fence: drains this process's own buffered writes into
+    /// shared memory as one scheduled gate ([`Counter::Fences`] counts it;
+    /// the history records an [`OpKind::Fence`] op plus one
+    /// [`Event::Flush`](crate::history::Event) per landed store). Under
+    /// [`WeakMode::Sc`](crate::weakmem::WeakMode) — and in free mode,
+    /// where the hardware model is real — it is a free no-op, so protocol
+    /// code fences unconditionally at its ordering points.
+    pub fn fence(&self) -> Result<(), Halted> {
+        self.inner.fence(self.pid)
+    }
+
     pub(crate) fn inner(&self) -> &Arc<WorldInner> {
         &self.inner
     }
@@ -557,6 +702,7 @@ pub struct WorldBuilder {
     record: bool,
     plane: RegisterPlane,
     trace_capacity: usize,
+    weak: WeakMode,
 }
 
 impl WorldBuilder {
@@ -600,9 +746,25 @@ impl WorldBuilder {
         self
     }
 
+    /// Selects the simulated memory model (default
+    /// [`WeakMode::Sc`](crate::weakmem::WeakMode)). Weak modes route every
+    /// granted write through a per-process store buffer whose flush points
+    /// are scheduler decisions — see [`crate::weakmem`]. Requires
+    /// [`Mode::Lockstep`]; [`WorldBuilder::build`] panics on a weak free
+    /// world.
+    pub fn weak_memory(mut self, weak: WeakMode) -> Self {
+        self.weak = weak;
+        self
+    }
+
     /// Finishes building the world.
     pub fn build(self) -> World {
         assert!(self.n >= 1, "a world needs at least one process");
+        assert!(
+            self.weak == WeakMode::Sc || self.mode == Mode::Lockstep,
+            "weak-memory store buffers are simulated by the lockstep \
+             scheduler; free mode runs the real hardware model"
+        );
         World {
             inner: Arc::new(WorldInner {
                 n: self.n,
@@ -611,6 +773,7 @@ impl WorldBuilder {
                 record: self.record,
                 seed: self.seed,
                 plane: self.plane,
+                weak: self.weak,
                 central: Mutex::new(Central {
                     granted: None,
                     waiting: vec![None; self.n],
@@ -621,6 +784,7 @@ impl WorldBuilder {
                     steps: 0,
                     per_proc_steps: vec![0; self.n],
                     history: History::new(),
+                    buffers: (0..self.n).map(|_| VecDeque::new()).collect(),
                 }),
                 proc_cv: Condvar::new(),
                 sched_cv: Condvar::new(),
@@ -666,6 +830,7 @@ impl World {
             record: true,
             plane: RegisterPlane::default(),
             trace_capacity: DEFAULT_RING_CAPACITY,
+            weak: WeakMode::Sc,
         }
     }
 
@@ -677,6 +842,12 @@ impl World {
     /// The interleaving mode.
     pub fn mode(&self) -> Mode {
         self.inner.mode
+    }
+
+    /// The weak-memory buffering discipline this world simulates
+    /// ([`WeakMode::Sc`] unless [`WorldBuilder::weak_memory`] said otherwise).
+    pub fn weak_memory_mode(&self) -> WeakMode {
+        self.inner.weak
     }
 
     /// The global step budget this world was built with. The systematic
@@ -997,6 +1168,7 @@ fn op_counter(kind: OpKind) -> Counter {
     match kind {
         OpKind::Read => Counter::RegReads,
         OpKind::Write => Counter::RegWrites,
+        OpKind::Fence => Counter::Fences,
     }
 }
 

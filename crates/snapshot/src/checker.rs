@@ -19,7 +19,7 @@
 //!   (by any processes) are componentwise comparable
 //!   ([`SnapshotViolation::IncomparableScans`] otherwise).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bprc_sim::history::{Event, History, OpKind};
 
@@ -339,6 +339,72 @@ pub fn check_history(history: &History, meta: &SnapshotMeta) -> CheckReport {
     checker.finish()
 }
 
+/// Checks P1–P3 on a history recorded under weak memory
+/// (`WeakMode::Tso`/`WeakMode::Pso` in `bprc_sim::weakmem`).
+///
+/// Under store buffering a write *issues* at its `Event::Op` step but only
+/// becomes visible to other processes at its [`Event::Flush`] step, so the
+/// store's linearization point is the flush. This wrapper re-times every
+/// write to its matching flush before feeding the checker. Matching is a
+/// per-`(pid, reg)` FIFO: both TSO and PSO land same-register stores from
+/// one process in issue order, so front-of-queue pairing is exact. A write
+/// with no flush (its buffer was dropped by a crash) never became visible
+/// and is withheld from the checker entirely — its `upd:start` record keeps
+/// `store: None`, the same shape as a crash between `upd:start` and the
+/// store under SC. On a history with no flush events this is exactly
+/// [`check_history`].
+pub fn check_history_weak(history: &History, meta: &SnapshotMeta) -> CheckReport {
+    let mut pending: HashMap<(usize, usize), VecDeque<usize>> = HashMap::new();
+    let mut vis_step: HashMap<usize, u64> = HashMap::new();
+    let mut any_flush = false;
+    for (i, ev) in history.events().iter().enumerate() {
+        match ev {
+            Event::Op {
+                pid,
+                kind: OpKind::Write,
+                reg,
+                ..
+            } => {
+                pending.entry((*pid, *reg)).or_default().push_back(i);
+            }
+            Event::Flush { step, pid, reg } => {
+                any_flush = true;
+                if let Some(idx) = pending.get_mut(&(*pid, *reg)).and_then(|q| q.pop_front()) {
+                    vis_step.insert(idx, *step);
+                }
+            }
+            _ => {}
+        }
+    }
+    if !any_flush {
+        return check_history(history, meta);
+    }
+    let mut checker = IncrementalChecker::new(meta);
+    for (i, ev) in history.events().iter().enumerate() {
+        match ev {
+            &Event::Op {
+                pid,
+                kind: OpKind::Write,
+                reg,
+                tag,
+                ..
+            } => {
+                if let Some(&fstep) = vis_step.get(&i) {
+                    checker.feed(&Event::Op {
+                        step: fstep,
+                        pid,
+                        kind: OpKind::Write,
+                        reg,
+                        tag,
+                    });
+                }
+            }
+            other => checker.feed(other),
+        }
+    }
+    checker.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +570,103 @@ mod tests {
         let r = check_history(&History::from_events(ev), &meta(1));
         assert_eq!(r.scans, 0);
         assert!(r.ok());
+    }
+
+    fn flush(step: u64, pid: usize, reg: usize) -> Event {
+        Event::Flush { step, pid, reg }
+    }
+
+    /// Under weak memory a scan must not return a value whose store was
+    /// still buffered when the scan ended: the store linearizes at its
+    /// flush, and the plain checker (which trusts the issue step) misses
+    /// the impossibility.
+    #[test]
+    fn weak_checker_times_stores_at_their_flush() {
+        let mut ev = Vec::new();
+        upd(&mut ev, 0, 0, 1); // issue at step 0 ...
+        ev.push(note(2, 1, labels::SCAN_START, vec![]));
+        ev.push(note(4, 1, labels::SCAN_END, vec![1, 0]));
+        ev.push(flush(10, 0, 100)); // ... but only visible at step 10
+        let history = History::from_events(ev);
+        let m = meta(2);
+        assert!(
+            check_history(&history, &m).ok(),
+            "the issue-step checker cannot see the buffering"
+        );
+        let r = check_history_weak(&history, &m);
+        assert!(matches!(
+            r.violations[0],
+            SnapshotViolation::FutureValue {
+                scanner: 1,
+                slot: 0,
+                seq: 1
+            }
+        ));
+    }
+
+    /// A store whose buffer died with its process never became visible:
+    /// scans returning it are flagged, scans skipping it are clean.
+    #[test]
+    fn unflushed_crashed_store_is_never_visible() {
+        let mut ev = Vec::new();
+        ev.push(note(0, 0, labels::UPD_START, vec![1]));
+        ev.push(store(0, 0, 100, 1)); // buffered, then the buffer is dropped
+        ev.push(flush(1, 1, 101)); // unrelated flush keeps the history weak
+        ev.push(note(2, 1, labels::SCAN_START, vec![]));
+        ev.push(note(4, 1, labels::SCAN_END, vec![0, 0]));
+        let history = History::from_events(ev);
+        let r = check_history_weak(&history, &meta(2));
+        assert!(
+            r.ok(),
+            "old value is the only visible one: {:?}",
+            r.violations
+        );
+
+        let mut ev2 = Vec::new();
+        ev2.push(note(0, 0, labels::UPD_START, vec![1]));
+        ev2.push(store(0, 0, 100, 1));
+        ev2.push(flush(1, 1, 101));
+        ev2.push(note(2, 1, labels::SCAN_START, vec![]));
+        ev2.push(note(4, 1, labels::SCAN_END, vec![1, 0]));
+        let r2 = check_history_weak(&History::from_events(ev2), &meta(2));
+        assert!(
+            matches!(r2.violations[0], SnapshotViolation::FutureValue { .. }),
+            "a dropped store must read as never-written: {:?}",
+            r2.violations
+        );
+    }
+
+    /// Flushes pair with writes FIFO per (pid, reg), and a flush-free
+    /// history degrades to the plain checker verbatim.
+    #[test]
+    fn weak_checker_matches_fifo_and_degrades_to_sc() {
+        let mut ev = Vec::new();
+        upd(&mut ev, 0, 0, 1);
+        ev.push(flush(2, 0, 100)); // FIFO: pairs with seq 1
+        ev.push(note(3, 0, labels::UPD_START, vec![2]));
+        ev.push(store(3, 0, 100, 2));
+        ev.push(note(5, 1, labels::SCAN_START, vec![]));
+        ev.push(note(6, 1, labels::SCAN_END, vec![1, 0]));
+        ev.push(flush(9, 0, 100)); // FIFO: pairs with seq 2
+        ev.push(note(10, 0, labels::UPD_END, vec![2]));
+        let weak_hist = History::from_events(ev);
+        let m = meta(2);
+        let r = check_history_weak(&weak_hist, &m);
+        assert!(
+            r.ok(),
+            "seq 2 is still buffered during the scan: {:?}",
+            r.violations
+        );
+
+        let mut sc = Vec::new();
+        upd(&mut sc, 0, 0, 1);
+        sc.push(note(2, 1, labels::SCAN_START, vec![]));
+        sc.push(note(4, 1, labels::SCAN_END, vec![1, 0]));
+        let sc_hist = History::from_events(sc);
+        let a = check_history(&sc_hist, &m);
+        let b = check_history_weak(&sc_hist, &m);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!((a.scans, a.updates), (b.scans, b.updates));
     }
 
     /// The incremental checker is checkpointable: finishing mid-stream sees

@@ -66,6 +66,8 @@ pub mod memory;
 pub mod waitfree;
 
 pub use backend::{check_backend_history, OpGrained, SnapshotBackend, SnapshotPort};
-pub use checker::{check_history, CheckReport, IncrementalChecker, SnapshotViolation};
+pub use checker::{
+    check_history, check_history_weak, CheckReport, IncrementalChecker, SnapshotViolation,
+};
 pub use memory::{Port, ScanStats, ScannableMemory, SnapshotMeta};
 pub use waitfree::{WaitFreeSnapshot, WfPort};

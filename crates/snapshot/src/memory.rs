@@ -378,12 +378,23 @@ where
                 a.raise(ctx)?;
             }
         }
+        // Weak-memory order: every raise must be globally visible before
+        // the value write can land, or a PSO store buffer would let a
+        // scanner collect the new value with no interference signal (a
+        // free no-op under sequential consistency).
+        ctx.fence()?;
         let slot = Slot {
             value,
             toggle: !self.last.toggle,
             seq,
         };
         self.shared.values[self.me].write_tagged(ctx, slot.clone(), seq)?;
+        // Release: the value store must drain before update() returns. A
+        // store still sitting in this process's buffer after the call
+        // completes would let a scan that *starts later* return the old
+        // value — a real-time regularity (P1) violation no schedule can
+        // excuse. Deleting this fence is the `missing-fence` gate fixture.
+        ctx.fence()?;
         self.last = slot;
         self.seq = seq;
         // The cached view no longer includes this process's latest write —
@@ -516,6 +527,12 @@ where
                     a.lower(ctx)?;
                 }
             }
+            // Weak-memory order: drain the lowers before collecting, so the
+            // arrow re-read below hits shared memory instead of forwarding
+            // this scanner's own stale (buffered) lower — which would mask a
+            // concurrent re-raise (a free no-op under sequential
+            // consistency).
+            ctx.fence()?;
             // First collect, into the persistent buffer (the shared pass
             // batch-validates through the version tokens and skips
             // re-cloning slots whose ghost seq is unchanged).
@@ -631,6 +648,10 @@ where
                     a.lower(ctx)?;
                 }
             }
+            // Same weak-memory drain as the optimized scan (see
+            // [`Port::scan_slots`]); keeps the two implementations
+            // access-equivalent under every memory mode.
+            ctx.fence()?;
             let mut c1: Vec<Option<Slot<T>>> = vec![None; n];
             for (j, slot) in c1.iter_mut().enumerate() {
                 if j != self.me {

@@ -1,0 +1,154 @@
+//! The weak-memory litmus corpus, end to end over the facade: every
+//! program's forbidden outcome must be **unreachable under SC over an
+//! exhaustive exploration**, and under TSO/PSO it must be *found* exactly
+//! when the model's physics say so (see the matrix in `bprc::sim::litmus`)
+//! — then shrunk, serialized, parsed back byte-identically, and replayed
+//! to the same violation. Both register planes (Packed and Locked) run
+//! the same matrix: buffering happens at the scheduling layer, so the
+//! backing must not matter.
+
+use bprc::sim::explore::{explore, run_trace, shrink_trace, DecisionTrace, ExploreConfig};
+use bprc::sim::litmus::{corpus, LitmusProgram};
+use bprc::sim::weakmem::{critical_cycle, WeakMode};
+use bprc::sim::world::RegisterPlane;
+
+const PLANES: [RegisterPlane; 2] = [RegisterPlane::Packed, RegisterPlane::Locked];
+
+/// Exhaustively explores `prog` on `plane` under `mode` and asserts the
+/// forbidden outcome is found exactly when the corpus matrix says it is.
+/// When found: shrink, round-trip the JSON artifact, replay, and demand a
+/// critical cycle from the violating history.
+fn drive(prog: &LitmusProgram, plane: RegisterPlane, mode: WeakMode) {
+    let build = prog.build;
+    let check = prog.check;
+    let mut make = move || build(plane, mode);
+    let rep = explore(&ExploreConfig::default(), &mut make, |r| check(r));
+    if !prog.expected_found(mode) {
+        assert!(
+            rep.violation.is_none(),
+            "{} on {plane:?} under {mode}: forbidden outcome must be \
+             unreachable, got {:?}",
+            prog.name,
+            rep.violation,
+        );
+        assert!(
+            rep.exhausted,
+            "{} on {plane:?} under {mode}: unreachability must come from an \
+             exhaustive enumeration, not a budget cutoff",
+            prog.name,
+        );
+        return;
+    }
+    let cex = rep.violation.unwrap_or_else(|| {
+        panic!(
+            "{} on {plane:?} under {mode}: the explorer must find the \
+             forbidden outcome ({} schedules searched)",
+            prog.name, rep.schedules,
+        )
+    });
+    // Shrink while the violation persists.
+    let (min, shrink_runs) = shrink_trace(&mut make, &mut |r| check(r), cex.trace.clone());
+    assert!(shrink_runs > 0, "{}: shrinking must re-execute", prog.name);
+    assert!(min.decisions.len() <= cex.trace.decisions.len());
+
+    // Byte-identical JSON round-trip.
+    let json = min.to_json();
+    let parsed = DecisionTrace::from_json(&json).expect("the shrunk artifact must parse back");
+    assert_eq!(
+        parsed.to_json(),
+        json,
+        "{}: round-trip must be byte-identical",
+        prog.name
+    );
+
+    // The violation must hinge on weak memory: the same trace against an
+    // SC build (flush entries skip as never-flushable) stays clean.
+    let mut make_sc = move || build(plane, WeakMode::Sc);
+    let (sc_replay, _) = run_trace(&mut make_sc, &parsed);
+    assert!(
+        check(&sc_replay).is_none(),
+        "{} on {plane:?}: the shrunk trace must not reproduce under SC: {:?}",
+        prog.name,
+        sc_replay.outputs,
+    );
+
+    // Replay reproduces the violation, and the violating history explains
+    // itself as a critical cycle.
+    let (replayed, _) = run_trace(&mut make, &parsed);
+    assert!(
+        check(&replayed).is_some(),
+        "{} on {plane:?} under {mode}: replayed trace must reproduce: {:?}",
+        prog.name,
+        replayed.outputs,
+    );
+    let history = replayed
+        .history
+        .as_ref()
+        .expect("lockstep litmus runs record history");
+    let names = {
+        let (w, _) = build(plane, mode);
+        w.reg_names()
+    };
+    let cycle = critical_cycle(history, &names).unwrap_or_else(|| {
+        panic!(
+            "{} on {plane:?} under {mode}: a reordering violation must \
+             yield a critical cycle",
+            prog.name,
+        )
+    });
+    assert!(
+        !cycle.edges.is_empty() && !cycle.reordered.is_empty(),
+        "{}: the cycle must name the reordered edge: {cycle}",
+        prog.name,
+    );
+}
+
+#[test]
+fn forbidden_outcomes_are_unreachable_under_sc() {
+    for plane in PLANES {
+        for prog in corpus() {
+            drive(&prog, plane, WeakMode::Sc);
+        }
+    }
+}
+
+#[test]
+fn tso_matrix_holds_on_both_planes() {
+    for plane in PLANES {
+        for prog in corpus() {
+            drive(&prog, plane, WeakMode::Tso);
+        }
+    }
+}
+
+#[test]
+fn pso_matrix_holds_on_both_planes() {
+    for plane in PLANES {
+        for prog in corpus() {
+            drive(&prog, plane, WeakMode::Pso);
+        }
+    }
+}
+
+#[test]
+fn sb_critical_cycle_blames_a_buffered_store() {
+    let prog = corpus().into_iter().find(|p| p.name == "sb").unwrap();
+    let build = prog.build;
+    let check = prog.check;
+    let mut make = move || build(RegisterPlane::Packed, WeakMode::Tso);
+    let rep = explore(&ExploreConfig::default(), &mut make, |r| check(r));
+    let cex = rep.violation.expect("sb is reachable under TSO");
+    let (min, _) = shrink_trace(&mut make, &mut |r| check(r), cex.trace);
+    let (replayed, _) = run_trace(&mut make, &min);
+    let history = replayed.history.as_ref().unwrap();
+    let names = {
+        let (w, _) = build(RegisterPlane::Packed, WeakMode::Tso);
+        w.reg_names()
+    };
+    let cycle = critical_cycle(history, &names).expect("sb violation forms a cycle");
+    assert!(
+        cycle.reordered.contains("stayed buffered"),
+        "the explanation must blame the delayed store: {}",
+        cycle.reordered,
+    );
+}
