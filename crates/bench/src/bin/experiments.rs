@@ -12,6 +12,8 @@
 //! experiments profile [--quick] [--out=PATH]      # BENCH_profile.json +
 //!             [--trace-out=PATH]                  #   Chrome trace companion
 //! experiments validate-profile PATH               # schema-check it
+//! experiments arena [--quick] [--out=PATH]        # BENCH_arena.json
+//! experiments validate-arena PATH                 # schema-check it
 //! experiments verify-gate [--quick] [--serial]    # fail-closed gate (exit 1
 //!             [--weakmem] [--fixture=NAME]        #   on any violation)
 //!             [--out-trace=PATH]
@@ -35,7 +37,7 @@
 //! real n = 2 snapshot stack.
 
 use bprc_bench::{
-    consensus_bench, experiments, explore, profile, throughput, verify_gate, Scale, Table,
+    arena, consensus_bench, experiments, explore, profile, throughput, verify_gate, Scale, Table,
 };
 
 fn run_bench(scale: Scale, out: &str) {
@@ -244,6 +246,49 @@ fn run_profile(scale: Scale, out: &str, trace_out: &str) {
     println!("wrote {trace_out} (load it at https://ui.perfetto.dev)");
 }
 
+fn run_arena(scale: Scale, out: &str) {
+    let doc = arena::run(scale, 42);
+    let errs = arena::validate(&doc);
+    if !errs.is_empty() {
+        eprintln!("generated document violates its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    for entry in doc.get("entries").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+        let get = |k: &str| entry.get(k).and_then(|v| v.as_num()).unwrap_or(0.0);
+        println!(
+            "{}: decided {:.0}%, rounds {:.1}, ops {:.0}, {} bits, {:.0} scans/sec",
+            entry.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+            get("decided_fraction") * 100.0,
+            get("mean_rounds"),
+            get("mean_total_ops"),
+            get("max_register_bits"),
+            get("scans_per_sec"),
+        );
+    }
+    let text = doc.render_pretty(2);
+    if let Err(e) = std::fs::write(out, text + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn run_validate_arena(path: &str) {
+    let errs = arena::validate(&load_json(path));
+    if errs.is_empty() {
+        println!("{path}: valid ({})", arena::SCHEMA);
+    } else {
+        eprintln!("{path}: schema violations:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn run_validate_profile(path: &str) {
     let errs = profile::validate(&load_json(path));
     if errs.is_empty() {
@@ -340,6 +385,24 @@ fn main() {
             Some(path) => run_validate_profile(path),
             None => {
                 eprintln!("usage: experiments validate-profile PATH");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if which.first() == Some(&"arena") {
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH_arena.json");
+        run_arena(scale, out);
+        return;
+    }
+    if which.first() == Some(&"validate-arena") {
+        match which.get(1) {
+            Some(path) => run_validate_arena(path),
+            None => {
+                eprintln!("usage: experiments validate-arena PATH");
                 std::process::exit(2);
             }
         }

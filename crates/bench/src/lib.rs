@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod consensus_bench;
 pub mod experiments;
 pub mod explore;

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use bprc_coin::flip::{FairFlips, FlipSource};
 use bprc_coin::value::{coin_value_total, CoinValue};
 use bprc_coin::CoinParams;
-use bprc_sim::turn::{TurnProcess, TurnStep};
+use bprc_sim::turn::{TurnProbe, TurnProcess, TurnStep};
 
 use crate::state::Pref;
 
@@ -50,6 +50,7 @@ pub struct AhCore {
     state: AhState,
     flips: FairFlips,
     rounds_advanced: u64,
+    coin_flips: u64,
 }
 
 impl AhCore {
@@ -71,6 +72,7 @@ impl AhCore {
             },
             flips: FairFlips::new(seed),
             rounds_advanced: 1,
+            coin_flips: 0,
         }
     }
 
@@ -103,6 +105,13 @@ impl TurnProcess for AhCore {
 
     fn initial_msg(&mut self) -> AhState {
         self.state.clone()
+    }
+
+    fn probe(&self) -> TurnProbe {
+        TurnProbe {
+            round: Some(self.state.round),
+            coin_flips: self.coin_flips,
+        }
     }
 
     fn on_scan(&mut self, view: &[AhState]) -> TurnStep<AhState, bool> {
@@ -160,6 +169,7 @@ impl TurnProcess for AhCore {
             CoinValue::Undecided => {
                 let target = self.state.round + 1;
                 let delta = if self.flips.flip() { 1 } else { -1 };
+                self.coin_flips += 1;
                 *self.state.coins.entry(target).or_insert(0) += delta;
                 TurnStep::Write(self.state.clone())
             }

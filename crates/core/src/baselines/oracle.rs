@@ -8,7 +8,7 @@
 //! compare the realizable coins against.
 
 use bprc_sim::rng::derive_seed;
-use bprc_sim::turn::{TurnProcess, TurnStep};
+use bprc_sim::turn::{TurnProbe, TurnProcess, TurnStep};
 
 use crate::state::Pref;
 
@@ -69,6 +69,15 @@ impl TurnProcess for OracleCore {
         self.state.clone()
     }
 
+    fn probe(&self) -> TurnProbe {
+        TurnProbe {
+            // The oracle coin is an atomic primitive evaluated for free:
+            // no local flips to report, just round progress.
+            round: Some(self.state.round),
+            coin_flips: 0,
+        }
+    }
+
     fn on_scan(&mut self, view: &[OracleState]) -> TurnStep<OracleState, bool> {
         let max_round = view.iter().map(|s| s.round).max().unwrap_or(0);
         debug_assert_eq!(&view[self.me], &self.state);
@@ -110,7 +119,18 @@ impl TurnProcess for OracleCore {
             }
         }
 
-        // Leaders disagree: consult the atomic shared coin for the next
+        // Leaders disagree: demote in place first so the wavering is
+        // visible. The shared coin makes divergent *coin* writes
+        // impossible, but a pending adopt write can still contradict a
+        // concurrent decision unless the decider is forced to see the
+        // wavering — same discipline as the siblings (the abrahamson
+        // module doc has the concrete schedule).
+        if self.state.pref != Pref::Bottom {
+            self.state.pref = Pref::Bottom;
+            return TurnStep::Write(self.state.clone());
+        }
+
+        // Already demoted: consult the atomic shared coin for the next
         // round — identical for everyone, so disagreement dissolves
         // immediately.
         self.state.pref = Pref::Val(self.oracle(self.state.round + 1));

@@ -12,8 +12,13 @@
 //!   register-level scannable memory ([`threaded`]);
 //! * [`baselines`] — the comparison algorithms: Aspnes–Herlihy \[AH88\]
 //!   (polynomial time, unbounded memory), Abrahamson \[A88\] (bounded memory,
-//!   exponential time), and a perfect-shared-coin oracle (\[CIL87\]-style
-//!   reference);
+//!   exponential time), a perfect-shared-coin oracle (\[CIL87\]-style
+//!   reference), and a swap-race protocol built on a consensus-number-2
+//!   primitive;
+//! * [`arena`] — one object-safe [`arena::Consensus`] trait putting the
+//!   bounded protocol and every baseline behind the same build surface, so
+//!   chaos, exploration, and telemetry drive all of them unmodified (and
+//!   the benchmark harness can race them);
 //! * [`virtual_rounds`] — the §6.1 verifier: recomputes virtual global
 //!   rounds over the serialized scan sequence and checks their monotonicity
 //!   and the decision-safety invariants on every tested execution;
@@ -46,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversaries;
+pub mod arena;
 pub mod baselines;
 pub mod bounded;
 pub mod meter;
@@ -58,6 +64,10 @@ pub mod threaded;
 pub mod verify;
 pub mod virtual_rounds;
 
+pub use arena::{
+    arena_strategy, entrants, AbrahamsonEntrant, AhEntrant, ArenaBackend, ArenaInstance,
+    ArenaProbe, BoundedEntrant, Consensus, MeteredProc, OracleEntrant, SwapEntrant,
+};
 pub use bounded::{BoundedCore, ConsensusParams};
 pub use state::{Pref, ProcState};
 pub use verify::{check_telemetry_parity, ConsensusSpec};

@@ -55,6 +55,16 @@ impl Checkable for crate::multivalued::MvCore {
     }
 }
 
+impl Checkable for crate::baselines::abrahamson::LocalCoinCore {
+    fn load_flip(&mut self, heads: bool) {
+        self.flips_mut().push_outcome(heads);
+    }
+
+    fn pending_flips(&self) -> usize {
+        self.flips().queued()
+    }
+}
+
 /// Search limits.
 #[derive(Debug, Clone, Copy)]
 pub struct McConfig {

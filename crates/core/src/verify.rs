@@ -50,6 +50,12 @@ pub fn check_telemetry_parity<T>(report: &RunReport<T>) -> Option<String> {
         match kind {
             OpKind::Read => reads[pid] += 1,
             OpKind::Write => writes[pid] += 1,
+            // A swap is one gate counted in both columns — mirrors the
+            // world's access-gate accounting exactly.
+            OpKind::Swap => {
+                reads[pid] += 1;
+                writes[pid] += 1;
+            }
             // Fences are their own counter; reads/writes parity ignores them.
             OpKind::Fence => {}
         }

@@ -513,6 +513,20 @@ impl Dfs {
     }
 }
 
+/// The fair completion used below a truncation cut: drain any buffered
+/// stores first, then grant the lowest runnable process. Grants alone
+/// would model a scheduler that withholds every flush forever — a total
+/// partition even regular registers / weak memory rule out — and checking
+/// a truncated prefix against *that* completion reports phantom
+/// violations. `flushable` is always empty under SC, so SC decision
+/// streams are bit-identical with or without this.
+fn fallback(view: &ScheduleView<'_>) -> Decision {
+    if let Some(&(pid, reg)) = view.flushable.first() {
+        return Decision::Flush { pid, reg };
+    }
+    Decision::Grant(view.runnable[0])
+}
+
 /// The controller: replays the stack prefix, then extends it.
 struct Controller {
     st: Rc<RefCell<Dfs>>,
@@ -522,7 +536,7 @@ impl Strategy for Controller {
     fn decide(&mut self, view: &ScheduleView<'_>) -> Decision {
         let mut st = self.st.borrow_mut();
         if st.dead {
-            return Decision::Grant(view.runnable[0]);
+            return fallback(view);
         }
         if st.depth < st.fixed.len() {
             // Fixed-prefix segment (parallel frontier jobs): issue the
@@ -564,7 +578,7 @@ impl Strategy for Controller {
         if st.depth as u64 >= st.max_steps {
             st.dead = true;
             st.truncated = true;
-            return Decision::Grant(view.runnable[0]);
+            return fallback(view);
         }
         // Extension segment: open a new node.
         let enabled: Vec<(usize, PendingOp)> = view

@@ -24,6 +24,10 @@ pub enum OpKind {
     /// under a weak [`WeakMode`](crate::weakmem::WeakMode); the register id
     /// it carries is the [`FENCE_REG`](crate::weakmem::FENCE_REG) sentinel.
     Fence,
+    /// An atomic swap ([`Reg::swap`](crate::reg::Reg::swap)): exchanges the
+    /// register's value and returns the previous one as a single scheduled
+    /// gate. Counts as both a read and a write in the telemetry plane.
+    Swap,
 }
 
 impl fmt::Display for OpKind {
@@ -32,6 +36,7 @@ impl fmt::Display for OpKind {
             OpKind::Read => write!(f, "read"),
             OpKind::Write => write!(f, "write"),
             OpKind::Fence => write!(f, "fence"),
+            OpKind::Swap => write!(f, "swap"),
         }
     }
 }

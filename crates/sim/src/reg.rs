@@ -1,10 +1,14 @@
 //! Linearizable shared registers.
 //!
 //! [`Reg<T>`] models the atomic read/write register of the paper's model.
-//! There are deliberately **no read-modify-write operations** — consensus is
-//! impossible deterministically in this model precisely because registers
-//! only support reads and writes, and the algorithms here must live within
-//! that interface.
+//! The paper's algorithms deliberately use **no read-modify-write
+//! operations** — consensus is impossible deterministically in this model
+//! precisely because registers only support reads and writes, and the
+//! bounded-polynomial stack lives within that interface. The one RMW this
+//! crate *does* expose, [`Reg::swap`], exists for the protocol arena's
+//! successor algorithms (swap has consensus number 2); it is a separate
+//! [`OpKind`] in the history, so checkers can tell at a glance whether a
+//! protocol stayed inside the paper's model.
 //!
 //! # The register planes
 //!
@@ -536,6 +540,22 @@ impl<T: Clone> Backing<T> {
             Backing::Lane(c) => c.load_if_changed(cached, f),
         }
     }
+
+    /// Exchanges the stored value, returning the previous one. The locked
+    /// plane is a true atomic exchange (`mem::replace` under the write
+    /// lock) in both world modes; the lock-free planes load-then-store,
+    /// which is atomic only under the lockstep gate — see [`Reg::swap`].
+    #[inline]
+    fn swap_value(&self, value: T) -> T {
+        match self {
+            Backing::Lock(l) => std::mem::replace(&mut *l.write(), value),
+            other => {
+                let prev = other.load();
+                other.store(value);
+                prev
+            }
+        }
+    }
 }
 
 /// A linearizable multi-reader register allocated from a
@@ -753,6 +773,49 @@ impl<T: Clone + Send + Sync + 'static> Reg<T> {
         }
         ctx.inner()
             .access(ctx.pid(), OpKind::Write, self.id, tag, || cell.store(value))
+    }
+
+    /// Atomically exchanges the register's value, returning the previous
+    /// one — a single scheduled step ([`OpKind::Swap`]), counted as **both**
+    /// a read and a write in telemetry (the parity checkers apply the same
+    /// rule), and recorded as a `RegWrite` flight event.
+    ///
+    /// Swap is a read-modify-write primitive (consensus number 2) and so
+    /// lives *outside* the paper's read/write model; it exists for the
+    /// protocol arena's swap-based consensus entrants (Ovens,
+    /// arXiv 2305.06507). Under the weak-memory and regular-register
+    /// planes a granted swap first lands the caller's own buffered stores
+    /// (an RMW drains the store buffer on every modeled architecture),
+    /// then exchanges against shared memory — never against the buffer.
+    ///
+    /// On the lock-free backings (seqlock/bit/lane) the exchange is
+    /// load-then-store, atomic only because the lockstep gate serializes
+    /// the whole access; for [`Mode::Free`](crate::world::Mode::Free) runs
+    /// allocate swap registers with [`World::reg`] (locked backing), where
+    /// the exchange is a true `mem::replace` under the write lock.
+    ///
+    /// [`World::reg`]: crate::world::World::reg
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`] if the scheduler stopped this process.
+    #[inline]
+    pub fn swap(&self, ctx: &mut Ctx, value: T) -> Result<T, Halted> {
+        let cell = Arc::clone(&self.cell);
+        if ctx.inner().weak_buffering() {
+            let (pid, id) = (ctx.pid(), self.id);
+            let inner = Arc::clone(ctx.inner());
+            return ctx
+                .inner()
+                .access_central(pid, OpKind::Swap, id, 0, move |c| {
+                    inner.drain_own_buffer(c, pid);
+                    cell.swap_value(value)
+                });
+        }
+        ctx.inner()
+            .access(ctx.pid(), OpKind::Swap, self.id, 0, move || {
+                cell.swap_value(value)
+            })
     }
 
     /// Reads the register **without scheduling** — for adversary strategies,

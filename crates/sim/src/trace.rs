@@ -90,6 +90,7 @@ pub fn render(history: &History, n: usize, opts: &TraceOptions) -> String {
                     let k = match kind {
                         OpKind::Read => "R",
                         OpKind::Write => "W",
+                        OpKind::Swap => "X",
                         OpKind::Fence => unreachable!(),
                     };
                     let t = if *tag != 0 {
@@ -395,6 +396,11 @@ pub fn summary(history: &History, n: usize) -> String {
                 match kind {
                     OpKind::Read => reads += 1,
                     OpKind::Write => writes += 1,
+                    // A swap is one gate that both reads and writes.
+                    OpKind::Swap => {
+                        reads += 1;
+                        writes += 1;
+                    }
                     OpKind::Fence => {}
                 }
                 if *pid < n {

@@ -174,6 +174,7 @@ impl fmt::Display for CycleNode {
             OpKind::Read => "R",
             OpKind::Write => "W",
             OpKind::Fence => "F",
+            OpKind::Swap => "X",
         };
         write!(f, "{k} p{} {}@{}", self.pid, self.reg_name, self.step)
     }
@@ -483,6 +484,7 @@ pub fn critical_cycle(history: &History, reg_names: &[String]) -> Option<Critica
                         OpKind::Read => "read",
                         OpKind::Write => "write",
                         OpKind::Fence => "fence",
+                        OpKind::Swap => "swap",
                     },
                     name(ops[b].reg),
                 );

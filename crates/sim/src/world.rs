@@ -62,6 +62,29 @@ pub enum RegisterPlane {
     Locked,
 }
 
+/// The register consistency model a world simulates.
+///
+/// Atomic (linearizable) registers are the default and match the paper's
+/// model. [`RegMode::Regular`] weakens every register to a *regular* one
+/// (Lamport): a read concurrent with a write may return either the old or
+/// the new value. The weakening is simulated with the store-buffer
+/// machinery — a granted write stages in the writer's buffer and lands at
+/// an explorable [`Decision::Flush`] point, so DFS/PCT exploration branches
+/// over both outcomes and the flush serializes into `bprc-trace-v1`
+/// unchanged. Writers forward their own staged values (a regular register
+/// still reads-its-own-writes); [`Ctx::fence`] stays a free no-op, because
+/// no fence can make a regular register atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegMode {
+    /// Linearizable registers (the paper's model). The default.
+    #[default]
+    Atomic,
+    /// Regular registers per Lamport: concurrent reads may return old or
+    /// new. Requires [`Mode::Lockstep`] and [`WeakMode::Sc`] (the
+    /// store-buffer planes already model *their* weakenings).
+    Regular,
+}
+
 /// A process body run by [`World::run`].
 pub type ProcBody<T> = Box<dyn FnOnce(&mut Ctx) -> Result<T, Halted> + Send + 'static>;
 
@@ -206,6 +229,9 @@ pub(crate) struct WorldInner {
     /// The simulated memory model (store buffers when not
     /// [`WeakMode::Sc`]; lockstep only).
     weak: WeakMode,
+    /// The simulated register consistency model (store buffers when
+    /// [`RegMode::Regular`]; lockstep only).
+    reg_mode: RegMode,
     central: Mutex<Central>,
     proc_cv: Condvar,
     sched_cv: Condvar,
@@ -251,10 +277,10 @@ impl WorldInner {
                     self.free_shutdown.store(true, Ordering::Release);
                     return Err(Halted::StepLimit);
                 }
-                self.metrics.proc(pid).incr(op_counter(kind), 1);
+                self.count_op(pid, kind);
                 // Only writes hit the ring: per-read stamping would put a
                 // clock read on the dominant free-mode path.
-                if kind == OpKind::Write {
+                if matches!(kind, OpKind::Write | OpKind::Swap) {
                     self.recorder
                         .record(pid, s, EventKind::RegWrite, reg as u64);
                 }
@@ -337,8 +363,8 @@ impl WorldInner {
         c.per_proc_steps[pid] += 1;
         // Counted at the same point the history records the op, so
         // lockstep telemetry and `History` agree event-for-event.
-        self.metrics.proc(pid).incr(op_counter(kind), 1);
-        if kind == OpKind::Write {
+        self.count_op(pid, kind);
+        if matches!(kind, OpKind::Write | OpKind::Swap) {
             self.recorder
                 .record(pid, step, EventKind::RegWrite, reg as u64);
         }
@@ -357,10 +383,40 @@ impl WorldInner {
     }
 
     /// Whether granted writes go through store buffers: a weak memory
-    /// model on the lockstep backend. Free mode always runs the real
-    /// hardware model, so the simulated buffers stay off there.
+    /// model *or* the regular-register mode on the lockstep backend. Free
+    /// mode always runs the real hardware model, so the simulated buffers
+    /// stay off there.
     pub(crate) fn weak_buffering(&self) -> bool {
-        self.mode == Mode::Lockstep && self.weak != WeakMode::Sc
+        self.mode == Mode::Lockstep
+            && (self.weak != WeakMode::Sc || self.reg_mode == RegMode::Regular)
+    }
+
+    /// The flush discipline the scheduler offers when buffering is on.
+    /// Regular registers reuse the PSO rule — per-register FIFO, no
+    /// cross-register order — which is exactly Lamport regularity once
+    /// writers forward their own staged stores.
+    fn flush_mode(&self) -> WeakMode {
+        if self.reg_mode == RegMode::Regular {
+            WeakMode::Pso
+        } else {
+            self.weak
+        }
+    }
+
+    /// Increments the telemetry counter(s) for one granted access. A swap
+    /// is one gate that both reads and writes, so it counts in both
+    /// columns — the parity checkers apply the same rule to the history.
+    fn count_op(&self, pid: usize, kind: OpKind) {
+        let m = self.metrics.proc(pid);
+        match kind {
+            OpKind::Read => m.incr(Counter::RegReads, 1),
+            OpKind::Write => m.incr(Counter::RegWrites, 1),
+            OpKind::Fence => m.incr(Counter::Fences, 1),
+            OpKind::Swap => {
+                m.incr(Counter::RegReads, 1);
+                m.incr(Counter::RegWrites, 1);
+            }
+        }
     }
 
     /// Lands one buffered store in shared memory and records the flush in
@@ -382,16 +438,26 @@ impl WorldInner {
     /// ([`OpKind::Fence`] on the [`FENCE_REG`] sentinel) that drains the
     /// caller's own buffer, oldest first, when granted. Free of charge
     /// under SC (no gate, no step) so protocol code can fence
-    /// unconditionally.
+    /// unconditionally. Deliberately also free under [`RegMode::Regular`]:
+    /// no fence can make a regular register atomic, so the snapshot
+    /// layer's pinned fences must not re-atomicize the weakened plane.
     pub(crate) fn fence(&self, pid: usize) -> Result<(), Halted> {
-        if !self.weak_buffering() {
+        if !(self.mode == Mode::Lockstep && self.weak != WeakMode::Sc) {
             return Ok(());
         }
         self.access_central(pid, OpKind::Fence, FENCE_REG, 0, |c| {
-            while let Some(entry) = c.buffers[pid].pop_front() {
-                self.land_store(c, pid, entry);
-            }
+            self.drain_own_buffer(c, pid);
         })
+    }
+
+    /// Lands every store in `pid`'s own buffer, oldest first — the body of
+    /// a fence, also run by a granted [`Reg::swap`](crate::reg::Reg::swap)
+    /// before its exchange (an RMW drains the store buffer on every
+    /// modeled architecture).
+    pub(crate) fn drain_own_buffer(&self, c: &mut Central, pid: usize) {
+        while let Some(entry) = c.buffers[pid].pop_front() {
+            self.land_store(c, pid, entry);
+        }
     }
 
     /// Deterministic end-of-run drain (ascending pid, FIFO): every process
@@ -488,8 +554,9 @@ impl WorldInner {
                 .collect();
             let mut flushable: Vec<(usize, RegId)> = Vec::new();
             if self.weak_buffering() {
+                let fm = self.flush_mode();
                 for p in 0..self.n {
-                    for r in flushable_of(self.weak, &c.buffers[p]) {
+                    for r in flushable_of(fm, &c.buffers[p]) {
                         flushable.push((p, r));
                     }
                 }
@@ -703,6 +770,7 @@ pub struct WorldBuilder {
     plane: RegisterPlane,
     trace_capacity: usize,
     weak: WeakMode,
+    reg_mode: RegMode,
 }
 
 impl WorldBuilder {
@@ -757,6 +825,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Selects the simulated register consistency model (default
+    /// [`RegMode::Atomic`]). [`RegMode::Regular`] stages every write in
+    /// the writer's store buffer and lands it at an explorable
+    /// [`Decision::Flush`](crate::sched::Decision) point. Requires
+    /// [`Mode::Lockstep`] and is mutually exclusive with a weak
+    /// [`WeakMode`]; [`WorldBuilder::build`] panics otherwise.
+    pub fn reg_mode(mut self, reg_mode: RegMode) -> Self {
+        self.reg_mode = reg_mode;
+        self
+    }
+
     /// Finishes building the world.
     pub fn build(self) -> World {
         assert!(self.n >= 1, "a world needs at least one process");
@@ -764,6 +843,16 @@ impl WorldBuilder {
             self.weak == WeakMode::Sc || self.mode == Mode::Lockstep,
             "weak-memory store buffers are simulated by the lockstep \
              scheduler; free mode runs the real hardware model"
+        );
+        assert!(
+            self.reg_mode == RegMode::Atomic || self.mode == Mode::Lockstep,
+            "regular registers are simulated by the lockstep scheduler; \
+             free mode runs the real (atomic) hardware model"
+        );
+        assert!(
+            self.reg_mode == RegMode::Atomic || self.weak == WeakMode::Sc,
+            "regular registers and weak-memory store buffers are separate \
+             weakenings; pick one"
         );
         World {
             inner: Arc::new(WorldInner {
@@ -774,6 +863,7 @@ impl WorldBuilder {
                 seed: self.seed,
                 plane: self.plane,
                 weak: self.weak,
+                reg_mode: self.reg_mode,
                 central: Mutex::new(Central {
                     granted: None,
                     waiting: vec![None; self.n],
@@ -831,6 +921,7 @@ impl World {
             plane: RegisterPlane::default(),
             trace_capacity: DEFAULT_RING_CAPACITY,
             weak: WeakMode::Sc,
+            reg_mode: RegMode::Atomic,
         }
     }
 
@@ -848,6 +939,13 @@ impl World {
     /// ([`WeakMode::Sc`] unless [`WorldBuilder::weak_memory`] said otherwise).
     pub fn weak_memory_mode(&self) -> WeakMode {
         self.inner.weak
+    }
+
+    /// The register consistency model this world simulates
+    /// ([`RegMode::Atomic`] unless [`WorldBuilder::reg_mode`] said
+    /// otherwise).
+    pub fn register_mode(&self) -> RegMode {
+        self.inner.reg_mode
     }
 
     /// The global step budget this world was built with. The systematic
@@ -1160,15 +1258,6 @@ impl World {
                 flight,
             },
         }
-    }
-}
-
-/// Which metrics counter a scheduled access increments.
-fn op_counter(kind: OpKind) -> Counter {
-    match kind {
-        OpKind::Read => Counter::RegReads,
-        OpKind::Write => Counter::RegWrites,
-        OpKind::Fence => Counter::Fences,
     }
 }
 
